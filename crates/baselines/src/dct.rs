@@ -1,0 +1,225 @@
+//! Block discrete-cosine-transform feature tensors — the manual,
+//! frequency-domain front end of the TCAD'18 detector [Yang et al.].
+//!
+//! The clip raster is divided into `B×B` blocks; each block is transformed
+//! with a 2-D DCT-II and the lowest-frequency coefficients (zig-zag order)
+//! are kept, producing a `[k, H/B, W/B]` feature tensor. The paper under
+//! reproduction replaces this manual pipeline with its learned
+//! encoder–decoder (§3.1) and cites DCT's runtime as a drawback — which
+//! the Table 1 timing comparison exercises.
+
+use rhsd_tensor::Tensor;
+
+/// 2-D DCT-II of a square block (orthonormal scaling).
+///
+/// # Panics
+///
+/// Panics if `block` is not square rank 2.
+pub fn dct2(block: &Tensor) -> Tensor {
+    assert_eq!(block.rank(), 2, "dct2 expects [B,B], got {}", block.shape());
+    let n = block.dim(0);
+    assert_eq!(n, block.dim(1), "dct2 expects a square block");
+    let bv = block.as_slice();
+    let mut out = vec![0.0f32; n * n];
+    let norm = |k: usize| -> f32 {
+        if k == 0 {
+            (1.0 / n as f32).sqrt()
+        } else {
+            (2.0 / n as f32).sqrt()
+        }
+    };
+    for u in 0..n {
+        for v in 0..n {
+            let mut acc = 0.0f32;
+            for y in 0..n {
+                let cy = (std::f32::consts::PI * (2.0 * y as f32 + 1.0) * u as f32
+                    / (2.0 * n as f32))
+                    .cos();
+                for x in 0..n {
+                    let cx = (std::f32::consts::PI * (2.0 * x as f32 + 1.0) * v as f32
+                        / (2.0 * n as f32))
+                        .cos();
+                    acc += bv[y * n + x] * cy * cx;
+                }
+            }
+            out[u * n + v] = norm(u) * norm(v) * acc;
+        }
+    }
+    Tensor::from_vec([n, n], out).expect("dct output length n*n")
+}
+
+/// Inverse 2-D DCT-II (i.e. DCT-III with orthonormal scaling).
+///
+/// # Panics
+///
+/// Panics if `coeffs` is not square rank 2.
+pub fn idct2(coeffs: &Tensor) -> Tensor {
+    assert_eq!(coeffs.rank(), 2, "idct2 expects [B,B], got {}", coeffs.shape());
+    let n = coeffs.dim(0);
+    let cv = coeffs.as_slice();
+    let mut out = vec![0.0f32; n * n];
+    let norm = |k: usize| -> f32 {
+        if k == 0 {
+            (1.0 / n as f32).sqrt()
+        } else {
+            (2.0 / n as f32).sqrt()
+        }
+    };
+    for y in 0..n {
+        for x in 0..n {
+            let mut acc = 0.0f32;
+            for u in 0..n {
+                let cy = (std::f32::consts::PI * (2.0 * y as f32 + 1.0) * u as f32
+                    / (2.0 * n as f32))
+                    .cos();
+                for v in 0..n {
+                    let cx = (std::f32::consts::PI * (2.0 * x as f32 + 1.0) * v as f32
+                        / (2.0 * n as f32))
+                        .cos();
+                    acc += norm(u) * norm(v) * cv[u * n + v] * cy * cx;
+                }
+            }
+            out[y * n + x] = acc;
+        }
+    }
+    Tensor::from_vec([n, n], out).expect("idct output length n*n")
+}
+
+/// Zig-zag scan order of an `n×n` matrix (JPEG-style).
+pub fn zigzag_order(n: usize) -> Vec<(usize, usize)> {
+    let mut order = Vec::with_capacity(n * n);
+    for s in 0..(2 * n - 1) {
+        if s % 2 == 0 {
+            // up-right
+            let start_y = s.min(n - 1);
+            let start_x = s - start_y;
+            let (mut y, mut x) = (start_y as isize, start_x as isize);
+            while y >= 0 && (x as usize) < n {
+                order.push((y as usize, x as usize));
+                y -= 1;
+                x += 1;
+            }
+        } else {
+            let start_x = s.min(n - 1);
+            let start_y = s - start_x;
+            let (mut y, mut x) = (start_y as isize, start_x as isize);
+            while x >= 0 && (y as usize) < n {
+                order.push((y as usize, x as usize));
+                y += 1;
+                x -= 1;
+            }
+        }
+    }
+    order
+}
+
+/// Builds the TCAD'18 feature tensor: `[k, H/B, W/B]` of the first `k`
+/// zig-zag DCT coefficients of each `B×B` block.
+///
+/// # Panics
+///
+/// Panics if the image is not `[1, H, W]`, `H`/`W` are not multiples of
+/// `block`, or `k > block²`.
+pub fn feature_tensor(image: &Tensor, block: usize, k: usize) -> Tensor {
+    assert_eq!(image.rank(), 3, "expects [1,H,W], got {}", image.shape());
+    assert_eq!(image.dim(0), 1, "expects single channel");
+    let (h, w) = (image.dim(1), image.dim(2));
+    assert!(block > 0 && h % block == 0 && w % block == 0,
+        "image {h}×{w} not divisible into {block}×{block} blocks");
+    assert!(k <= block * block, "k={k} exceeds block capacity {}", block * block);
+    let (bh, bw) = (h / block, w / block);
+    let order = zigzag_order(block);
+    let mut out = Tensor::zeros([k, bh, bw]);
+    for by in 0..bh {
+        for bx in 0..bw {
+            let blk = Tensor::from_fn([block, block], |c| {
+                image.get(&[0, by * block + c[0], bx * block + c[1]])
+            });
+            let coeffs = dct2(&blk);
+            for (ci, &(u, v)) in order.iter().take(k).enumerate() {
+                out.set(&[ci, by, bx], coeffs.get(&[u, v]));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let block = Tensor::full([4, 4], 2.0);
+        let c = dct2(&block);
+        // DC = 2 * sqrt(1/4)*sqrt(1/4)*16 = 8
+        assert!((c.get(&[0, 0]) - 8.0).abs() < 1e-4);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i + j > 0 {
+                    assert!(c.get(&[i, j]).abs() < 1e-4, "AC({i},{j}) not ~0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dct_idct_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let block = Tensor::rand_uniform([8, 8], 0.0, 1.0, &mut rng);
+        let back = idct2(&dct2(&block));
+        assert!(back.approx_eq(&block, 1e-4));
+    }
+
+    #[test]
+    fn dct_preserves_energy() {
+        // Parseval: orthonormal DCT preserves the squared norm.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let block = Tensor::rand_uniform([6, 6], -1.0, 1.0, &mut rng);
+        let c = dct2(&block);
+        assert!((c.sq_norm() - block.sq_norm()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zigzag_visits_every_cell_once() {
+        for n in [1usize, 2, 4, 8] {
+            let order = zigzag_order(n);
+            assert_eq!(order.len(), n * n);
+            let set: std::collections::HashSet<_> = order.iter().collect();
+            assert_eq!(set.len(), n * n);
+            assert_eq!(order[0], (0, 0));
+        }
+    }
+
+    #[test]
+    fn zigzag_prefix_is_low_frequency() {
+        let order = zigzag_order(8);
+        // the first 10 entries all lie in the low-frequency corner
+        for &(u, v) in order.iter().take(10) {
+            assert!(u + v <= 3, "({u},{v}) not low-frequency");
+        }
+    }
+
+    #[test]
+    fn feature_tensor_shape_and_dc() {
+        let img = Tensor::full([1, 16, 16], 0.5);
+        let f = feature_tensor(&img, 4, 6);
+        assert_eq!(f.dims(), &[6, 4, 4]);
+        // DC plane is constant, AC planes ~0
+        let dc = f.get(&[0, 0, 0]);
+        for by in 0..4 {
+            for bx in 0..4 {
+                assert!((f.get(&[0, by, bx]) - dc).abs() < 1e-5);
+                assert!(f.get(&[1, by, bx]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn feature_tensor_rejects_bad_block() {
+        feature_tensor(&Tensor::zeros([1, 10, 10]), 4, 2);
+    }
+}

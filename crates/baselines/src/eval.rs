@@ -1,0 +1,143 @@
+//! Shared evaluation harness: every detector (region-based or clip-based)
+//! reduces to a set of scored clips in layout coordinates, scored with the
+//! paper's Def. 1/2 metrics.
+
+use rhsd_core::Evaluation;
+use rhsd_layout::{Point, Rect};
+
+/// A scored hotspot clip in layout coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutClip {
+    /// Clip extent in nm.
+    pub clip: Rect,
+    /// Hotspot confidence.
+    pub score: f32,
+}
+
+/// Scores layout-space detections against ground-truth hotspot locations.
+///
+/// Mirrors [`rhsd_core::evaluate_region`] in nm space: detections are
+/// matched greedily in descending score order; a detection whose clip
+/// **core** contains an unmatched hotspot is a true positive, every other
+/// detection is a false alarm (Def. 1 and Def. 2).
+pub fn evaluate_layout(detections: &[LayoutClip], hotspots: &[Point]) -> Evaluation {
+    let mut order: Vec<usize> = (0..detections.len()).collect();
+    order.sort_by(|&a, &b| {
+        detections[b]
+            .score
+            .partial_cmp(&detections[a].score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut matched = vec![false; hotspots.len()];
+    let mut tp = 0;
+    let mut fa = 0;
+    for &di in &order {
+        let core = detections[di].clip.core();
+        match hotspots
+            .iter()
+            .enumerate()
+            .find(|(hi, h)| !matched[*hi] && core.contains(**h))
+        {
+            Some((hi, _)) => {
+                matched[hi] = true;
+                tp += 1;
+            }
+            None => fa += 1,
+        }
+    }
+    Evaluation {
+        ground_truth: hotspots.len(),
+        true_positives: tp,
+        false_alarms: fa,
+    }
+}
+
+/// One row of a Table-1-style report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CaseResult {
+    /// Case name ("Case2", …).
+    pub case: String,
+    /// Detection accuracy in percent.
+    pub accuracy_pct: f64,
+    /// False alarm count.
+    pub false_alarms: usize,
+    /// Wall-clock detection time in seconds.
+    pub seconds: f64,
+}
+
+impl CaseResult {
+    /// Builds a row from an evaluation and a timing.
+    pub fn new(case: impl Into<String>, eval: &Evaluation, seconds: f64) -> Self {
+        CaseResult {
+            case: case.into(),
+            accuracy_pct: 100.0 * eval.accuracy(),
+            false_alarms: eval.false_alarms,
+            seconds,
+        }
+    }
+}
+
+/// Averages a slice of case results into an "Average" row.
+pub fn average_row(rows: &[CaseResult]) -> CaseResult {
+    let n = rows.len().max(1) as f64;
+    CaseResult {
+        case: "Average".to_owned(),
+        accuracy_pct: rows.iter().map(|r| r.accuracy_pct).sum::<f64>() / n,
+        false_alarms: (rows.iter().map(|r| r.false_alarms).sum::<usize>() as f64 / n).round()
+            as usize,
+        seconds: rows.iter().map(|r| r.seconds).sum::<f64>() / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clip(cx: i64, cy: i64, side: i64, score: f32) -> LayoutClip {
+        LayoutClip {
+            clip: Rect::centered(cx, cy, side, side),
+            score,
+        }
+    }
+
+    #[test]
+    fn core_containment_drives_matching() {
+        let dets = [clip(100, 100, 300, 0.9)];
+        // hotspot at the core centre → TP
+        let e = evaluate_layout(&dets, &[Point::new(100, 100)]);
+        assert_eq!((e.true_positives, e.false_alarms), (1, 0));
+        // hotspot inside the clip but outside the core → FA + miss
+        let e = evaluate_layout(&dets, &[Point::new(230, 100)]);
+        assert_eq!((e.true_positives, e.false_alarms), (0, 1));
+        assert_eq!(e.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_detections_count_as_false_alarms() {
+        let dets = [clip(100, 100, 300, 0.9), clip(105, 100, 300, 0.8)];
+        let e = evaluate_layout(&dets, &[Point::new(100, 100)]);
+        assert_eq!((e.true_positives, e.false_alarms), (1, 1));
+    }
+
+    #[test]
+    fn average_row_averages() {
+        let rows = vec![
+            CaseResult {
+                case: "Case2".into(),
+                accuracy_pct: 90.0,
+                false_alarms: 10,
+                seconds: 1.0,
+            },
+            CaseResult {
+                case: "Case3".into(),
+                accuracy_pct: 70.0,
+                false_alarms: 30,
+                seconds: 3.0,
+            },
+        ];
+        let avg = average_row(&rows);
+        assert_eq!(avg.accuracy_pct, 80.0);
+        assert_eq!(avg.false_alarms, 20);
+        assert_eq!(avg.seconds, 2.0);
+    }
+}

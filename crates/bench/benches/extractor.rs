@@ -1,0 +1,49 @@
+//! Forward-pass microbenchmarks of the network stages — the per-region
+//! inference cost underlying Table 1's "Time (s)" column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rhsd_core::{RhsdConfig, RhsdNetwork};
+use rhsd_nn::Layer;
+use rhsd_tensor::Tensor;
+
+fn bench_extractor(c: &mut Criterion) {
+    let cfg = RhsdConfig::demo();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
+    let image = Tensor::rand_uniform([1, cfg.region_px, cfg.region_px], 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("network");
+    group.sample_size(10);
+    group.bench_function("backbone_forward", |b| {
+        b.iter(|| net.extractor_mut().forward(std::hint::black_box(&image)))
+    });
+    group.bench_function("detect_region", |b| {
+        b.iter(|| net.detect(std::hint::black_box(&image)))
+    });
+    group.finish();
+}
+
+fn bench_encoder_decoder_ablation(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let full = RhsdConfig::demo();
+    let mut no_ed = RhsdConfig::demo();
+    no_ed.use_encoder_decoder = false;
+    let mut net_full = RhsdNetwork::new(full.clone(), &mut rng);
+    let mut net_no_ed = RhsdNetwork::new(no_ed, &mut rng);
+    let image = Tensor::rand_uniform([1, full.region_px, full.region_px], 0.0, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("extractor_ablation");
+    group.sample_size(10);
+    group.bench_function("with_encoder_decoder", |b| {
+        b.iter(|| net_full.extractor_mut().forward(std::hint::black_box(&image)))
+    });
+    group.bench_function("without_encoder_decoder", |b| {
+        b.iter(|| net_no_ed.extractor_mut().forward(std::hint::black_box(&image)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extractor, bench_encoder_decoder_ablation);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Lithography-oracle benchmarks: aerial imaging and full region
+//! labelling — the simulation cost that motivates ML-based hotspot
+//! detection in the first place.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rhsd_layout::synth::{CaseId, CaseSpec};
+use rhsd_layout::{Rect, METAL1};
+use rhsd_litho::{label_region, GaussianKernel, ProcessWindow};
+use rhsd_tensor::Tensor;
+
+fn bench_aerial(c: &mut Criterion) {
+    let mask = Tensor::from_fn([1, 256, 256], |i| ((i[2] / 4) % 3 == 0) as u8 as f32);
+    let kernel = GaussianKernel::new(1.5);
+    c.bench_function("aerial_image_256", |b| {
+        b.iter(|| rhsd_litho::aerial::aerial_image(std::hint::black_box(&mask), &kernel))
+    });
+}
+
+fn bench_label_region(c: &mut Criterion) {
+    let (layout, _) = CaseSpec::demo(CaseId::Case3).build();
+    let pw = ProcessWindow::euv_default();
+    let window = Rect::new(0, 0, 2560, 2560);
+    let mut group = c.benchmark_group("litho_oracle");
+    group.sample_size(10);
+    group.bench_function("label_region_2560nm", |b| {
+        b.iter(|| label_region(std::hint::black_box(&layout), METAL1, &window, &pw, 10.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aerial, bench_label_region);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! h-NMS (Algorithm 1) vs conventional NMS on synthetic candidate clouds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rhsd_core::{conventional_nms, hotspot_nms, Scored};
+use rhsd_data::BBox;
+
+fn cloud(n: usize, seed: u64) -> Vec<Scored> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Scored {
+            bbox: BBox::new(
+                rng.gen_range(0.0..256.0),
+                rng.gen_range(0.0..256.0),
+                rng.gen_range(16.0..64.0),
+                rng.gen_range(16.0..64.0),
+            ),
+            score: rng.gen_range(0.0..1.0),
+        })
+        .collect()
+}
+
+fn bench_nms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nms");
+    for &n in &[50usize, 200, 800] {
+        let candidates = cloud(n, 42);
+        group.bench_with_input(BenchmarkId::new("hotspot_nms", n), &candidates, |b, cs| {
+            b.iter(|| hotspot_nms(std::hint::black_box(cs), 0.7))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("conventional_nms", n),
+            &candidates,
+            |b, cs| b.iter(|| conventional_nms(std::hint::black_box(cs), 0.7)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nms);
+criterion_main!(benches);

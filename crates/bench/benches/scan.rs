@@ -1,0 +1,61 @@
+//! The Table-1 runtime contrast in microcosm: one-pass region-based
+//! detection vs the conventional overlapping clip scan over the *same*
+//! layout area.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rhsd_baselines::{Tcad18Config, Tcad18Detector};
+use rhsd_core::{RhsdConfig, RhsdNetwork};
+use rhsd_data::clips::{rasterize_window, scan_windows};
+use rhsd_data::{extract_region, Benchmark, RegionConfig};
+use rhsd_layout::synth::CaseId;
+use rhsd_layout::{Point, Rect};
+
+fn bench_region_vs_clip_scan(c: &mut Criterion) {
+    let bench = Benchmark::demo(CaseId::Case2);
+    let region_cfg = RegionConfig::demo();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut ours = RhsdNetwork::new(RhsdConfig::demo(), &mut rng);
+    let mut tcad = Tcad18Detector::new(Tcad18Config::demo(), &mut rng);
+
+    // one region's worth of layout
+    let origin = Point::new(bench.test_extent.x0, bench.test_extent.y0);
+    let sample = extract_region(&bench, origin, &region_cfg);
+    let area = Rect::new(
+        origin.x,
+        origin.y,
+        origin.x + region_cfg.region_nm(),
+        origin.y + region_cfg.region_nm(),
+    );
+    let windows = scan_windows(&area, tcad.config().clip_px);
+    let px = tcad.config().raster_px();
+
+    let mut group = c.benchmark_group("scan_same_area");
+    group.sample_size(10);
+    group.bench_function("region_based_one_pass", |b| {
+        b.iter(|| ours.detect(std::hint::black_box(&sample.image)))
+    });
+    group.bench_function("clip_scan_conventional", |b| {
+        b.iter(|| {
+            let mut marked = 0usize;
+            for w in &windows {
+                let img = rasterize_window(&bench, w, px);
+                if tcad.classify(std::hint::black_box(&img)) > 0.5 {
+                    marked += 1;
+                }
+            }
+            marked
+        })
+    });
+    group.finish();
+
+    eprintln!(
+        "note: clip scan evaluates {} clips for one {}-px region",
+        windows.len(),
+        region_cfg.region_px
+    );
+}
+
+criterion_group!(benches, bench_region_vs_clip_scan);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerates **Figure 10** of the paper: the contribution of the
+//! encoder–decoder structure, L2 regularisation and the refinement stage —
+//! average accuracy (a) and average false alarms (b) for the variants
+//! "w/o. ED", "w/o. L2", "w/o. Refine" and "Full".
+//!
+//! Usage: `cargo run -p rhsd-bench --release --bin repro_fig10 [--quick]`
+
+use rhsd_bench::pipeline::{run_fig10, Effort};
+use rhsd_bench::table::render_fig10;
+
+fn main() {
+    let effort = Effort::from_args();
+    eprintln!("repro_fig10: effort = {effort:?} (pass --quick for a fast run)");
+    eprintln!("training 4 ablation variants…");
+    let t0 = std::time::Instant::now();
+    let reports = run_fig10(effort);
+    eprintln!("total wall clock: {:.1}s", t0.elapsed().as_secs_f64());
+
+    println!("\nFigure 10: ablation of ED / L2 / Refinement (synthetic reproduction)\n");
+    println!("{}", render_fig10(&reports));
+
+    // paper's stated deltas: ED +7% accuracy, L2 +2.2%, Refine −59.2% FA
+    // and +5.88% accuracy
+    let get = |name: &str| reports.iter().find(|r| r.name == name);
+    if let (Some(full), Some(ed), Some(l2), Some(refine)) = (
+        get("Full"),
+        get("w/o. ED"),
+        get("w/o. L2"),
+        get("w/o. Refine"),
+    ) {
+        let f = full.average();
+        println!("Deltas of the full model vs each ablation:");
+        println!(
+            "  ED contributes  {:+.2}% accuracy (paper: +7%)",
+            f.accuracy_pct - ed.average().accuracy_pct
+        );
+        println!(
+            "  L2 contributes  {:+.2}% accuracy (paper: +2.2%)",
+            f.accuracy_pct - l2.average().accuracy_pct
+        );
+        let r = refine.average();
+        println!(
+            "  Refinement: {:+.2}% accuracy (paper: +5.88%), {:.1}% FA reduction (paper: −59.2%)",
+            f.accuracy_pct - r.accuracy_pct,
+            if r.false_alarms > 0 {
+                100.0 * (1.0 - f.false_alarms as f64 / r.false_alarms as f64)
+            } else {
+                0.0
+            }
+        );
+    }
+
+    let json = serde_json::json!(reports
+        .iter()
+        .map(|r| (r.name.clone(), r.rows.clone()))
+        .collect::<Vec<_>>());
+    std::fs::write("fig10_results.json", serde_json::to_string_pretty(&json).unwrap())
+        .expect("write fig10_results.json");
+    eprintln!("wrote fig10_results.json");
+}

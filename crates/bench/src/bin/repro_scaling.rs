@@ -1,0 +1,72 @@
+//! Runtime-scaling study: wall-clock of region-based detection vs the
+//! conventional overlapping clip scan as the scanned layout area grows —
+//! the mechanism behind Table 1's ~45× average speedup (the clip flow
+//! re-examines every location ~9× through overlapping cores, and pays a
+//! per-clip feature-extraction overhead on top).
+//!
+//! Usage: `cargo run -p rhsd-bench --release --bin repro_scaling [--quick]`
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rhsd_baselines::{Tcad18Config, Tcad18Detector};
+use rhsd_bench::pipeline::Effort;
+use rhsd_core::{RegionDetector, RhsdConfig, RhsdNetwork};
+use rhsd_data::clips::scan_windows;
+use rhsd_data::{Benchmark, RegionConfig};
+use rhsd_layout::synth::CaseId;
+use rhsd_layout::Rect;
+
+fn main() {
+    let effort = Effort::from_args();
+    eprintln!("repro_scaling: effort = {effort:?}");
+    let bench = Benchmark::demo(CaseId::Case3);
+    let region_cfg = RegionConfig::demo();
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let net = RhsdNetwork::new(RhsdConfig::demo(), &mut rng);
+    let mut ours = RegionDetector::new(net, region_cfg);
+    let mut tcad = Tcad18Detector::new(Tcad18Config::demo(), &mut rng);
+
+    let sides: &[i64] = if effort == Effort::Quick {
+        &[1280, 2560]
+    } else {
+        &[1280, 2560, 3840]
+    };
+
+    println!(
+        "{:>10} {:>9} {:>12} {:>9} {:>12} {:>9}",
+        "area(µm²)", "regions", "region(s)", "clips", "clip(s)", "speedup"
+    );
+    for &side in sides {
+        let extent = Rect::new(
+            bench.layout.extent().x0,
+            bench.layout.extent().y0,
+            bench.layout.extent().x0 + side,
+            bench.layout.extent().y0 + side,
+        );
+        let t0 = Instant::now();
+        let r = ours.scan(&bench, &extent);
+        let t_region = t0.elapsed().as_secs_f64();
+
+        let clips = scan_windows(&extent, tcad.config().clip_px).len();
+        let t0 = Instant::now();
+        let _ = tcad.scan(&bench, &extent);
+        let t_clip = t0.elapsed().as_secs_f64();
+
+        println!(
+            "{:>10.1} {:>9} {:>12.3} {:>9} {:>12.3} {:>8.1}×",
+            (side as f64 / 1000.0).powi(2),
+            r.regions,
+            t_region,
+            clips,
+            t_clip,
+            t_clip / t_region.max(1e-9),
+        );
+    }
+    println!(
+        "\nThe clip count grows ~9× faster than the region count (stride =\n\
+         core = clip/3), so the gap widens with area — the paper's speedup\n\
+         mechanism, reproduced without its GPU batching."
+    );
+}

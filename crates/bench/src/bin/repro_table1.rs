@@ -1,0 +1,56 @@
+//! Regenerates **Table 1** of the paper: accuracy, false-alarm count and
+//! detection runtime of TCAD'18, Faster R-CNN, SSD and Ours on the three
+//! evaluated benchmark cases, plus Average and Ratio rows.
+//!
+//! Usage: `cargo run -p rhsd-bench --release --bin repro_table1 [--quick]`
+//!
+//! The run is deterministic (all seeds fixed); results are printed to
+//! stdout and written as JSON next to the binary's working directory.
+
+use rhsd_bench::pipeline::{run_table1, Effort};
+use rhsd_bench::table::render_table1;
+
+fn main() {
+    let effort = Effort::from_args();
+    eprintln!("repro_table1: effort = {effort:?} (pass --quick for a fast run)");
+    eprintln!("building benchmarks, training 4 detectors, scanning test halves…");
+    let t0 = std::time::Instant::now();
+    let reports = run_table1(effort);
+    eprintln!("total wall clock: {:.1}s", t0.elapsed().as_secs_f64());
+
+    println!("\nTable 1: Comparison with State-of-the-art (synthetic reproduction)\n");
+    println!("{}", render_table1(&reports));
+
+    // headline claims relative to TCAD'18 (paper: +6.14% accuracy, 45×
+    // speedup, ~200 fewer false alarms)
+    if let (Some(base), Some(ours)) = (
+        reports.iter().find(|r| r.name == "TCAD'18"),
+        reports.iter().find(|r| r.name == "Ours"),
+    ) {
+        let b = base.average();
+        let o = ours.average();
+        println!("Headline vs TCAD'18:");
+        println!(
+            "  accuracy: {:+.2}% (paper: +6.14%)",
+            o.accuracy_pct - b.accuracy_pct
+        );
+        println!(
+            "  false alarms: {:+} (paper: ≈ −190)",
+            o.false_alarms as i64 - b.false_alarms as i64
+        );
+        if o.seconds > 0.0 {
+            println!(
+                "  speedup: {:.1}× (paper: ≈ 42× on GPU hardware)",
+                b.seconds / o.seconds
+            );
+        }
+    }
+
+    let json = serde_json::json!(reports
+        .iter()
+        .map(|r| (r.name.clone(), r.rows.clone()))
+        .collect::<Vec<_>>());
+    std::fs::write("table1_results.json", serde_json::to_string_pretty(&json).unwrap())
+        .expect("write table1_results.json");
+    eprintln!("wrote table1_results.json");
+}

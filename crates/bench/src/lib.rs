@@ -1,0 +1,14 @@
+//! # rhsd-bench
+//!
+//! Reproduction harness for the paper's evaluation: the [`pipeline`]
+//! trains and times every detector of Table 1, [`table`] renders the
+//! report, and [`viz`] draws Figure-9-style SVG comparisons. The
+//! `repro_table1`, `repro_fig9` and `repro_fig10` binaries regenerate the
+//! corresponding table/figures; the criterion benches under `benches/`
+//! measure the micro-level runtime claims.
+
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod table;
+pub mod viz;

@@ -1,0 +1,259 @@
+//! The shared reproduction pipeline: build benchmarks, train every
+//! detector, evaluate with timing — the machinery behind the Table 1 and
+//! Figure 10 binaries.
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rhsd_baselines::{
+    average_row, faster_rcnn_config, ssd_config, CaseResult, LayoutClip, Tcad18Config,
+    Tcad18Detector,
+};
+use rhsd_core::{RegionDetector, RhsdConfig, RhsdNetwork, TrainConfig};
+use rhsd_data::augment::{flip_region, Flip};
+use rhsd_data::{sample_regions, train_regions, Benchmark, RegionConfig, RegionSample};
+use rhsd_layout::synth::CaseId;
+
+/// Effort level of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Minutes-scale: all three cases, full demo training.
+    Full,
+    /// Seconds-to-a-minute: fewer epochs, no augmentation.
+    Quick,
+}
+
+impl Effort {
+    /// Parses `--quick` from CLI args.
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Effort::Quick
+        } else {
+            Effort::Full
+        }
+    }
+}
+
+/// Builds the three evaluated benchmark cases (demo scale).
+pub fn build_benchmarks() -> Vec<Benchmark> {
+    CaseId::EVALUATED
+        .iter()
+        .map(|&id| Benchmark::demo(id))
+        .collect()
+}
+
+/// Merges the training halves of all cases into one region set (the paper:
+/// "three training layouts are merged together to train one model"),
+/// optionally with flip augmentation.
+pub fn merged_train_regions(
+    benches: &[Benchmark],
+    region: &RegionConfig,
+    augment: bool,
+) -> Vec<RegionSample> {
+    let mut samples = Vec::new();
+    for (i, b) in benches.iter().enumerate() {
+        samples.extend(train_regions(b, region));
+        if augment {
+            // randomly-shifted crops: hotspots appear at varied positions
+            samples.extend(sample_regions(
+                b,
+                &b.train_extent.clone(),
+                region,
+                24,
+                900 + i as u64,
+            ));
+        }
+    }
+    if augment {
+        let flipped: Vec<RegionSample> = samples
+            .iter()
+            .flat_map(|s| {
+                [
+                    flip_region(s, Flip::Horizontal),
+                    flip_region(s, Flip::Vertical),
+                ]
+            })
+            .collect();
+        samples.extend(flipped);
+    }
+    samples
+}
+
+/// Training schedule for an effort level.
+pub fn train_config(effort: Effort) -> TrainConfig {
+    let mut tc = TrainConfig::demo();
+    match effort {
+        Effort::Full => {
+            tc.epochs = 10;
+        }
+        Effort::Quick => {
+            tc.epochs = 3;
+        }
+    }
+    tc
+}
+
+/// Trains one region-based network (ours or an ablation/generic config).
+pub fn train_region_network(
+    config: RhsdConfig,
+    samples: &[RegionSample],
+    effort: Effort,
+    seed: u64,
+) -> RegionDetector {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = RhsdNetwork::new(config, &mut rng);
+    let tc = train_config(effort);
+    rhsd_core::train(&mut net, samples, &tc);
+    RegionDetector::new(net, RegionConfig::demo())
+}
+
+/// The demo-scale "ours" configuration (full techniques).
+pub fn ours_config() -> RhsdConfig {
+    RhsdConfig::demo()
+}
+
+/// Evaluates a region detector on a case's test half, timing the scan.
+pub fn evaluate_region_detector(det: &mut RegionDetector, bench: &Benchmark) -> CaseResult {
+    let t0 = Instant::now();
+    let result = det.scan_test_half(bench);
+    let secs = t0.elapsed().as_secs_f64();
+    CaseResult::new(bench.id.name(), &result.evaluation, secs)
+}
+
+/// Trains the TCAD'18-style clip detector on the merged training halves.
+pub fn train_tcad18(benches: &[Benchmark], effort: Effort) -> Tcad18Detector {
+    let mut cfg = Tcad18Config::demo();
+    if effort == Effort::Quick {
+        cfg.epochs = 2;
+        cfg.biased_epochs = 1;
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut det = Tcad18Detector::new(cfg, &mut rng);
+    // Merge clips from all training halves.
+    let mut clips = Vec::new();
+    for b in benches {
+        let set = rhsd_data::clips::build_clip_set(
+            b,
+            &b.train_extent.clone(),
+            det.config().clip_px,
+            3, // jittered positives: hotspot anywhere within the core
+            3,
+            det.config().seed,
+        );
+        let px = det.config().raster_px();
+        clips.extend(
+            set.iter()
+                .map(|c| (rhsd_data::clips::rasterize_window(b, &c.window, px), c.is_hotspot)),
+        );
+    }
+    det.train(&clips);
+    det
+}
+
+/// Evaluates the clip detector on a case's test half, timing the scan.
+pub fn evaluate_tcad18(det: &mut Tcad18Detector, bench: &Benchmark) -> (CaseResult, Vec<LayoutClip>) {
+    let t0 = Instant::now();
+    let (marked, eval) = det.scan(bench, &bench.test_extent.clone());
+    let secs = t0.elapsed().as_secs_f64();
+    (CaseResult::new(bench.id.name(), &eval, secs), marked)
+}
+
+/// One detector's full Table 1 block: per-case rows plus the average.
+#[derive(Debug, Clone)]
+pub struct DetectorReport {
+    /// Detector label ("Ours", "TCAD'18", …).
+    pub name: String,
+    /// Per-case rows followed by the average row.
+    pub rows: Vec<CaseResult>,
+}
+
+impl DetectorReport {
+    /// Builds a report, appending the average row.
+    pub fn new(name: impl Into<String>, mut rows: Vec<CaseResult>) -> Self {
+        let avg = average_row(&rows);
+        rows.push(avg);
+        DetectorReport {
+            name: name.into(),
+            rows,
+        }
+    }
+
+    /// The average row.
+    pub fn average(&self) -> &CaseResult {
+        self.rows.last().expect("reports always hold the average")
+    }
+}
+
+/// Runs the full Table 1 comparison: TCAD'18, Faster R-CNN, SSD, Ours.
+pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
+    let benches = build_benchmarks();
+    let region = RegionConfig::demo();
+    let augment = effort == Effort::Full;
+    let samples = merged_train_regions(&benches, &region, augment);
+
+    let mut reports = Vec::new();
+
+    // TCAD'18 clip-based baseline.
+    let mut tcad = train_tcad18(&benches, effort);
+    let rows = benches
+        .iter()
+        .map(|b| evaluate_tcad18(&mut tcad, b).0)
+        .collect();
+    reports.push(DetectorReport::new("TCAD'18", rows));
+
+    // Faster R-CNN-style.
+    let mut frcnn = train_region_network(faster_rcnn_config(&region), &samples, effort, 101);
+    let rows = benches
+        .iter()
+        .map(|b| evaluate_region_detector(&mut frcnn, b))
+        .collect();
+    reports.push(DetectorReport::new("Faster R-CNN", rows));
+
+    // SSD-style.
+    let mut ssd = train_region_network(ssd_config(&region), &samples, effort, 102);
+    let rows = benches
+        .iter()
+        .map(|b| evaluate_region_detector(&mut ssd, b))
+        .collect();
+    reports.push(DetectorReport::new("SSD", rows));
+
+    // Ours.
+    let mut ours = train_region_network(ours_config(), &samples, effort, 103);
+    let rows = benches
+        .iter()
+        .map(|b| evaluate_region_detector(&mut ours, b))
+        .collect();
+    reports.push(DetectorReport::new("Ours", rows));
+
+    reports
+}
+
+/// Runs the Figure 10 ablation: w/o ED, w/o L2, w/o Refine, Full.
+pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
+    let benches = build_benchmarks();
+    let region = RegionConfig::demo();
+    let augment = effort == Effort::Full;
+    let samples = merged_train_regions(&benches, &region, augment);
+
+    let variants: [(&str, fn(&mut RhsdConfig)); 4] = [
+        ("w/o. ED", |c| c.use_encoder_decoder = false),
+        ("w/o. L2", |c| c.use_l2 = false),
+        ("w/o. Refine", |c| c.use_refinement = false),
+        ("Full", |_| {}),
+    ];
+
+    variants
+        .iter()
+        .map(|(name, tweak)| {
+            let mut cfg = ours_config();
+            tweak(&mut cfg);
+            let mut det = train_region_network(cfg, &samples, effort, 103);
+            let rows = benches
+                .iter()
+                .map(|b| evaluate_region_detector(&mut det, b))
+                .collect();
+            DetectorReport::new(*name, rows)
+        })
+        .collect()
+}

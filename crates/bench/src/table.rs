@@ -1,0 +1,157 @@
+//! Plain-text rendering of Table-1-style reports.
+
+use rhsd_baselines::CaseResult;
+
+use crate::pipeline::DetectorReport;
+
+/// Renders the Table 1 layout: one row per case, detector blocks as
+/// column groups, plus Average and Ratio rows.
+pub fn render_table1(reports: &[DetectorReport]) -> String {
+    let mut out = String::new();
+    // header
+    out.push_str(&format!("{:<10}", "Bench"));
+    for r in reports {
+        out.push_str(&format!(
+            "| {:>12} {:>8} {:>9} ",
+            format!("{} Accu(%)", r.name),
+            "FA",
+            "Time(s)"
+        ));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(10 + reports.len() * 35));
+    out.push('\n');
+
+    let n_cases = reports
+        .first()
+        .map(|r| r.rows.len().saturating_sub(1))
+        .unwrap_or(0);
+    for case_idx in 0..=n_cases {
+        let label = reports
+            .first()
+            .map(|r| r.rows[case_idx.min(r.rows.len() - 1)].case.clone())
+            .unwrap_or_default();
+        if case_idx == n_cases {
+            out.push_str(&format!("{:<10}", "Average"));
+        } else {
+            out.push_str(&format!("{label:<10}"));
+        }
+        for r in reports {
+            let row: &CaseResult = &r.rows[case_idx];
+            out.push_str(&format!(
+                "| {:>12.2} {:>8} {:>9.2} ",
+                row.accuracy_pct, row.false_alarms, row.seconds
+            ));
+        }
+        out.push('\n');
+    }
+
+    // Ratio row relative to the first report (the paper normalises to
+    // TCAD'18 = 1.00).
+    if let Some(base) = reports.first() {
+        let b = base.average();
+        out.push_str(&format!("{:<10}", "Ratio"));
+        for r in reports {
+            let a = r.average();
+            let acc_ratio = if b.accuracy_pct > 0.0 {
+                a.accuracy_pct / b.accuracy_pct
+            } else {
+                0.0
+            };
+            let fa_ratio = if b.false_alarms > 0 {
+                a.false_alarms as f64 / b.false_alarms as f64
+            } else {
+                0.0
+            };
+            let t_ratio = if b.seconds > 0.0 {
+                a.seconds / b.seconds
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "| {acc_ratio:>12.2} {fa_ratio:>8.2} {t_ratio:>9.2} "
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Figure 10 ablation as two small tables (average accuracy
+/// and average false alarms per variant).
+pub fn render_fig10(reports: &[DetectorReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 10(a): average accuracy (%)\n");
+    for r in reports {
+        out.push_str(&format!(
+            "  {:<12} {:>6.2}\n",
+            r.name,
+            r.average().accuracy_pct
+        ));
+    }
+    out.push_str("Figure 10(b): average false alarms\n");
+    for r in reports {
+        out.push_str(&format!(
+            "  {:<12} {:>6}\n",
+            r.name,
+            r.average().false_alarms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(name: &str, acc: f64, fa: usize, t: f64) -> DetectorReport {
+        DetectorReport::new(
+            name,
+            vec![
+                CaseResult {
+                    case: "Case2".into(),
+                    accuracy_pct: acc,
+                    false_alarms: fa,
+                    seconds: t,
+                },
+                CaseResult {
+                    case: "Case3".into(),
+                    accuracy_pct: acc + 5.0,
+                    false_alarms: fa + 2,
+                    seconds: t * 2.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn table1_contains_all_sections() {
+        let reports = vec![fake_report("TCAD'18", 80.0, 100, 10.0), fake_report("Ours", 90.0, 30, 1.0)];
+        let s = render_table1(&reports);
+        assert!(s.contains("Case2"));
+        assert!(s.contains("Case3"));
+        assert!(s.contains("Average"));
+        assert!(s.contains("Ratio"));
+        assert!(s.contains("TCAD'18"));
+        assert!(s.contains("Ours"));
+    }
+
+    #[test]
+    fn ratio_normalises_to_first_block() {
+        let reports = vec![fake_report("base", 80.0, 100, 10.0), fake_report("x", 40.0, 50, 5.0)];
+        let s = render_table1(&reports);
+        let ratio_line = s.lines().find(|l| l.starts_with("Ratio")).unwrap();
+        assert!(ratio_line.contains("1.00"), "{ratio_line}");
+        assert!(ratio_line.contains("0.50"), "{ratio_line}");
+    }
+
+    #[test]
+    fn fig10_lists_variants() {
+        let reports = vec![fake_report("w/o. ED", 85.0, 50, 1.0), fake_report("Full", 95.0, 20, 1.0)];
+        let s = render_fig10(&reports);
+        assert!(s.contains("w/o. ED"));
+        assert!(s.contains("Full"));
+        assert!(s.contains("average accuracy"));
+        assert!(s.contains("false alarms"));
+    }
+}

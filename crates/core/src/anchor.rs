@@ -1,0 +1,134 @@
+//! Anchor (candidate clip) generation over the feature map.
+//!
+//! "Per preliminary experiments, clips with single aspect ratio and scale
+//! may lead to bad performance. Therefore, for each pixel in feature map,
+//! a group of 12 clips with different aspect ratios are generated."
+//! (§3.2, Fig. 4.)
+
+use rhsd_data::BBox;
+
+use crate::config::RhsdConfig;
+
+/// Generates all anchors for one region, in row-major feature-map order.
+///
+/// For feature position `(i, j)` the anchor centre is the centre of its
+/// stride-cell in image pixels; for each scale `s` and aspect ratio `a`
+/// the anchor is `clip_px·s·√a` wide and `clip_px·s/√a` tall. Index layout
+/// is `(i·fw + j)·K + k` with `k = scale_index·|aspects| + aspect_index`.
+pub fn generate_anchors(config: &RhsdConfig) -> Vec<BBox> {
+    let f = config.feature_px();
+    let stride = config.stride as f32;
+    let base = config.clip_px as f32;
+    let mut anchors = Vec::with_capacity(config.total_anchors());
+    for i in 0..f {
+        for j in 0..f {
+            let cy = (i as f32 + 0.5) * stride;
+            let cx = (j as f32 + 0.5) * stride;
+            for &s in &config.scales {
+                for &a in &config.aspect_ratios {
+                    let w = base * s * a.sqrt();
+                    let h = base * s / a.sqrt();
+                    anchors.push(BBox::new(cx, cy, w, h));
+                }
+            }
+        }
+    }
+    anchors
+}
+
+/// Returns `true` if the anchor lies fully inside the region raster —
+/// cross-boundary anchors are excluded from training (assigned "ignore").
+pub fn inside_region(anchor: &BBox, region_px: usize) -> bool {
+    let r = region_px as f32;
+    anchor.x0() >= 0.0 && anchor.y0() >= 0.0 && anchor.x1() <= r && anchor.y1() <= r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_config() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        assert_eq!(anchors.len(), cfg.total_anchors());
+    }
+
+    #[test]
+    fn twelve_anchors_per_position_with_paper_ratios() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        let k = cfg.anchors_per_position();
+        assert_eq!(k, 12);
+        // first 12 anchors share a centre
+        for a in &anchors[..k] {
+            assert_eq!((a.cx, a.cy), (anchors[0].cx, anchors[0].cy));
+        }
+        // 13th anchor is at the next feature position
+        assert_ne!(
+            (anchors[k].cx, anchors[k].cy),
+            (anchors[0].cx, anchors[0].cy)
+        );
+    }
+
+    #[test]
+    fn anchor_centres_tile_the_region() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        let k = cfg.anchors_per_position();
+        let f = cfg.feature_px();
+        // first position centre at half a stride
+        assert_eq!(anchors[0].cx, 8.0);
+        assert_eq!(anchors[0].cy, 8.0);
+        // last position centre near the far corner
+        let last = anchors[(f * f - 1) * k];
+        assert_eq!(last.cx, cfg.region_px as f32 - 8.0);
+        assert_eq!(last.cy, cfg.region_px as f32 - 8.0);
+    }
+
+    #[test]
+    fn aspect_ratios_produce_correct_shapes() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        // k = scale_idx * 3 + aspect_idx; scale 1.0 is index 2
+        let sq = &anchors[2 * 3 + 1]; // scale 1.0, aspect 1.0
+        assert!((sq.w - cfg.clip_px as f32).abs() < 1e-4);
+        assert!((sq.h - cfg.clip_px as f32).abs() < 1e-4);
+        let wide = &anchors[2 * 3 + 2]; // aspect 2.0
+        assert!((wide.w / wide.h - 2.0).abs() < 1e-4);
+        let tall = &anchors[2 * 3]; // aspect 0.5
+        assert!((tall.w / tall.h - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn anchor_areas_scale_quadratically() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        let small = &anchors[1]; // scale 0.25, aspect 1.0
+        let large = &anchors[3 * 3 + 1]; // scale 2.0, aspect 1.0
+        assert!((large.area() / small.area() - 64.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn aspect_preserves_area() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        let a = &anchors[2 * 3];
+        let b = &anchors[2 * 3 + 1];
+        let c = &anchors[2 * 3 + 2];
+        assert!((a.area() - b.area()).abs() < 1e-2);
+        assert!((b.area() - c.area()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn inside_region_filters_boundary_anchors() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        let inside = anchors
+            .iter()
+            .filter(|a| inside_region(a, cfg.region_px))
+            .count();
+        assert!(inside > 0, "some anchors inside");
+        assert!(inside < anchors.len(), "some anchors cross the boundary");
+    }
+}

@@ -1,0 +1,120 @@
+//! Clip coordinate encoding — Eq. (3) of the paper.
+//!
+//! Regression targets are expressed relative to a generated clip (anchor)
+//! `g`: `l_x = (x − x_g)/w_g`, `l_y = (y − y_g)/h_g`, `l_w = ln(w/w_g)`,
+//! `l_h = ln(h/h_g)`. (The paper's `l'_y` line contains a typo dividing by
+//! `w_g`; the standard `h_g` form is used, matching Faster R-CNN.)
+
+use rhsd_data::BBox;
+
+/// Encodes a box relative to an anchor into `[l_x, l_y, l_w, l_h]`.
+///
+/// # Panics
+///
+/// Panics if the anchor has non-positive size or the box has non-positive
+/// size (log of non-positive ratio).
+pub fn encode(bbox: &BBox, anchor: &BBox) -> [f32; 4] {
+    assert!(
+        anchor.w > 0.0 && anchor.h > 0.0,
+        "anchor must have positive size, got {anchor:?}"
+    );
+    assert!(
+        bbox.w > 0.0 && bbox.h > 0.0,
+        "box must have positive size, got {bbox:?}"
+    );
+    [
+        (bbox.cx - anchor.cx) / anchor.w,
+        (bbox.cy - anchor.cy) / anchor.h,
+        (bbox.w / anchor.w).ln(),
+        (bbox.h / anchor.h).ln(),
+    ]
+}
+
+/// Decodes `[l_x, l_y, l_w, l_h]` back to an absolute box.
+///
+/// Log-size offsets are clamped to ±4 before exponentiation so that a
+/// wild early-training regression output cannot produce overflowing boxes.
+pub fn decode(code: &[f32; 4], anchor: &BBox) -> BBox {
+    let lw = code[2].clamp(-4.0, 4.0);
+    let lh = code[3].clamp(-4.0, 4.0);
+    BBox::new(
+        anchor.cx + code[0] * anchor.w,
+        anchor.cy + code[1] * anchor.h,
+        anchor.w * lw.exp(),
+        anchor.h * lh.exp(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_identity_is_zero() {
+        let a = BBox::new(10.0, 20.0, 8.0, 6.0);
+        assert_eq!(encode(&a, &a), [0.0; 4]);
+    }
+
+    #[test]
+    fn decode_zero_returns_anchor() {
+        let a = BBox::new(10.0, 20.0, 8.0, 6.0);
+        let d = decode(&[0.0; 4], &a);
+        assert!((d.cx - a.cx).abs() < 1e-6);
+        assert!((d.w - a.w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        let anchor = BBox::new(64.0, 64.0, 32.0, 16.0);
+        for b in [
+            BBox::new(60.0, 70.0, 30.0, 20.0),
+            BBox::new(64.0, 64.0, 48.0, 48.0),
+            BBox::new(80.0, 50.0, 8.0, 40.0),
+        ] {
+            let code = encode(&b, &anchor);
+            let back = decode(&code, &anchor);
+            assert!((back.cx - b.cx).abs() < 1e-3, "{b:?}");
+            assert!((back.cy - b.cy).abs() < 1e-3, "{b:?}");
+            assert!((back.w - b.w).abs() < 1e-3, "{b:?}");
+            assert!((back.h - b.h).abs() < 1e-3, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_translation_invariant() {
+        // shifting both box and anchor leaves the code unchanged
+        let a = BBox::new(10.0, 10.0, 8.0, 8.0);
+        let b = BBox::new(12.0, 9.0, 10.0, 6.0);
+        let a2 = BBox::new(110.0, 10.0, 8.0, 8.0);
+        let b2 = BBox::new(112.0, 9.0, 10.0, 6.0);
+        assert_eq!(encode(&b, &a), encode(&b2, &a2));
+    }
+
+    #[test]
+    fn encoding_is_scale_invariant() {
+        let a = BBox::new(10.0, 10.0, 8.0, 8.0);
+        let b = BBox::new(12.0, 9.0, 10.0, 6.0);
+        let scale = 3.0;
+        let a2 = BBox::new(30.0, 30.0, 24.0, 24.0);
+        let b2 = BBox::new(12.0 * scale, 9.0 * scale, 30.0, 18.0);
+        let (ca, cb) = (encode(&b, &a), encode(&b2, &a2));
+        for j in 0..4 {
+            assert!((ca[j] - cb[j]).abs() < 1e-5, "component {j}");
+        }
+    }
+
+    #[test]
+    fn decode_clamps_explosive_sizes() {
+        let a = BBox::new(0.0, 0.0, 8.0, 8.0);
+        let d = decode(&[0.0, 0.0, 100.0, -100.0], &a);
+        assert!(d.w <= 8.0 * (4.0f32).exp() + 1.0);
+        assert!(d.h >= 8.0 * (-4.0f32).exp() - 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn encode_rejects_degenerate_box() {
+        let a = BBox::new(0.0, 0.0, 8.0, 8.0);
+        encode(&BBox::new(0.0, 0.0, 0.0, 5.0), &a);
+    }
+}

@@ -1,0 +1,265 @@
+//! The clip proposal network — Fig. 4 of the paper.
+//!
+//! A 3×3 trunk convolution over the backbone feature map feeds two 1×1
+//! sibling heads: a classification branch producing, per anchor, logits
+//! for (hotspot, non-hotspot), and a regression branch producing the
+//! `[x, y, w, h]` code of Eq. (3). With `K` anchors per position the head
+//! depths are `2K` and `4K` (24 and 48 in the paper).
+
+use rand::Rng;
+use rhsd_nn::layers::{Conv2d, LeakyRelu};
+use rhsd_nn::{Layer, Param};
+use rhsd_tensor::ops::conv::ConvSpec;
+use rhsd_tensor::ops::elementwise::add;
+use rhsd_tensor::Tensor;
+
+use crate::config::RhsdConfig;
+
+/// Raw per-anchor outputs of the proposal network.
+#[derive(Debug, Clone)]
+pub struct CpnOutput {
+    /// `[n_anchors, 2]` classification logits (hotspot, non-hotspot).
+    pub cls_logits: Tensor,
+    /// `[n_anchors, 4]` regression codes.
+    pub reg_codes: Tensor,
+}
+
+/// The clip proposal network.
+pub struct ClipProposalNetwork {
+    trunk: Conv2d,
+    trunk_relu: LeakyRelu,
+    cls_head: Conv2d,
+    reg_head: Conv2d,
+    k: usize,
+    feature_px: usize,
+}
+
+impl ClipProposalNetwork {
+    /// Builds the CPN for a backbone emitting `in_channels` channels.
+    pub fn new(config: &RhsdConfig, in_channels: usize, rng: &mut impl Rng) -> Self {
+        let k = config.anchors_per_position();
+        let mid = config.cpn_mid_channels;
+        ClipProposalNetwork {
+            trunk: Conv2d::new(in_channels, mid, ConvSpec::same(3), rng),
+            trunk_relu: LeakyRelu::default_slope(),
+            cls_head: Conv2d::new(mid, 2 * k, ConvSpec::same(1), rng),
+            reg_head: Conv2d::new(mid, 4 * k, ConvSpec::same(1), rng),
+            k,
+            feature_px: config.feature_px(),
+        }
+    }
+
+    /// Anchors per position.
+    pub fn anchors_per_position(&self) -> usize {
+        self.k
+    }
+
+    /// Runs the proposal heads over a `[C, f, f]` feature map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial size differs from the configured grid.
+    pub fn forward(&mut self, features: &Tensor) -> CpnOutput {
+        let f = self.feature_px;
+        assert_eq!(
+            (features.dim(1), features.dim(2)),
+            (f, f),
+            "feature map {} does not match configured grid {f}×{f}",
+            features.shape()
+        );
+        let t = self.trunk_relu.forward(&self.trunk.forward(features));
+        let cls_map = self.cls_head.forward(&t);
+        let reg_map = self.reg_head.forward(&t);
+        let n = f * f * self.k;
+        let (k, fpx) = (self.k, f);
+        let cls = Tensor::from_fn([n, 2], |c| {
+            let (ai, class) = (c[0], c[1]);
+            let kk = ai % k;
+            let pos = ai / k;
+            let (i, j) = (pos / fpx, pos % fpx);
+            cls_map.get(&[2 * kk + class, i, j])
+        });
+        let reg = Tensor::from_fn([n, 4], |c| {
+            let (ai, comp) = (c[0], c[1]);
+            let kk = ai % k;
+            let pos = ai / k;
+            let (i, j) = (pos / fpx, pos % fpx);
+            reg_map.get(&[4 * kk + comp, i, j])
+        });
+        CpnOutput {
+            cls_logits: cls,
+            reg_codes: reg,
+        }
+    }
+
+    /// Back-propagates row-space gradients and returns the feature-map
+    /// gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`ClipProposalNetwork::forward`] or with
+    /// wrong-shaped gradients.
+    pub fn backward(&mut self, cls_grad: &Tensor, reg_grad: &Tensor) -> Tensor {
+        let f = self.feature_px;
+        let n = f * f * self.k;
+        assert_eq!(cls_grad.dims(), &[n, 2], "cls grad shape");
+        assert_eq!(reg_grad.dims(), &[n, 4], "reg grad shape");
+        let (k, fpx) = (self.k, f);
+        let cls_map_grad = Tensor::from_fn([2 * k, f, f], |c| {
+            let (ch, i, j) = (c[0], c[1], c[2]);
+            let (kk, class) = (ch / 2, ch % 2);
+            let ai = (i * fpx + j) * k + kk;
+            cls_grad.get(&[ai, class])
+        });
+        let reg_map_grad = Tensor::from_fn([4 * k, f, f], |c| {
+            let (ch, i, j) = (c[0], c[1], c[2]);
+            let (kk, comp) = (ch / 4, ch % 4);
+            let ai = (i * fpx + j) * k + kk;
+            reg_grad.get(&[ai, comp])
+        });
+        let g_cls = self.cls_head.backward(&cls_map_grad);
+        let g_reg = self.reg_head.backward(&reg_map_grad);
+        let g_trunk = self.trunk_relu.backward(&add(&g_cls, &g_reg));
+        self.trunk.backward(&g_trunk)
+    }
+}
+
+impl Layer for ClipProposalNetwork {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        // Layer-trait adapter: returns classification logits only. The
+        // typed API (`ClipProposalNetwork::forward`) is the primary one.
+        self.forward(input).cls_logits
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let n = self.feature_px * self.feature_px * self.k;
+        let zero_reg = Tensor::zeros([n, 4]);
+        ClipProposalNetwork::backward(self, grad_out, &zero_reg)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.trunk.params_mut();
+        p.extend(self.cls_head.params_mut());
+        p.extend(self.reg_head.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (RhsdConfig, ClipProposalNetwork, Tensor) {
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(50);
+        let cpn = ClipProposalNetwork::new(&cfg, 6, &mut rng);
+        let f = cfg.feature_px();
+        let feats = Tensor::rand_normal([6, f, f], 0.0, 1.0, &mut rng);
+        (cfg, cpn, feats)
+    }
+
+    #[test]
+    fn output_shapes_match_anchor_count() {
+        let (cfg, mut cpn, feats) = setup();
+        let out = cpn.forward(&feats);
+        assert_eq!(out.cls_logits.dims(), &[cfg.total_anchors(), 2]);
+        assert_eq!(out.reg_codes.dims(), &[cfg.total_anchors(), 4]);
+    }
+
+    #[test]
+    fn row_layout_is_position_major() {
+        // Two forward passes with a spatially-localised feature bump must
+        // change only the rows of that feature position.
+        let (cfg, mut cpn, feats) = setup();
+        let base = cpn.forward(&feats);
+        let f = cfg.feature_px();
+        let mut bumped = feats.clone();
+        // bump all channels at position (1, 2)
+        for ch in 0..6 {
+            let v = bumped.get(&[ch, 1, 2]);
+            bumped.set(&[ch, 1, 2], v + 10.0);
+        }
+        let out = cpn.forward(&bumped);
+        let k = cfg.anchors_per_position();
+        // rows of distant position (3, 0) unchanged beyond trunk's 3×3 reach
+        let far = (3 * f) * k;
+        for kk in 0..k {
+            for c in 0..2 {
+                assert!(
+                    (out.cls_logits.get(&[far + kk, c]) - base.cls_logits.get(&[far + kk, c]))
+                        .abs()
+                        < 1e-4,
+                    "distant row changed"
+                );
+            }
+        }
+        // rows of the bumped position changed
+        let near = (f + 2) * k;
+        let mut moved = false;
+        for kk in 0..k {
+            for c in 0..2 {
+                if (out.cls_logits.get(&[near + kk, c]) - base.cls_logits.get(&[near + kk, c]))
+                    .abs()
+                    > 1e-3
+                {
+                    moved = true;
+                }
+            }
+        }
+        assert!(moved, "bumped position rows should change");
+    }
+
+    #[test]
+    fn backward_returns_feature_grad_and_accumulates() {
+        let (cfg, mut cpn, feats) = setup();
+        let out = cpn.forward(&feats);
+        let gc = Tensor::ones(out.cls_logits.dims());
+        let gr = Tensor::ones(out.reg_codes.dims());
+        let gf = cpn.backward(&gc, &gr);
+        assert_eq!(gf.dims(), feats.dims());
+        let gn: f32 = cpn.params_mut().iter().map(|p| p.grad.sq_norm()).sum();
+        assert!(gn > 0.0);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn gradcheck_through_row_mapping() {
+        // Check d(sum of selected logits)/d(feature) against finite
+        // differences — validates the map/row scatter correspondence.
+        let (_, mut cpn, feats) = setup();
+        let out = cpn.forward(&feats);
+        let mut gc = Tensor::zeros(out.cls_logits.dims());
+        // pick a handful of rows
+        for ai in [0usize, 5, 17, 40] {
+            gc.set(&[ai, 0], 1.0);
+            gc.set(&[ai, 1], 1.0);
+        }
+        let gr = Tensor::zeros(out.reg_codes.dims());
+        cpn.zero_grad();
+        let gf = cpn.backward(&gc, &gr);
+
+        let loss = |cpn: &mut ClipProposalNetwork, x: &Tensor| {
+            let o = cpn.forward(x);
+            let mut s = 0.0;
+            for ai in [0usize, 5, 17, 40] {
+                s += o.cls_logits.get(&[ai, 0]) + o.cls_logits.get(&[ai, 1]);
+            }
+            s
+        };
+        let eps = 1e-2;
+        for probe in [0usize, 10, 50] {
+            let mut plus = feats.clone();
+            plus.as_mut_slice()[probe] += eps;
+            let mut minus = feats.clone();
+            minus.as_mut_slice()[probe] -= eps;
+            let numeric = (loss(&mut cpn, &plus) - loss(&mut cpn, &minus)) / (2.0 * eps);
+            let analytic = gf.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "feat[{probe}]: {numeric} vs {analytic}"
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Full-layout detection: scanning a benchmark's extent region by region
+//! and aggregating detections and metrics — the deployment flow of Fig. 2.
+
+use rhsd_data::{tile_regions, Benchmark, RegionConfig, RegionSample, NM_PER_PX};
+use rhsd_layout::Rect;
+
+use crate::metrics::{evaluate_region, Evaluation};
+use crate::model::{Detection, RhsdNetwork};
+
+/// A detection mapped back to layout coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutDetection {
+    /// The detected clip in nm.
+    pub clip: Rect,
+    /// Hotspot confidence.
+    pub score: f32,
+    /// The region window the detection came from.
+    pub region: Rect,
+}
+
+/// Result of scanning an extent.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    /// All detections, in layout coordinates.
+    pub detections: Vec<LayoutDetection>,
+    /// Aggregated metrics against the lithography ground truth.
+    pub evaluation: Evaluation,
+    /// Number of regions processed.
+    pub regions: usize,
+}
+
+/// A trained network bound to its region geometry, able to scan layouts.
+pub struct RegionDetector {
+    network: RhsdNetwork,
+    region_config: RegionConfig,
+}
+
+impl RegionDetector {
+    /// Wraps a trained network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region geometry does not match the network's input
+    /// size.
+    pub fn new(network: RhsdNetwork, region_config: RegionConfig) -> Self {
+        assert_eq!(
+            network.config().region_px,
+            region_config.region_px,
+            "network input {} != region config {}",
+            network.config().region_px,
+            region_config.region_px
+        );
+        RegionDetector {
+            network,
+            region_config,
+        }
+    }
+
+    /// The wrapped network.
+    pub fn network_mut(&mut self) -> &mut RhsdNetwork {
+        &mut self.network
+    }
+
+    /// The region geometry.
+    pub fn region_config(&self) -> &RegionConfig {
+        &self.region_config
+    }
+
+    /// Detects hotspots in one prepared region sample and scores them
+    /// against its ground truth.
+    pub fn detect_region(&mut self, sample: &RegionSample) -> (Vec<Detection>, Evaluation) {
+        let dets = self.network.detect(&sample.image);
+        let eval = evaluate_region(&dets, &sample.gt_centers);
+        (dets, eval)
+    }
+
+    /// Scans an extent of a benchmark, e.g. its test half.
+    pub fn scan(&mut self, bench: &Benchmark, extent: &Rect) -> ScanResult {
+        let regions = tile_regions(bench, extent, &self.region_config);
+        let mut detections = Vec::new();
+        let mut evaluation = Evaluation::default();
+        let n = regions.len();
+        for sample in &regions {
+            let (dets, eval) = self.detect_region(sample);
+            evaluation.merge(&eval);
+            for d in dets {
+                detections.push(LayoutDetection {
+                    clip: d.bbox.to_rect(&sample.spec),
+                    score: d.score,
+                    region: sample.window,
+                });
+            }
+        }
+        ScanResult {
+            detections,
+            evaluation,
+            regions: n,
+        }
+    }
+
+    /// Scans the test half of a benchmark (the paper's evaluation split).
+    pub fn scan_test_half(&mut self, bench: &Benchmark) -> ScanResult {
+        self.scan(bench, &bench.test_extent.clone())
+    }
+}
+
+/// Converts a pixel-space detection in `sample` to layout nm (helper for
+/// callers working with raw [`RhsdNetwork::detect`] output).
+pub fn detection_to_nm(det: &Detection, sample: &RegionSample) -> Rect {
+    det.bbox.to_rect(&sample.spec)
+}
+
+/// Rough nm-per-px sanity constant re-exported for callers.
+pub const DETECTOR_NM_PER_PX: f64 = NM_PER_PX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RhsdConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rhsd_layout::synth::CaseId;
+
+    fn tiny_detector() -> RegionDetector {
+        let mut cfg = RhsdConfig::tiny();
+        cfg.region_px = 128; // match demo region geometry
+        let mut rng = ChaCha8Rng::seed_from_u64(90);
+        let net = RhsdNetwork::new(cfg, &mut rng);
+        RegionDetector::new(net, RegionConfig::demo())
+    }
+
+    #[test]
+    fn scan_covers_all_test_regions() {
+        let bench = Benchmark::demo(CaseId::Case2);
+        let mut det = tiny_detector();
+        let result = det.scan_test_half(&bench);
+        assert_eq!(result.regions, 18); // 3×6 demo tiling of the half
+        assert_eq!(
+            result.evaluation.ground_truth,
+            bench
+                .test_hotspots()
+                .iter()
+                .filter(|p| {
+                    // hotspots inside complete region tiles only
+                    tile_regions(&bench, &bench.test_extent.clone(), &RegionConfig::demo())
+                        .iter()
+                        .any(|r| r.window.contains(**p))
+                })
+                .count()
+        );
+    }
+
+    #[test]
+    fn detections_are_inside_their_regions() {
+        let bench = Benchmark::demo(CaseId::Case3);
+        let mut det = tiny_detector();
+        let result = det.scan_test_half(&bench);
+        // detections may overhang the region border (clips are not
+        // clamped — clamping would shift cores off border hotspots), but
+        // never by more than the largest anchor extent
+        let slack = (RegionConfig::demo().clip_nm()) * 2;
+        for d in &result.detections {
+            assert!(
+                d.region.inflated(slack).contains_rect(&d.clip),
+                "detection {d:?} escapes its region"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "network input")]
+    fn mismatched_geometry_rejected() {
+        let cfg = RhsdConfig::tiny(); // 64-px input
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let net = RhsdNetwork::new(cfg, &mut rng);
+        RegionDetector::new(net, RegionConfig::demo()); // 128-px regions
+    }
+}

@@ -1,0 +1,243 @@
+//! Assembly of the multi-task Classification & Regression loss — Eq. (4).
+//!
+//! `L_C&R = α_loc · Σ h'_i · l_loc(l_i, l'_i) + Σ l_hotspot(h_i, h'_i)
+//!  + β/2 · (‖T‖²)` — the smooth-L1 localisation term over positive clips,
+//! cross-entropy over sampled clips, and L2 weight regularisation.
+
+use rhsd_nn::loss::smooth_l1_loss;
+use rhsd_tensor::ops::softmax::cross_entropy_rows;
+use rhsd_tensor::Tensor;
+
+use crate::config::RhsdConfig;
+use crate::cpn::CpnOutput;
+use crate::pruning::{Assignment, ClipLabel};
+
+/// Class index of "hotspot" in all two-way classification heads.
+pub const CLASS_HOTSPOT: usize = 0;
+/// Class index of "non-hotspot".
+pub const CLASS_NON_HOTSPOT: usize = 1;
+
+/// Scalar components of one C&R evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CrLoss {
+    /// Cross-entropy classification term.
+    pub cls: f32,
+    /// Smooth-L1 localisation term (already scaled by α_loc).
+    pub reg: f32,
+}
+
+impl CrLoss {
+    /// Total of both terms.
+    pub fn total(&self) -> f32 {
+        self.cls + self.reg
+    }
+}
+
+/// Computes the first-stage C&R loss and the gradients to feed back into
+/// the clip proposal network.
+///
+/// `sample_weights` holds the minibatch weights from
+/// [`crate::pruning::sample_minibatch`]; classification runs over all
+/// sampled clips, regression only over sampled *positives* (`h'_i`
+/// gating in Eq. 4).
+///
+/// Returns `(loss, cls_grad, reg_grad)` with gradients shaped like the
+/// [`CpnOutput`] rows.
+pub fn cpn_loss(
+    output: &CpnOutput,
+    assignment: &Assignment,
+    sample_weights: &[f32],
+    config: &RhsdConfig,
+) -> (CrLoss, Tensor, Tensor) {
+    let n = assignment.labels.len();
+    assert_eq!(output.cls_logits.dim(0), n, "output/assignment size mismatch");
+    assert_eq!(sample_weights.len(), n, "weights length mismatch");
+
+    // Classification targets over sampled clips.
+    let mut targets = vec![CLASS_NON_HOTSPOT; n];
+    let mut reg_weights = vec![0.0f32; n];
+    for (i, label) in assignment.labels.iter().enumerate() {
+        match label {
+            ClipLabel::Positive(_) => {
+                targets[i] = CLASS_HOTSPOT;
+                reg_weights[i] = sample_weights[i];
+            }
+            ClipLabel::Negative => targets[i] = CLASS_NON_HOTSPOT,
+            ClipLabel::Ignore => {}
+        }
+    }
+    let (cls, cls_grad) = cross_entropy_rows(&output.cls_logits, &targets, sample_weights);
+
+    // Regression over positive sampled clips, scaled by α_loc.
+    let target_tensor = Tensor::from_fn([n, 4], |c| assignment.reg_targets[c[0]][c[1]]);
+    let (reg_raw, reg_grad_raw) = smooth_l1_loss(&output.reg_codes, &target_tensor, &reg_weights);
+    let reg = config.alpha_loc * reg_raw;
+    let reg_grad = reg_grad_raw.map(|g| g * config.alpha_loc);
+
+    (CrLoss { cls, reg }, cls_grad, reg_grad)
+}
+
+/// Computes the second-stage (refinement) C&R loss for a single proposal.
+///
+/// `target_class` is [`CLASS_HOTSPOT`] or [`CLASS_NON_HOTSPOT`];
+/// `reg_target` is the Eq. (3) code of the matched ground truth relative
+/// to the proposal box (`None` for negatives — no localisation term).
+///
+/// Returns `(loss, cls_grad [2], reg_grad [4])`.
+pub fn refine_loss(
+    cls_logits: &Tensor,
+    reg_code: &Tensor,
+    target_class: usize,
+    reg_target: Option<[f32; 4]>,
+    config: &RhsdConfig,
+) -> (CrLoss, Tensor, Tensor) {
+    let logits2 = cls_logits
+        .clone()
+        .reshape([1, 2])
+        .expect("refine cls logits are [2]");
+    let (cls, cls_grad) = cross_entropy_rows(&logits2, &[target_class], &[1.0]);
+    let cls_grad = cls_grad.reshape([2]).expect("grad reshape");
+
+    match reg_target {
+        Some(t) => {
+            let pred = reg_code.clone().reshape([1, 4]).expect("reg code is [4]");
+            let target = Tensor::from_vec([1, 4], t.to_vec()).expect("target length 4");
+            let (reg_raw, gr) = smooth_l1_loss(&pred, &target, &[1.0]);
+            (
+                CrLoss {
+                    cls,
+                    reg: config.alpha_loc * reg_raw,
+                },
+                cls_grad,
+                gr.map(|g| g * config.alpha_loc)
+                    .reshape([4])
+                    .expect("grad reshape"),
+            )
+        }
+        None => (
+            CrLoss { cls, reg: 0.0 },
+            cls_grad,
+            Tensor::zeros([4]),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchor::generate_anchors;
+    use crate::pruning::assign_anchors;
+    use rhsd_data::BBox;
+
+    fn fake_output(n: usize, hot_rows: &[usize]) -> CpnOutput {
+        let mut cls = Tensor::zeros([n, 2]);
+        for i in 0..n {
+            // default: confidently non-hotspot
+            cls.set(&[i, CLASS_NON_HOTSPOT], 5.0);
+        }
+        for &i in hot_rows {
+            cls.set(&[i, CLASS_HOTSPOT], 10.0);
+            cls.set(&[i, CLASS_NON_HOTSPOT], 0.0);
+        }
+        CpnOutput {
+            cls_logits: cls,
+            reg_codes: Tensor::zeros([n, 4]),
+        }
+    }
+
+    #[test]
+    fn perfect_predictions_give_small_loss() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        let gt = vec![BBox::new(64.0, 64.0, 32.0, 32.0)];
+        let assignment = assign_anchors(&anchors, &gt, &cfg);
+        let hot_rows: Vec<usize> = assignment
+            .labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| matches!(l, ClipLabel::Positive(_)).then_some(i))
+            .collect();
+        let out = fake_output(anchors.len(), &hot_rows);
+        let weights = vec![1.0f32; anchors.len()];
+        // zero out ignore rows
+        let weights: Vec<f32> = weights
+            .iter()
+            .zip(assignment.labels.iter())
+            .map(|(&w, l)| if *l == ClipLabel::Ignore { 0.0 } else { w })
+            .collect();
+        let (loss, _, _) = cpn_loss(&out, &assignment, &weights, &cfg);
+        assert!(loss.cls < 0.01, "cls loss {}", loss.cls);
+        // reg target for the exactly-matching anchor is 0, predictions are 0
+        // (other positives contribute a little)
+        assert!(loss.reg < 2.0 * cfg.alpha_loc, "reg loss {}", loss.reg);
+    }
+
+    #[test]
+    fn wrong_classification_gives_large_loss() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        let gt = vec![BBox::new(64.0, 64.0, 32.0, 32.0)];
+        let assignment = assign_anchors(&anchors, &gt, &cfg);
+        // predict non-hotspot everywhere
+        let out = fake_output(anchors.len(), &[]);
+        let weights: Vec<f32> = assignment
+            .labels
+            .iter()
+            .map(|l| if *l == ClipLabel::Ignore { 0.0 } else { 1.0 })
+            .collect();
+        let (loss, cls_grad, _) = cpn_loss(&out, &assignment, &weights, &cfg);
+        assert!(loss.cls > 0.01, "misclassified positives must cost");
+        assert!(cls_grad.sq_norm() > 0.0);
+    }
+
+    #[test]
+    fn reg_grad_zero_for_negatives() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        let assignment = assign_anchors(&anchors, &[], &cfg);
+        let out = fake_output(anchors.len(), &[]);
+        let weights = vec![1.0f32; anchors.len()];
+        let (loss, _, reg_grad) = cpn_loss(&out, &assignment, &weights, &cfg);
+        assert_eq!(loss.reg, 0.0);
+        assert_eq!(reg_grad.sq_norm(), 0.0);
+    }
+
+    #[test]
+    fn alpha_loc_scales_regression_term() {
+        let cfg = RhsdConfig::demo();
+        let anchors = generate_anchors(&cfg);
+        let gt = vec![BBox::new(60.0, 70.0, 28.0, 36.0)];
+        let assignment = assign_anchors(&anchors, &gt, &cfg);
+        let out = CpnOutput {
+            cls_logits: Tensor::zeros([anchors.len(), 2]),
+            reg_codes: Tensor::full([anchors.len(), 4], 0.5),
+        };
+        let weights: Vec<f32> = assignment
+            .labels
+            .iter()
+            .map(|l| if *l == ClipLabel::Ignore { 0.0 } else { 1.0 })
+            .collect();
+        let mut cfg2 = cfg.clone();
+        cfg2.alpha_loc = 4.0;
+        let (l1, _, g1) = cpn_loss(&out, &assignment, &weights, &cfg);
+        let (l2, _, g2) = cpn_loss(&out, &assignment, &weights, &cfg2);
+        assert!((l2.reg / l1.reg - 2.0).abs() < 1e-4);
+        assert!((g2.sq_norm() / g1.sq_norm() - 4.0).abs() < 1e-3);
+        assert_eq!(l1.cls, l2.cls);
+    }
+
+    #[test]
+    fn refine_loss_positive_and_negative() {
+        let cfg = RhsdConfig::demo();
+        let good = Tensor::from_vec([2], vec![8.0, -8.0]).unwrap();
+        let reg = Tensor::zeros([4]);
+        let (l, _, gr) = refine_loss(&good, &reg, CLASS_HOTSPOT, Some([0.0; 4]), &cfg);
+        assert!(l.total() < 0.01, "perfect refine: {l:?}");
+        assert_eq!(gr.sq_norm(), 0.0);
+
+        let (l, gc, gr) = refine_loss(&good, &reg, CLASS_NON_HOTSPOT, None, &cfg);
+        assert!(l.cls > 1.0, "confidently wrong must cost: {l:?}");
+        assert!(gc.sq_norm() > 0.0);
+        assert_eq!(gr.sq_norm(), 0.0, "negatives have no reg gradient");
+    }
+}

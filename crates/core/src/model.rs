@@ -1,0 +1,490 @@
+//! The end-to-end R-HSD network (Fig. 2): feature extraction → clip
+//! proposal network → h-NMS → refinement, trainable end-to-end with the
+//! multi-task C&R loss.
+
+use rand::Rng;
+use rhsd_data::{BBox, RegionSample};
+use rhsd_nn::{Layer, Param};
+use rhsd_tensor::ops::elementwise::axpy;
+use rhsd_tensor::ops::softmax::softmax_rows;
+use rhsd_tensor::Tensor;
+
+use crate::anchor::{generate_anchors, inside_region};
+use crate::boxcode::{decode, encode};
+use crate::config::RhsdConfig;
+use crate::cpn::ClipProposalNetwork;
+use crate::extractor::FeatureExtractor;
+use crate::hnms::{conventional_nms, hotspot_nms, Scored};
+use crate::loss::{cpn_loss, refine_loss, CrLoss, CLASS_HOTSPOT, CLASS_NON_HOTSPOT};
+use crate::pruning::{assign_anchors, sample_minibatch};
+use crate::refine::{roi_from_bbox, RefinementHead};
+
+/// A final detection: a clip marked as hotspot with its confidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// The detected clip, in region pixel coordinates.
+    pub bbox: BBox,
+    /// Hotspot confidence in `[0, 1]`.
+    pub score: f32,
+}
+
+/// Scalar diagnostics of one training step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrainStats {
+    /// First-stage (CPN) loss components.
+    pub cpn: CrLoss,
+    /// Second-stage (refinement) loss components, averaged over RoIs.
+    pub refine: CrLoss,
+    /// Number of RoIs refined this step.
+    pub rois: usize,
+}
+
+impl TrainStats {
+    /// Total scalar loss.
+    pub fn total(&self) -> f32 {
+        self.cpn.total() + self.refine.total()
+    }
+}
+
+/// The region-based hotspot detection network.
+pub struct RhsdNetwork {
+    config: RhsdConfig,
+    extractor: FeatureExtractor,
+    cpn: ClipProposalNetwork,
+    refinement: Option<RefinementHead>,
+    anchors: Vec<BBox>,
+}
+
+impl RhsdNetwork {
+    /// Builds a freshly-initialised network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: RhsdConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.is_valid(), "invalid config: {config:?}");
+        let extractor = FeatureExtractor::new(&config, rng);
+        let cpn = ClipProposalNetwork::new(&config, extractor.out_channels(), rng);
+        let refinement = config
+            .use_refinement
+            .then(|| RefinementHead::new(&config, extractor.out_channels(), rng));
+        let anchors = generate_anchors(&config);
+        RhsdNetwork {
+            config,
+            extractor,
+            cpn,
+            refinement,
+            anchors,
+        }
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> &RhsdConfig {
+        &self.config
+    }
+
+    /// Adjusts the final detection score threshold (operating point).
+    pub fn set_score_threshold(&mut self, threshold: f32) {
+        self.config.score_threshold = threshold;
+    }
+
+    /// Switches between hotspot NMS and conventional NMS at inference
+    /// (an evaluation-time ablation; the trained weights are unaffected).
+    pub fn set_use_hnms(&mut self, use_hnms: bool) {
+        self.config.use_hnms = use_hnms;
+    }
+
+    /// The anchor set (one region's worth).
+    pub fn anchors(&self) -> &[BBox] {
+        &self.anchors
+    }
+
+    /// All trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.extractor.params_mut();
+        p.extend(self.cpn.params_mut());
+        if let Some(r) = self.refinement.as_mut() {
+            p.extend(r.params_mut());
+        }
+        p
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total trainable scalar count.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// One training forward/backward pass on a region sample. Gradients
+    /// accumulate into the parameters; the caller steps the optimiser.
+    pub fn train_step(&mut self, sample: &RegionSample, rng: &mut impl Rng) -> TrainStats {
+        let feats = self.extractor.forward(&sample.image);
+
+        // --- Stage 1: clip proposal network.
+        let out = self.cpn.forward(&feats);
+        let assignment = assign_anchors(&self.anchors, &sample.gt_clips, &self.config);
+        let weights = sample_minibatch(&assignment, &self.config, rng);
+        let (cpn_cr, cls_grad, reg_grad) = cpn_loss(&out, &assignment, &weights, &self.config);
+        let mut feat_grad = self.cpn.backward(&cls_grad, &reg_grad);
+
+        // --- Stage 2: refinement on sampled RoIs.
+        let mut refine_cr = CrLoss::default();
+        let mut n_rois = 0usize;
+        if self.refinement.is_some() {
+            let rois = self.sample_training_rois(sample, &out, rng);
+            n_rois = rois.len();
+            let f = self.config.feature_px();
+            // Eq. (4) sums the C&R terms over clips, so each RoI's
+            // gradient contributes at full weight (a mean would shrink
+            // the refinement head's learning signal by the batch size).
+            for (roi_box, target_class, reg_target) in rois {
+                let roi = roi_from_bbox(&roi_box, self.config.stride, f);
+                let head = self.refinement.as_mut().expect("refinement enabled");
+                let out = head.forward(&feats, roi);
+                let (cr, gc, gr) =
+                    refine_loss(&out.cls_logits, &out.reg_code, target_class, reg_target, &self.config);
+                refine_cr.cls += cr.cls;
+                refine_cr.reg += cr.reg;
+                let g = head.backward(&gc, &gr);
+                axpy(&mut feat_grad, 1.0 / n_rois.max(1) as f32, &g);
+            }
+            if n_rois > 0 {
+                // report per-RoI means for readable diagnostics
+                refine_cr.cls /= n_rois as f32;
+                refine_cr.reg /= n_rois as f32;
+            }
+        }
+
+        self.extractor.backward(&feat_grad);
+
+        TrainStats {
+            cpn: cpn_cr,
+            refine: refine_cr,
+            rois: n_rois,
+        }
+    }
+
+    /// Samples refinement training RoIs, balanced to `config.roi_batch`:
+    ///
+    /// - positives: each ground-truth clip, jittered (guaranteed recall
+    ///   supervision even while stage-1 proposals are poor);
+    /// - *hard* negatives: the current top-scoring stage-1 proposals with
+    ///   low ground-truth overlap — exactly the clips refinement must
+    ///   learn to reject at inference (Fig. 8);
+    /// - filler negatives: random low-overlap anchors.
+    fn sample_training_rois(
+        &self,
+        sample: &RegionSample,
+        out: &crate::cpn::CpnOutput,
+        rng: &mut impl Rng,
+    ) -> Vec<(BBox, usize, Option<[f32; 4]>)> {
+        let mut rois = Vec::new();
+        let half = (self.config.roi_batch / 2).max(1);
+
+        // Positives: each gt clip, plus jittered copies up to the budget.
+        let mut pos = 0usize;
+        'outer: loop {
+            for gt in &sample.gt_clips {
+                if pos >= half {
+                    break 'outer;
+                }
+                let jx: f32 = rng.gen_range(-0.15..0.15) * gt.w;
+                let jy: f32 = rng.gen_range(-0.15..0.15) * gt.h;
+                let js: f32 = rng.gen_range(0.85..1.2);
+                let roi_box = BBox::new(gt.cx + jx, gt.cy + jy, gt.w * js, gt.h * js);
+                let code = encode(gt, &roi_box);
+                rois.push((roi_box, CLASS_HOTSPOT, Some(code)));
+                pos += 1;
+            }
+            if sample.gt_clips.is_empty() {
+                break;
+            }
+        }
+
+        let needed = self.config.roi_batch - pos.min(self.config.roi_batch);
+
+        // Hard negatives: top-scoring decoded proposals with low overlap.
+        let probs = softmax_rows(&out.cls_logits);
+        let mut scored: Vec<(usize, f32)> = (0..self.anchors.len())
+            .map(|ai| (ai, probs.get(&[ai, CLASS_HOTSPOT])))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut neg = 0usize;
+        for &(ai, _) in scored.iter().take(needed * 4) {
+            if neg >= needed / 2 {
+                break;
+            }
+            let code = [
+                out.reg_codes.get(&[ai, 0]),
+                out.reg_codes.get(&[ai, 1]),
+                out.reg_codes.get(&[ai, 2]),
+                out.reg_codes.get(&[ai, 3]),
+            ];
+            let bbox = decode(&code, &self.anchors[ai]);
+            if bbox.area() < 1.0 {
+                continue;
+            }
+            if sample
+                .gt_clips
+                .iter()
+                .all(|g| bbox.iou(g) < self.config.iou_neg)
+            {
+                rois.push((bbox, CLASS_NON_HOTSPOT, None));
+                neg += 1;
+            }
+        }
+
+        // Filler negatives: in-bounds anchors far from every gt.
+        let mut tries = 0;
+        while neg < needed && tries < needed * 30 {
+            tries += 1;
+            let a = &self.anchors[rng.gen_range(0..self.anchors.len())];
+            if !inside_region(a, self.config.region_px) {
+                continue;
+            }
+            if sample
+                .gt_clips
+                .iter()
+                .all(|g| a.iou(g) < self.config.iou_neg)
+            {
+                rois.push((*a, CLASS_NON_HOTSPOT, None));
+                neg += 1;
+            }
+        }
+        rois
+    }
+
+    /// Raw first-stage proposals for an image: all anchors decoded and
+    /// suppressed; the top-scoring survivors are kept (no hard threshold —
+    /// the refinement stage applies the final score cut, the standard
+    /// region-proposal practice).
+    fn propose(&mut self, feats: &Tensor) -> Vec<Scored> {
+        let out = self.cpn.forward(feats);
+        let probs = softmax_rows(&out.cls_logits);
+        let mut candidates = Vec::new();
+        for (ai, anchor) in self.anchors.iter().enumerate() {
+            let score = probs.get(&[ai, CLASS_HOTSPOT]);
+            if score < 0.05 {
+                continue; // hopeless candidates: skip for speed only
+            }
+            let code = [
+                out.reg_codes.get(&[ai, 0]),
+                out.reg_codes.get(&[ai, 1]),
+                out.reg_codes.get(&[ai, 2]),
+                out.reg_codes.get(&[ai, 3]),
+            ];
+            // Not clamped: clamping would shift the clip core off the
+            // hotspot for detections near the region border. RoI pooling
+            // clamps separately when reading features.
+            let bbox = decode(&code, anchor);
+            if bbox.area() < 1.0 {
+                continue;
+            }
+            candidates.push(Scored { bbox, score });
+        }
+        let kept = if self.config.use_hnms {
+            hotspot_nms(&candidates, self.config.hnms_threshold)
+        } else {
+            conventional_nms(&candidates, self.config.hnms_threshold)
+        };
+        kept.into_iter().take(self.config.pre_nms_top_n).collect()
+    }
+
+    /// First-stage proposals (post h-NMS) for a region raster — exposed
+    /// for diagnostics and for single-stage operation.
+    pub fn proposals(&mut self, image: &Tensor) -> Vec<Scored> {
+        let feats = self.extractor.forward(image);
+        self.propose(&feats)
+    }
+
+    /// Detects hotspots in a `[1, region_px, region_px]` raster — the
+    /// one-step feed-forward region detection of the paper.
+    pub fn detect(&mut self, image: &Tensor) -> Vec<Detection> {
+        let feats = self.extractor.forward(image);
+        let proposals = self.propose(&feats);
+
+        let finals: Vec<Scored> = if self.refinement.is_some() {
+            let f = self.config.feature_px();
+            let mut refined = Vec::new();
+            for p in &proposals {
+                let roi = roi_from_bbox(&p.bbox, self.config.stride, f);
+                let head = self.refinement.as_mut().expect("refinement enabled");
+                let out = head.forward(&feats, roi);
+                let logits = out
+                    .cls_logits
+                    .clone()
+                    .reshape([1, 2])
+                    .expect("refine logits are [2]");
+                let probs = softmax_rows(&logits);
+                let score = probs.get(&[0, CLASS_HOTSPOT]);
+                if score < self.config.score_threshold {
+                    continue;
+                }
+                let code = [
+                    out.reg_code.get(&[0]),
+                    out.reg_code.get(&[1]),
+                    out.reg_code.get(&[2]),
+                    out.reg_code.get(&[3]),
+                ];
+                let bbox = decode(&code, &p.bbox);
+                refined.push(Scored { bbox, score });
+            }
+            if self.config.use_hnms {
+                hotspot_nms(&refined, self.config.hnms_threshold)
+            } else {
+                conventional_nms(&refined, self.config.hnms_threshold)
+            }
+        } else {
+            // single-stage (w/o refinement): the stage-1 score is final
+            proposals
+                .into_iter()
+                .filter(|p| p.score >= self.config.score_threshold)
+                .collect()
+        };
+
+        finals
+            .into_iter()
+            .map(|s| Detection {
+                bbox: s.bbox,
+                score: s.score,
+            })
+            .collect()
+    }
+
+    /// Accesses the extractor (for feature-level benchmarks).
+    pub fn extractor_mut(&mut self) -> &mut FeatureExtractor {
+        &mut self.extractor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rhsd_layout::{RasterSpec, Rect};
+
+    fn tiny_sample(cfg: &RhsdConfig, with_hotspot: bool) -> RegionSample {
+        let px = cfg.region_px;
+        let image = Tensor::from_fn([1, px, px], |c| {
+            // vertical stripes pattern
+            if (c[2] / 4) % 3 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let window = Rect::new(0, 0, (px * 10) as i64, (px * 10) as i64);
+        let spec = RasterSpec::new(window, px, px);
+        let (gt_clips, gt_centers) = if with_hotspot {
+            let c = px as f32 / 2.0;
+            (
+                vec![BBox::new(c, c, cfg.clip_px as f32, cfg.clip_px as f32)],
+                vec![(c, c)],
+            )
+        } else {
+            (vec![], vec![])
+        };
+        RegionSample {
+            image,
+            window,
+            spec,
+            gt_clips,
+            gt_centers,
+        }
+    }
+
+    #[test]
+    fn network_builds_and_counts_params() {
+        let mut rng = ChaCha8Rng::seed_from_u64(70);
+        let mut net = RhsdNetwork::new(RhsdConfig::tiny(), &mut rng);
+        assert!(net.param_count() > 1000);
+        assert_eq!(net.anchors().len(), net.config().total_anchors());
+    }
+
+    #[test]
+    fn train_step_produces_finite_losses_and_grads() {
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
+        let sample = tiny_sample(&cfg, true);
+        net.zero_grad();
+        let stats = net.train_step(&sample, &mut rng);
+        assert!(stats.total().is_finite(), "{stats:?}");
+        assert!(stats.cpn.cls > 0.0);
+        assert!(stats.rois > 0, "refinement RoIs sampled");
+        let gn: f32 = net.params_mut().iter().map(|p| p.grad.sq_norm()).sum();
+        assert!(gn > 0.0 && gn.is_finite());
+    }
+
+    #[test]
+    fn train_step_without_hotspots_works() {
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(72);
+        let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
+        let sample = tiny_sample(&cfg, false);
+        let stats = net.train_step(&sample, &mut rng);
+        assert!(stats.total().is_finite());
+        assert_eq!(stats.cpn.reg, 0.0, "no positives, no reg loss");
+    }
+
+    #[test]
+    fn detect_returns_in_bounds_boxes() {
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(73);
+        let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
+        let sample = tiny_sample(&cfg, true);
+        let dets = net.detect(&sample.image);
+        let r = cfg.region_px as f32;
+        for d in &dets {
+            assert!(d.bbox.x0() >= -1e-3 && d.bbox.x1() <= r + 1e-3);
+            assert!(d.score >= 0.0 && d.score <= 1.0);
+        }
+    }
+
+    #[test]
+    fn ablated_network_skips_refinement() {
+        let mut cfg = RhsdConfig::tiny();
+        cfg.use_refinement = false;
+        let mut rng = ChaCha8Rng::seed_from_u64(74);
+        let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
+        let sample = tiny_sample(&cfg, true);
+        let stats = net.train_step(&sample, &mut rng);
+        assert_eq!(stats.rois, 0);
+        assert_eq!(stats.refine, CrLoss::default());
+        let _ = net.detect(&sample.image);
+    }
+
+    #[test]
+    fn overfits_single_region() {
+        // End-to-end learning sanity: on one fixed region with one hotspot
+        // the total loss must drop substantially under plain SGD.
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(75);
+        let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
+        let sample = tiny_sample(&cfg, true);
+        let mut first = None;
+        let mut last = f32::MAX;
+        for _ in 0..12 {
+            net.zero_grad();
+            let stats = net.train_step(&sample, &mut rng);
+            for p in net.params_mut() {
+                let g = p.grad.clone();
+                axpy(&mut p.value, -0.01, &g);
+            }
+            first.get_or_insert(stats.total());
+            last = stats.total();
+        }
+        let first = first.unwrap();
+        assert!(
+            last < 0.8 * first,
+            "loss should drop ≥20%: {first} → {last}"
+        );
+    }
+}

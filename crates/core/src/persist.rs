@@ -1,0 +1,170 @@
+//! Saving and restoring trained detectors.
+//!
+//! A saved model is the configuration plus an architecture-checked
+//! parameter checkpoint, serialised as one JSON document.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rhsd_nn::serialize::{restore, Checkpoint, CheckpointError};
+
+use crate::config::RhsdConfig;
+use crate::model::RhsdNetwork;
+
+/// Serialised form of a trained network.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SavedModel {
+    /// The network configuration (architecture).
+    pub config: RhsdConfig,
+    /// Parameter values.
+    pub checkpoint: Checkpoint,
+}
+
+/// Extracts a serialisable snapshot from a network.
+pub fn save_model(network: &mut RhsdNetwork) -> SavedModel {
+    // Wrap the parameter list in a throwaway adapter so the nn-crate
+    // checkpoint helpers can be reused verbatim.
+    let tensors = network
+        .params_mut()
+        .iter()
+        .map(|p| p.value.clone())
+        .collect();
+    SavedModel {
+        config: network.config().clone(),
+        checkpoint: Checkpoint { tensors },
+    }
+}
+
+/// Reconstructs a network from a snapshot.
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] if the checkpoint does not match the
+/// architecture implied by the saved configuration.
+pub fn load_model(saved: &SavedModel) -> Result<RhsdNetwork, CheckpointError> {
+    // Architecture is fully determined by the config; initialise with a
+    // fixed seed then overwrite every parameter.
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let mut net = RhsdNetwork::new(saved.config.clone(), &mut rng);
+    {
+        let mut adapter = ParamsAdapter(&mut net);
+        restore(&mut adapter, &saved.checkpoint)?;
+    }
+    Ok(net)
+}
+
+/// Writes a model as JSON.
+///
+/// # Errors
+///
+/// Returns serialisation or I/O failures.
+pub fn save_to_writer(
+    network: &mut RhsdNetwork,
+    writer: impl Write,
+) -> Result<(), CheckpointError> {
+    serde_json::to_writer(writer, &save_model(network))?;
+    Ok(())
+}
+
+/// Reads a model from JSON written by [`save_to_writer`].
+///
+/// # Errors
+///
+/// Returns deserialisation, I/O or architecture-mismatch failures.
+pub fn load_from_reader(reader: impl Read) -> Result<RhsdNetwork, CheckpointError> {
+    let saved: SavedModel = serde_json::from_reader(reader)?;
+    load_model(&saved)
+}
+
+/// Saves a model to a file path.
+///
+/// # Errors
+///
+/// Returns I/O or serialisation failures.
+pub fn save_to_path(network: &mut RhsdNetwork, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let file = std::fs::File::create(path)?;
+    save_to_writer(network, std::io::BufWriter::new(file))
+}
+
+/// Loads a model from a file path.
+///
+/// # Errors
+///
+/// Returns I/O, deserialisation or architecture-mismatch failures.
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<RhsdNetwork, CheckpointError> {
+    let file = std::fs::File::open(path)?;
+    load_from_reader(std::io::BufReader::new(file))
+}
+
+/// Adapter exposing a network's parameters through the nn `Layer` trait so
+/// checkpoint helpers apply.
+struct ParamsAdapter<'a>(&'a mut RhsdNetwork);
+
+impl rhsd_nn::Layer for ParamsAdapter<'_> {
+    fn forward(&mut self, input: &rhsd_tensor::Tensor) -> rhsd_tensor::Tensor {
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_out: &rhsd_tensor::Tensor) -> rhsd_tensor::Tensor {
+        grad_out.clone()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut rhsd_nn::Param> {
+        self.0.params_mut()
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhsd_tensor::Tensor;
+
+    #[test]
+    fn save_load_roundtrip_reproduces_detections() {
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(100);
+        let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
+        let image = Tensor::rand_uniform(
+            [1, cfg.region_px, cfg.region_px],
+            0.0,
+            1.0,
+            &mut rng,
+        );
+        let before = net.detect(&image);
+
+        let mut buf = Vec::new();
+        save_to_writer(&mut net, &mut buf).unwrap();
+        let mut restored = load_from_reader(buf.as_slice()).unwrap();
+        let after = restored.detect(&image);
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(after.iter()) {
+            assert!((a.score - b.score).abs() < 1e-6);
+            assert!((a.bbox.cx - b.bbox.cx).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn load_rejects_mismatched_architecture() {
+        let mut rng = ChaCha8Rng::seed_from_u64(101);
+        let mut net = RhsdNetwork::new(RhsdConfig::tiny(), &mut rng);
+        let mut saved = save_model(&mut net);
+        saved.checkpoint.tensors.pop();
+        assert!(load_model(&saved).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rhsd_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let mut rng = ChaCha8Rng::seed_from_u64(102);
+        let mut net = RhsdNetwork::new(RhsdConfig::tiny(), &mut rng);
+        save_to_path(&mut net, &path).unwrap();
+        let restored = load_from_path(&path).unwrap();
+        assert_eq!(restored.config(), net.config());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,210 @@
+//! The refinement stage — §3.3 and Fig. 6 of the paper.
+//!
+//! Surviving proposals are RoI-pooled (7×7) from the backbone feature map,
+//! passed through inception modules and a fully-connected layer, and
+//! re-classified / re-regressed (the 2nd C&R). This second stage is what
+//! drives down false alarms (Fig. 8 / Fig. 10).
+
+use rand::Rng;
+use rhsd_data::BBox;
+use rhsd_nn::inception::{InceptionA, InceptionB};
+use rhsd_nn::layers::{Flatten, LeakyRelu, Linear};
+use rhsd_nn::{Layer, Param};
+use rhsd_tensor::ops::elementwise::add;
+use rhsd_tensor::ops::pool::{roi_pool, roi_pool_backward, FeatureRoi};
+use rhsd_tensor::Tensor;
+
+use crate::config::RhsdConfig;
+
+/// Second-stage outputs for one proposal.
+#[derive(Debug, Clone)]
+pub struct RefineOutput {
+    /// `[2]` classification logits (hotspot, non-hotspot).
+    pub cls_logits: Tensor,
+    /// `[4]` regression code refining the proposal (Eq. 3, relative to the
+    /// proposal box).
+    pub reg_code: Tensor,
+}
+
+/// Converts a proposal box (image pixels) to feature-map RoI coordinates.
+pub fn roi_from_bbox(bbox: &BBox, stride: usize, feature_px: usize) -> FeatureRoi {
+    let s = stride as f32;
+    let x0 = ((bbox.x0() / s).floor().max(0.0) as usize).min(feature_px - 1);
+    let y0 = ((bbox.y0() / s).floor().max(0.0) as usize).min(feature_px - 1);
+    let x1 = ((bbox.x1() / s).ceil().max(0.0) as usize).clamp(x0 + 1, feature_px);
+    let y1 = ((bbox.y1() / s).ceil().max(0.0) as usize).clamp(y0 + 1, feature_px);
+    FeatureRoi::new(x0, y0, x1, y1)
+}
+
+/// The refinement head: RoI pooling → inception B, A → FC → 2nd C&R.
+pub struct RefinementHead {
+    incep_b: InceptionB,
+    incep_a: InceptionA,
+    flatten: Flatten,
+    fc: Linear,
+    relu: LeakyRelu,
+    cls: Linear,
+    reg: Linear,
+    roi_size: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (feature dims, roi argmax)
+}
+
+impl RefinementHead {
+    /// Builds the head for a backbone emitting `in_channels` channels.
+    pub fn new(config: &RhsdConfig, in_channels: usize, rng: &mut impl Rng) -> Self {
+        let w = config.refine_width;
+        let incep_b = InceptionB::new(in_channels, w, rng);
+        let incep_a = InceptionA::new(incep_b.c_out(), w, rng);
+        // inception B halves the RoI grid: 7 → 4
+        let grid = config.roi_size.div_ceil(2);
+        let flat = incep_a.c_out() * grid * grid;
+        RefinementHead {
+            incep_b,
+            incep_a,
+            flatten: Flatten::new(),
+            fc: Linear::new(flat, config.fc_width, rng),
+            relu: LeakyRelu::default_slope(),
+            cls: Linear::new(config.fc_width, 2, rng),
+            reg: Linear::new(config.fc_width, 4, rng),
+            roi_size: config.roi_size,
+            cache: None,
+        }
+    }
+
+    /// Refines one proposal: pools `roi` from `features` and runs the 2nd
+    /// classification and regression.
+    pub fn forward(&mut self, features: &Tensor, roi: FeatureRoi) -> RefineOutput {
+        let pooled = roi_pool(features, roi, self.roi_size, self.roi_size);
+        self.cache = Some((features.dims().to_vec(), pooled.argmax));
+        let x = self.incep_b.forward(&pooled.output);
+        let x = self.incep_a.forward(&x);
+        let x = self.flatten.forward(&x);
+        let h = self.relu.forward(&self.fc.forward(&x));
+        RefineOutput {
+            cls_logits: self.cls.forward(&h),
+            reg_code: self.reg.forward(&h),
+        }
+    }
+
+    /// Back-propagates one proposal's gradients; returns the gradient with
+    /// respect to the backbone feature map (zeros outside the RoI).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`RefinementHead::forward`].
+    pub fn backward(&mut self, cls_grad: &Tensor, reg_grad: &Tensor) -> Tensor {
+        let (feat_dims, argmax) = self
+            .cache
+            .take()
+            .expect("RefinementHead::backward called before forward");
+        let gh = add(&self.cls.backward(cls_grad), &self.reg.backward(reg_grad));
+        let gx = self.fc.backward(&self.relu.backward(&gh));
+        let gx = self.flatten.backward(&gx);
+        let gx = self.incep_a.backward(&gx);
+        let g_pooled = self.incep_b.backward(&gx);
+        roi_pool_backward(&feat_dims, &argmax, &g_pooled)
+    }
+}
+
+impl Layer for RefinementHead {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        // Layer-trait adapter refining the full-map RoI; the typed API is
+        // primary.
+        let f = input.dim(1);
+        let out = self.forward(input, FeatureRoi::new(0, 0, f, f));
+        out.cls_logits
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        RefinementHead::backward(self, grad_out, &Tensor::zeros([4]))
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.incep_b.params_mut();
+        p.extend(self.incep_a.params_mut());
+        p.extend(self.fc.params_mut());
+        p.extend(self.cls.params_mut());
+        p.extend(self.reg.params_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (RhsdConfig, RefinementHead, Tensor) {
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(60);
+        let head = RefinementHead::new(&cfg, 6, &mut rng);
+        let f = cfg.feature_px();
+        let feats = Tensor::rand_normal([6, f, f], 0.0, 1.0, &mut rng);
+        (cfg, head, feats)
+    }
+
+    #[test]
+    fn forward_output_shapes() {
+        let (_, mut head, feats) = setup();
+        let out = head.forward(&feats, FeatureRoi::new(0, 0, 3, 3));
+        assert_eq!(out.cls_logits.dims(), &[2]);
+        assert_eq!(out.reg_code.dims(), &[4]);
+    }
+
+    #[test]
+    fn different_rois_give_different_outputs() {
+        let (cfg, mut head, feats) = setup();
+        let f = cfg.feature_px();
+        let a = head.forward(&feats, FeatureRoi::new(0, 0, 2, 2));
+        let b = head.forward(&feats, FeatureRoi::new(f - 2, f - 2, f, f));
+        assert!(
+            !a.cls_logits.approx_eq(&b.cls_logits, 1e-6),
+            "distinct RoIs must not produce identical logits"
+        );
+    }
+
+    #[test]
+    fn backward_gradient_confined_to_roi() {
+        let (_, mut head, feats) = setup();
+        let roi = FeatureRoi::new(1, 1, 3, 3);
+        let _ = head.forward(&feats, roi);
+        let g = head.backward(&Tensor::ones([2]), &Tensor::ones([4]));
+        assert_eq!(g.dims(), feats.dims());
+        // gradient zero outside the RoI columns/rows
+        for c in 0..feats.dim(0) {
+            for y in 0..feats.dim(1) {
+                for x in 0..feats.dim(2) {
+                    let inside = (1..3).contains(&x) && (1..3).contains(&y);
+                    if !inside {
+                        assert_eq!(
+                            g.get(&[c, y, x]),
+                            0.0,
+                            "gradient leaked outside RoI at ({c},{y},{x})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roi_from_bbox_conversion() {
+        // stride-16 mapping with clamping
+        let b = BBox::from_corners(10.0, 20.0, 70.0, 60.0);
+        let roi = roi_from_bbox(&b, 16, 8);
+        assert_eq!(roi, FeatureRoi::new(0, 1, 5, 4));
+        // out-of-bounds box clamps into the grid
+        let b = BBox::from_corners(-50.0, -50.0, 500.0, 500.0);
+        let roi = roi_from_bbox(&b, 16, 8);
+        assert_eq!(roi, FeatureRoi::new(0, 0, 8, 8));
+    }
+
+    #[test]
+    fn params_cover_all_submodules() {
+        let (_, mut head, _) = setup();
+        // inception B (3 branches: 2+3+1 convs → 12 params) + inception A
+        // (4 branches: 1+2+3+1 convs → 14) + fc + cls + reg (2 each)
+        assert_eq!(head.params_mut().len(), 12 + 14 + 6);
+    }
+}

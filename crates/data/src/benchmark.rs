@@ -1,0 +1,132 @@
+//! Benchmark construction: synthetic case → litho-labelled dataset halves.
+//!
+//! Mirrors the paper's protocol: each evaluated design is split in half,
+//! one half for training and one for testing; ground-truth hotspot
+//! locations come from lithography simulation over a process window.
+
+use rhsd_layout::synth::{CaseId, CaseSpec};
+use rhsd_layout::{Layout, Point, Rect, METAL1};
+use rhsd_litho::{label_layout, Defect, ProcessWindow};
+
+/// A fully-labelled benchmark: the layout plus its hotspot ground truth,
+/// partitioned into train and test halves.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Which case this is.
+    pub id: CaseId,
+    /// The full layout.
+    pub layout: Layout,
+    /// All litho defects in the layout.
+    pub defects: Vec<Defect>,
+    /// Extent of the training half (left).
+    pub train_extent: Rect,
+    /// Extent of the testing half (right).
+    pub test_extent: Rect,
+}
+
+/// Raster resolution used throughout the benchmarks (10 nm/pixel, matching
+/// the paper's 256 px ≙ 2.56 µm clips).
+pub const NM_PER_PX: f64 = 10.0;
+
+/// Lithography-simulation tile size in nm.
+const LABEL_TILE_NM: i64 = 2_560;
+
+impl Benchmark {
+    /// Builds a benchmark at demo scale (CI-friendly).
+    pub fn demo(id: CaseId) -> Self {
+        Benchmark::from_spec(&CaseSpec::demo(id))
+    }
+
+    /// Builds a benchmark at full scale.
+    pub fn full(id: CaseId) -> Self {
+        Benchmark::from_spec(&CaseSpec::full(id))
+    }
+
+    /// Builds a benchmark from an explicit spec (generates the layout and
+    /// runs the lithography oracle; deterministic).
+    pub fn from_spec(spec: &CaseSpec) -> Self {
+        let (layout, _) = spec.build();
+        let pw = ProcessWindow::euv_default();
+        let defects = label_layout(&layout, METAL1, &pw, LABEL_TILE_NM, NM_PER_PX);
+        let extent = layout.extent();
+        let mid_x = (extent.x0 + extent.x1) / 2;
+        Benchmark {
+            id: spec.id,
+            layout,
+            defects,
+            train_extent: Rect::new(extent.x0, extent.y0, mid_x, extent.y1),
+            test_extent: Rect::new(mid_x, extent.y0, extent.x1, extent.y1),
+        }
+    }
+
+    /// Hotspot locations inside a window.
+    pub fn hotspots_in(&self, window: &Rect) -> Vec<Point> {
+        self.defects
+            .iter()
+            .filter(|d| window.contains(d.location))
+            .map(|d| d.location)
+            .collect()
+    }
+
+    /// Hotspots in the training half.
+    pub fn train_hotspots(&self) -> Vec<Point> {
+        self.hotspots_in(&self.train_extent)
+    }
+
+    /// Hotspots in the testing half.
+    pub fn test_hotspots(&self) -> Vec<Point> {
+        self.hotspots_in(&self.test_extent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_partition_the_extent() {
+        let b = Benchmark::demo(CaseId::Case2);
+        let e = b.layout.extent();
+        assert_eq!(b.train_extent.x1, b.test_extent.x0);
+        assert_eq!(b.train_extent.area() + b.test_extent.area(), e.area());
+    }
+
+    #[test]
+    fn evaluated_cases_have_hotspots_in_both_halves() {
+        // matches the paper's setup: usable train and test hotspots
+        let b = Benchmark::demo(CaseId::Case3);
+        assert!(
+            !b.train_hotspots().is_empty(),
+            "train half should contain hotspots"
+        );
+        assert!(
+            !b.test_hotspots().is_empty(),
+            "test half should contain hotspots"
+        );
+    }
+
+    #[test]
+    fn case1_is_defect_free() {
+        let b = Benchmark::demo(CaseId::Case1);
+        assert!(
+            b.defects.is_empty(),
+            "Case1 mirrors the contest benchmark with no litho defects, got {:?}",
+            b.defects
+        );
+    }
+
+    #[test]
+    fn hotspot_split_is_consistent() {
+        let b = Benchmark::demo(CaseId::Case2);
+        let total = b.defects.len();
+        let split = b.train_hotspots().len() + b.test_hotspots().len();
+        assert_eq!(total, split);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = Benchmark::demo(CaseId::Case2);
+        let b = Benchmark::demo(CaseId::Case2);
+        assert_eq!(a.defects, b.defects);
+    }
+}

@@ -1,0 +1,197 @@
+//! Small-clip extraction for clip-based (conventional) detectors.
+//!
+//! The TCAD'18-style baseline consumes fixed-size clips with the potential
+//! hotspot at the clip core (Fig. 1 of the paper); this module builds the
+//! positive/negative clip datasets and the sliding-window scan grid used
+//! at inference time.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use rhsd_layout::{rasterize, RasterSpec, Rect, METAL1};
+use rhsd_tensor::Tensor;
+
+use crate::benchmark::{Benchmark, NM_PER_PX};
+
+/// One labelled clip.
+#[derive(Debug, Clone)]
+pub struct ClipSample {
+    /// `[1, clip_px, clip_px]` raster.
+    pub image: Tensor,
+    /// The layout window.
+    pub window: Rect,
+    /// `true` if a hotspot lies in the clip's core region.
+    pub is_hotspot: bool,
+}
+
+/// Builds a balanced-ish clip training set from an extent: positive clips
+/// per hotspot (the hotspot centred, plus `jitters_per_pos` copies with
+/// the hotspot shifted uniformly within the core — matching what a scan
+/// window sees at inference) and `neg_per_pos` negatives sampled uniformly
+/// away from hotspots.
+///
+/// Deterministic for a given seed.
+pub fn build_clip_set(
+    bench: &Benchmark,
+    extent: &Rect,
+    clip_px: usize,
+    jitters_per_pos: usize,
+    neg_per_pos: usize,
+    seed: u64,
+) -> Vec<ClipSample> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let side = (clip_px as f64 * NM_PER_PX) as i64;
+    let core_half = side / 6; // half the core side
+    let mut out = Vec::new();
+    let hotspots = bench.hotspots_in(extent);
+
+    for p in &hotspots {
+        let mut offsets = vec![(0i64, 0i64)];
+        for _ in 0..jitters_per_pos {
+            offsets.push((
+                rng.gen_range(-core_half..=core_half),
+                rng.gen_range(-core_half..=core_half),
+            ));
+        }
+        for (dx, dy) in offsets {
+            let window = Rect::centered(p.x + dx, p.y + dy, side, side);
+            if !extent.contains_rect(&window) || !window.core().contains(*p) {
+                continue;
+            }
+            out.push(make_clip(bench, window, true, clip_px));
+        }
+    }
+    let n_pos = out.len().max(1);
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < n_pos * neg_per_pos && attempts < n_pos * neg_per_pos * 50 {
+        attempts += 1;
+        let x = rng.gen_range(extent.x0..extent.x1 - side);
+        let y = rng.gen_range(extent.y0..extent.y1 - side);
+        let window = Rect::new(x, y, x + side, y + side);
+        let core = window.core();
+        if hotspots.iter().any(|h| core.inflated(side / 3).contains(*h)) {
+            continue; // too close to a real hotspot to be a clean negative
+        }
+        out.push(make_clip(bench, window, false, clip_px));
+        placed += 1;
+    }
+    out
+}
+
+fn make_clip(bench: &Benchmark, window: Rect, is_hotspot: bool, clip_px: usize) -> ClipSample {
+    let spec = RasterSpec::new(window, clip_px, clip_px);
+    ClipSample {
+        image: rasterize(&bench.layout, METAL1, &spec),
+        window,
+        is_hotspot,
+    }
+}
+
+/// The sliding-window scan grid of the conventional flow (Fig. 1): clip
+/// windows stepping by the core size so that every point of the extent is
+/// covered by some clip's core.
+pub fn scan_windows(extent: &Rect, clip_px: usize) -> Vec<Rect> {
+    let side = (clip_px as f64 * NM_PER_PX) as i64;
+    let step = side / 3; // core size: every location falls in some core
+    let mut out = Vec::new();
+    let mut y = extent.y0;
+    while y + side <= extent.y1 {
+        let mut x = extent.x0;
+        while x + side <= extent.x1 {
+            out.push(Rect::new(x, y, x + side, y + side));
+            x += step;
+        }
+        y += step;
+    }
+    out
+}
+
+/// Rasterises one scan window.
+pub fn rasterize_window(bench: &Benchmark, window: &Rect, clip_px: usize) -> Tensor {
+    let spec = RasterSpec::new(*window, clip_px, clip_px);
+    rasterize(&bench.layout, METAL1, &spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhsd_layout::synth::CaseId;
+    use rhsd_layout::Point;
+
+    #[test]
+    fn clip_set_contains_positives_and_negatives() {
+        let b = Benchmark::demo(CaseId::Case3);
+        let clips = build_clip_set(&b, &b.train_extent.clone(), 32, 0, 2, 7);
+        let pos = clips.iter().filter(|c| c.is_hotspot).count();
+        let neg = clips.len() - pos;
+        assert!(pos > 0, "need positive clips");
+        assert!(neg >= pos, "need at least as many negatives");
+    }
+
+    #[test]
+    fn positive_clips_have_hotspot_at_core() {
+        let b = Benchmark::demo(CaseId::Case3);
+        let clips = build_clip_set(&b, &b.train_extent.clone(), 32, 0, 0, 7);
+        for c in clips.iter().filter(|c| c.is_hotspot) {
+            let core = c.window.core();
+            assert!(
+                b.hotspots_in(&core.inflated(10)).iter().count() > 0,
+                "positive clip core contains no hotspot"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_clips_avoid_hotspots() {
+        let b = Benchmark::demo(CaseId::Case3);
+        let clips = build_clip_set(&b, &b.train_extent.clone(), 32, 0, 3, 9);
+        for c in clips.iter().filter(|c| !c.is_hotspot) {
+            assert!(
+                b.hotspots_in(&c.window.core()).is_empty(),
+                "negative clip has hotspot in core"
+            );
+        }
+    }
+
+    #[test]
+    fn clip_images_have_requested_size() {
+        let b = Benchmark::demo(CaseId::Case2);
+        let clips = build_clip_set(&b, &b.train_extent.clone(), 24, 0, 1, 3);
+        for c in &clips {
+            assert_eq!(c.image.dims(), &[1, 24, 24]);
+        }
+    }
+
+    #[test]
+    fn scan_grid_covers_extent_with_cores() {
+        let extent = Rect::new(0, 0, 3840, 3840);
+        let windows = scan_windows(&extent, 32);
+        assert!(!windows.is_empty());
+        // a probe point well inside must fall in some window's core
+        let probe = Point::new(1900, 1900);
+        assert!(
+            windows.iter().any(|w| w.core().contains(probe)),
+            "scan cores must cover interior points"
+        );
+    }
+
+    #[test]
+    fn scan_count_is_quadratic_in_extent() {
+        let small = scan_windows(&Rect::new(0, 0, 1920, 1920), 32).len();
+        let large = scan_windows(&Rect::new(0, 0, 3840, 3840), 32).len();
+        assert!(large > 3 * small, "small {small}, large {large}");
+    }
+
+    #[test]
+    fn clip_set_deterministic() {
+        let b = Benchmark::demo(CaseId::Case2);
+        let a = build_clip_set(&b, &b.train_extent.clone(), 32, 0, 2, 11);
+        let c = build_clip_set(&b, &b.train_extent.clone(), 32, 0, 2, 11);
+        assert_eq!(a.len(), c.len());
+        for (x, y) in a.iter().zip(c.iter()) {
+            assert_eq!(x.window, y.window);
+            assert_eq!(x.is_hotspot, y.is_hotspot);
+        }
+    }
+}

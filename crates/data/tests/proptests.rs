@@ -1,0 +1,65 @@
+//! Property-based tests for boxes, flips and region geometry.
+
+use proptest::prelude::*;
+use rhsd_data::augment::{flip_bbox, flip_image, Flip};
+use rhsd_data::{BBox, RegionConfig};
+use rhsd_tensor::Tensor;
+
+fn bbox_strategy() -> impl Strategy<Value = BBox> {
+    (1.0f32..127.0, 1.0f32..127.0, 1.0f32..64.0, 1.0f32..64.0)
+        .prop_map(|(cx, cy, w, h)| BBox::new(cx, cy, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bbox_iou_triangle_of_containment(b in bbox_strategy(), shrink in 0.1f32..0.9) {
+        // a box contains its shrunken self; IoU equals the area ratio
+        let inner = BBox::new(b.cx, b.cy, b.w * shrink, b.h * shrink);
+        let expected = shrink * shrink;
+        prop_assert!((b.iou(&inner) - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn core_iou_equals_full_iou_for_equal_size_pairs(
+        b in bbox_strategy(),
+        dx in -10.0f32..10.0,
+    ) {
+        // equal-size boxes shifted by dx: centre_iou uses cores a third the
+        // size, so overlap decays faster than full IoU
+        let other = BBox::new(b.cx + dx, b.cy, b.w, b.h);
+        prop_assert!(b.centre_iou(&other) <= b.iou(&other) + 1e-6);
+    }
+
+    #[test]
+    fn flips_form_a_klein_four_group(b in bbox_strategy()) {
+        let (w, h) = (128.0, 128.0);
+        // H∘H = id, V∘V = id, H∘V = V∘H
+        let hh = flip_bbox(&flip_bbox(&b, Flip::Horizontal, w, h), Flip::Horizontal, w, h);
+        prop_assert!((hh.cx - b.cx).abs() < 1e-4 && (hh.cy - b.cy).abs() < 1e-4);
+        let hv = flip_bbox(&flip_bbox(&b, Flip::Horizontal, w, h), Flip::Vertical, w, h);
+        let vh = flip_bbox(&flip_bbox(&b, Flip::Vertical, w, h), Flip::Horizontal, w, h);
+        prop_assert!((hv.cx - vh.cx).abs() < 1e-4 && (hv.cy - vh.cy).abs() < 1e-4);
+    }
+
+    #[test]
+    fn flip_image_preserves_histogram(seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let img = Tensor::rand_uniform([1, 16, 16], 0.0, 1.0, &mut rng);
+        for f in [Flip::Horizontal, Flip::Vertical] {
+            let flipped = flip_image(&img, f);
+            prop_assert!((flipped.sum() - img.sum()).abs() < 1e-3);
+            prop_assert_eq!(flipped.max(), img.max());
+            prop_assert_eq!(flipped.min(), img.min());
+        }
+    }
+
+    #[test]
+    fn region_config_units_are_consistent(px in 16usize..512) {
+        let cfg = RegionConfig { region_px: px, clip_px: px / 4 + 1 };
+        prop_assert_eq!(cfg.region_nm(), (px * 10) as i64);
+        prop_assert_eq!(cfg.clip_nm(), ((px / 4 + 1) * 10) as i64);
+    }
+}

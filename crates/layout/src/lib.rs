@@ -1,0 +1,33 @@
+//! # rhsd-layout
+//!
+//! VLSI layout substrate for the RHSD hotspot-detection stack: integer
+//! nanometre geometry, a layered shape database with spatial indexing,
+//! window rasterisation, and a synthetic EUV metal-layer benchmark
+//! generator standing in for the proprietary ICCAD-2016 contest designs.
+//!
+//! # Examples
+//!
+//! ```
+//! use rhsd_layout::synth::{CaseId, CaseSpec};
+//! use rhsd_layout::{rasterize, RasterSpec, Rect, METAL1};
+//!
+//! let (layout, _stress) = CaseSpec::demo(CaseId::Case2).build();
+//! let window = Rect::new(0, 0, 2560, 2560);
+//! let image = rasterize(&layout, METAL1, &RasterSpec::new(window, 256, 256));
+//! assert_eq!(image.dims(), &[1, 256, 256]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod drc;
+mod geom;
+pub mod io;
+mod layout;
+mod polygon;
+mod raster;
+pub mod synth;
+
+pub use geom::{Point, Rect};
+pub use layout::{LayerId, Layout, METAL1};
+pub use polygon::{PolygonError, RectilinearPolygon};
+pub use raster::{rasterize, RasterSpec};

@@ -1,0 +1,13 @@
+//! Synthetic EUV metal-layer benchmark generation.
+//!
+//! Substitutes for the proprietary ICCAD-2016 contest layouts: a
+//! deterministic, parametric generator producing realistic rectilinear
+//! routing patterns with controllable lithography stress.
+
+mod cases;
+mod generator;
+mod rules;
+
+pub use cases::{CaseId, CaseSpec};
+pub use generator::{generate, PatternProfile, StressReport};
+pub use rules::DesignRules;

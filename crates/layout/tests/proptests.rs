@@ -1,0 +1,103 @@
+//! Property-based tests for geometry, the spatial index and rasterisation.
+
+use proptest::prelude::*;
+use rhsd_layout::{rasterize, Layout, Point, RasterSpec, Rect, METAL1};
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (0i64..900, 0i64..900, 10i64..100, 10i64..100)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rect_iou_bounds_and_symmetry(a in rect_strategy(), b in rect_strategy()) {
+        let ab = a.iou(&b);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(ab, b.iou(&a));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in rect_strategy(), b in rect_strategy()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() > 0);
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn union_bbox_contains_both(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.union_bbox(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn core_is_centred_and_smaller(a in rect_strategy()) {
+        let c = a.core();
+        prop_assert!(a.contains_rect(&c));
+        prop_assert_eq!(c.center(), a.center());
+        prop_assert!(c.area() <= a.area());
+    }
+
+    #[test]
+    fn translation_preserves_area_and_iou(
+        a in rect_strategy(),
+        b in rect_strategy(),
+        dx in -500i64..500,
+        dy in -500i64..500,
+    ) {
+        prop_assert_eq!(a.translated(dx, dy).area(), a.area());
+        let before = a.iou(&b);
+        let after = a.translated(dx, dy).iou(&b.translated(dx, dy));
+        prop_assert!((before - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spatial_index_matches_linear_scan(
+        shapes in proptest::collection::vec(rect_strategy(), 0..30),
+        window in rect_strategy(),
+    ) {
+        let mut layout = Layout::with_grid_cell(Rect::new(0, 0, 1024, 1024), 64);
+        for s in &shapes {
+            layout.add(METAL1, *s);
+        }
+        let mut indexed = layout.query(METAL1, &window);
+        let mut linear: Vec<Rect> = shapes.iter().filter(|s| s.intersects(&window)).copied().collect();
+        let key = |r: &Rect| (r.x0, r.y0, r.x1, r.y1);
+        indexed.sort_by_key(key);
+        linear.sort_by_key(key);
+        prop_assert_eq!(indexed, linear);
+    }
+
+    #[test]
+    fn raster_mean_equals_density(shapes in proptest::collection::vec(rect_strategy(), 0..10)) {
+        let extent = Rect::new(0, 0, 1000, 1000);
+        let mut layout = Layout::new(extent);
+        // use non-overlapping shapes only (overlaps saturate the raster)
+        let mut placed: Vec<Rect> = Vec::new();
+        for s in shapes {
+            if placed.iter().all(|p| !p.intersects(&s)) {
+                layout.add(METAL1, s);
+                placed.push(s);
+            }
+        }
+        let spec = RasterSpec::new(extent, 100, 100);
+        let img = rasterize(&layout, METAL1, &spec);
+        let density = layout.density(METAL1, &extent);
+        prop_assert!((img.mean() as f64 - density).abs() < 1e-3,
+            "raster {} vs density {}", img.mean(), density);
+    }
+
+    #[test]
+    fn contains_point_matches_intersection_probe(a in rect_strategy(), x in 0i64..1000, y in 0i64..1000) {
+        let p = Point::new(x, y);
+        let probe = Rect::new(x, y, x + 1, y + 1);
+        prop_assert_eq!(a.contains(p), a.intersects(&probe));
+    }
+}

@@ -1,0 +1,141 @@
+//! Aerial-image formation: layout raster → optical intensity map.
+
+use rhsd_tensor::Tensor;
+
+use crate::kernel::GaussianKernel;
+
+/// Convolves a `[1, H, W]` mask raster with the optical kernel, separably
+/// in x then y, producing the aerial intensity image (same shape).
+///
+/// Borders are handled by renormalising over the in-bounds taps, so large
+/// pads are unnecessary (though callers labelling defects should still
+/// provide context; see [`crate::hotspot`]).
+///
+/// # Panics
+///
+/// Panics if `mask` is not `[1, H, W]`.
+pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
+    assert_eq!(mask.rank(), 3, "aerial_image expects [1,H,W], got {}", mask.shape());
+    assert_eq!(mask.dim(0), 1, "aerial_image expects single channel");
+    let (h, w) = (mask.dim(1), mask.dim(2));
+    let taps = kernel.weights();
+    let r = kernel.radius() as isize;
+    let mv = mask.as_slice();
+
+    // horizontal pass
+    let mut tmp = vec![0.0f32; h * w];
+    for y in 0..h {
+        let row = &mv[y * w..(y + 1) * w];
+        for x in 0..w {
+            let mut acc = 0.0f32;
+            let mut norm = 0.0f32;
+            for (t, &tw) in taps.iter().enumerate() {
+                let xi = x as isize + t as isize - r;
+                if xi >= 0 && (xi as usize) < w {
+                    acc += tw * row[xi as usize];
+                    norm += tw;
+                }
+            }
+            tmp[y * w + x] = if norm > 0.0 { acc / norm } else { 0.0 };
+        }
+    }
+
+    // vertical pass
+    let mut out = vec![0.0f32; h * w];
+    for x in 0..w {
+        for y in 0..h {
+            let mut acc = 0.0f32;
+            let mut norm = 0.0f32;
+            for (t, &tw) in taps.iter().enumerate() {
+                let yi = y as isize + t as isize - r;
+                if yi >= 0 && (yi as usize) < h {
+                    acc += tw * tmp[yi as usize * w + x];
+                    norm += tw;
+                }
+            }
+            out[y * w + x] = if norm > 0.0 { acc / norm } else { 0.0 };
+        }
+    }
+    Tensor::from_vec([1, h, w], out).expect("aerial output length consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mask_stays_uniform() {
+        let mask = Tensor::ones([1, 16, 16]);
+        let img = aerial_image(&mask, &GaussianKernel::new(2.0));
+        for &v in img.as_slice() {
+            assert!((v - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn intensity_bounded_by_mask_range() {
+        let mut mask = Tensor::zeros([1, 21, 21]);
+        mask.set(&[0, 10, 10], 1.0);
+        let img = aerial_image(&mask, &GaussianKernel::new(1.5));
+        assert!(img.min() >= 0.0);
+        assert!(img.max() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn blur_spreads_point_source() {
+        let mut mask = Tensor::zeros([1, 21, 21]);
+        mask.set(&[0, 10, 10], 1.0);
+        let img = aerial_image(&mask, &GaussianKernel::new(1.5));
+        assert!(img.get(&[0, 10, 10]) > img.get(&[0, 10, 12]));
+        assert!(img.get(&[0, 10, 12]) > img.get(&[0, 10, 14]));
+        assert!(img.get(&[0, 10, 12]) > 0.0, "energy spread to neighbours");
+    }
+
+    #[test]
+    fn blur_is_symmetric_for_symmetric_input() {
+        let mut mask = Tensor::zeros([1, 15, 15]);
+        mask.set(&[0, 7, 7], 1.0);
+        let img = aerial_image(&mask, &GaussianKernel::new(2.0));
+        assert!((img.get(&[0, 7, 5]) - img.get(&[0, 7, 9])).abs() < 1e-6);
+        assert!((img.get(&[0, 5, 7]) - img.get(&[0, 9, 7])).abs() < 1e-6);
+        assert!((img.get(&[0, 5, 7]) - img.get(&[0, 7, 5])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn line_edge_is_monotonic_erf_profile() {
+        // metal for x < 10, space for x >= 10: intensity decreases across edge
+        let mask = Tensor::from_fn([1, 9, 20], |c| if c[2] < 10 { 1.0 } else { 0.0 });
+        let img = aerial_image(&mask, &GaussianKernel::new(1.5));
+        let row = 4;
+        for x in 1..20 {
+            assert!(
+                img.get(&[0, row, x]) <= img.get(&[0, row, x - 1]) + 1e-6,
+                "profile should decay across the edge"
+            );
+        }
+        // edge midpoint near 0.5
+        assert!((img.get(&[0, row, 10]) - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn gap_centre_intensity_matches_two_edge_model() {
+        // Two semi-infinite lines separated by a gap of g pixels: intensity
+        // at the gap centre ≈ 2Φ(−g/2σ). For g=2, σ=1.5 → 2Φ(−0.667)≈0.505.
+        let g = 2usize;
+        let w = 40usize;
+        let x0 = w / 2 - g / 2;
+        let mask = Tensor::from_fn([1, 9, w], |c| {
+            if c[2] >= x0 && c[2] < x0 + g {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        let img = aerial_image(&mask, &GaussianKernel::new(1.5));
+        let centre = img.get(&[0, 4, x0]); // first gap pixel ~ near centre
+        assert!(
+            centre > 0.3 && centre < 0.75,
+            "gap-centre intensity {centre} outside expected window"
+        );
+    }
+}

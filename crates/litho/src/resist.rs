@@ -1,0 +1,130 @@
+//! Constant-threshold resist model and binary image utilities.
+
+use rhsd_tensor::Tensor;
+
+/// Develops an aerial image into a printed binary pattern: pixels with
+/// intensity `>= threshold` print as metal (1.0), others as space (0.0).
+///
+/// # Panics
+///
+/// Panics if `threshold` is not finite.
+pub fn print_resist(aerial: &Tensor, threshold: f32) -> Tensor {
+    assert!(threshold.is_finite(), "threshold must be finite");
+    aerial.map(|v| if v >= threshold { 1.0 } else { 0.0 })
+}
+
+/// Binarises a raster (e.g. an anti-aliased design raster) at 0.5.
+pub fn binarize(raster: &Tensor) -> Tensor {
+    raster.map(|v| if v >= 0.5 { 1.0 } else { 0.0 })
+}
+
+/// Connected components of a `[1, H, W]` binary image, 4-connected.
+///
+/// Returns a label map of the same spatial size (`0` = background,
+/// `1..=n` = component ids) and the component count.
+///
+/// # Panics
+///
+/// Panics if `binary` is not `[1, H, W]`.
+pub fn connected_components(binary: &Tensor) -> (Vec<u32>, u32) {
+    assert_eq!(binary.rank(), 3, "expects [1,H,W], got {}", binary.shape());
+    assert_eq!(binary.dim(0), 1, "expects single channel");
+    let (h, w) = (binary.dim(1), binary.dim(2));
+    let bv = binary.as_slice();
+    let mut labels = vec![0u32; h * w];
+    let mut next = 0u32;
+    let mut queue = Vec::new();
+    for start in 0..h * w {
+        if bv[start] < 0.5 || labels[start] != 0 {
+            continue;
+        }
+        next += 1;
+        labels[start] = next;
+        queue.clear();
+        queue.push(start);
+        while let Some(p) = queue.pop() {
+            let (y, x) = (p / w, p % w);
+            let mut push = |q: usize| {
+                if bv[q] >= 0.5 && labels[q] == 0 {
+                    labels[q] = next;
+                    queue.push(q);
+                }
+            };
+            if x > 0 {
+                push(p - 1);
+            }
+            if x + 1 < w {
+                push(p + 1);
+            }
+            if y > 0 {
+                push(p - w);
+            }
+            if y + 1 < h {
+                push(p + w);
+            }
+        }
+    }
+    (labels, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_thresholds_correctly() {
+        let a = Tensor::from_vec([1, 1, 4], vec![0.1, 0.5, 0.49, 0.9]).unwrap();
+        let p = print_resist(&a, 0.5);
+        assert_eq!(p.as_slice(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn lower_threshold_prints_more() {
+        let a = Tensor::from_vec([1, 1, 4], vec![0.2, 0.4, 0.6, 0.8]).unwrap();
+        let over = print_resist(&a, 0.3).sum();
+        let nominal = print_resist(&a, 0.5).sum();
+        let under = print_resist(&a, 0.7).sum();
+        assert!(over >= nominal && nominal >= under);
+    }
+
+    #[test]
+    fn components_of_empty_image() {
+        let (labels, n) = connected_components(&Tensor::zeros([1, 4, 4]));
+        assert_eq!(n, 0);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn components_of_two_bars() {
+        let img = Tensor::from_fn([1, 5, 5], |c| {
+            if c[1] == 0 || c[1] == 4 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let (labels, n) = connected_components(&img);
+        assert_eq!(n, 2);
+        assert_eq!(labels[0], labels[4]); // same row, same component
+        assert_ne!(labels[0], labels[4 * 5]); // different bars
+    }
+
+    #[test]
+    fn diagonal_pixels_not_connected() {
+        let mut img = Tensor::zeros([1, 2, 2]);
+        img.set(&[0, 0, 0], 1.0);
+        img.set(&[0, 1, 1], 1.0);
+        let (_, n) = connected_components(&img);
+        assert_eq!(n, 2, "4-connectivity must not join diagonals");
+    }
+
+    #[test]
+    fn l_shape_is_one_component() {
+        let mut img = Tensor::zeros([1, 3, 3]);
+        img.set(&[0, 0, 0], 1.0);
+        img.set(&[0, 1, 0], 1.0);
+        img.set(&[0, 1, 1], 1.0);
+        let (_, n) = connected_components(&img);
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests of the lithography oracle's physical invariants.
+
+use proptest::prelude::*;
+use rhsd_layout::{Layout, Rect, METAL1};
+use rhsd_litho::resist::{connected_components, print_resist};
+use rhsd_litho::{label_region, GaussianKernel, ProcessCorner, ProcessWindow};
+use rhsd_tensor::Tensor;
+
+fn mask_strategy() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(proptest::bool::ANY, 24 * 24).prop_map(|bits| {
+        Tensor::from_fn([1, 24, 24], |c| {
+            if bits[c[1] * 24 + c[2]] {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn aerial_intensity_stays_in_unit_range(mask in mask_strategy(), sigma in 0.5f64..4.0) {
+        let img = rhsd_litho::aerial::aerial_image(&mask, &GaussianKernel::new(sigma));
+        prop_assert!(img.min() >= -1e-6);
+        prop_assert!(img.max() <= 1.0 + 1e-5);
+    }
+
+    #[test]
+    fn aerial_preserves_mask_ordering_under_dose(mask in mask_strategy()) {
+        // more exposure (lower threshold) never prints less
+        let img = rhsd_litho::aerial::aerial_image(&mask, &GaussianKernel::new(1.5));
+        let lo = print_resist(&img, 0.42).sum();
+        let mid = print_resist(&img, 0.50).sum();
+        let hi = print_resist(&img, 0.58).sum();
+        prop_assert!(lo >= mid && mid >= hi);
+    }
+
+    #[test]
+    fn component_count_nonnegative_and_bounded(mask in mask_strategy()) {
+        let (labels, n) = connected_components(&mask);
+        let lit = mask.as_slice().iter().filter(|&&v| v >= 0.5).count();
+        prop_assert!((n as usize) <= lit.max(1));
+        // every lit pixel is labelled, every dark pixel is not
+        for (v, l) in mask.as_slice().iter().zip(labels.iter()) {
+            prop_assert_eq!(*v >= 0.5, *l != 0);
+        }
+    }
+
+    #[test]
+    fn wider_gaps_never_add_bridges(gap_extra in 0i64..12) {
+        // monotonicity: widening a tip-to-tip gap cannot create a bridge
+        // where the narrower gap had none
+        let pw = ProcessWindow::euv_default();
+        let make = |gap: i64| {
+            let mut l = Layout::new(Rect::new(0, 0, 2560, 2560));
+            l.add(METAL1, Rect::new(200, 1200, 1200, 1240));
+            l.add(METAL1, Rect::new(1200 + gap, 1200, 2300, 1240));
+            label_region(&l, METAL1, &Rect::new(0, 0, 2560, 2560), &pw, 10.0).len()
+        };
+        let narrow = make(20);
+        let wide = make(20 + gap_extra * 10);
+        prop_assert!(wide <= narrow, "widening gap increased defects: {narrow} → {wide}");
+    }
+
+    #[test]
+    fn defocus_only_grows_or_keeps_blur(sigma_nm in 10.0f64..30.0) {
+        // sanity: the kernel radius grows monotonically with sigma
+        let k1 = GaussianKernel::new(sigma_nm / 10.0);
+        let k2 = GaussianKernel::new((sigma_nm + 5.0) / 10.0);
+        prop_assert!(k2.radius() >= k1.radius());
+    }
+
+    #[test]
+    fn corner_threshold_monotonicity(mask in mask_strategy(), t1 in 0.3f32..0.5, dt in 0.01f32..0.3) {
+        let corner = |t: f32| ProcessCorner {
+            name: "x".to_owned(),
+            threshold: t,
+            sigma_nm: 15.0,
+        };
+        let p1 = rhsd_litho::simulate_print(&mask, &corner(t1), 10.0);
+        let p2 = rhsd_litho::simulate_print(&mask, &corner(t1 + dt), 10.0);
+        // higher threshold prints a subset
+        for (a, b) in p1.as_slice().iter().zip(p2.as_slice()) {
+            prop_assert!(b <= a);
+        }
+    }
+}

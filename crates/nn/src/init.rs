@@ -1,0 +1,64 @@
+//! Weight initialisation schemes.
+
+use rand::Rng;
+use rhsd_tensor::{Shape, Tensor};
+
+/// Xavier/Glorot uniform initialisation: `U(±√(6/(fan_in+fan_out)))`.
+///
+/// Keeps activation variance roughly constant through linear layers.
+pub fn xavier_uniform(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::rand_uniform(shape, -bound, bound, rng)
+}
+
+/// He/Kaiming normal initialisation: `N(0, √(2/fan_in))` — suited to the
+/// ReLU nonlinearities used throughout the RHSD network.
+pub fn he_normal(shape: impl Into<Shape>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::rand_normal(shape, 0.0, std, rng)
+}
+
+/// Fan-in/fan-out of a `[C_out, C_in, K, K]` convolution weight.
+pub fn conv_fans(c_out: usize, c_in: usize, kernel: usize) -> (usize, usize) {
+    (c_in * kernel * kernel, c_out * kernel * kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = xavier_uniform([1000], 50, 50, &mut rng);
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(t.max() < bound && t.min() >= -bound);
+    }
+
+    #[test]
+    fn he_normal_std_roughly_correct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = he_normal([20_000], 8, &mut rng);
+        let var = t.map(|x| x * x).mean();
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn conv_fans_formula() {
+        assert_eq!(conv_fans(16, 3, 3), (27, 144));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = he_normal([10], 4, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = he_normal([10], 4, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,130 @@
+//! The [`Layer`] trait — the composition unit of the CNN framework.
+
+use rhsd_tensor::Tensor;
+
+use crate::param::Param;
+
+/// A differentiable network module operating on one sample at a time.
+///
+/// Layers are *stateful*: [`Layer::forward`] caches whatever its backward
+/// pass needs (inputs, argmax indices, …), and [`Layer::backward`] consumes
+/// that cache, accumulates parameter gradients, and returns the gradient
+/// with respect to the layer input. Mini-batches are realised by invoking
+/// forward/backward per sample and stepping the optimiser once — gradients
+/// accumulate in the [`Param`]s.
+///
+/// # Panics
+///
+/// Implementations panic when `backward` is called without a preceding
+/// `forward` (a programming error), and on shape mismatches.
+pub trait Layer {
+    /// Runs the layer on `input`, caching state for the backward pass.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Propagates `grad_out` back through the most recent [`Layer::forward`],
+    /// accumulating parameter gradients and returning the input gradient.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to every trainable parameter, in a stable order.
+    ///
+    /// The default is an empty list (parameter-free layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Clears all accumulated gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+/// Runs `forward` through a slice of boxed layers in order.
+pub fn forward_all(layers: &mut [Box<dyn Layer>], input: &Tensor) -> Tensor {
+    let mut x = input.clone();
+    for layer in layers.iter_mut() {
+        x = layer.forward(&x);
+    }
+    x
+}
+
+/// Runs `backward` through a slice of boxed layers in reverse order.
+pub fn backward_all(layers: &mut [Box<dyn Layer>], grad_out: &Tensor) -> Tensor {
+    let mut g = grad_out.clone();
+    for layer in layers.iter_mut().rev() {
+        g = layer.backward(&g);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A layer multiplying by a learnable scalar — minimal trait exercise.
+    struct Gain {
+        k: Param,
+        cached: Option<Tensor>,
+    }
+
+    impl Gain {
+        fn new(k: f32) -> Self {
+            Gain {
+                k: Param::new(Tensor::from_vec([1], vec![k]).unwrap()),
+                cached: None,
+            }
+        }
+    }
+
+    impl Layer for Gain {
+        fn forward(&mut self, input: &Tensor) -> Tensor {
+            self.cached = Some(input.clone());
+            input.map(|x| x * self.k.value.as_slice()[0])
+        }
+
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            let input = self.cached.take().expect("backward before forward");
+            let dk: f32 = input
+                .as_slice()
+                .iter()
+                .zip(grad_out.as_slice())
+                .map(|(&x, &g)| x * g)
+                .sum();
+            self.k
+                .accumulate(&Tensor::from_vec([1], vec![dk]).unwrap());
+            grad_out.map(|g| g * self.k.value.as_slice()[0])
+        }
+
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.k]
+        }
+    }
+
+    #[test]
+    fn forward_backward_all_chain() {
+        let mut layers: Vec<Box<dyn Layer>> = vec![Box::new(Gain::new(2.0)), Box::new(Gain::new(3.0))];
+        let x = Tensor::from_vec([2], vec![1.0, -1.0]).unwrap();
+        let y = forward_all(&mut layers, &x);
+        assert_eq!(y.as_slice(), &[6.0, -6.0]);
+        let gx = backward_all(&mut layers, &Tensor::ones([2]));
+        assert_eq!(gx.as_slice(), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn param_count_and_zero_grad() {
+        let mut g = Gain::new(1.0);
+        assert_eq!(g.param_count(), 1);
+        let x = Tensor::ones([3]);
+        let y = g.forward(&x);
+        g.backward(&y);
+        assert_ne!(g.params_mut()[0].grad.as_slice()[0], 0.0);
+        g.zero_grad();
+        assert_eq!(g.params_mut()[0].grad.as_slice()[0], 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Parameter-free activation layers.
+
+use rhsd_tensor::ops::elementwise::{relu, relu_backward};
+use rhsd_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// Rectified linear unit layer.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        relu(input)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Relu::backward called before forward");
+        relu_backward(&input, grad_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clips_negatives() {
+        let mut l = Relu::new();
+        let y = l.forward(&Tensor::from_vec([3], vec![-1., 0., 2.]).unwrap());
+        assert_eq!(y.as_slice(), &[0., 0., 2.]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut l = Relu::new();
+        l.forward(&Tensor::from_vec([3], vec![-1., 0.5, 2.]).unwrap());
+        let g = l.backward(&Tensor::from_vec([3], vec![1., 1., 1.]).unwrap());
+        assert_eq!(g.as_slice(), &[0., 1., 1.]);
+    }
+
+    #[test]
+    fn has_no_params() {
+        assert_eq!(Relu::new().param_count(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Leaky rectified linear unit — keeps a small negative-slope gradient so
+//! units cannot die irrecoverably (important for small CPU-scale networks
+//! trained with plain SGD).
+
+use rhsd_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// Leaky ReLU: `x` for `x > 0`, `alpha·x` otherwise.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LeakyRelu {
+    alpha: f32,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative slope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite or `alpha >= 1.0`.
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha.is_finite() && alpha < 1.0, "invalid slope {alpha}");
+        LeakyRelu {
+            alpha,
+            cached_input: None,
+        }
+    }
+
+    /// The conventional default slope of 0.01.
+    pub fn default_slope() -> Self {
+        LeakyRelu::new(0.01)
+    }
+
+    /// The negative slope.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+}
+
+impl Layer for LeakyRelu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        let a = self.alpha;
+        input.map(|x| if x > 0.0 { x } else { a * x })
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("LeakyRelu::backward called before forward");
+        let a = self.alpha;
+        input.zip_with(grad_out, |x, g| if x > 0.0 { g } else { a * g })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_scales_negatives() {
+        let mut l = LeakyRelu::new(0.1);
+        let y = l.forward(&Tensor::from_vec([3], vec![-2.0, 0.0, 3.0]).unwrap());
+        assert_eq!(y.as_slice(), &[-0.2, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_keeps_negative_slope_gradient() {
+        let mut l = LeakyRelu::new(0.1);
+        l.forward(&Tensor::from_vec([2], vec![-1.0, 1.0]).unwrap());
+        let g = l.backward(&Tensor::from_vec([2], vec![5.0, 5.0]).unwrap());
+        assert_eq!(g.as_slice(), &[0.5, 5.0]);
+    }
+
+    #[test]
+    fn zero_slope_equals_relu() {
+        let mut leaky = LeakyRelu::new(0.0);
+        let mut relu = crate::layers::Relu::new();
+        let x = Tensor::from_vec([4], vec![-3.0, -0.1, 0.2, 7.0]).unwrap();
+        assert_eq!(leaky.forward(&x), relu.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid slope")]
+    fn rejects_bad_alpha() {
+        LeakyRelu::new(1.5);
+    }
+}

@@ -1,0 +1,99 @@
+//! Learnable transposed-convolution (deconvolution) layer — the decoder
+//! building block of the paper's encoder–decoder extractor (§3.1.1).
+
+use rand::Rng;
+use rhsd_tensor::ops::conv::ConvSpec;
+use rhsd_tensor::ops::deconv::{conv_transpose2d, conv_transpose2d_backward};
+use rhsd_tensor::Tensor;
+
+use crate::init::he_normal;
+use crate::layer::Layer;
+use crate::param::Param;
+
+/// A transposed-convolution layer `[C_in,H,W] → [C_out,(H−1)s−2p+K,…]`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Deconv2d {
+    weight: Param,
+    bias: Param,
+    spec: ConvSpec,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Deconv2d {
+    /// Creates a He-initialised deconvolution layer.
+    pub fn new(c_in: usize, c_out: usize, spec: ConvSpec, rng: &mut impl Rng) -> Self {
+        let fan_in = c_in * spec.kernel * spec.kernel;
+        Deconv2d {
+            weight: Param::new(he_normal(
+                [c_in, c_out, spec.kernel, spec.kernel],
+                fan_in,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros([c_out])),
+            spec,
+            cached_input: None,
+        }
+    }
+
+    /// The layer's convolution geometry.
+    pub fn spec(&self) -> ConvSpec {
+        self.spec
+    }
+}
+
+impl Layer for Deconv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        conv_transpose2d(input, &self.weight.value, Some(&self.bias.value), self.spec)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Deconv2d::backward called before forward");
+        let (dx, dw, db) =
+            conv_transpose2d_backward(&input, &self.weight.value, grad_out, self.spec);
+        self.weight.accumulate(&dw);
+        self.bias.accumulate(&db);
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn stride1_same_preserves_spatial_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut layer = Deconv2d::new(4, 2, ConvSpec::same(3), &mut rng);
+        let y = layer.forward(&Tensor::zeros([4, 14, 14]));
+        assert_eq!(y.dims(), &[2, 14, 14]);
+    }
+
+    #[test]
+    fn stride2_doubles_spatial_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut layer = Deconv2d::new(1, 1, ConvSpec::new(2, 2, 0), &mut rng);
+        let y = layer.forward(&Tensor::zeros([1, 7, 7]));
+        assert_eq!(y.dims(), &[1, 14, 14]);
+    }
+
+    #[test]
+    fn backward_returns_input_shaped_grad() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut layer = Deconv2d::new(2, 3, ConvSpec::same(3), &mut rng);
+        let x = Tensor::rand_normal([2, 6, 6], 0.0, 1.0, &mut rng);
+        let y = layer.forward(&x);
+        let gx = layer.backward(&Tensor::ones(y.dims()));
+        assert_eq!(gx.dims(), x.dims());
+    }
+}

@@ -1,0 +1,171 @@
+//! Fully-connected layer and flattening adapter.
+
+use rand::Rng;
+use rhsd_tensor::ops::matmul::{matvec, transpose};
+use rhsd_tensor::Tensor;
+
+use crate::init::xavier_uniform;
+use crate::layer::Layer;
+use crate::param::Param;
+
+/// A fully-connected layer `[n_in] → [n_out]` (used by the refinement
+/// stage's 2nd classification-and-regression heads, §3.4).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Linear {
+    weight: Param, // [n_out, n_in]
+    bias: Param,   // [n_out]
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialised fully-connected layer.
+    pub fn new(n_in: usize, n_out: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            weight: Param::new(xavier_uniform([n_out, n_in], n_in, n_out, rng)),
+            bias: Param::new(Tensor::zeros([n_out])),
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn n_in(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+
+    /// Output width.
+    pub fn n_out(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.rank(),
+            1,
+            "Linear expects a rank-1 input, got {}",
+            input.shape()
+        );
+        self.cached_input = Some(input.clone());
+        let mut y = matvec(&self.weight.value, input);
+        rhsd_tensor::ops::elementwise::axpy(&mut y, 1.0, &self.bias.value);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Linear::backward called before forward");
+        // dW = g ⊗ x
+        let (n_out, n_in) = (self.n_out(), self.n_in());
+        let mut dw = vec![0.0f32; n_out * n_in];
+        let gv = grad_out.as_slice();
+        let xv = input.as_slice();
+        for (i, &g) in gv.iter().enumerate() {
+            for (j, &x) in xv.iter().enumerate() {
+                dw[i * n_in + j] = g * x;
+            }
+        }
+        self.weight
+            .accumulate(&Tensor::from_vec([n_out, n_in], dw).expect("dw length n_out*n_in"));
+        self.bias.accumulate(grad_out);
+        matvec(&transpose(&self.weight.value), grad_out)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Flattens `[C, H, W]` feature maps to rank-1 vectors (and restores the
+/// shape on the way back).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Flatten {
+    #[serde(skip)]
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flattening adapter.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_dims = Some(input.dims().to_vec());
+        let n = input.len();
+        input
+            .clone()
+            .reshape([n])
+            .expect("flatten reshape is size-preserving")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let dims = self
+            .cached_dims
+            .take()
+            .expect("Flatten::backward called before forward");
+        grad_out
+            .clone()
+            .reshape(dims)
+            .expect("unflatten reshape is size-preserving")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.params_mut()[0].value = Tensor::from_vec([2, 2], vec![1., 2., 3., 4.]).unwrap();
+        l.params_mut()[1].value = Tensor::from_vec([2], vec![0.5, -0.5]).unwrap();
+        let y = l.forward(&Tensor::from_vec([2], vec![1., 1.]).unwrap());
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::rand_normal([3], 0.0, 1.0, &mut rng);
+        let y = l.forward(&x);
+        let gx = l.backward(&Tensor::ones(y.dims()));
+
+        let eps = 1e-2;
+        // input gradient
+        for probe in 0..3 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let numeric = (l.forward(&xp).sum() - l.forward(&xm).sum()) / (2.0 * eps);
+            assert!((numeric - gx.as_slice()[probe]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn([2, 3, 4], |c| c[2] as f32);
+        let y = f.forward(&x);
+        assert_eq!(y.dims(), &[24]);
+        let g = f.backward(&y);
+        assert_eq!(g, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-1")]
+    fn linear_rejects_rank3_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        Linear::new(4, 2, &mut rng).forward(&Tensor::zeros([1, 2, 2]));
+    }
+}

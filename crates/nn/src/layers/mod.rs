@@ -1,0 +1,17 @@
+//! Individual network layers.
+
+mod activation;
+mod activation2;
+mod conv2d;
+mod deconv2d;
+mod linear;
+mod pool;
+mod sequential;
+
+pub use activation::Relu;
+pub use activation2::LeakyRelu;
+pub use conv2d::Conv2d;
+pub use deconv2d::Deconv2d;
+pub use linear::{Flatten, Linear};
+pub use pool::MaxPool2d;
+pub use sequential::Sequential;

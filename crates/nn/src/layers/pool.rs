@@ -1,0 +1,64 @@
+//! Max-pooling layer.
+
+use rhsd_tensor::ops::pool::{max_pool2d, max_pool2d_backward};
+use rhsd_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A 2-D max-pooling layer with square window.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    #[serde(skip)]
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input dims, argmax)
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with the given window and stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = max_pool2d(input, self.kernel, self.stride);
+        self.cache = Some((input.dims().to_vec(), out.argmax));
+        out.output
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (dims, argmax) = self
+            .cache
+            .take()
+            .expect("MaxPool2d::backward called before forward");
+        max_pool2d_backward(&dims, &argmax, grad_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halves_spatial_size() {
+        let mut l = MaxPool2d::new(2, 2);
+        let y = l.forward(&Tensor::zeros([3, 8, 8]));
+        assert_eq!(y.dims(), &[3, 4, 4]);
+    }
+
+    #[test]
+    fn backward_shape_matches_input() {
+        let mut l = MaxPool2d::new(2, 2);
+        let x = Tensor::from_fn([1, 4, 4], |c| (c[1] + c[2]) as f32);
+        let y = l.forward(&x);
+        let g = l.backward(&Tensor::ones(y.dims()));
+        assert_eq!(g.dims(), x.dims());
+        assert_eq!(g.sum(), 4.0); // one winner per window
+    }
+}

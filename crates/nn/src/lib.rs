@@ -1,0 +1,49 @@
+//! # rhsd-nn
+//!
+//! A from-scratch CPU CNN framework powering the RHSD hotspot-detection
+//! stack — the replacement for the TensorFlow/GPU substrate of the
+//! original DAC 2019 paper.
+//!
+//! Building blocks:
+//!
+//! - [`Layer`]: the forward/backward module trait; [`layers`] holds
+//!   convolution, deconvolution, pooling, linear, ReLU and [`layers::Sequential`].
+//! - [`inception`]: Inception modules A and B (Figure 3).
+//! - [`encdec`]: the joint encoder–decoder front end (§3.1.1).
+//! - [`loss`]: smooth-L1 (Eq. 5), cross-entropy (Eq. 6) and the L2
+//!   regulariser of the C&R objective (Eq. 4).
+//! - [`optim`]: SGD with momentum and the paper's step-decay LR schedule.
+//! - [`serialize`]: architecture-checked parameter checkpoints.
+//!
+//! # Examples
+//!
+//! ```
+//! use rhsd_nn::layers::{Conv2d, Relu, Sequential};
+//! use rhsd_nn::Layer;
+//! use rhsd_tensor::{ops::conv::ConvSpec, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let mut net = Sequential::new()
+//!     .push(Conv2d::new(1, 4, ConvSpec::same(3), &mut rng))
+//!     .push(Relu::new());
+//! let features = net.forward(&Tensor::zeros([1, 32, 32]));
+//! assert_eq!(features.dims(), &[4, 32, 32]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod encdec;
+pub mod inception;
+pub mod init;
+mod layer;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+mod optim_adam;
+mod param;
+pub mod serialize;
+
+pub use layer::{backward_all, forward_all, Layer};
+pub use optim_adam::Adam;
+pub use param::Param;

@@ -1,0 +1,71 @@
+//! Trainable parameters: a value tensor paired with its gradient accumulator.
+
+use rhsd_tensor::Tensor;
+
+/// A trainable parameter of a network layer.
+///
+/// Gradients accumulate across backward passes (mini-batching is done by
+/// running several samples and stepping once); [`Param::zero_grad`] resets
+/// the accumulator.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` if the parameter holds no scalars.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a different shape.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        rhsd_tensor::ops::elementwise::axpy(&mut self.grad, 1.0, g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones([2, 3]));
+        assert_eq!(p.grad.as_slice(), &[0.0; 6]);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn accumulate_sums_gradients() {
+        let mut p = Param::new(Tensor::zeros([2]));
+        p.accumulate(&Tensor::from_vec([2], vec![1.0, 2.0]).unwrap());
+        p.accumulate(&Tensor::from_vec([2], vec![0.5, -1.0]).unwrap());
+        assert_eq!(p.grad.as_slice(), &[1.5, 1.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0, 0.0]);
+    }
+}

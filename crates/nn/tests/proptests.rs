@@ -1,0 +1,115 @@
+//! Property-based tests for the NN framework: gradient correctness on
+//! randomly-sized layers and optimiser invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rhsd_nn::layers::{Conv2d, Linear, MaxPool2d, Relu, Sequential};
+use rhsd_nn::loss::{smooth_l1_grad_scalar, smooth_l1_scalar};
+use rhsd_nn::optim::{Sgd, StepDecay};
+use rhsd_nn::{Layer, Param};
+use rhsd_tensor::ops::conv::ConvSpec;
+use rhsd_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conv_layer_input_gradcheck(seed in 0u64..500, c_in in 1usize..3, c_out in 1usize..3) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut layer = Conv2d::new(c_in, c_out, ConvSpec::same(3), &mut rng);
+        let x = Tensor::rand_normal([c_in, 5, 5], 0.0, 1.0, &mut rng);
+        let y = layer.forward(&x);
+        let gx = layer.backward(&Tensor::ones(y.dims()));
+        let eps = 1e-2;
+        for probe in [0usize, x.len() / 2, x.len() - 1] {
+            let mut p = x.clone();
+            p.as_mut_slice()[probe] += eps;
+            let mut m = x.clone();
+            m.as_mut_slice()[probe] -= eps;
+            let numeric = (layer.forward(&p).sum() - layer.forward(&m).sum()) / (2.0 * eps);
+            prop_assert!((numeric - gx.as_slice()[probe]).abs() < 3e-2,
+                "probe {probe}: {numeric} vs {}", gx.as_slice()[probe]);
+        }
+    }
+
+    #[test]
+    fn sequential_chain_gradcheck(seed in 0u64..500) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut net = Sequential::new()
+            .push(Conv2d::new(1, 2, ConvSpec::same(3), &mut rng))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2, 2))
+            .push(Conv2d::new(2, 1, ConvSpec::same(1), &mut rng));
+        let x = Tensor::rand_normal([1, 6, 6], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x);
+        let gx = net.backward(&Tensor::ones(y.dims()));
+        let eps = 1e-2;
+        for probe in [0usize, 17, 35] {
+            let mut p = x.clone();
+            p.as_mut_slice()[probe] += eps;
+            let mut m = x.clone();
+            m.as_mut_slice()[probe] -= eps;
+            let numeric = (net.forward(&p).sum() - net.forward(&m).sum()) / (2.0 * eps);
+            // max-pool kinks make FD noisy near ties; loose tolerance
+            prop_assert!((numeric - gx.as_slice()[probe]).abs() < 0.1,
+                "probe {probe}: {numeric} vs {}", gx.as_slice()[probe]);
+        }
+    }
+
+    #[test]
+    fn linear_layer_is_affine(seed in 0u64..500, k in -3.0f32..3.0) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x = Tensor::rand_normal([4], 0.0, 1.0, &mut rng);
+        let y1 = l.forward(&x);
+        let y0 = l.forward(&Tensor::zeros([4]));
+        let yk = l.forward(&x.map(|v| k * v));
+        // affine: f(kx) - f(0) == k (f(x) - f(0))
+        for i in 0..3 {
+            let lhs = yk.as_slice()[i] - y0.as_slice()[i];
+            let rhs = k * (y1.as_slice()[i] - y0.as_slice()[i]);
+            prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()));
+        }
+    }
+
+    #[test]
+    fn smooth_l1_properties(d in -50.0f32..50.0) {
+        let v = smooth_l1_scalar(d);
+        prop_assert!(v >= 0.0);
+        prop_assert!((smooth_l1_scalar(-d) - v).abs() < 1e-6, "even function");
+        prop_assert!(smooth_l1_grad_scalar(d).abs() <= 1.0, "bounded gradient");
+        // convexity probe: midpoint value below average of endpoints
+        let e = d + 1.0;
+        let mid = smooth_l1_scalar((d + e) / 2.0);
+        let avg = (smooth_l1_scalar(d) + smooth_l1_scalar(e)) / 2.0;
+        prop_assert!(mid <= avg + 1e-5);
+    }
+
+    #[test]
+    fn sgd_zero_gradient_is_fixed_point_without_momentum(w0 in -5.0f32..5.0) {
+        let mut p = Param::new(Tensor::from_vec([1], vec![w0]).unwrap());
+        let mut opt = Sgd::new(StepDecay::constant(0.1), 0.0);
+        for _ in 0..5 {
+            // grad stays zero
+            opt.step(&mut [&mut p]);
+        }
+        prop_assert_eq!(p.value.as_slice()[0], w0);
+    }
+
+    #[test]
+    fn lr_schedule_is_monotonically_nonincreasing(
+        initial in 0.001f32..0.1,
+        every in 1usize..1000,
+    ) {
+        let s = StepDecay { initial, factor: 0.1, every };
+        let mut prev = f32::INFINITY;
+        for step in (0..5000).step_by(97) {
+            let lr = s.lr_at(step);
+            prop_assert!(lr <= prev + 1e-12);
+            // lr may underflow to exactly 0 after extreme decay
+            prop_assert!(lr >= 0.0);
+            prev = lr;
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # rhsd-tensor
+//!
+//! Dense `f32` tensor math substrate for the RHSD (faster region-based
+//! hotspot detection) stack — a from-scratch replacement for the GPU
+//! tensor runtime the original paper used.
+//!
+//! The crate provides:
+//!
+//! - [`Tensor`]: an owned, row-major, N-dimensional `f32` array.
+//! - [`Shape`]: dimension bookkeeping and index arithmetic.
+//! - [`ops`]: convolution (im2col), transposed convolution, max/RoI
+//!   pooling, matmul, softmax/cross-entropy, reductions and elementwise
+//!   math — each differentiable op paired with its analytic backward pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use rhsd_tensor::{ops::conv::{conv2d, ConvSpec}, Tensor};
+//!
+//! let image = Tensor::ones([1, 8, 8]);
+//! let edge = Tensor::from_vec([1, 1, 3, 3],
+//!     vec![-1., -1., -1., -1., 8., -1., -1., -1., -1.])?;
+//! let response = conv2d(&image, &edge, None, ConvSpec::same(3));
+//! assert_eq!(response.dims(), &[1, 8, 8]);
+//! # Ok::<(), rhsd_tensor::TensorError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod ops;
+mod shape;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use shape::Shape;
+pub use tensor::Tensor;

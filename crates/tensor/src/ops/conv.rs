@@ -1,0 +1,379 @@
+//! 2-D convolution via im2col, with analytic backward passes.
+//!
+//! Implements the convolution of Eq. (1) of the paper. Tensors are
+//! `[C, H, W]` feature maps; weights are `[C_out, C_in, K, K]`. Batching is
+//! handled one sample at a time by the layer framework above this crate.
+
+use crate::ops::matmul::{matmul, transpose};
+use crate::Tensor;
+
+/// Geometry of a convolution: kernel size, stride and zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ConvSpec {
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both spatial directions.
+    pub stride: usize,
+    /// Zero padding added on every border.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// A convenience constructor.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        ConvSpec {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// `K×K` kernel with stride 1 and "same" padding (odd kernels only).
+    pub fn same(kernel: usize) -> Self {
+        ConvSpec::new(kernel, 1, kernel / 2)
+    }
+
+    /// Output spatial size for an input of extent `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_size(&self, n: usize) -> usize {
+        let padded = n + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "kernel {} larger than padded input {padded}",
+            self.kernel
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+
+    /// Output spatial size of the *transposed* convolution for input extent `n`.
+    pub fn transpose_out_size(&self, n: usize) -> usize {
+        (n - 1) * self.stride + self.kernel - 2 * self.padding
+    }
+}
+
+/// Unfolds `[C, H, W]` into a `[C·K·K, H_out·W_out]` column matrix.
+///
+/// Column `(oy·W_out + ox)` holds the receptive field of output pixel
+/// `(oy, ox)`; out-of-bounds taps read as zero (zero padding).
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3.
+pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
+    assert_eq!(input.rank(), 3, "im2col expects [C,H,W], got {}", input.shape());
+    let (c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
+    let mut out = vec![0.0f32; c * k * k * oh * ow];
+    let iv = input.as_slice();
+    let ncols = oh * ow;
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let base = row * ncols;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[base + oy * ow + ox] =
+                            iv[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([c * k * k, ncols], out).expect("im2col length consistent by construction")
+}
+
+/// Adjoint of [`im2col`]: folds a `[C·K·K, H_out·W_out]` column matrix back
+/// into a `[C, H, W]` map, *summing* overlapping contributions.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape implied by `(c, h, w)` and `spec`.
+pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: ConvSpec) -> Tensor {
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
+    assert_eq!(
+        cols.dims(),
+        &[c * k * k, oh * ow],
+        "col2im input shape {} inconsistent with geometry",
+        cols.shape()
+    );
+    let cv = cols.as_slice();
+    let mut out = vec![0.0f32; c * h * w];
+    let ncols = oh * ow;
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                let base = row * ncols;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[(ci * h + iy as usize) * w + ix as usize] +=
+                            cv[base + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec([c, h, w], out).expect("col2im length consistent by construction")
+}
+
+/// Forward 2-D convolution: `[C_in,H,W] ⊛ [C_out,C_in,K,K] (+bias) → [C_out,H',W']`.
+///
+/// `bias` may be `None` for bias-free layers.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: ConvSpec) -> Tensor {
+    assert_eq!(input.rank(), 3, "conv2d input must be [C,H,W], got {}", input.shape());
+    assert_eq!(
+        weight.rank(),
+        4,
+        "conv2d weight must be [C_out,C_in,K,K], got {}",
+        weight.shape()
+    );
+    let (c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+    let (c_out, wc_in, k, k2) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    assert_eq!(k, k2, "conv2d kernel must be square, got {}", weight.shape());
+    assert_eq!(k, spec.kernel, "weight kernel {k} != spec kernel {}", spec.kernel);
+    assert_eq!(
+        c_in, wc_in,
+        "conv2d channel mismatch: input {c_in} vs weight {wc_in}"
+    );
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+
+    let cols = im2col(input, spec);
+    let wmat = weight
+        .clone()
+        .reshape([c_out, c_in * k * k])
+        .expect("weight reshape is size-preserving");
+    let mut out = matmul(&wmat, &cols); // [c_out, oh*ow]
+    if let Some(b) = bias {
+        assert_eq!(b.dims(), &[c_out], "bias must be [C_out], got {}", b.shape());
+        let bv = b.as_slice().to_vec();
+        let ov = out.as_mut_slice();
+        for (co, &bval) in bv.iter().enumerate() {
+            for o in &mut ov[co * oh * ow..(co + 1) * oh * ow] {
+                *o += bval;
+            }
+        }
+    }
+    out.reshape([c_out, oh, ow])
+        .expect("conv output reshape is size-preserving")
+}
+
+/// Gradients of [`conv2d`] with respect to input, weight and bias.
+///
+/// `grad_out` must be `[C_out, H', W']`. Returns `(d_input, d_weight, d_bias)`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between the stored forward geometry and
+/// `grad_out`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+    let (c_out, _, k, _) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    assert_eq!(
+        grad_out.dims(),
+        &[c_out, oh, ow],
+        "grad_out shape {} inconsistent with conv geometry",
+        grad_out.shape()
+    );
+
+    let gmat = grad_out
+        .clone()
+        .reshape([c_out, oh * ow])
+        .expect("grad reshape is size-preserving");
+
+    // d_bias: sum over spatial positions.
+    let gv = gmat.as_slice();
+    let dbias: Vec<f32> = (0..c_out)
+        .map(|co| gv[co * oh * ow..(co + 1) * oh * ow].iter().sum())
+        .collect();
+    let d_bias = Tensor::from_vec([c_out], dbias).expect("bias grad length c_out");
+
+    // d_weight = grad · colsᵀ
+    let cols = im2col(input, spec);
+    let d_weight = matmul(&gmat, &transpose(&cols))
+        .reshape([c_out, c_in, k, k])
+        .expect("weight grad reshape is size-preserving");
+
+    // d_input = col2im(Wᵀ · grad)
+    let wmat = weight
+        .clone()
+        .reshape([c_out, c_in * k * k])
+        .expect("weight reshape is size-preserving");
+    let dcols = matmul(&transpose(&wmat), &gmat);
+    let d_input = col2im(&dcols, c_in, h, w, spec);
+
+    (d_input, d_weight, d_bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn out_size_formulae() {
+        let s = ConvSpec::new(3, 1, 1);
+        assert_eq!(s.out_size(8), 8);
+        let s = ConvSpec::new(3, 2, 1);
+        assert_eq!(s.out_size(8), 4);
+        let s = ConvSpec::new(2, 2, 0);
+        assert_eq!(s.out_size(8), 4);
+        // transpose inverts forward for matching geometry
+        let s = ConvSpec::new(3, 2, 1);
+        assert_eq!(s.transpose_out_size(4), 7);
+    }
+
+    #[test]
+    fn same_spec_preserves_size() {
+        for k in [1, 3, 5, 7] {
+            assert_eq!(ConvSpec::same(k).out_size(16), 16, "kernel {k}");
+        }
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // K=1, s=1, p=0: columns are just the flattened input.
+        let x = Tensor::from_fn([2, 2, 2], |c| (c[0] * 4 + c[1] * 2 + c[2]) as f32);
+        let cols = im2col(&x, ConvSpec::new(1, 1, 0));
+        assert_eq!(cols.dims(), &[2, 4]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_padding_reads_zero() {
+        let x = Tensor::ones([1, 2, 2]);
+        let cols = im2col(&x, ConvSpec::new(3, 1, 1));
+        // centre tap of corner output (0,0) is x[0,0]=1; top-left tap is padding=0
+        assert_eq!(cols.dims(), &[9, 4]);
+        assert_eq!(cols.get(&[0, 0]), 0.0); // ky=0,kx=0 at output (0,0) → (-1,-1)
+        assert_eq!(cols.get(&[4, 0]), 1.0); // centre tap
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 3×3 input, 2×2 kernel of ones → sliding-window sums.
+        let x = Tensor::from_vec([1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let w = Tensor::ones([1, 1, 2, 2]);
+        let y = conv2d(&x, &w, None, ConvSpec::new(2, 1, 0));
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(y.as_slice(), &[12., 16., 24., 28.]);
+    }
+
+    #[test]
+    fn conv2d_bias_adds_per_channel() {
+        let x = Tensor::ones([1, 2, 2]);
+        let w = Tensor::zeros([2, 1, 1, 1]);
+        let b = Tensor::from_vec([2], vec![3.0, -1.0]).unwrap();
+        let y = conv2d(&x, &w, Some(&b), ConvSpec::new(1, 1, 0));
+        assert_eq!(y.as_slice(), &[3., 3., 3., 3., -1., -1., -1., -1.]);
+    }
+
+    #[test]
+    fn conv2d_multichannel_sums_channels() {
+        let x = Tensor::from_vec([2, 1, 1], vec![2.0, 5.0]).unwrap();
+        let w = Tensor::from_vec([1, 2, 1, 1], vec![10.0, 1.0]).unwrap();
+        let y = conv2d(&x, &w, None, ConvSpec::new(1, 1, 0));
+        assert_eq!(y.as_slice(), &[25.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let spec = ConvSpec::new(3, 2, 1);
+        let x = Tensor::rand_normal([2, 5, 5], 0.0, 1.0, &mut rng);
+        let cols_shape = [2 * 9, spec.out_size(5) * spec.out_size(5)];
+        let y = Tensor::rand_normal(cols_shape, 0.0, 1.0, &mut rng);
+        let lhs: f32 = im2col(&x, spec)
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(col2im(&y, 2, 5, 5, spec).as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// Finite-difference gradient check for conv2d over input, weight, bias.
+    #[test]
+    fn conv2d_gradcheck() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let spec = ConvSpec::new(3, 2, 1);
+        let x = Tensor::rand_normal([2, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal([3], 0.0, 0.5, &mut rng);
+        // loss = sum(conv(x))
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| conv2d(x, w, Some(b), spec).sum();
+        let g_out = Tensor::ones([3, spec.out_size(5), spec.out_size(5)]);
+        let (dx, dw, db) = conv2d_backward(&x, &w, &g_out, spec);
+
+        let eps = 1e-2;
+        for (tensor, grad, name) in [(&x, &dx, "x"), (&w, &dw, "w"), (&b, &db, "b")] {
+            for probe in 0..tensor.len().min(12) {
+                let mut plus = tensor.clone();
+                plus.as_mut_slice()[probe] += eps;
+                let mut minus = tensor.clone();
+                minus.as_mut_slice()[probe] -= eps;
+                let (fp, fm) = match name {
+                    "x" => (loss(&plus, &w, &b), loss(&minus, &w, &b)),
+                    "w" => (loss(&x, &plus, &b), loss(&x, &minus, &b)),
+                    _ => (loss(&x, &w, &plus), loss(&x, &w, &minus)),
+                };
+                let numeric = (fp - fm) / (2.0 * eps);
+                let analytic = grad.as_slice()[probe];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "{name}[{probe}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv2d_rejects_channel_mismatch() {
+        conv2d(
+            &Tensor::zeros([2, 4, 4]),
+            &Tensor::zeros([1, 3, 3, 3]),
+            None,
+            ConvSpec::same(3),
+        );
+    }
+}

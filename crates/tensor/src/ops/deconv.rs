@@ -1,0 +1,235 @@
+//! Transposed (de-)convolution — the decoder-side operation of §3.1.1.
+//!
+//! A transposed convolution maps each input feature point to multiple
+//! outputs; it is the exact adjoint of [`conv2d`](crate::ops::conv::conv2d)
+//! with the same [`ConvSpec`]. Weights follow the `[C_in, C_out, K, K]`
+//! convention so that a deconv layer can mirror a conv layer symmetrically.
+
+use crate::ops::conv::{col2im, im2col, ConvSpec};
+use crate::ops::matmul::{matmul, transpose};
+use crate::Tensor;
+
+/// Forward transposed convolution:
+/// `[C_in,H,W] → [C_out, (H−1)·s − 2p + K, (W−1)·s − 2p + K]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv_transpose2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Tensor {
+    assert_eq!(
+        input.rank(),
+        3,
+        "conv_transpose2d input must be [C,H,W], got {}",
+        input.shape()
+    );
+    assert_eq!(
+        weight.rank(),
+        4,
+        "conv_transpose2d weight must be [C_in,C_out,K,K], got {}",
+        weight.shape()
+    );
+    let (c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+    let (wc_in, c_out, k, k2) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    assert_eq!(k, k2, "kernel must be square, got {}", weight.shape());
+    assert_eq!(k, spec.kernel, "weight kernel {k} != spec kernel {}", spec.kernel);
+    assert_eq!(
+        c_in, wc_in,
+        "conv_transpose2d channel mismatch: input {c_in} vs weight {wc_in}"
+    );
+    let (oh, ow) = (spec.transpose_out_size(h), spec.transpose_out_size(w));
+
+    // cols[(c_out·K·K), H·W] = Wᵀ · x, then fold into the output map.
+    let wmat = weight
+        .clone()
+        .reshape([c_in, c_out * k * k])
+        .expect("weight reshape is size-preserving");
+    let xmat = input
+        .clone()
+        .reshape([c_in, h * w])
+        .expect("input reshape is size-preserving");
+    let cols = matmul(&transpose(&wmat), &xmat);
+    let mut out = col2im(&cols, c_out, oh, ow, spec);
+    if let Some(b) = bias {
+        assert_eq!(b.dims(), &[c_out], "bias must be [C_out], got {}", b.shape());
+        let bv = b.as_slice().to_vec();
+        let ov = out.as_mut_slice();
+        for (co, &bval) in bv.iter().enumerate() {
+            for o in &mut ov[co * oh * ow..(co + 1) * oh * ow] {
+                *o += bval;
+            }
+        }
+    }
+    out
+}
+
+/// Gradients of [`conv_transpose2d`]: returns `(d_input, d_weight, d_bias)`.
+///
+/// # Panics
+///
+/// Panics if `grad_out` disagrees with the forward geometry.
+pub fn conv_transpose2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+    let (_, c_out, k, _) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    let (oh, ow) = (spec.transpose_out_size(h), spec.transpose_out_size(w));
+    assert_eq!(
+        grad_out.dims(),
+        &[c_out, oh, ow],
+        "grad_out shape {} inconsistent with deconv geometry",
+        grad_out.shape()
+    );
+
+    // d_bias: per-output-channel spatial sum.
+    let gv = grad_out.as_slice();
+    let dbias: Vec<f32> = (0..c_out)
+        .map(|co| gv[co * oh * ow..(co + 1) * oh * ow].iter().sum())
+        .collect();
+    let d_bias = Tensor::from_vec([c_out], dbias).expect("bias grad length c_out");
+
+    // Deconv forward is col2im ∘ (Wᵀ ·); its adjoint is (W ·) ∘ im2col.
+    let gcols = im2col(grad_out, spec); // [c_out·K·K, H·W]
+    let wmat = weight
+        .clone()
+        .reshape([c_in, c_out * k * k])
+        .expect("weight reshape is size-preserving");
+    let d_input = matmul(&wmat, &gcols)
+        .reshape([c_in, h, w])
+        .expect("input grad reshape is size-preserving");
+
+    // d_weight = x · im2col(grad)ᵀ, folded back to [C_in, C_out, K, K].
+    let xmat = input
+        .clone()
+        .reshape([c_in, h * w])
+        .expect("input reshape is size-preserving");
+    let d_weight = matmul(&xmat, &transpose(&gcols))
+        .reshape([c_in, c_out, k, k])
+        .expect("weight grad reshape is size-preserving");
+
+    (d_input, d_weight, d_bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv::conv2d;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn stride2_upsamples() {
+        let x = Tensor::ones([1, 2, 2]);
+        let w = Tensor::ones([1, 1, 2, 2]);
+        let y = conv_transpose2d(&x, &w, None, ConvSpec::new(2, 2, 0));
+        assert_eq!(y.dims(), &[1, 4, 4]);
+        // non-overlapping 2×2 blocks of ones
+        assert_eq!(y.as_slice(), &[1.0; 16]);
+    }
+
+    #[test]
+    fn single_pixel_stamps_kernel() {
+        let x = Tensor::from_vec([1, 1, 1], vec![2.0]).unwrap();
+        let w = Tensor::from_vec([1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let y = conv_transpose2d(&x, &w, None, ConvSpec::new(3, 1, 0));
+        assert_eq!(y.dims(), &[1, 3, 3]);
+        let expect: Vec<f32> = (1..=9).map(|v| 2.0 * v as f32).collect();
+        assert_eq!(y.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn deconv_is_adjoint_of_conv() {
+        // <conv(x; W), y> == <x, deconv(y; W~)> where W~ swaps in/out axes.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let spec = ConvSpec::new(3, 2, 1);
+        let x = Tensor::rand_normal([2, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([3, 2, 3, 3], 0.0, 1.0, &mut rng); // conv convention
+        let y_shape = [3, spec.out_size(5), spec.out_size(5)];
+        let y = Tensor::rand_normal(y_shape, 0.0, 1.0, &mut rng);
+
+        // re-pack w from [C_out,C_in,K,K] to [C_out(C_in of deconv), C_out', K, K]
+        // For the adjoint identity, deconv weight is the same array viewed as
+        // [C_in=3 (deconv in = conv out), C_out=2, K, K].
+        let w_deconv = Tensor::from_fn([3, 2, 3, 3], |c| w.get(&[c[0], c[1], c[2], c[3]]));
+
+        let lhs: f32 = conv2d(&x, &w, None, spec)
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let dec = conv_transpose2d(&y, &w_deconv, None, spec);
+        assert_eq!(dec.dims(), x.dims());
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(dec.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn deconv_gradcheck() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let spec = ConvSpec::new(3, 2, 1);
+        let x = Tensor::rand_normal([2, 3, 3], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal([2, 3, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal([3], 0.0, 0.5, &mut rng);
+        let loss =
+            |x: &Tensor, w: &Tensor, b: &Tensor| conv_transpose2d(x, w, Some(b), spec).sum();
+        let oh = spec.transpose_out_size(3);
+        let g_out = Tensor::ones([3, oh, oh]);
+        let (dx, dw, db) = conv_transpose2d_backward(&x, &w, &g_out, spec);
+
+        let eps = 1e-2;
+        for (tensor, grad, name) in [(&x, &dx, "x"), (&w, &dw, "w"), (&b, &db, "b")] {
+            for probe in 0..tensor.len().min(10) {
+                let mut plus = tensor.clone();
+                plus.as_mut_slice()[probe] += eps;
+                let mut minus = tensor.clone();
+                minus.as_mut_slice()[probe] -= eps;
+                let (fp, fm) = match name {
+                    "x" => (loss(&plus, &w, &b), loss(&minus, &w, &b)),
+                    "w" => (loss(&x, &plus, &b), loss(&x, &minus, &b)),
+                    _ => (loss(&x, &w, &plus), loss(&x, &w, &minus)),
+                };
+                let numeric = (fp - fm) / (2.0 * eps);
+                let analytic = grad.as_slice()[probe];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "{name}[{probe}]: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encoder_decoder_size_symmetry() {
+        // decoder with the same spec restores the encoder's input size —
+        // the symmetry the paper's §3.1.1 relies on.
+        // stride-1 "same" deconv preserves size for any n
+        for n in [8usize, 16, 28, 56] {
+            let spec = ConvSpec::same(3);
+            assert_eq!(spec.out_size(n), n);
+            assert_eq!(spec.transpose_out_size(n), n);
+        }
+        // kernel-2/stride-2 pairs invert exactly for even n
+        for n in [8usize, 16, 28, 56] {
+            let spec = ConvSpec::new(2, 2, 0);
+            assert_eq!(spec.transpose_out_size(spec.out_size(n)), n);
+        }
+        // kernel-3/stride-2/pad-1 pairs invert exactly for odd n
+        for n in [7usize, 15, 29, 57] {
+            let spec = ConvSpec::new(3, 2, 1);
+            assert_eq!(spec.transpose_out_size(spec.out_size(n)), n);
+        }
+    }
+}

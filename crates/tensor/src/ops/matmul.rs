@@ -1,0 +1,155 @@
+//! Dense matrix multiplication.
+
+use crate::Tensor;
+
+/// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+///
+/// Uses a cache-friendly i-k-j loop order with the inner loop vectorisable
+/// by the compiler; adequate for the moderate GEMM sizes produced by
+/// im2col convolution in this stack.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be rank 2, got {}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul rhs must be rank 2, got {}", b.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(
+        k, k2,
+        "matmul inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+
+    let mut out = vec![0.0f32; m * n];
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec([m, n], out).expect("matmul output length is m*n by construction")
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 2.
+pub fn transpose(a: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "transpose expects rank 2, got {}", a.shape());
+    let (m, n) = (a.dim(0), a.dim(1));
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec([n, m], out).expect("transpose output length is n*m by construction")
+}
+
+/// Matrix–vector product: `[m, k] × [k] → [m]`.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank 2, `x` not rank 1, or dimensions disagree.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matvec lhs must be rank 2, got {}", a.shape());
+    assert_eq!(x.rank(), 1, "matvec rhs must be rank 1, got {}", x.shape());
+    let (m, k) = (a.dim(0), a.dim(1));
+    assert_eq!(
+        k,
+        x.dim(0),
+        "matvec dimension mismatch: {} vs {}",
+        a.shape(),
+        x.shape()
+    );
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let out: Vec<f32> = (0..m)
+        .map(|i| {
+            av[i * k..(i + 1) * k]
+                .iter()
+                .zip(xv.iter())
+                .map(|(&p, &q)| p * q)
+                .sum()
+        })
+        .collect();
+    Tensor::from_vec([m], out).expect("matvec output length is m by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec([2, 2], vec![3., 1., -2., 4.]).unwrap();
+        let i = Tensor::from_fn([2, 2], |c| if c[0] == c[1] { 1.0 } else { 0.0 });
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    fn matmul_skips_zero_rows_correctly() {
+        // the zero-skip fast path must not change results
+        let a = Tensor::from_vec([2, 3], vec![0., 0., 0., 1., 0., 2.]).unwrap();
+        let b = Tensor::from_vec([3, 1], vec![5., 7., 11.]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[0., 27.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_bad_dims() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([2, 3]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let at = transpose(&a);
+        assert_eq!(at.dims(), &[3, 2]);
+        assert_eq!(at.as_slice(), &[1., 4., 2., 5., 3., 6.]);
+        assert_eq!(transpose(&at), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let x = Tensor::from_vec([3], vec![1., 0., -1.]).unwrap();
+        let y = matvec(&a, &x);
+        assert_eq!(y.as_slice(), &[-2., -2.]);
+    }
+
+    #[test]
+    fn matmul_transpose_identity_property() {
+        // (A·B)ᵀ == Bᵀ·Aᵀ
+        let a = Tensor::from_fn([3, 4], |c| (c[0] * 4 + c[1]) as f32 * 0.5 - 2.0);
+        let b = Tensor::from_fn([4, 2], |c| (c[0] as f32) - (c[1] as f32) * 1.5);
+        let lhs = transpose(&matmul(&a, &b));
+        let rhs = matmul(&transpose(&b), &transpose(&a));
+        assert!(lhs.approx_eq(&rhs, 1e-5));
+    }
+}

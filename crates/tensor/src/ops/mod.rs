@@ -1,0 +1,13 @@
+//! Numeric operators over [`Tensor`](crate::Tensor)s.
+//!
+//! Every differentiable operator ships its analytic backward pass next to
+//! the forward pass, and every backward pass is validated against finite
+//! differences in unit tests.
+
+pub mod conv;
+pub mod deconv;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;
+pub mod softmax;

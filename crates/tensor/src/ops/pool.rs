@@ -1,0 +1,317 @@
+//! Max pooling and Region-of-Interest (RoI) max pooling.
+//!
+//! RoI pooling (§3.3, Fig. 7 of the paper) transforms a variable-sized
+//! feature-map window into a fixed `H×W` grid by max-pooling each cell
+//! independently, preserving the whole feature information of a proposed
+//! clip regardless of its size.
+
+use crate::Tensor;
+
+/// Result of a max-pool forward pass: the pooled map plus the flat input
+/// offset of each selected maximum (needed for the backward pass).
+#[derive(Debug, Clone)]
+pub struct PoolOutput {
+    /// Pooled feature map `[C, H', W']`.
+    pub output: Tensor,
+    /// For every output element, the flat offset into the input that won.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D max pooling over `[C, H, W]` with a square window and stride.
+///
+/// Windows are anchored at multiples of `stride`; partial windows at the
+/// right/bottom border are pooled over their valid extent.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3 or `kernel`/`stride` is zero.
+pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> PoolOutput {
+    assert_eq!(input.rank(), 3, "max_pool2d expects [C,H,W], got {}", input.shape());
+    assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+    let (c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+    let oh = if h >= kernel { (h - kernel) / stride + 1 } else { 1 };
+    let ow = if w >= kernel { (w - kernel) / stride + 1 } else { 1 };
+    let iv = input.as_slice();
+    let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+    let mut argmax = vec![0usize; c * oh * ow];
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let y0 = oy * stride;
+                let x0 = ox * stride;
+                let mut best = f32::NEG_INFINITY;
+                let mut best_off = 0usize;
+                for y in y0..(y0 + kernel).min(h) {
+                    for x in x0..(x0 + kernel).min(w) {
+                        let off = (ci * h + y) * w + x;
+                        if iv[off] > best {
+                            best = iv[off];
+                            best_off = off;
+                        }
+                    }
+                }
+                let oo = (ci * oh + oy) * ow + ox;
+                out[oo] = best;
+                argmax[oo] = best_off;
+            }
+        }
+    }
+    PoolOutput {
+        output: Tensor::from_vec([c, oh, ow], out).expect("pool output length consistent"),
+        argmax,
+    }
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the
+/// input position that produced the maximum.
+///
+/// # Panics
+///
+/// Panics if `grad_out` length differs from `argmax` length.
+pub fn max_pool2d_backward(
+    input_shape: &[usize],
+    argmax: &[usize],
+    grad_out: &Tensor,
+) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "grad_out length {} != argmax length {}",
+        grad_out.len(),
+        argmax.len()
+    );
+    let mut grad_in = Tensor::zeros(input_shape);
+    let gv = grad_out.as_slice();
+    let gi = grad_in.as_mut_slice();
+    for (g, &off) in gv.iter().zip(argmax.iter()) {
+        gi[off] += *g;
+    }
+    grad_in
+}
+
+/// A region of interest on a feature map, in feature-map pixel coordinates.
+///
+/// `x0/y0` are inclusive, `x1/y1` exclusive. Degenerate regions are clamped
+/// to at least one pixel inside the map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureRoi {
+    /// Left edge (inclusive).
+    pub x0: usize,
+    /// Top edge (inclusive).
+    pub y0: usize,
+    /// Right edge (exclusive).
+    pub x1: usize,
+    /// Bottom edge (exclusive).
+    pub y1: usize,
+}
+
+impl FeatureRoi {
+    /// Creates an RoI, normalising the corner order.
+    pub fn new(x0: usize, y0: usize, x1: usize, y1: usize) -> Self {
+        FeatureRoi {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    fn clamped(&self, h: usize, w: usize) -> FeatureRoi {
+        let x0 = self.x0.min(w.saturating_sub(1));
+        let y0 = self.y0.min(h.saturating_sub(1));
+        FeatureRoi {
+            x0,
+            y0,
+            x1: self.x1.clamp(x0 + 1, w),
+            y1: self.y1.clamp(y0 + 1, h),
+        }
+    }
+}
+
+/// RoI max pooling: pools the window `roi` of `[C, H, W]` into `[C, out_h, out_w]`.
+///
+/// Each output cell `(i, j)` pools the sub-window
+/// `[⌊i·h/out_h⌋, ⌈(i+1)·h/out_h⌉) × [⌊j·w/out_w⌋, ⌈(j+1)·w/out_w⌉)` of the
+/// RoI, so every input pixel of the RoI is covered and cells never escape it.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 3 or `out_h`/`out_w` is zero.
+pub fn roi_pool(input: &Tensor, roi: FeatureRoi, out_h: usize, out_w: usize) -> PoolOutput {
+    assert_eq!(input.rank(), 3, "roi_pool expects [C,H,W], got {}", input.shape());
+    assert!(out_h > 0 && out_w > 0, "output size must be positive");
+    let (c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+    let roi = roi.clamped(h, w);
+    let rh = roi.y1 - roi.y0;
+    let rw = roi.x1 - roi.x0;
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; c * out_h * out_w];
+    let mut argmax = vec![0usize; c * out_h * out_w];
+    for ci in 0..c {
+        for i in 0..out_h {
+            let y_lo = roi.y0 + i * rh / out_h;
+            let y_hi = roi.y0 + ((i + 1) * rh).div_ceil(out_h);
+            let y_hi = y_hi.max(y_lo + 1).min(roi.y1.max(y_lo + 1));
+            for j in 0..out_w {
+                let x_lo = roi.x0 + j * rw / out_w;
+                let x_hi = roi.x0 + ((j + 1) * rw).div_ceil(out_w);
+                let x_hi = x_hi.max(x_lo + 1).min(roi.x1.max(x_lo + 1));
+                let mut best = f32::NEG_INFINITY;
+                let mut best_off = (ci * h + y_lo) * w + x_lo;
+                for y in y_lo..y_hi {
+                    for x in x_lo..x_hi {
+                        let off = (ci * h + y) * w + x;
+                        if iv[off] > best {
+                            best = iv[off];
+                            best_off = off;
+                        }
+                    }
+                }
+                let oo = (ci * out_h + i) * out_w + j;
+                out[oo] = best;
+                argmax[oo] = best_off;
+            }
+        }
+    }
+    PoolOutput {
+        output: Tensor::from_vec([c, out_h, out_w], out).expect("roi output length consistent"),
+        argmax,
+    }
+}
+
+/// Backward pass of [`roi_pool`]; identical gradient routing to max-pool.
+pub fn roi_pool_backward(input_shape: &[usize], argmax: &[usize], grad_out: &Tensor) -> Tensor {
+    max_pool2d_backward(input_shape, argmax, grad_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn max_pool_2x2_known() {
+        let x = Tensor::from_vec(
+            [1, 4, 4],
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let p = max_pool2d(&x, 2, 2);
+        assert_eq!(p.output.dims(), &[1, 2, 2]);
+        assert_eq!(p.output.as_slice(), &[6., 8., 14., 16.]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec([1, 2, 2], vec![1., 5., 2., 3.]).unwrap();
+        let p = max_pool2d(&x, 2, 2);
+        assert_eq!(p.output.as_slice(), &[5.0]);
+        let g = max_pool2d_backward(&[1, 2, 2], &p.argmax, &Tensor::from_vec([1, 1, 1], vec![7.0]).unwrap());
+        assert_eq!(g.as_slice(), &[0., 7., 0., 0.]);
+    }
+
+    #[test]
+    fn max_pool_gradcheck() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let x = Tensor::rand_normal([2, 4, 4], 0.0, 1.0, &mut rng);
+        let p = max_pool2d(&x, 2, 2);
+        let g_out = Tensor::ones(p.output.dims());
+        let dx = max_pool2d_backward(x.dims(), &p.argmax, &g_out);
+        let eps = 1e-3;
+        for probe in 0..x.len() {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[probe] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[probe] -= eps;
+            let numeric = (max_pool2d(&plus, 2, 2).output.sum()
+                - max_pool2d(&minus, 2, 2).output.sum())
+                / (2.0 * eps);
+            let analytic = dx.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "x[{probe}]: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn roi_pool_identity_when_roi_matches_output() {
+        let x = Tensor::from_fn([1, 7, 7], |c| (c[1] * 7 + c[2]) as f32);
+        let p = roi_pool(&x, FeatureRoi::new(0, 0, 7, 7), 7, 7);
+        assert_eq!(p.output.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn roi_pool_downsamples_window() {
+        let x = Tensor::from_fn([1, 8, 8], |c| (c[1] * 8 + c[2]) as f32);
+        // RoI covering the bottom-right 4×4, pooled to 2×2
+        let p = roi_pool(&x, FeatureRoi::new(4, 4, 8, 8), 2, 2);
+        assert_eq!(p.output.dims(), &[1, 2, 2]);
+        // max of each 2×2 cell of the window
+        assert_eq!(p.output.as_slice(), &[45., 47., 61., 63.]);
+    }
+
+    #[test]
+    fn roi_pool_upsamples_small_window() {
+        // 1×1 RoI expanded to 7×7: every cell sees the single pixel.
+        let mut x = Tensor::zeros([1, 5, 5]);
+        x.set(&[0, 2, 3], 9.0);
+        let p = roi_pool(&x, FeatureRoi::new(3, 2, 4, 3), 7, 7);
+        assert_eq!(p.output.as_slice(), &[9.0; 49]);
+    }
+
+    #[test]
+    fn roi_pool_covers_every_pixel() {
+        // With out smaller than roi, each roi pixel belongs to ≥1 cell:
+        // pooled max over all cells == max over the roi.
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for _ in 0..20 {
+            let x = Tensor::rand_normal([1, 9, 9], 0.0, 1.0, &mut rng);
+            let roi = FeatureRoi::new(1, 2, 8, 9);
+            let p = roi_pool(&x, roi, 3, 3);
+            let mut roi_max = f32::NEG_INFINITY;
+            for y in roi.y0..roi.y1 {
+                for xx in roi.x0..roi.x1 {
+                    roi_max = roi_max.max(x.get(&[0, y, xx]));
+                }
+            }
+            assert!((p.output.max() - roi_max).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn roi_pool_clamps_out_of_bounds() {
+        let x = Tensor::ones([1, 4, 4]);
+        let p = roi_pool(&x, FeatureRoi::new(3, 3, 99, 99), 2, 2);
+        assert_eq!(p.output.as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn roi_pool_gradcheck() {
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
+        let x = Tensor::rand_normal([2, 6, 6], 0.0, 1.0, &mut rng);
+        let roi = FeatureRoi::new(1, 1, 5, 6);
+        let p = roi_pool(&x, roi, 3, 3);
+        let dx = roi_pool_backward(x.dims(), &p.argmax, &Tensor::ones(p.output.dims()));
+        let eps = 1e-3;
+        for probe in 0..x.len() {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[probe] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[probe] -= eps;
+            let numeric = (roi_pool(&plus, roi, 3, 3).output.sum()
+                - roi_pool(&minus, roi, 3, 3).output.sum())
+                / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[probe]).abs() < 1e-2,
+                "x[{probe}]"
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Axis reductions and channel concatenation.
+
+use crate::Tensor;
+
+/// Sums a tensor along one axis, removing it.
+///
+/// # Panics
+///
+/// Panics if `axis` is out of range.
+pub fn sum_axis(t: &Tensor, axis: usize) -> Tensor {
+    let rank = t.rank();
+    assert!(axis < rank, "axis {axis} out of range for rank {rank}");
+    let dims = t.dims();
+    let out_dims: Vec<usize> = dims
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != axis)
+        .map(|(_, &d)| d)
+        .collect();
+    let outer: usize = dims[..axis].iter().product();
+    let mid = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    let tv = t.as_slice();
+    let mut out = vec![0.0f32; outer * inner];
+    for o in 0..outer {
+        for m in 0..mid {
+            let base = (o * mid + m) * inner;
+            let obase = o * inner;
+            for i in 0..inner {
+                out[obase + i] += tv[base + i];
+            }
+        }
+    }
+    Tensor::from_vec(out_dims, out).expect("sum_axis output length consistent")
+}
+
+/// Mean along one axis, removing it.
+///
+/// # Panics
+///
+/// Panics if `axis` is out of range or the axis has zero length.
+pub fn mean_axis(t: &Tensor, axis: usize) -> Tensor {
+    let n = t.dim(axis);
+    assert!(n > 0, "cannot take mean over empty axis {axis}");
+    sum_axis(t, axis).map(|x| x / n as f32)
+}
+
+/// Concatenates `[C_i, H, W]` feature maps along the channel axis — the
+/// feature-fusion step of the inception modules (Fig. 3).
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, any part is not rank 3, or spatial sizes
+/// disagree.
+pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_channels needs at least one input");
+    let (h, w) = (parts[0].dim(1), parts[0].dim(2));
+    let mut total_c = 0;
+    for p in parts {
+        assert_eq!(p.rank(), 3, "concat_channels expects [C,H,W], got {}", p.shape());
+        assert_eq!(
+            (p.dim(1), p.dim(2)),
+            (h, w),
+            "spatial mismatch: {} vs [{h}, {w}]",
+            p.shape()
+        );
+        total_c += p.dim(0);
+    }
+    let mut data = Vec::with_capacity(total_c * h * w);
+    for p in parts {
+        data.extend_from_slice(p.as_slice());
+    }
+    Tensor::from_vec([total_c, h, w], data).expect("concat output length consistent")
+}
+
+/// Splits a gradient of a [`concat_channels`] output back into per-part
+/// gradients with the given channel counts.
+///
+/// # Panics
+///
+/// Panics if the channel counts do not sum to `grad.dim(0)`.
+pub fn split_channels(grad: &Tensor, channels: &[usize]) -> Vec<Tensor> {
+    assert_eq!(grad.rank(), 3, "split_channels expects [C,H,W], got {}", grad.shape());
+    let (c, h, w) = (grad.dim(0), grad.dim(1), grad.dim(2));
+    let total: usize = channels.iter().sum();
+    assert_eq!(total, c, "channel counts sum to {total}, tensor has {c}");
+    let gv = grad.as_slice();
+    let mut out = Vec::with_capacity(channels.len());
+    let mut start = 0;
+    for &ci in channels {
+        let slice = gv[start * h * w..(start + ci) * h * w].to_vec();
+        out.push(Tensor::from_vec([ci, h, w], slice).expect("split lengths consistent"));
+        start += ci;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_axis_each_axis() {
+        let t = Tensor::from_fn([2, 3], |c| (c[0] * 3 + c[1]) as f32);
+        assert_eq!(sum_axis(&t, 0).as_slice(), &[3., 5., 7.]);
+        assert_eq!(sum_axis(&t, 1).as_slice(), &[3., 12.]);
+    }
+
+    #[test]
+    fn sum_axis_middle_axis() {
+        let t = Tensor::ones([2, 3, 4]);
+        let s = sum_axis(&t, 1);
+        assert_eq!(s.dims(), &[2, 4]);
+        assert_eq!(s.as_slice(), &[3.0; 8]);
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        let t = Tensor::from_vec([2, 2], vec![1., 3., 5., 7.]).unwrap();
+        assert_eq!(mean_axis(&t, 0).as_slice(), &[3., 5.]);
+    }
+
+    #[test]
+    fn concat_then_split_roundtrip() {
+        let a = Tensor::from_fn([2, 2, 2], |c| c[0] as f32);
+        let b = Tensor::from_fn([3, 2, 2], |c| 10.0 + c[0] as f32);
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.dims(), &[5, 2, 2]);
+        let parts = split_channels(&cat, &[2, 3]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn concat_preserves_total_sum() {
+        let a = Tensor::full([1, 2, 2], 2.0);
+        let b = Tensor::full([2, 2, 2], -1.0);
+        let cat = concat_channels(&[&a, &b]);
+        assert!((cat.sum() - (a.sum() + b.sum())).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "spatial mismatch")]
+    fn concat_rejects_mismatched_spatial() {
+        concat_channels(&[&Tensor::zeros([1, 2, 2]), &Tensor::zeros([1, 3, 3])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel counts")]
+    fn split_rejects_bad_counts() {
+        split_channels(&Tensor::zeros([4, 2, 2]), &[1, 2]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Numerically-stable softmax and cross-entropy primitives.
+
+use crate::Tensor;
+
+/// Row-wise softmax of a `[n, k]` tensor.
+///
+/// Each row is shifted by its maximum before exponentiation for numerical
+/// stability, then normalised to sum to 1.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.rank(), 2, "softmax_rows expects [n,k], got {}", logits.shape());
+    let (n, k) = (logits.dim(0), logits.dim(1));
+    let lv = logits.as_slice();
+    let mut out = vec![0.0f32; n * k];
+    for i in 0..n {
+        let row = &lv[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (j, &x) in row.iter().enumerate() {
+            let e = (x - m).exp();
+            out[i * k + j] = e;
+            z += e;
+        }
+        for o in &mut out[i * k..(i + 1) * k] {
+            *o /= z;
+        }
+    }
+    Tensor::from_vec([n, k], out).expect("softmax output length n*k")
+}
+
+/// Mean cross-entropy of row-softmaxed `logits` against integer `targets`,
+/// with per-row weights.
+///
+/// Returns `(loss, d_logits)` where `d_logits` is the gradient with respect
+/// to the raw logits (the classic `softmax − one_hot` form, scaled by each
+/// row's weight and the mean normaliser). Rows with weight 0 are ignored —
+/// the mechanism used for "do not contribute to training" clips (§3.2.1).
+///
+/// The normaliser is the *sum of weights*, so weighting doubles as both
+/// masking and class balancing.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or a target index out of range.
+pub fn cross_entropy_rows(
+    logits: &Tensor,
+    targets: &[usize],
+    weights: &[f32],
+) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2, "cross_entropy expects [n,k], got {}", logits.shape());
+    let (n, k) = (logits.dim(0), logits.dim(1));
+    assert_eq!(targets.len(), n, "targets length {} != rows {n}", targets.len());
+    assert_eq!(weights.len(), n, "weights length {} != rows {n}", weights.len());
+
+    let probs = softmax_rows(logits);
+    let pv = probs.as_slice();
+    let wsum: f32 = weights.iter().sum();
+    let norm = if wsum > 0.0 { wsum } else { 1.0 };
+
+    let mut loss = 0.0f32;
+    let mut grad = vec![0.0f32; n * k];
+    for i in 0..n {
+        let wgt = weights[i];
+        if wgt == 0.0 {
+            continue;
+        }
+        let t = targets[i];
+        assert!(t < k, "target {t} out of range for {k} classes");
+        let p = pv[i * k + t].max(1e-12);
+        loss -= wgt * p.ln();
+        for j in 0..k {
+            let indicator = if j == t { 1.0 } else { 0.0 };
+            grad[i * k + j] = wgt * (pv[i * k + j] - indicator) / norm;
+        }
+    }
+    (
+        loss / norm,
+        Tensor::from_vec([n, k], grad).expect("grad length n*k"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let x = Tensor::rand_normal([5, 4], 0.0, 3.0, &mut rng);
+        let p = softmax_rows(&x);
+        for i in 0..5 {
+            let s: f32 = p.as_slice()[i * 4..(i + 1) * 4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(p.min() >= 0.0);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec([1, 3], vec![1., 2., 3.]).unwrap();
+        let y = Tensor::from_vec([1, 3], vec![101., 102., 103.]).unwrap();
+        assert!(softmax_rows(&x).approx_eq(&softmax_rows(&y), 1e-6));
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let x = Tensor::from_vec([1, 2], vec![1000.0, 0.0]).unwrap();
+        let p = softmax_rows(&x);
+        assert!((p.as_slice()[0] - 1.0).abs() < 1e-6);
+        assert!(p.as_slice()[1] >= 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_near_zero() {
+        let logits = Tensor::from_vec([1, 2], vec![20.0, -20.0]).unwrap();
+        let (loss, _) = cross_entropy_rows(&logits, &[0], &[1.0]);
+        assert!(loss < 1e-5, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_ln_k() {
+        let logits = Tensor::zeros([1, 4]);
+        let (loss, _) = cross_entropy_rows(&logits, &[2], &[1.0]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_zero_weight_rows_ignored() {
+        let logits = Tensor::from_vec([2, 2], vec![5., -5., -7., 7.]).unwrap();
+        // second row would be a huge loss for target 0 but has weight 0
+        let (loss, grad) = cross_entropy_rows(&logits, &[0, 0], &[1.0, 0.0]);
+        assert!(loss < 1e-3);
+        assert_eq!(&grad.as_slice()[2..], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let mut rng = ChaCha8Rng::seed_from_u64(37);
+        let x = Tensor::rand_normal([4, 3], 0.0, 1.0, &mut rng);
+        let targets = [0usize, 2, 1, 1];
+        let weights = [1.0f32, 0.5, 0.0, 2.0];
+        let (_, grad) = cross_entropy_rows(&x, &targets, &weights);
+        let eps = 1e-2;
+        for probe in 0..x.len() {
+            let mut plus = x.clone();
+            plus.as_mut_slice()[probe] += eps;
+            let mut minus = x.clone();
+            minus.as_mut_slice()[probe] -= eps;
+            let (fp, _) = cross_entropy_rows(&plus, &targets, &weights);
+            let (fm, _) = cross_entropy_rows(&minus, &targets, &weights);
+            let numeric = (fp - fm) / (2.0 * eps);
+            let analytic = grad.as_slice()[probe];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "[{probe}]: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_target() {
+        cross_entropy_rows(&Tensor::zeros([1, 2]), &[5], &[1.0]);
+    }
+}

@@ -1,0 +1,268 @@
+//! `rhsd` — command-line front end for the region-based hotspot
+//! detection stack.
+//!
+//! ```text
+//! rhsd gen    --case <1|2|3|4> [--full] --out <layout.rlf>
+//! rhsd label  --layout <layout.rlf> --out <defects.json>
+//! rhsd train  [--case <2|3|4>]... [--epochs N] [--no-ed|--no-l2|--no-refine] --out <model.json>
+//! rhsd detect --model <model.json> --layout <layout.rlf> --out <detections.json>
+//! rhsd eval   --model <model.json> [--case <2|3|4>]...
+//! ```
+//!
+//! All commands are deterministic (fixed seeds).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rand::SeedableRng;
+use rhsd::core::persist::{load_from_path, save_to_path};
+use rhsd::core::{RegionDetector, RhsdConfig, RhsdNetwork, TrainConfig};
+use rhsd::data::{train_regions, Benchmark, RegionConfig, NM_PER_PX};
+use rhsd::layout::io::{read_rlf, write_rlf};
+use rhsd::layout::synth::{CaseId, CaseSpec};
+use rhsd::layout::{Layout, Rect, METAL1};
+use rhsd::litho::{label_layout, ProcessWindow};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = parse_opts(&args[1..]);
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "label" => cmd_label(&opts),
+        "train" => cmd_train(&opts),
+        "detect" => cmd_detect(&opts),
+        "drc" => cmd_drc(&opts),
+        "eval" => cmd_eval(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+rhsd — faster region-based hotspot detection (DAC 2019 reproduction)
+
+USAGE:
+  rhsd gen    --case <1|2|3|4> [--full] --out <layout.rlf>
+  rhsd label  --layout <layout.rlf> --out <defects.json>
+  rhsd train  [--case <2|3|4>]... [--epochs N] [--no-ed] [--no-l2] [--no-refine] --out <model.json>
+  rhsd detect --model <model.json> --layout <layout.rlf> --out <detections.json>
+  rhsd drc    --layout <layout.rlf> [--min-width N] [--min-space N]
+  rhsd eval   --model <model.json> [--case <2|3|4>]...";
+
+/// Parses `--key value` pairs and bare `--flag`s; repeated keys collect.
+fn parse_opts(args: &[String]) -> HashMap<String, Vec<String>> {
+    let mut out: HashMap<String, Vec<String>> = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = args.get(i + 1);
+            match value {
+                Some(v) if !v.starts_with("--") => {
+                    out.entry(key.to_owned()).or_default().push(v.clone());
+                    i += 2;
+                }
+                _ => {
+                    out.entry(key.to_owned()).or_default().push(String::new());
+                    i += 1;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn one<'a>(opts: &'a HashMap<String, Vec<String>>, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .and_then(|v| v.first())
+        .map(String::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| format!("missing --{key} <value>"))
+}
+
+fn flag(opts: &HashMap<String, Vec<String>>, key: &str) -> bool {
+    opts.contains_key(key)
+}
+
+fn parse_case(s: &str) -> Result<CaseId, String> {
+    match s {
+        "1" | "case1" | "Case1" => Ok(CaseId::Case1),
+        "2" | "case2" | "Case2" => Ok(CaseId::Case2),
+        "3" | "case3" | "Case3" => Ok(CaseId::Case3),
+        "4" | "case4" | "Case4" => Ok(CaseId::Case4),
+        other => Err(format!("unknown case '{other}' (use 1–4)")),
+    }
+}
+
+fn cases_or_default(opts: &HashMap<String, Vec<String>>) -> Result<Vec<CaseId>, String> {
+    match opts.get("case") {
+        Some(v) if !v.is_empty() => v.iter().map(|s| parse_case(s)).collect(),
+        _ => Ok(CaseId::EVALUATED.to_vec()),
+    }
+}
+
+fn cmd_gen(opts: &HashMap<String, Vec<String>>) -> Result<(), String> {
+    let case = parse_case(one(opts, "case")?)?;
+    let out = one(opts, "out")?;
+    let spec = if flag(opts, "full") {
+        CaseSpec::full(case)
+    } else {
+        CaseSpec::demo(case)
+    };
+    let (layout, stress) = spec.build();
+    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    write_rlf(&layout, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} shapes, {} stress sites",
+        layout.shape_count(METAL1),
+        stress.tight_gaps.len() + stress.necks.len()
+    );
+    Ok(())
+}
+
+fn load_layout(path: &str) -> Result<Layout, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    read_rlf(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_label(opts: &HashMap<String, Vec<String>>) -> Result<(), String> {
+    let layout = load_layout(one(opts, "layout")?)?;
+    let out = one(opts, "out")?;
+    let pw = ProcessWindow::euv_default();
+    let defects = label_layout(&layout, METAL1, &pw, 2560, NM_PER_PX);
+    let json = serde_json::to_string_pretty(&defects).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| e.to_string())?;
+    println!("wrote {out}: {} defects", defects.len());
+    Ok(())
+}
+
+fn cmd_train(opts: &HashMap<String, Vec<String>>) -> Result<(), String> {
+    let out = one(opts, "out")?;
+    let cases = cases_or_default(opts)?;
+    let epochs: usize = opts
+        .get("epochs")
+        .and_then(|v| v.first())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    let mut cfg = RhsdConfig::demo();
+    cfg.use_encoder_decoder = !flag(opts, "no-ed");
+    cfg.use_l2 = !flag(opts, "no-l2");
+    cfg.use_refinement = !flag(opts, "no-refine");
+
+    let region = RegionConfig::demo();
+    let mut samples = Vec::new();
+    for &c in &cases {
+        println!("building {c} (layout + litho labels)…");
+        let bench = Benchmark::demo(c);
+        samples.extend(train_regions(&bench, &region));
+    }
+    println!("training on {} regions for {epochs} epochs…", samples.len());
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2019);
+    let mut net = RhsdNetwork::new(cfg, &mut rng);
+    let mut tc = TrainConfig::demo();
+    tc.epochs = epochs;
+    for h in rhsd::core::train(&mut net, &samples, &tc) {
+        println!("  epoch {:>2}: mean loss {:.4}", h.epoch, h.mean_loss);
+    }
+    save_to_path(&mut net, out).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_detect(opts: &HashMap<String, Vec<String>>) -> Result<(), String> {
+    let net = load_from_path(one(opts, "model")?).map_err(|e| e.to_string())?;
+    let layout = load_layout(one(opts, "layout")?)?;
+    let out = one(opts, "out")?;
+
+    // Wrap the raw layout in a label-free benchmark shell for scanning.
+    let extent = layout.extent();
+    let bench = Benchmark {
+        id: CaseId::Case1,
+        layout,
+        defects: Vec::new(),
+        train_extent: Rect::new(extent.x0, extent.y0, extent.x0, extent.y1),
+        test_extent: extent,
+    };
+    let mut det = RegionDetector::new(net, RegionConfig::demo());
+    let result = det.scan(&bench, &extent);
+    #[derive(serde::Serialize)]
+    struct Out {
+        clip: [i64; 4],
+        score: f32,
+    }
+    let rows: Vec<Out> = result
+        .detections
+        .iter()
+        .map(|d| Out {
+            clip: [d.clip.x0, d.clip.y0, d.clip.x1, d.clip.y1],
+            score: d.score,
+        })
+        .collect();
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} detections over {} regions",
+        rows.len(),
+        result.regions
+    );
+    Ok(())
+}
+
+fn cmd_drc(opts: &HashMap<String, Vec<String>>) -> Result<(), String> {
+    let layout = load_layout(one(opts, "layout")?)?;
+    let num = |key: &str, default: i64| -> i64 {
+        opts.get(key)
+            .and_then(|v| v.first())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let min_width = num("min-width", 40);
+    let min_space = num("min-space", 50);
+    let violations = rhsd::layout::drc::check(&layout, METAL1, min_width, min_space);
+    for v in &violations {
+        println!("{v}");
+    }
+    println!(
+        "{} violations (min width {min_width} nm, min spacing {min_space} nm)",
+        violations.len()
+    );
+    Ok(())
+}
+
+fn cmd_eval(opts: &HashMap<String, Vec<String>>) -> Result<(), String> {
+    let net = load_from_path(one(opts, "model")?).map_err(|e| e.to_string())?;
+    let cases = cases_or_default(opts)?;
+    let mut det = RegionDetector::new(net, RegionConfig::demo());
+    for &c in &cases {
+        let bench = Benchmark::demo(c);
+        let t0 = std::time::Instant::now();
+        let result = det.scan_test_half(&bench);
+        println!(
+            "{c}: {} ({:.2}s, {} regions)",
+            result.evaluation,
+            t0.elapsed().as_secs_f64(),
+            result.regions
+        );
+    }
+    Ok(())
+}

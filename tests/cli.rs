@@ -1,0 +1,61 @@
+//! Smoke tests for the `rhsd` command-line binary.
+
+use std::process::Command;
+
+fn rhsd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rhsd"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = rhsd().arg("help").output().expect("run rhsd help");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    for cmd in ["gen", "label", "train", "detect", "eval"] {
+        assert!(text.contains(cmd), "usage must mention '{cmd}'");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = rhsd().arg("frobnicate").output().expect("run rhsd");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn missing_required_option_fails() {
+    let out = rhsd().args(["gen", "--case", "2"]).output().expect("run rhsd gen");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--out"));
+}
+
+#[test]
+fn gen_writes_parseable_rlf() {
+    let dir = std::env::temp_dir().join("rhsd_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("case1.rlf");
+    let out = rhsd()
+        .args(["gen", "--case", "1", "--out", path.to_str().unwrap()])
+        .output()
+        .expect("run rhsd gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let file = std::fs::File::open(&path).unwrap();
+    let layout = rhsd::layout::io::read_rlf(std::io::BufReader::new(file)).unwrap();
+    assert!(layout.shape_count(rhsd::layout::METAL1) > 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn gen_rejects_bad_case() {
+    let out = rhsd()
+        .args(["gen", "--case", "9", "--out", "/tmp/never.rlf"])
+        .output()
+        .expect("run rhsd gen");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown case"));
+}

@@ -1,0 +1,119 @@
+//! Cross-substrate invariants: layout ↔ litho ↔ data consistency.
+
+use std::sync::OnceLock;
+
+use rhsd::data::augment::{flip_region, Flip};
+use rhsd::data::{clips, extract_region, train_regions, Benchmark, RegionConfig, NM_PER_PX};
+use rhsd::layout::synth::CaseId;
+use rhsd::layout::{Point, METAL1};
+use rhsd::litho::DefectKind;
+
+fn bench() -> &'static Benchmark {
+    static BENCH: OnceLock<Benchmark> = OnceLock::new();
+    BENCH.get_or_init(|| Benchmark::demo(CaseId::Case4))
+}
+
+#[test]
+fn defects_lie_near_metal_geometry() {
+    // Every litho defect must sit on or next to drawn metal: within one
+    // pitch of some shape.
+    let b = bench();
+    for d in &b.defects {
+        let probe = rhsd::layout::Rect::centered(d.location.x, d.location.y, 260, 260);
+        assert!(
+            !b.layout.query(METAL1, &probe).is_empty(),
+            "defect {d:?} is floating in empty space"
+        );
+    }
+}
+
+#[test]
+fn defects_have_both_failure_modes() {
+    // Case4 stresses both gaps and necks, so both kinds should appear.
+    let b = bench();
+    let bridges = b.defects.iter().filter(|d| d.kind == DefectKind::Bridge).count();
+    let pinches = b.defects.iter().filter(|d| d.kind == DefectKind::Pinch).count();
+    assert!(bridges > 0, "expected bridge defects");
+    assert!(pinches > 0, "expected pinch defects");
+}
+
+#[test]
+fn region_raster_matches_layout_density() {
+    let b = bench();
+    let cfg = RegionConfig::demo();
+    let origin = Point::new(b.layout.extent().x0, b.layout.extent().y0);
+    let r = extract_region(b, origin, &cfg);
+    let raster_density = r.image.mean() as f64;
+    let layout_density = b.layout.density(METAL1, &r.window);
+    assert!(
+        (raster_density - layout_density).abs() < 0.01,
+        "raster {raster_density} vs layout {layout_density}"
+    );
+}
+
+#[test]
+fn gt_clip_centres_are_defect_locations() {
+    let b = bench();
+    let cfg = RegionConfig::demo();
+    for r in train_regions(b, &cfg) {
+        for (clip, &(cx, cy)) in r.gt_clips.iter().zip(r.gt_centers.iter()) {
+            // centre in nm:
+            let x_nm = r.window.x0 + (cx as f64 * NM_PER_PX) as i64;
+            let y_nm = r.window.y0 + (cy as f64 * NM_PER_PX) as i64;
+            assert!(
+                b.defects
+                    .iter()
+                    .any(|d| (d.location.x - x_nm).abs() <= 10
+                        && (d.location.y - y_nm).abs() <= 10),
+                "gt centre ({x_nm},{y_nm}) matches no defect"
+            );
+            // clip (unless clamped at the border) is centred on the centre
+            if clip.w as usize == cfg.clip_px && clip.h as usize == cfg.clip_px {
+                assert!((clip.cx - cx).abs() < 1e-3);
+            }
+        }
+    }
+}
+
+#[test]
+fn flip_augmentation_preserves_hotspot_count_and_content() {
+    let b = bench();
+    let cfg = RegionConfig::demo();
+    let regions = train_regions(b, &cfg);
+    let sample = regions
+        .iter()
+        .find(|r| !r.gt_clips.is_empty())
+        .expect("hotspot region exists");
+    for f in [Flip::Horizontal, Flip::Vertical] {
+        let flipped = flip_region(sample, f);
+        assert_eq!(flipped.gt_clips.len(), sample.gt_clips.len());
+        assert!((flipped.image.sum() - sample.image.sum()).abs() < 1e-3);
+        // double flip restores the original labels
+        let back = flip_region(&flipped, f);
+        for (a, bb) in back.gt_clips.iter().zip(sample.gt_clips.iter()) {
+            assert!((a.cx - bb.cx).abs() < 1e-4);
+            assert!((a.cy - bb.cy).abs() < 1e-4);
+        }
+    }
+}
+
+#[test]
+fn clip_scan_covers_every_test_hotspot() {
+    // The conventional scan grid must place every hotspot in some clip's
+    // core — otherwise the baseline's accuracy ceiling is artificial.
+    let b = bench();
+    let clip_px = 32;
+    let windows = clips::scan_windows(&b.test_extent, clip_px);
+    let margin = (clip_px as f64 * NM_PER_PX) as i64;
+    for h in b.test_hotspots() {
+        // skip hotspots too close to the half's border to be coverable
+        let interior = b.test_extent.inflated(-margin);
+        if !interior.contains(h) {
+            continue;
+        }
+        assert!(
+            windows.iter().any(|w| w.core().contains(h)),
+            "hotspot {h} not covered by any scan core"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, format, lint. Run before pushing.
+#
+#   ./ci.sh           # full gate
+#   ./ci.sh --fast    # skip the release build (debug test run only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+if [[ $fast -eq 0 ]]; then
+    step "cargo build --release"
+    cargo build --workspace --release
+fi
+
+step "cargo test"
+cargo test --workspace -q
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy -D warnings"
+cargo clippy --workspace -- -D warnings
+
+printf '\nCI gate passed.\n'

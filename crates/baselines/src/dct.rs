@@ -54,7 +54,12 @@ pub fn dct2(block: &Tensor) -> Tensor {
 ///
 /// Panics if `coeffs` is not square rank 2.
 pub fn idct2(coeffs: &Tensor) -> Tensor {
-    assert_eq!(coeffs.rank(), 2, "idct2 expects [B,B], got {}", coeffs.shape());
+    assert_eq!(
+        coeffs.rank(),
+        2,
+        "idct2 expects [B,B], got {}",
+        coeffs.shape()
+    );
     let n = coeffs.dim(0);
     let cv = coeffs.as_slice();
     let mut out = vec![0.0f32; n * n];
@@ -124,9 +129,15 @@ pub fn feature_tensor(image: &Tensor, block: usize, k: usize) -> Tensor {
     assert_eq!(image.rank(), 3, "expects [1,H,W], got {}", image.shape());
     assert_eq!(image.dim(0), 1, "expects single channel");
     let (h, w) = (image.dim(1), image.dim(2));
-    assert!(block > 0 && h % block == 0 && w % block == 0,
-        "image {h}×{w} not divisible into {block}×{block} blocks");
-    assert!(k <= block * block, "k={k} exceeds block capacity {}", block * block);
+    assert!(
+        block > 0 && h % block == 0 && w % block == 0,
+        "image {h}×{w} not divisible into {block}×{block} blocks"
+    );
+    assert!(
+        k <= block * block,
+        "k={k} exceeds block capacity {}",
+        block * block
+    );
     let (bh, bw) = (h / block, w / block);
     let order = zigzag_order(block);
     let mut out = Tensor::zeros([k, bh, bw]);

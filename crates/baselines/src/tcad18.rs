@@ -173,8 +173,7 @@ impl Tcad18Detector {
                 let (loss, grad) = cross_entropy_rows(&rows, &[target], &[weight]);
                 sum += loss;
                 self.net.zero_grad();
-                self.net
-                    .backward(&grad.reshape([2]).expect("grad reshape"));
+                self.net.backward(&grad.reshape([2]).expect("grad reshape"));
                 let mut params = self.net.params_mut();
                 opt.step(&mut params);
             }
@@ -205,16 +204,21 @@ impl Tcad18Detector {
     /// Scans an extent with the conventional overlapping-clip flow (Fig. 1),
     /// classifying every window. Returns the marked clips and metrics.
     pub fn scan(&mut self, bench: &Benchmark, extent: &Rect) -> (Vec<LayoutClip>, Evaluation) {
+        let mut sp = rhsd_obs::span("tcad18-scan");
         let windows = scan_windows(extent, self.config.clip_px);
+        sp.add("windows", windows.len() as f64);
         let mut marked = Vec::new();
         let px = self.config.raster_px();
         for w in &windows {
+            let clip_timer = rhsd_obs::Stopwatch::start();
             let image = rasterize_window(bench, w, px);
             let score = self.classify(&image);
+            rhsd_obs::record_secs("tcad18.clip", clip_timer.secs());
             if score >= self.config.threshold {
                 marked.push(LayoutClip { clip: *w, score });
             }
         }
+        sp.add("marked", marked.len() as f64);
         let eval = evaluate_layout(&marked, &bench.hotspots_in(extent));
         (marked, eval)
     }
@@ -249,13 +253,8 @@ mod tests {
                 out.push((image, true));
             }
             if i < n_neg {
-                let image = Tensor::from_fn([1, px, px], |c| {
-                    if (c[2] + i) % 16 < 6 {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                });
+                let image =
+                    Tensor::from_fn([1, px, px], |c| if (c[2] + i) % 16 < 6 { 1.0 } else { 0.0 });
                 out.push((image, false));
             }
         }
@@ -338,10 +337,7 @@ mod tests {
             bench.test_extent.y0 + 1920,
         );
         let (marked, eval) = det.scan(&bench, &sub);
-        assert_eq!(
-            eval.ground_truth,
-            bench.hotspots_in(&sub).len()
-        );
+        assert_eq!(eval.ground_truth, bench.hotspots_in(&sub).len());
         for m in &marked {
             assert!(m.score >= 0.5);
         }

@@ -37,10 +37,18 @@ fn bench_encoder_decoder_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("extractor_ablation");
     group.sample_size(10);
     group.bench_function("with_encoder_decoder", |b| {
-        b.iter(|| net_full.extractor_mut().forward(std::hint::black_box(&image)))
+        b.iter(|| {
+            net_full
+                .extractor_mut()
+                .forward(std::hint::black_box(&image))
+        })
     });
     group.bench_function("without_encoder_decoder", |b| {
-        b.iter(|| net_no_ed.extractor_mut().forward(std::hint::black_box(&image)))
+        b.iter(|| {
+            net_no_ed
+                .extractor_mut()
+                .forward(std::hint::black_box(&image))
+        })
     });
     group.finish();
 }

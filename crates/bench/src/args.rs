@@ -1,0 +1,176 @@
+//! Shared command-line handling for the `repro_*` binaries.
+//!
+//! Every reproduction binary accepts the same flags:
+//!
+//! - `--quick` — reduced effort (fewer epochs, fewer cases/sizes);
+//! - `--trace <path>` — enable observability and write a Chrome
+//!   trace-event file (open in Perfetto or `chrome://tracing`);
+//! - `--metrics <path>` — enable observability and write a metrics
+//!   snapshot (counters + histogram summaries with p50/p95/p99);
+//! - `--help` — print usage.
+//!
+//! Unknown flags are rejected with a usage message instead of being
+//! silently ignored.
+
+use std::path::PathBuf;
+
+use crate::pipeline::Effort;
+
+/// Parsed options shared by every reproduction binary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchArgs {
+    /// Run at reduced effort (`--quick`).
+    pub quick: bool,
+    /// Chrome trace-event output path (`--trace <path>`).
+    pub trace: Option<PathBuf>,
+    /// Metrics snapshot output path (`--metrics <path>`).
+    pub metrics: Option<PathBuf>,
+}
+
+/// Usage text for a binary named `bin`.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--quick] [--trace <path>] [--metrics <path>]\n\
+         \n\
+         --quick            reduced-effort run (seconds instead of minutes)\n\
+         --trace <path>     write a Chrome trace-event JSON (Perfetto-viewable)\n\
+         --metrics <path>   write a metrics snapshot JSON (p50/p95/p99 per stage)\n\
+         --help             show this message"
+    )
+}
+
+impl BenchArgs {
+    /// Parses the process arguments; prints usage and exits on `--help`
+    /// or on an invalid flag.
+    pub fn parse(bin: &str) -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(Some(args)) => {
+                args.init_obs();
+                args
+            }
+            Ok(None) => {
+                println!("{}", usage(bin));
+                std::process::exit(0);
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{}", usage(bin));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list. Returns `Ok(None)` when `--help`
+    /// was requested, `Err` with a message on invalid input.
+    pub fn parse_from<I, S>(args: I) -> Result<Option<Self>, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter().map(Into::into);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--trace" => {
+                    let path = it.next().ok_or("--trace requires a path argument")?;
+                    out.trace = Some(PathBuf::from(path));
+                }
+                "--metrics" => {
+                    let path = it.next().ok_or("--metrics requires a path argument")?;
+                    out.metrics = Some(PathBuf::from(path));
+                }
+                "--help" | "-h" => return Ok(None),
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(Some(out))
+    }
+
+    /// The effort level the flags select.
+    pub fn effort(&self) -> Effort {
+        if self.quick {
+            Effort::Quick
+        } else {
+            Effort::Full
+        }
+    }
+
+    /// Turns observability on when any export was requested.
+    pub fn init_obs(&self) {
+        if self.trace.is_some() || self.metrics.is_some() {
+            rhsd_obs::set_enabled(true);
+        }
+    }
+
+    /// Writes the requested trace/metrics exports (call once, at the end
+    /// of the run).
+    pub fn export_obs(&self) {
+        if let Some(path) = &self.trace {
+            match rhsd_obs::write_chrome_trace(path) {
+                Ok(()) => eprintln!("wrote trace to {}", path.display()),
+                Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+            }
+        }
+        if let Some(path) = &self.metrics {
+            match rhsd_obs::write_metrics(path) {
+                Ok(()) => eprintln!("wrote metrics to {}", path.display()),
+                Err(e) => eprintln!("failed to write metrics {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_flags() {
+        let args = BenchArgs::parse_from(["--quick", "--trace", "t.json", "--metrics", "m.json"])
+            .unwrap()
+            .unwrap();
+        assert!(args.quick);
+        assert_eq!(args.trace.as_deref(), Some(std::path::Path::new("t.json")));
+        assert_eq!(
+            args.metrics.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+        assert_eq!(args.effort(), Effort::Quick);
+    }
+
+    #[test]
+    fn empty_args_are_full_effort() {
+        let args = BenchArgs::parse_from(Vec::<String>::new())
+            .unwrap()
+            .unwrap();
+        assert_eq!(args, BenchArgs::default());
+        assert_eq!(args.effort(), Effort::Full);
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let err = BenchArgs::parse_from(["--qiuck"]).unwrap_err();
+        assert!(err.contains("--qiuck"), "{err}");
+    }
+
+    #[test]
+    fn missing_path_is_rejected() {
+        assert!(BenchArgs::parse_from(["--trace"]).is_err());
+        assert!(BenchArgs::parse_from(["--metrics"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(BenchArgs::parse_from(["--help"]).unwrap(), None);
+        assert_eq!(BenchArgs::parse_from(["-h", "--junk"]).unwrap(), None);
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let u = usage("repro_table1");
+        for flag in ["--quick", "--trace", "--metrics", "--help"] {
+            assert!(u.contains(flag), "usage missing {flag}");
+        }
+    }
+}

@@ -6,17 +6,22 @@
 //! 2. **Operating-curve sweep** (LithoROC-style): accuracy and false
 //!    alarms across score thresholds, with the best operating point.
 //!
-//! Usage: `cargo run -p rhsd-bench --release --bin repro_ablations [--quick]`
+//! Usage: `cargo run -p rhsd-bench --release --bin repro_ablations --
+//! [--quick] [--trace <path>] [--metrics <path>]`
 
+use rhsd_bench::args::BenchArgs;
 use rhsd_bench::pipeline::{
     build_benchmarks, merged_train_regions, ours_config, train_region_network, Effort,
 };
-use rhsd_core::roc::{best_operating_point, default_thresholds, sweep_thresholds};
-use rhsd_core::{Detection, Evaluation};
+use rhsd_core::roc::{
+    best_operating_point, default_thresholds, sweep_thresholds, RegionDetections,
+};
+use rhsd_core::Evaluation;
 use rhsd_data::{test_regions, RegionConfig};
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse("repro_ablations");
+    let effort = args.effort();
     eprintln!("repro_ablations: effort = {effort:?}");
     let benches = build_benchmarks();
     let region = RegionConfig::demo();
@@ -46,7 +51,7 @@ fn main() {
     println!("\n== Operating curve (score-threshold sweep over all cases) ==");
     // collect raw detections at a permissive threshold
     det.network_mut().set_score_threshold(0.05);
-    let mut raw: Vec<(Vec<Detection>, Vec<(f32, f32)>)> = Vec::new();
+    let mut raw: Vec<RegionDetections> = Vec::new();
     for b in &benches {
         for r in test_regions(b, &region) {
             let (dets, _) = det.detect_region(&r);
@@ -75,4 +80,5 @@ fn main() {
     let json = serde_json::to_string_pretty(&points).expect("serialise sweep");
     std::fs::write("ablation_roc.json", json).expect("write ablation_roc.json");
     eprintln!("wrote ablation_roc.json");
+    args.export_obs();
 }

@@ -3,18 +3,21 @@
 //! average accuracy (a) and average false alarms (b) for the variants
 //! "w/o. ED", "w/o. L2", "w/o. Refine" and "Full".
 //!
-//! Usage: `cargo run -p rhsd-bench --release --bin repro_fig10 [--quick]`
+//! Usage: `cargo run -p rhsd-bench --release --bin repro_fig10 --
+//! [--quick] [--trace <path>] [--metrics <path>]`
 
-use rhsd_bench::pipeline::{run_fig10, Effort};
+use rhsd_bench::args::BenchArgs;
+use rhsd_bench::pipeline::run_fig10;
 use rhsd_bench::table::render_fig10;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse("repro_fig10");
+    let effort = args.effort();
     eprintln!("repro_fig10: effort = {effort:?} (pass --quick for a fast run)");
     eprintln!("training 4 ablation variants…");
-    let t0 = std::time::Instant::now();
+    let timer = rhsd_obs::Stopwatch::start();
     let reports = run_fig10(effort);
-    eprintln!("total wall clock: {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!("total wall clock: {:.1}s", timer.secs());
 
     println!("\nFigure 10: ablation of ED / L2 / Refinement (synthetic reproduction)\n");
     println!("{}", render_fig10(&reports));
@@ -54,7 +57,12 @@ fn main() {
         .iter()
         .map(|r| (r.name.clone(), r.rows.clone()))
         .collect::<Vec<_>>());
-    std::fs::write("fig10_results.json", serde_json::to_string_pretty(&json).unwrap())
-        .expect("write fig10_results.json");
+    std::fs::write(
+        "fig10_results.json",
+        serde_json::to_string_pretty(&json).unwrap(),
+    )
+    .expect("write fig10_results.json");
     eprintln!("wrote fig10_results.json");
+
+    args.export_obs();
 }

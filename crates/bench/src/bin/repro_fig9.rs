@@ -2,12 +2,14 @@
 //! (a) ground truth, (b) the TCAD'18 clip-based detector's output and
 //! (c) our region-based detector's output on one test region per case.
 //!
-//! Usage: `cargo run -p rhsd-bench --release --bin repro_fig9 [--quick]`
+//! Usage: `cargo run -p rhsd-bench --release --bin repro_fig9 --
+//! [--quick] [--trace <path>] [--metrics <path>]`
 //!
 //! Writes `fig9_<case>_{truth,tcad18,ours}.svg` files into the working
 //! directory.
 
 use rhsd_baselines::LayoutClip;
+use rhsd_bench::args::BenchArgs;
 use rhsd_bench::pipeline::{
     build_benchmarks, evaluate_tcad18, merged_train_regions, ours_config, train_region_network,
     train_tcad18, Effort,
@@ -16,7 +18,8 @@ use rhsd_bench::viz::{render_svg, viz_counts};
 use rhsd_data::RegionConfig;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse("repro_fig9");
+    let effort = args.effort();
     eprintln!("repro_fig9: effort = {effort:?} (pass --quick for a fast run)");
     let benches = build_benchmarks();
     let region = RegionConfig::demo();
@@ -79,4 +82,5 @@ fn main() {
         }
     }
     eprintln!("done — open the fig9_*.svg files to compare detectors.");
+    args.export_obs();
 }

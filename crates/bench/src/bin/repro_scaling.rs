@@ -4,22 +4,24 @@
 //! re-examines every location ~9× through overlapping cores, and pays a
 //! per-clip feature-extraction overhead on top).
 //!
-//! Usage: `cargo run -p rhsd-bench --release --bin repro_scaling [--quick]`
-
-use std::time::Instant;
+//! Usage: `cargo run -p rhsd-bench --release --bin repro_scaling --
+//! [--quick] [--trace <path>] [--metrics <path>]`
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rhsd_baselines::{Tcad18Config, Tcad18Detector};
+use rhsd_bench::args::BenchArgs;
 use rhsd_bench::pipeline::Effort;
 use rhsd_core::{RegionDetector, RhsdConfig, RhsdNetwork};
 use rhsd_data::clips::scan_windows;
 use rhsd_data::{Benchmark, RegionConfig};
 use rhsd_layout::synth::CaseId;
 use rhsd_layout::Rect;
+use rhsd_obs::Stopwatch;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse("repro_scaling");
+    let effort = args.effort();
     eprintln!("repro_scaling: effort = {effort:?}");
     let bench = Benchmark::demo(CaseId::Case3);
     let region_cfg = RegionConfig::demo();
@@ -45,14 +47,14 @@ fn main() {
             bench.layout.extent().x0 + side,
             bench.layout.extent().y0 + side,
         );
-        let t0 = Instant::now();
+        let timer = Stopwatch::start();
         let r = ours.scan(&bench, &extent);
-        let t_region = t0.elapsed().as_secs_f64();
+        let t_region = timer.stop_into("scaling.region_scan");
 
         let clips = scan_windows(&extent, tcad.config().clip_px).len();
-        let t0 = Instant::now();
+        let timer = Stopwatch::start();
         let _ = tcad.scan(&bench, &extent);
-        let t_clip = t0.elapsed().as_secs_f64();
+        let t_clip = timer.stop_into("scaling.clip_scan");
 
         println!(
             "{:>10.1} {:>9} {:>12.3} {:>9} {:>12.3} {:>8.1}×",
@@ -69,4 +71,5 @@ fn main() {
          core = clip/3), so the gap widens with area — the paper's speedup\n\
          mechanism, reproduced without its GPU batching."
     );
+    args.export_obs();
 }

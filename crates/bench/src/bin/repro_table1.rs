@@ -2,21 +2,25 @@
 //! detection runtime of TCAD'18, Faster R-CNN, SSD and Ours on the three
 //! evaluated benchmark cases, plus Average and Ratio rows.
 //!
-//! Usage: `cargo run -p rhsd-bench --release --bin repro_table1 [--quick]`
+//! Usage: `cargo run -p rhsd-bench --release --bin repro_table1 --
+//! [--quick] [--trace <path>] [--metrics <path>]`
 //!
 //! The run is deterministic (all seeds fixed); results are printed to
-//! stdout and written as JSON next to the binary's working directory.
+//! stdout and written as JSON next to the binary's working directory
+//! (`table1_results.json` plus the machine-readable `BENCH_table1.json`).
 
-use rhsd_bench::pipeline::{run_table1, Effort};
+use rhsd_bench::args::BenchArgs;
+use rhsd_bench::pipeline::{run_table1, write_bench_json};
 use rhsd_bench::table::render_table1;
 
 fn main() {
-    let effort = Effort::from_args();
+    let args = BenchArgs::parse("repro_table1");
+    let effort = args.effort();
     eprintln!("repro_table1: effort = {effort:?} (pass --quick for a fast run)");
     eprintln!("building benchmarks, training 4 detectors, scanning test halves…");
-    let t0 = std::time::Instant::now();
+    let timer = rhsd_obs::Stopwatch::start();
     let reports = run_table1(effort);
-    eprintln!("total wall clock: {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!("total wall clock: {:.1}s", timer.secs());
 
     println!("\nTable 1: Comparison with State-of-the-art (synthetic reproduction)\n");
     println!("{}", render_table1(&reports));
@@ -50,7 +54,16 @@ fn main() {
         .iter()
         .map(|r| (r.name.clone(), r.rows.clone()))
         .collect::<Vec<_>>());
-    std::fs::write("table1_results.json", serde_json::to_string_pretty(&json).unwrap())
-        .expect("write table1_results.json");
+    std::fs::write(
+        "table1_results.json",
+        serde_json::to_string_pretty(&json).unwrap(),
+    )
+    .expect("write table1_results.json");
     eprintln!("wrote table1_results.json");
+
+    write_bench_json("BENCH_table1.json", "repro_table1", args.quick, &reports)
+        .expect("write BENCH_table1.json");
+    eprintln!("wrote BENCH_table1.json");
+
+    args.export_obs();
 }

@@ -6,9 +6,14 @@
 //! `repro_table1`, `repro_fig9` and `repro_fig10` binaries regenerate the
 //! corresponding table/figures; the criterion benches under `benches/`
 //! measure the micro-level runtime claims.
+//!
+//! All binaries share the [`args`] flag parser: `--quick` for reduced
+//! effort, `--trace <path>` / `--metrics <path>` to capture an
+//! observability trace of the run (see `rhsd-obs`).
 
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod pipeline;
 pub mod table;
 pub mod viz;

@@ -2,7 +2,7 @@
 //! detector, evaluate with timing — the machinery behind the Table 1 and
 //! Figure 10 binaries.
 
-use std::time::Instant;
+use std::path::Path;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -22,17 +22,6 @@ pub enum Effort {
     Full,
     /// Seconds-to-a-minute: fewer epochs, no augmentation.
     Quick,
-}
-
-impl Effort {
-    /// Parses `--quick` from CLI args.
-    pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--quick") {
-            Effort::Quick
-        } else {
-            Effort::Full
-        }
-    }
 }
 
 /// Builds the three evaluated benchmark cases (demo scale).
@@ -115,9 +104,9 @@ pub fn ours_config() -> RhsdConfig {
 
 /// Evaluates a region detector on a case's test half, timing the scan.
 pub fn evaluate_region_detector(det: &mut RegionDetector, bench: &Benchmark) -> CaseResult {
-    let t0 = Instant::now();
+    let timer = rhsd_obs::Stopwatch::start();
     let result = det.scan_test_half(bench);
-    let secs = t0.elapsed().as_secs_f64();
+    let secs = timer.stop_into("eval.region_scan");
     CaseResult::new(bench.id.name(), &result.evaluation, secs)
 }
 
@@ -142,20 +131,25 @@ pub fn train_tcad18(benches: &[Benchmark], effort: Effort) -> Tcad18Detector {
             det.config().seed,
         );
         let px = det.config().raster_px();
-        clips.extend(
-            set.iter()
-                .map(|c| (rhsd_data::clips::rasterize_window(b, &c.window, px), c.is_hotspot)),
-        );
+        clips.extend(set.iter().map(|c| {
+            (
+                rhsd_data::clips::rasterize_window(b, &c.window, px),
+                c.is_hotspot,
+            )
+        }));
     }
     det.train(&clips);
     det
 }
 
 /// Evaluates the clip detector on a case's test half, timing the scan.
-pub fn evaluate_tcad18(det: &mut Tcad18Detector, bench: &Benchmark) -> (CaseResult, Vec<LayoutClip>) {
-    let t0 = Instant::now();
+pub fn evaluate_tcad18(
+    det: &mut Tcad18Detector,
+    bench: &Benchmark,
+) -> (CaseResult, Vec<LayoutClip>) {
+    let timer = rhsd_obs::Stopwatch::start();
     let (marked, eval) = det.scan(bench, &bench.test_extent.clone());
-    let secs = t0.elapsed().as_secs_f64();
+    let secs = timer.stop_into("eval.tcad18_scan");
     (CaseResult::new(bench.id.name(), &eval, secs), marked)
 }
 
@@ -183,6 +177,44 @@ impl DetectorReport {
     pub fn average(&self) -> &CaseResult {
         self.rows.last().expect("reports always hold the average")
     }
+
+    /// Per-case rows, excluding the trailing average row.
+    pub fn case_rows(&self) -> &[CaseResult] {
+        &self.rows[..self.rows.len() - 1]
+    }
+}
+
+/// Serialises detector reports as the machine-readable benchmark record
+/// tracked across revisions (`BENCH_table1.json`): per detector, the
+/// per-case accuracy / false-alarm / runtime rows plus the average.
+pub fn bench_json(source: &str, quick: bool, reports: &[DetectorReport]) -> String {
+    let detectors: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "name": r.name,
+                "cases": r.case_rows(),
+                "average": r.average(),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "schema": "rhsd-bench-table/1",
+        "source": source,
+        "quick": quick,
+        "detectors": detectors,
+    });
+    serde_json::to_string_pretty(&doc).expect("bench report serialises")
+}
+
+/// Writes [`bench_json`] to `path`.
+pub fn write_bench_json(
+    path: impl AsRef<Path>,
+    source: &str,
+    quick: bool,
+    reports: &[DetectorReport],
+) -> std::io::Result<()> {
+    std::fs::write(path, bench_json(source, quick, reports))
 }
 
 /// Runs the full Table 1 comparison: TCAD'18, Faster R-CNN, SSD, Ours.
@@ -229,6 +261,9 @@ pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
     reports
 }
 
+/// An in-place edit of an [`RhsdConfig`] naming one ablation variant.
+type ConfigTweak = fn(&mut RhsdConfig);
+
 /// Runs the Figure 10 ablation: w/o ED, w/o L2, w/o Refine, Full.
 pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
     let benches = build_benchmarks();
@@ -236,7 +271,7 @@ pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
     let augment = effort == Effort::Full;
     let samples = merged_train_regions(&benches, &region, augment);
 
-    let variants: [(&str, fn(&mut RhsdConfig)); 4] = [
+    let variants: [(&str, ConfigTweak); 4] = [
         ("w/o. ED", |c| c.use_encoder_decoder = false),
         ("w/o. L2", |c| c.use_l2 = false),
         ("w/o. Refine", |c| c.use_refinement = false),

@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn table1_contains_all_sections() {
-        let reports = vec![fake_report("TCAD'18", 80.0, 100, 10.0), fake_report("Ours", 90.0, 30, 1.0)];
+        let reports = vec![
+            fake_report("TCAD'18", 80.0, 100, 10.0),
+            fake_report("Ours", 90.0, 30, 1.0),
+        ];
         let s = render_table1(&reports);
         assert!(s.contains("Case2"));
         assert!(s.contains("Case3"));
@@ -138,7 +141,10 @@ mod tests {
 
     #[test]
     fn ratio_normalises_to_first_block() {
-        let reports = vec![fake_report("base", 80.0, 100, 10.0), fake_report("x", 40.0, 50, 5.0)];
+        let reports = vec![
+            fake_report("base", 80.0, 100, 10.0),
+            fake_report("x", 40.0, 50, 5.0),
+        ];
         let s = render_table1(&reports);
         let ratio_line = s.lines().find(|l| l.starts_with("Ratio")).unwrap();
         assert!(ratio_line.contains("1.00"), "{ratio_line}");
@@ -147,7 +153,10 @@ mod tests {
 
     #[test]
     fn fig10_lists_variants() {
-        let reports = vec![fake_report("w/o. ED", 85.0, 50, 1.0), fake_report("Full", 95.0, 20, 1.0)];
+        let reports = vec![
+            fake_report("w/o. ED", 85.0, 50, 1.0),
+            fake_report("Full", 95.0, 20, 1.0),
+        ];
         let s = render_fig10(&reports);
         assert!(s.contains("w/o. ED"));
         assert!(s.contains("Full"));

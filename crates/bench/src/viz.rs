@@ -84,10 +84,7 @@ pub fn render_svg(
     for (det, mark) in detections.iter().zip(det_marks.iter()) {
         let r = det.clip;
         let (x, y) = (to_x(r.x0), to_y(r.y1));
-        let (rw, rh) = (
-            r.width() as f64 * px_per_nm,
-            r.height() as f64 * px_per_nm,
-        );
+        let (rw, rh) = (r.width() as f64 * px_per_nm, r.height() as f64 * px_per_nm);
         match mark {
             Mark::Detected => svg.push_str(&format!(
                 "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{rw:.1}\" height=\"{rh:.1}\" \

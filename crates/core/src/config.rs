@@ -81,7 +81,7 @@ impl RhsdConfig {
             scales: vec![0.25, 0.5, 1.0, 2.0],
             encdec_hidden: vec![16, 32, 64],
             stem_channels: [32, 64, 96],
-            inception_width_a: 48, // A out = 192
+            inception_width_a: 48,  // A out = 192
             inception_width_b: 192, // B out = 576 (Fig. 4 input width)
             cpn_mid_channels: 512,
             refine_width: 64,
@@ -173,7 +173,7 @@ impl RhsdConfig {
 
     /// Validates internal consistency.
     pub fn is_valid(&self) -> bool {
-        self.region_px % self.stride == 0
+        self.region_px.is_multiple_of(self.stride)
             && self.stride == 16
             && !self.aspect_ratios.is_empty()
             && !self.scales.is_empty()

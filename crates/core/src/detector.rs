@@ -76,12 +76,15 @@ impl RegionDetector {
 
     /// Scans an extent of a benchmark, e.g. its test half.
     pub fn scan(&mut self, bench: &Benchmark, extent: &Rect) -> ScanResult {
+        let mut sp = rhsd_obs::span("scan");
         let regions = tile_regions(bench, extent, &self.region_config);
         let mut detections = Vec::new();
         let mut evaluation = Evaluation::default();
         let n = regions.len();
         for sample in &regions {
+            let mut rsp = rhsd_obs::span("scan-region");
             let (dets, eval) = self.detect_region(sample);
+            rsp.add("detections", dets.len() as f64);
             evaluation.merge(&eval);
             for d in dets {
                 detections.push(LayoutDetection {
@@ -91,6 +94,8 @@ impl RegionDetector {
                 });
             }
         }
+        sp.add("regions", n as f64);
+        sp.add("detections", detections.len() as f64);
         ScanResult {
             detections,
             evaluation,

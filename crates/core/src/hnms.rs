@@ -29,10 +29,18 @@ pub fn conventional_nms(candidates: &[Scored], threshold: f32) -> Vec<Scored> {
     nms_by(candidates, threshold, |a, b| a.iou(b))
 }
 
-fn nms_by(candidates: &[Scored], threshold: f32, overlap: impl Fn(&BBox, &BBox) -> f32) -> Vec<Scored> {
+fn nms_by(
+    candidates: &[Scored],
+    threshold: f32,
+    overlap: impl Fn(&BBox, &BBox) -> f32,
+) -> Vec<Scored> {
     // line 1: sorted_ws ← sorted clip set (descending score)
     let mut sorted: Vec<Scored> = candidates.to_vec();
-    sorted.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut kept: Vec<Scored> = Vec::new();
     for c in sorted {
         if kept.iter().all(|k| overlap(&k.bbox, &c.bbox) <= threshold) {
@@ -102,7 +110,7 @@ mod tests {
         let a = s(30.0, 30.0, 30.0, 0.9);
         let b = s(34.0, 30.0, 30.0, 0.8); // nearly same core as a
         let c = s(44.0, 30.0, 30.0, 0.5); // clip overlaps a/b, core disjoint
-        // sanity on overlap structure
+                                          // sanity on overlap structure
         assert!(a.bbox.iou(&c.bbox) > 0.3, "clips must overlap");
         assert_eq!(a.bbox.centre_iou(&c.bbox), 0.0, "cores must be disjoint");
 
@@ -132,7 +140,14 @@ mod tests {
     #[test]
     fn kept_pairs_respect_threshold() {
         let cloud: Vec<Scored> = (0..40)
-            .map(|i| s((i % 8) as f32 * 4.0, (i / 8) as f32 * 4.0, 10.0, 0.99 - i as f32 * 0.01))
+            .map(|i| {
+                s(
+                    (i % 8) as f32 * 4.0,
+                    (i / 8) as f32 * 4.0,
+                    10.0,
+                    0.99 - i as f32 * 0.01,
+                )
+            })
             .collect();
         let kept = hotspot_nms(&cloud, 0.4);
         for i in 0..kept.len() {

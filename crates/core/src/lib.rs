@@ -46,11 +46,11 @@ pub mod hnms;
 pub mod loss;
 pub mod metrics;
 pub mod model;
+pub mod persist;
 pub mod pruning;
 pub mod refine;
 pub mod roc;
 pub mod train;
-pub mod persist;
 
 pub use config::RhsdConfig;
 pub use detector::{RegionDetector, ScanResult};

@@ -1,7 +1,7 @@
 //! Assembly of the multi-task Classification & Regression loss — Eq. (4).
 //!
-//! `L_C&R = α_loc · Σ h'_i · l_loc(l_i, l'_i) + Σ l_hotspot(h_i, h'_i)
-//!  + β/2 · (‖T‖²)` — the smooth-L1 localisation term over positive clips,
+//! `L_C&R = α_loc · Σ h'_i · l_loc(l_i, l'_i) + Σ l_hotspot(h_i, h'_i) +
+//! β/2 · (‖T‖²)` — the smooth-L1 localisation term over positive clips,
 //! cross-entropy over sampled clips, and L2 weight regularisation.
 
 use rhsd_nn::loss::smooth_l1_loss;
@@ -50,7 +50,11 @@ pub fn cpn_loss(
     config: &RhsdConfig,
 ) -> (CrLoss, Tensor, Tensor) {
     let n = assignment.labels.len();
-    assert_eq!(output.cls_logits.dim(0), n, "output/assignment size mismatch");
+    assert_eq!(
+        output.cls_logits.dim(0),
+        n,
+        "output/assignment size mismatch"
+    );
     assert_eq!(sample_weights.len(), n, "weights length mismatch");
 
     // Classification targets over sampled clips.
@@ -114,11 +118,7 @@ pub fn refine_loss(
                     .expect("grad reshape"),
             )
         }
-        None => (
-            CrLoss { cls, reg: 0.0 },
-            cls_grad,
-            Tensor::zeros([4]),
-        ),
+        None => (CrLoss { cls, reg: 0.0 }, cls_grad, Tensor::zeros([4])),
     }
 }
 

@@ -135,20 +135,27 @@ impl RhsdNetwork {
 
         // --- Stage 2: refinement on sampled RoIs.
         let mut refine_cr = CrLoss::default();
-        let mut n_rois = 0usize;
-        if self.refinement.is_some() {
-            let rois = self.sample_training_rois(sample, &out, rng);
-            n_rois = rois.len();
+        let rois = if self.refinement.is_some() {
+            self.sample_training_rois(sample, &out, rng)
+        } else {
+            Vec::new()
+        };
+        let n_rois = rois.len();
+        if let Some(head) = self.refinement.as_mut() {
             let f = self.config.feature_px();
             // Eq. (4) sums the C&R terms over clips, so each RoI's
             // gradient contributes at full weight (a mean would shrink
             // the refinement head's learning signal by the batch size).
             for (roi_box, target_class, reg_target) in rois {
                 let roi = roi_from_bbox(&roi_box, self.config.stride, f);
-                let head = self.refinement.as_mut().expect("refinement enabled");
                 let out = head.forward(&feats, roi);
-                let (cr, gc, gr) =
-                    refine_loss(&out.cls_logits, &out.reg_code, target_class, reg_target, &self.config);
+                let (cr, gc, gr) = refine_loss(
+                    &out.cls_logits,
+                    &out.reg_code,
+                    target_class,
+                    reg_target,
+                    &self.config,
+                );
                 refine_cr.cls += cr.cls;
                 refine_cr.reg += cr.reg;
                 let g = head.backward(&gc, &gr);
@@ -265,6 +272,7 @@ impl RhsdNetwork {
     /// the refinement stage applies the final score cut, the standard
     /// region-proposal practice).
     fn propose(&mut self, feats: &Tensor) -> Vec<Scored> {
+        let mut sp = rhsd_obs::span("cpn");
         let out = self.cpn.forward(feats);
         let probs = softmax_rows(&out.cls_logits);
         let mut candidates = Vec::new();
@@ -288,6 +296,9 @@ impl RhsdNetwork {
             }
             candidates.push(Scored { bbox, score });
         }
+        sp.add("candidates", candidates.len() as f64);
+        drop(sp);
+        let _sp = rhsd_obs::span("hnms");
         let kept = if self.config.use_hnms {
             hotspot_nms(&candidates, self.config.hnms_threshold)
         } else {
@@ -299,22 +310,29 @@ impl RhsdNetwork {
     /// First-stage proposals (post h-NMS) for a region raster — exposed
     /// for diagnostics and for single-stage operation.
     pub fn proposals(&mut self, image: &Tensor) -> Vec<Scored> {
-        let feats = self.extractor.forward(image);
+        let feats = {
+            let _sp = rhsd_obs::span("backbone");
+            self.extractor.forward(image)
+        };
         self.propose(&feats)
     }
 
     /// Detects hotspots in a `[1, region_px, region_px]` raster — the
     /// one-step feed-forward region detection of the paper.
     pub fn detect(&mut self, image: &Tensor) -> Vec<Detection> {
-        let feats = self.extractor.forward(image);
+        let feats = {
+            let _sp = rhsd_obs::span("backbone");
+            self.extractor.forward(image)
+        };
         let proposals = self.propose(&feats);
 
-        let finals: Vec<Scored> = if self.refinement.is_some() {
+        let finals: Vec<Scored> = if let Some(head) = self.refinement.as_mut() {
+            let mut sp = rhsd_obs::span("refine");
+            sp.add("proposals", proposals.len() as f64);
             let f = self.config.feature_px();
             let mut refined = Vec::new();
             for p in &proposals {
                 let roi = roi_from_bbox(&p.bbox, self.config.stride, f);
-                let head = self.refinement.as_mut().expect("refinement enabled");
                 let out = head.forward(&feats, roi);
                 let logits = out
                     .cls_logits
@@ -335,6 +353,9 @@ impl RhsdNetwork {
                 let bbox = decode(&code, &p.bbox);
                 refined.push(Scored { bbox, score });
             }
+            sp.add("kept", refined.len() as f64);
+            drop(sp);
+            let _sp = rhsd_obs::span("hnms");
             if self.config.use_hnms {
                 hotspot_nms(&refined, self.config.hnms_threshold)
             } else {

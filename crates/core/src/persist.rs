@@ -83,7 +83,10 @@ pub fn load_from_reader(reader: impl Read) -> Result<RhsdNetwork, CheckpointErro
 /// # Errors
 ///
 /// Returns I/O or serialisation failures.
-pub fn save_to_path(network: &mut RhsdNetwork, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+pub fn save_to_path(
+    network: &mut RhsdNetwork,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
     let file = std::fs::File::create(path)?;
     save_to_writer(network, std::io::BufWriter::new(file))
 }
@@ -116,7 +119,6 @@ impl rhsd_nn::Layer for ParamsAdapter<'_> {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,12 +129,7 @@ mod tests {
         let cfg = RhsdConfig::tiny();
         let mut rng = ChaCha8Rng::seed_from_u64(100);
         let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
-        let image = Tensor::rand_uniform(
-            [1, cfg.region_px, cfg.region_px],
-            0.0,
-            1.0,
-            &mut rng,
-        );
+        let image = Tensor::rand_uniform([1, cfg.region_px, cfg.region_px], 0.0, 1.0, &mut rng);
         let before = net.detect(&image);
 
         let mut buf = Vec::new();

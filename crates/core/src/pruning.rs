@@ -197,7 +197,9 @@ mod tests {
         let gt = anchors
             .iter()
             .find(|a| {
-                inside_region(a, cfg.region_px) && (a.w - cfg.clip_px as f32).abs() < 1e-3 && a.w == a.h
+                inside_region(a, cfg.region_px)
+                    && (a.w - cfg.clip_px as f32).abs() < 1e-3
+                    && a.w == a.h
             })
             .copied()
             .unwrap();

@@ -21,22 +21,22 @@ pub struct OperatingPoint {
     pub false_alarms: usize,
 }
 
+/// One region's raw (unthresholded) detections paired with its
+/// ground-truth hotspot centres.
+pub type RegionDetections = (Vec<Detection>, Vec<(f32, f32)>);
+
 /// Sweeps score thresholds over per-region raw detections.
 ///
 /// `regions` pairs each region's detections (scored, *unthresholded*)
 /// with its ground-truth hotspot centres. Returns one operating point per
 /// threshold, in the given order.
-pub fn sweep_thresholds(
-    regions: &[(Vec<Detection>, Vec<(f32, f32)>)],
-    thresholds: &[f32],
-) -> Vec<OperatingPoint> {
+pub fn sweep_thresholds(regions: &[RegionDetections], thresholds: &[f32]) -> Vec<OperatingPoint> {
     thresholds
         .iter()
         .map(|&t| {
             let mut total = Evaluation::default();
             for (dets, gts) in regions {
-                let kept: Vec<Detection> =
-                    dets.iter().filter(|d| d.score >= t).copied().collect();
+                let kept: Vec<Detection> = dets.iter().filter(|d| d.score >= t).copied().collect();
                 total.merge(&evaluate_region(&kept, gts));
             }
             OperatingPoint {
@@ -56,15 +56,12 @@ pub fn default_thresholds() -> Vec<f32> {
 /// Picks the sweep point with the highest accuracy, breaking ties by
 /// fewer false alarms. Returns `None` for an empty sweep.
 pub fn best_operating_point(points: &[OperatingPoint]) -> Option<OperatingPoint> {
-    points
-        .iter()
-        .copied()
-        .max_by(|a, b| {
-            a.accuracy
-                .partial_cmp(&b.accuracy)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(b.false_alarms.cmp(&a.false_alarms))
-        })
+    points.iter().copied().max_by(|a, b| {
+        a.accuracy
+            .partial_cmp(&b.accuracy)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.false_alarms.cmp(&a.false_alarms))
+    })
 }
 
 /// Area under the (accuracy vs. normalised-false-alarm) curve via the
@@ -122,10 +119,7 @@ mod tests {
 
     #[test]
     fn sweep_matches_manual_evaluation() {
-        let regions = vec![(
-            vec![det(50.0, 0.9), det(250.0, 0.6)],
-            vec![(50.0, 50.0)],
-        )];
+        let regions = vec![(vec![det(50.0, 0.9), det(250.0, 0.6)], vec![(50.0, 50.0)])];
         let pts = sweep_thresholds(&regions, &[0.5, 0.7]);
         // at 0.5: TP + 1 FA; at 0.7: TP only
         assert_eq!(pts[0].accuracy, 1.0);

@@ -88,6 +88,8 @@ pub struct EpochStats {
     pub mean_cpn_reg: f32,
     /// Mean refinement classification loss.
     pub mean_refine_cls: f32,
+    /// Mean pre-clip global gradient norm over the epoch's optimiser steps.
+    pub mean_grad_norm: f32,
     /// Learning rate at the end of the epoch.
     pub lr: f32,
 }
@@ -112,11 +114,15 @@ pub fn train(
         if regions.is_empty() {
             break;
         }
+        let mut sp = rhsd_obs::span("train-epoch");
+        sp.add("epoch", epoch as f64);
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f32;
         let mut cls_sum = 0.0f32;
         let mut reg_sum = 0.0f32;
         let mut refine_cls_sum = 0.0f32;
+        let mut grad_norm_sum = 0.0f32;
+        let mut steps = 0usize;
         let mut seen = 0usize;
         let mut in_batch = 0usize;
         network.zero_grad();
@@ -129,35 +135,55 @@ pub fn train(
             seen += 1;
             in_batch += 1;
             if in_batch >= config.batch_size {
-                step(network, &mut opt, use_l2, beta, config.clip_norm);
+                grad_norm_sum += step(network, &mut opt, use_l2, beta, config.clip_norm);
+                steps += 1;
                 in_batch = 0;
             }
         }
         if in_batch > 0 {
-            step(network, &mut opt, use_l2, beta, config.clip_norm);
+            grad_norm_sum += step(network, &mut opt, use_l2, beta, config.clip_norm);
+            steps += 1;
         }
         let denom = seen.max(1) as f32;
-        history.push(EpochStats {
+        let stats = EpochStats {
             epoch,
             mean_loss: loss_sum / denom,
             mean_cpn_cls: cls_sum / denom,
             mean_cpn_reg: reg_sum / denom,
             mean_refine_cls: refine_cls_sum / denom,
+            mean_grad_norm: grad_norm_sum / steps.max(1) as f32,
             lr: opt.lr(),
-        });
+        };
+        // Flow the epoch diagnostics into the metrics registry. The
+        // wall-clock throughput stays out of `EpochStats` so training
+        // histories remain bit-for-bit deterministic.
+        rhsd_obs::record("train.loss", stats.mean_loss as f64);
+        rhsd_obs::record("train.grad_norm", stats.mean_grad_norm as f64);
+        rhsd_obs::record("train.lr", stats.lr as f64);
+        rhsd_obs::counter("train.samples", seen as u64);
+        if rhsd_obs::enabled() {
+            let secs = sp.elapsed_secs();
+            if secs > 0.0 {
+                rhsd_obs::record("train.samples_per_sec", seen as f64 / secs);
+            }
+        }
+        sp.add("samples", seen as f64);
+        history.push(stats);
     }
     history
 }
 
-fn step(network: &mut RhsdNetwork, opt: &mut Sgd, use_l2: bool, beta: f32, clip: f32) {
+/// One optimiser step; returns the pre-clip global gradient norm.
+fn step(network: &mut RhsdNetwork, opt: &mut Sgd, use_l2: bool, beta: f32, clip: f32) -> f32 {
     let mut params = network.params_mut();
-    let _ = clip_grad_norm(&mut params, clip);
+    let grad_norm = clip_grad_norm(&mut params, clip);
     if use_l2 {
         // Eq. (4): β/2 · ‖T‖² — adds β·W to each gradient (after clipping,
         // so regularisation strength is independent of gradient scale).
         let _ = l2_penalty(&mut params, beta);
     }
     opt.step(&mut params);
+    grad_norm
 }
 
 /// Convenience: trains a fresh network of the given configuration.
@@ -222,10 +248,7 @@ mod tests {
         assert_eq!(history.len(), 4);
         let first = history.first().unwrap().mean_loss;
         let last = history.last().unwrap().mean_loss;
-        assert!(
-            last < first,
-            "loss should decrease: {first} → {last}"
-        );
+        assert!(last < first, "loss should decrease: {first} → {last}");
     }
 
     #[test]
@@ -260,7 +283,11 @@ mod tests {
         let (mut net_free, _) = train_new(cfg2, &samples, &TrainConfig::tiny(), &mut rng);
         // L2-regularised weights should have smaller norm
         let n_l2: f32 = net_l2.params_mut().iter().map(|p| p.value.sq_norm()).sum();
-        let n_free: f32 = net_free.params_mut().iter().map(|p| p.value.sq_norm()).sum();
+        let n_free: f32 = net_free
+            .params_mut()
+            .iter()
+            .map(|p| p.value.sq_norm())
+            .sum();
         assert!(
             n_l2 < n_free,
             "L2 should shrink weights: {n_l2} vs {n_free}"

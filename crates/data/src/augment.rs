@@ -24,7 +24,12 @@ pub enum Flip {
 ///
 /// Panics if `image` is not rank 3.
 pub fn flip_image(image: &Tensor, flip: Flip) -> Tensor {
-    assert_eq!(image.rank(), 3, "flip expects [C,H,W], got {}", image.shape());
+    assert_eq!(
+        image.rank(),
+        3,
+        "flip expects [C,H,W], got {}",
+        image.shape()
+    );
     let (c, h, w) = (image.dim(0), image.dim(1), image.dim(2));
     Tensor::from_fn([c, h, w], |idx| match flip {
         Flip::Horizontal => image.get(&[idx[0], idx[1], w - 1 - idx[2]]),

@@ -6,8 +6,8 @@
 //! at inference time.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use rhsd_layout::{rasterize, RasterSpec, Rect, METAL1};
 use rhsd_tensor::Tensor;
 
@@ -70,7 +70,10 @@ pub fn build_clip_set(
         let y = rng.gen_range(extent.y0..extent.y1 - side);
         let window = Rect::new(x, y, x + side, y + side);
         let core = window.core();
-        if hotspots.iter().any(|h| core.inflated(side / 3).contains(*h)) {
+        if hotspots
+            .iter()
+            .any(|h| core.inflated(side / 3).contains(*h))
+        {
             continue; // too close to a real hotspot to be a clean negative
         }
         out.push(make_clip(bench, window, false, clip_px));
@@ -136,7 +139,7 @@ mod tests {
         for c in clips.iter().filter(|c| c.is_hotspot) {
             let core = c.window.core();
             assert!(
-                b.hotspots_in(&core.inflated(10)).iter().count() > 0,
+                !b.hotspots_in(&core.inflated(10)).is_empty(),
                 "positive clip core contains no hotspot"
             );
         }

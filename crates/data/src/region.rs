@@ -183,7 +183,7 @@ mod tests {
         for r in tile_regions(&b, &b.train_extent, &cfg) {
             for (c, &(px, py)) in r.gt_clips.iter().zip(r.gt_centers.iter()) {
                 assert!((c.cx - px).abs() < 1e-3 && (c.cy - py).abs() < 1e-3);
-                assert!(px >= 0.0 && px <= 128.0 && py >= 0.0 && py <= 128.0);
+                assert!((0.0..=128.0).contains(&px) && (0.0..=128.0).contains(&py));
                 assert_eq!(c.w as usize, cfg.clip_px, "clips keep full size");
             }
         }

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn width_screen_flags_narrow_shapes() {
         let l = layout_with(&[
-            Rect::new(0, 0, 1000, 40),  // fine
+            Rect::new(0, 0, 1000, 40),    // fine
             Rect::new(0, 100, 1000, 120), // 20nm: violation at min 40
         ]);
         let v = check_width(&l, METAL1, 40);
@@ -184,10 +184,7 @@ mod tests {
 
     #[test]
     fn combined_check_and_display() {
-        let l = layout_with(&[
-            Rect::new(0, 0, 1000, 16),
-            Rect::new(0, 40, 1000, 80),
-        ]);
+        let l = layout_with(&[Rect::new(0, 0, 1000, 16), Rect::new(0, 40, 1000, 80)]);
         let v = check(&l, METAL1, 40, 100);
         assert_eq!(v.len(), 2); // one width (16), one spacing (24)
         for violation in &v {

@@ -3,7 +3,9 @@
 use std::fmt;
 
 /// A point in layout space, in nanometres.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate in nm.
     pub x: i64,
@@ -29,7 +31,9 @@ impl fmt::Display for Point {
 /// Construction normalises corner order, so `x0 <= x1` and `y0 <= y1`
 /// always hold. Degenerate (zero-area) rectangles are permitted; they
 /// intersect nothing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Rect {
     /// Left edge (inclusive).
     pub x0: i64,
@@ -136,10 +140,7 @@ impl Rect {
         if self.is_degenerate() || other.is_degenerate() {
             return 0.0;
         }
-        let inter = self
-            .intersection(other)
-            .map(|r| r.area())
-            .unwrap_or(0);
+        let inter = self.intersection(other).map(|r| r.area()).unwrap_or(0);
         let union = self.area() + other.area() - inter;
         if union == 0 {
             0.0

@@ -163,10 +163,7 @@ pub fn read_rlf(r: impl Read) -> Result<Layout, RlfError> {
                 }
                 let l = layout.as_mut().ok_or(RlfError::MissingExtent)?;
                 let layer = current_layer.ok_or(RlfError::NoCurrentLayer { line: line_no })?;
-                let pts: Vec<Point> = nums
-                    .chunks(2)
-                    .map(|c| Point::new(c[0], c[1]))
-                    .collect();
+                let pts: Vec<Point> = nums.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
                 let poly = RectilinearPolygon::new(pts)
                     .map_err(|e| bad(line_no, &format!("invalid polygon: {e}")))?;
                 for r in poly.to_rects() {
@@ -218,7 +215,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let doc = "\n# a comment\nRLF 1\n\nEXTENT 0 0 100 100\n# layer next\nLAYER 1\nRECT 0 0 10 10\n";
+        let doc =
+            "\n# a comment\nRLF 1\n\nEXTENT 0 0 100 100\n# layer next\nLAYER 1\nRECT 0 0 10 10\n";
         let l = read_rlf(doc.as_bytes()).unwrap();
         assert_eq!(l.shape_count(METAL1), 1);
     }

@@ -3,7 +3,9 @@
 use crate::geom::Rect;
 
 /// Identifier of a mask layer (e.g. metal-1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct LayerId(pub u16);
 
 /// The metal layer used throughout the RHSD benchmarks.
@@ -85,8 +87,12 @@ impl Layout {
         if let Some(pos) = self.layers.iter().position(|(l, _)| *l == id) {
             return &mut self.layers[pos].1;
         }
-        let nx = (self.extent.width() as usize).div_ceil(self.grid_cell as usize).max(1);
-        let ny = (self.extent.height() as usize).div_ceil(self.grid_cell as usize).max(1);
+        let nx = (self.extent.width() as usize)
+            .div_ceil(self.grid_cell as usize)
+            .max(1);
+        let ny = (self.extent.height() as usize)
+            .div_ceil(self.grid_cell as usize)
+            .max(1);
         self.layers.push((
             id,
             LayerData {
@@ -276,8 +282,8 @@ mod tests {
 
     #[test]
     fn add_polygon_decomposes_l_shape() {
-        use crate::polygon::RectilinearPolygon;
         use crate::geom::Point;
+        use crate::polygon::RectilinearPolygon;
         let mut l = Layout::new(Rect::new(0, 0, 1000, 1000));
         let poly = RectilinearPolygon::l_shape(Point::new(100, 100), 40, 300, 200);
         l.add_polygon(METAL1, &poly);

@@ -58,7 +58,7 @@ impl RectilinearPolygon {
         if vertices.len() < 4 {
             return Err(PolygonError::TooFewVertices(vertices.len()));
         }
-        if vertices.len() % 2 != 0 {
+        if !vertices.len().is_multiple_of(2) {
             return Err(PolygonError::OddVertexCount(vertices.len()));
         }
         let n = vertices.len();
@@ -176,7 +176,10 @@ impl RectilinearPolygon {
     /// Panics if any arm dimension is non-positive or the arms do not
     /// overhang the joint.
     pub fn l_shape(origin: Point, arm_w: i64, h_len: i64, v_len: i64) -> Self {
-        assert!(arm_w > 0 && h_len > arm_w && v_len > arm_w, "degenerate L shape");
+        assert!(
+            arm_w > 0 && h_len > arm_w && v_len > arm_w,
+            "degenerate L shape"
+        );
         let Point { x, y } = origin;
         RectilinearPolygon::new(vec![
             Point::new(x, y),

@@ -7,8 +7,8 @@
 //! variation is decided later by the lithography oracle.
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::geom::Rect;
 use crate::layout::{Layout, METAL1};

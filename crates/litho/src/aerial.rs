@@ -15,7 +15,12 @@ use crate::kernel::GaussianKernel;
 ///
 /// Panics if `mask` is not `[1, H, W]`.
 pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
-    assert_eq!(mask.rank(), 3, "aerial_image expects [1,H,W], got {}", mask.shape());
+    assert_eq!(
+        mask.rank(),
+        3,
+        "aerial_image expects [1,H,W], got {}",
+        mask.shape()
+    );
     assert_eq!(mask.dim(0), 1, "aerial_image expects single channel");
     let (h, w) = (mask.dim(1), mask.dim(2));
     let taps = kernel.weights();

@@ -34,7 +34,12 @@ pub enum Cut {
 ///
 /// Panics if the image is not `[1, H, W]` or the probe is out of bounds.
 pub fn measure_cd(printed: &Tensor, cut: Cut, probe: usize) -> Option<usize> {
-    assert_eq!(printed.rank(), 3, "expects [1,H,W], got {}", printed.shape());
+    assert_eq!(
+        printed.rank(),
+        3,
+        "expects [1,H,W], got {}",
+        printed.shape()
+    );
     let (h, w) = (printed.dim(1), printed.dim(2));
     let lit = |y: usize, x: usize| printed.get(&[0, y, x]) >= 0.5;
     match cut {
@@ -140,13 +145,16 @@ mod tests {
     #[test]
     fn horizontal_cut_measures_vertical_feature() {
         // vertical wire: 8 px wide in x
-        let img = Tensor::from_fn([1, 32, 32], |c| {
-            if c[2] >= 12 && c[2] < 20 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let img = Tensor::from_fn(
+            [1, 32, 32],
+            |c| {
+                if c[2] >= 12 && c[2] < 20 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         assert_eq!(measure_cd(&img, Cut::Horizontal { y: 16 }, 15), Some(8));
     }
 
@@ -168,7 +176,10 @@ mod tests {
         let nominal = get("nominal");
         let under = get("underexpose+defocus");
         assert!(over >= nominal, "overexposure widens: {over} vs {nominal}");
-        assert!(nominal >= under, "underexposure narrows: {nominal} vs {under}");
+        assert!(
+            nominal >= under,
+            "underexposure narrows: {nominal} vs {under}"
+        );
         // nominal CD close to the drawn 40nm
         assert!((nominal - 40.0).abs() <= 20.0, "nominal CD {nominal}");
     }

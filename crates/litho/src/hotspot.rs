@@ -58,6 +58,8 @@ struct DefectPx {
 ///
 /// `nm_per_px` converts the corner's physical blur into pixels.
 pub fn simulate_print(design_raster: &Tensor, corner: &ProcessCorner, nm_per_px: f64) -> Tensor {
+    let mut sp = rhsd_obs::span("litho");
+    sp.add("px", design_raster.len() as f64);
     let kernel = GaussianKernel::new(corner.sigma_nm / nm_per_px);
     let aerial = aerial_image(design_raster, &kernel);
     print_resist(&aerial, corner.threshold)
@@ -469,8 +471,14 @@ mod tests {
         let whole = label_layout(&l, METAL1, &pw, 2560, NM_PER_PX);
         let tiled = label_layout(&l, METAL1, &pw, 640, NM_PER_PX);
         assert_eq!(
-            whole.iter().filter(|d| d.kind == DefectKind::Bridge).count(),
-            tiled.iter().filter(|d| d.kind == DefectKind::Bridge).count(),
+            whole
+                .iter()
+                .filter(|d| d.kind == DefectKind::Bridge)
+                .count(),
+            tiled
+                .iter()
+                .filter(|d| d.kind == DefectKind::Bridge)
+                .count(),
             "whole {whole:?} vs tiled {tiled:?}"
         );
     }

@@ -31,10 +31,7 @@ impl GaussianKernel {
         for w in &mut weights {
             *w /= sum;
         }
-        GaussianKernel {
-            sigma_px,
-            weights,
-        }
+        GaussianKernel { sigma_px, weights }
     }
 
     /// The standard deviation in pixels.

@@ -96,13 +96,16 @@ mod tests {
 
     #[test]
     fn components_of_two_bars() {
-        let img = Tensor::from_fn([1, 5, 5], |c| {
-            if c[1] == 0 || c[1] == 4 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let img = Tensor::from_fn(
+            [1, 5, 5],
+            |c| {
+                if c[1] == 0 || c[1] == 4 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let (labels, n) = connected_components(&img);
         assert_eq!(n, 2);
         assert_eq!(labels[0], labels[4]); // same row, same component

@@ -8,13 +8,16 @@ use rhsd_tensor::Tensor;
 
 fn mask_strategy() -> impl Strategy<Value = Tensor> {
     proptest::collection::vec(proptest::bool::ANY, 24 * 24).prop_map(|bits| {
-        Tensor::from_fn([1, 24, 24], |c| {
-            if bits[c[1] * 24 + c[2]] {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        Tensor::from_fn(
+            [1, 24, 24],
+            |c| {
+                if bits[c[1] * 24 + c[2]] {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        )
     })
 }
 

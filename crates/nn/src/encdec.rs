@@ -29,7 +29,10 @@ impl EncoderDecoder {
     ///
     /// Panics if `hidden` is empty.
     pub fn new(c_in: usize, hidden: &[usize], rng: &mut impl Rng) -> Self {
-        assert!(!hidden.is_empty(), "encoder needs at least one hidden width");
+        assert!(
+            !hidden.is_empty(),
+            "encoder needs at least one hidden width"
+        );
         let spec = ConvSpec::same(3);
         let mut chain = Sequential::new();
         // Encoder: c_in -> h1 -> h2 -> ... -> hk

@@ -28,11 +28,7 @@ struct BranchConcat {
 
 impl BranchConcat {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let outs: Vec<Tensor> = self
-            .branches
-            .iter_mut()
-            .map(|b| b.forward(input))
-            .collect();
+        let outs: Vec<Tensor> = self.branches.iter_mut().map(|b| b.forward(input)).collect();
         let refs: Vec<&Tensor> = outs.iter().collect();
         concat_channels(&refs)
     }

@@ -96,8 +96,7 @@ mod tests {
                 .zip(grad_out.as_slice())
                 .map(|(&x, &g)| x * g)
                 .sum();
-            self.k
-                .accumulate(&Tensor::from_vec([1], vec![dk]).unwrap());
+            self.k.accumulate(&Tensor::from_vec([1], vec![dk]).unwrap());
             grad_out.map(|g| g * self.k.value.as_slice()[0])
         }
 
@@ -108,7 +107,8 @@ mod tests {
 
     #[test]
     fn forward_backward_all_chain() {
-        let mut layers: Vec<Box<dyn Layer>> = vec![Box::new(Gain::new(2.0)), Box::new(Gain::new(3.0))];
+        let mut layers: Vec<Box<dyn Layer>> =
+            vec![Box::new(Gain::new(2.0)), Box::new(Gain::new(3.0))];
         let x = Tensor::from_vec([2], vec![1.0, -1.0]).unwrap();
         let y = forward_all(&mut layers, &x);
         assert_eq!(y.as_slice(), &[6.0, -6.0]);

@@ -49,7 +49,12 @@ pub fn smooth_l1_loss(pred: &Tensor, target: &Tensor, weights: &[f32]) -> (f32, 
     );
     assert_eq!(pred.rank(), 2, "smooth_l1 expects [n,4]-style rank 2 input");
     let (n, k) = (pred.dim(0), pred.dim(1));
-    assert_eq!(weights.len(), n, "weights length {} != rows {n}", weights.len());
+    assert_eq!(
+        weights.len(),
+        n,
+        "weights length {} != rows {n}",
+        weights.len()
+    );
     let wsum: f32 = weights.iter().sum();
     let norm = if wsum > 0.0 { wsum } else { 1.0 };
 
@@ -78,11 +83,7 @@ pub fn smooth_l1_loss(pred: &Tensor, target: &Tensor, weights: &[f32]) -> (f32, 
 /// cross-entropy of Eq. (6) over (hotspot, non-hotspot) logits.
 ///
 /// See [`cross_entropy_rows`] for the contract.
-pub fn hotspot_cross_entropy(
-    logits: &Tensor,
-    targets: &[usize],
-    weights: &[f32],
-) -> (f32, Tensor) {
+pub fn hotspot_cross_entropy(logits: &Tensor, targets: &[usize], weights: &[f32]) -> (f32, Tensor) {
     cross_entropy_rows(logits, targets, weights)
 }
 
@@ -180,10 +181,7 @@ mod tests {
             pm.as_mut_slice()[probe] -= eps;
             let numeric =
                 (smooth_l1_loss(&pp, &t, &w).0 - smooth_l1_loss(&pm, &t, &w).0) / (2.0 * eps);
-            assert!(
-                (numeric - grad.as_slice()[probe]).abs() < 1e-3,
-                "[{probe}]"
-            );
+            assert!((numeric - grad.as_slice()[probe]).abs() < 1e-3, "[{probe}]");
         }
     }
 
@@ -214,8 +212,10 @@ mod tests {
         let norm = clip_grad_norm(&mut params, 10.0);
         assert!((norm - 5.0).abs() < 1e-6);
         let _ = clip_grad_norm(&mut params, 1.0);
-        drop(params);
-        assert!((p.grad.sq_norm().sqrt() - 1.0).abs() < 1e-5, "clipped to max");
+        assert!(
+            (p.grad.sq_norm().sqrt() - 1.0).abs() < 1e-5,
+            "clipped to max"
+        );
         assert!((p.grad.as_slice()[0] - 0.6).abs() < 1e-5, "direction kept");
     }
 }

@@ -66,7 +66,11 @@ impl Adam {
         let t = self.step as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
-        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             assert_eq!(
                 p.value.shape(),
                 m.shape(),
@@ -132,8 +136,7 @@ mod tests {
         let mut opt = Adam::with_lr(0.5);
         for _ in 0..2000 {
             let w = p.value.as_slice().to_vec();
-            p.grad =
-                Tensor::from_vec([2], vec![2000.0 * w[0], 0.002 * w[1]]).unwrap();
+            p.grad = Tensor::from_vec([2], vec![2000.0 * w[0], 0.002 * w[1]]).unwrap();
             opt.step(&mut [&mut p]);
         }
         let w = p.value.as_slice();

@@ -71,11 +71,7 @@ impl From<std::io::Error> for CheckpointError {
 /// Extracts a checkpoint from a network.
 pub fn snapshot(layer: &mut dyn Layer) -> Checkpoint {
     Checkpoint {
-        tensors: layer
-            .params_mut()
-            .iter()
-            .map(|p| p.value.clone())
-            .collect(),
+        tensors: layer.params_mut().iter().map(|p| p.value.clone()).collect(),
     }
 }
 

@@ -1,0 +1,119 @@
+//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`)
+//! and the `metrics.json` snapshot.
+
+use crate::json::{escape, number};
+use crate::metrics::{MetricsSnapshot, Registry};
+
+/// Renders recorded spans in the Chrome trace-event format: one
+/// `"ph":"X"` (complete) event per span, timestamps and durations in
+/// microseconds, plus process/thread metadata events.
+pub(crate) fn chrome_trace_json(reg: &Registry) -> String {
+    let mut out = String::with_capacity(64 + reg.events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"rhsd\"}}",
+    );
+    for e in &reg.events {
+        out.push(',');
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\
+             \"dur\":{},\"pid\":1,\"tid\":{}",
+            escape(&e.name),
+            e.ts_us,
+            e.dur_us,
+            e.tid
+        ));
+        out.push_str(",\"args\":{");
+        out.push_str(&format!("\"depth\":{}", e.depth));
+        for (k, v) in &e.args {
+            out.push_str(&format!(",\"{}\":{}", escape(k), number(*v)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a metrics snapshot as JSON: counters, histogram summaries
+/// (count/sum/min/max/mean/last/p50/p95/p99) and the dropped-event count.
+pub(crate) fn metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(k), v));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (k, s)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"mean\":{},\"last\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            escape(k),
+            s.count,
+            number(s.sum),
+            number(s.min),
+            number(s.max),
+            number(s.mean),
+            number(s.last),
+            number(s.p50),
+            number(s.p95),
+            number(s.p99)
+        ));
+    }
+    out.push_str(&format!("}},\"dropped_events\":{}}}", snap.dropped_events));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::validate;
+    use crate::span::tests::global_lock;
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let _g = global_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let mut s = crate::span("stage \"x\"\n");
+            s.add("n", 2.5);
+        }
+        let trace = crate::chrome_trace_json();
+        crate::set_enabled(false);
+        validate(&trace).unwrap_or_else(|at| panic!("invalid trace at {at}: {trace}"));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("stage \\\"x\\\"\\n"));
+        assert!(trace.contains("\"n\":2.5"));
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_complete() {
+        let _g = global_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::counter("scanned", 7);
+        for v in [1.0, 2.0, 3.0] {
+            crate::record("lat", v);
+        }
+        let json = crate::metrics_json();
+        crate::set_enabled(false);
+        validate(&json).unwrap_or_else(|at| panic!("invalid metrics at {at}: {json}"));
+        assert!(json.contains("\"scanned\":7"));
+        assert!(json.contains("\"p95\":3"));
+        assert!(json.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn empty_registry_exports_validate() {
+        let _g = global_lock();
+        crate::set_enabled(false);
+        crate::reset();
+        assert!(validate(&crate::chrome_trace_json()).is_ok());
+        assert!(validate(&crate::metrics_json()).is_ok());
+    }
+}

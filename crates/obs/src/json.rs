@@ -1,0 +1,245 @@
+//! Minimal hand-rolled JSON support: string escaping, number formatting
+//! and a strict syntax validator — kept dependency-free on purpose (this
+//! crate must cost nothing when unused and pull nothing in).
+
+/// Escapes `s` as the contents of a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a decimal point, which is
+        // still a valid JSON number, so no fixup is needed.
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Validates that `s` is one well-formed JSON value (strict recursive
+/// descent; no extensions). Returns the byte offset of the first error.
+pub fn validate(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos == b.len() {
+        Ok(())
+    } else {
+        Err(pos)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => num(b, pos),
+        _ => Err(*pos),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), usize> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(*pos)
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(*pos);
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(*pos),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(*pos),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(*pos);
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        for i in 1..=4 {
+                            if !b.get(*pos + i).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(*pos + i);
+                            }
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(*pos),
+                }
+            }
+            0x00..=0x1f => return Err(*pos),
+            _ => *pos += 1,
+        }
+    }
+    Err(*pos)
+}
+
+fn num(b: &[u8], pos: &mut usize) -> Result<(), usize> {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| -> bool {
+        let start = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > start
+    };
+    if !digits(b, pos) {
+        return Err(*pos);
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(*pos);
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(*pos);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers_format_validly() {
+        for v in [0.0, -1.5, 1e-9, 12345.678, f64::NAN, f64::INFINITY] {
+            let rendered = format!("[{}]", number(v));
+            assert!(validate(&rendered).is_ok(), "{rendered}");
+        }
+    }
+
+    #[test]
+    fn validates_wellformed_json() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e3",
+            r#"{"a":[1,2,{"b":"c\n"}],"d":true}"#,
+            r#"  { "x" : null }  "#,
+        ] {
+            assert!(validate(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{'a':1}",
+            r#"{"a":}"#,
+            "01a",
+            "tru",
+            r#"{"a":1} extra"#,
+            "\"unterminated",
+        ] {
+            assert!(validate(bad).is_err(), "{bad}");
+        }
+    }
+}

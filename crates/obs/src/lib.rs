@@ -1,0 +1,168 @@
+//! # rhsd-obs
+//!
+//! Zero-dependency observability substrate for the RHSD pipeline:
+//!
+//! - **hierarchical span timers** ([`span`]) — RAII guards, nestable,
+//!   thread-safe, with per-span counters attached as trace args;
+//! - a **metrics registry** ([`metrics`]) of named counters and latency
+//!   histograms with p50/p95/p99 summaries;
+//! - **exporters** ([`export`]) — Chrome trace-event JSON (open in
+//!   Perfetto or `chrome://tracing`) and a `metrics.json` snapshot;
+//! - a **global no-op mode**: instrumentation is disabled by default and
+//!   costs a single relaxed atomic load per call site until
+//!   [`set_enabled`]`(true)` is called.
+//!
+//! # Example
+//!
+//! ```
+//! rhsd_obs::set_enabled(true);
+//! {
+//!     let mut outer = rhsd_obs::span("scan-region");
+//!     outer.add("detections", 3.0);
+//!     let _inner = rhsd_obs::span("cpn");
+//!     // … work …
+//! } // guards drop: durations land in the registry
+//! rhsd_obs::counter("regions", 1);
+//! let trace = rhsd_obs::chrome_trace_json();
+//! assert!(trace.contains("scan-region"));
+//! let metrics = rhsd_obs::metrics_json();
+//! assert!(metrics.contains("p95"));
+//! # rhsd_obs::reset();
+//! # rhsd_obs::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+pub use metrics::{HistogramSummary, MetricsSnapshot};
+pub use span::{span, SpanEvent, SpanGuard};
+
+/// Global switch; all instrumentation is a no-op while this is `false`.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns instrumentation on or off globally (default: off).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide time origin all span timestamps are relative to.
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+pub(crate) fn registry() -> MutexGuard<'static, metrics::Registry> {
+    static REGISTRY: OnceLock<Mutex<metrics::Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(metrics::Registry::default()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Adds `delta` to the named counter (no-op while disabled).
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().add_counter(name, delta);
+}
+
+/// Records a value into the named histogram (no-op while disabled).
+///
+/// Span durations land in histograms keyed by the span name (in seconds);
+/// use distinct names for unitless series (losses, norms, rates).
+pub fn record(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    registry().record(name, value);
+}
+
+/// Records a latency sample in seconds — an alias of [`record`] kept for
+/// call-site clarity.
+pub fn record_secs(name: &str, secs: f64) {
+    record(name, secs);
+}
+
+/// A snapshot of every counter and histogram summary.
+pub fn snapshot() -> MetricsSnapshot {
+    registry().snapshot()
+}
+
+/// Completed span events recorded so far (cloned; diagnostics and tests).
+pub fn span_events() -> Vec<SpanEvent> {
+    registry().events.clone()
+}
+
+/// Serialises the recorded spans as Chrome trace-event JSON.
+pub fn chrome_trace_json() -> String {
+    export::chrome_trace_json(&registry())
+}
+
+/// Serialises the metrics registry as a JSON snapshot.
+pub fn metrics_json() -> String {
+    export::metrics_json(&registry().snapshot())
+}
+
+/// Writes the Chrome trace to `path` (viewable in Perfetto).
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, chrome_trace_json())
+}
+
+/// Writes the metrics snapshot to `path`.
+pub fn write_metrics(path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, metrics_json())
+}
+
+/// Clears all recorded spans, counters and histograms (the enabled flag
+/// is left unchanged).
+pub fn reset() {
+    registry().clear();
+}
+
+/// A plain always-on wall-clock timer.
+///
+/// Unlike [`span`] it measures even when observability is disabled —
+/// the replacement for ad-hoc `Instant::now()` timing in reporting code
+/// that must keep working without instrumentation.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stops, records the elapsed time into the named histogram (when
+    /// enabled) and returns it in seconds.
+    pub fn stop_into(self, name: &str) -> f64 {
+        let secs = self.secs();
+        record_secs(name, secs);
+        secs
+    }
+}

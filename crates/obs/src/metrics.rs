@@ -1,0 +1,232 @@
+//! Named counters and latency histograms with percentile summaries.
+
+use std::collections::BTreeMap;
+
+use crate::span::SpanEvent;
+
+/// Samples stored per histogram before new values stop being retained
+/// for percentile estimation (count/sum/min/max/last stay exact).
+pub const MAX_SAMPLES: usize = 1 << 16;
+
+/// Completed span events stored before further events are dropped (the
+/// drop count is reported in the metrics snapshot).
+pub const MAX_EVENTS: usize = 1 << 18;
+
+/// A latency/value histogram: exact count, sum, min, max and last, with
+/// percentiles computed over up to [`MAX_SAMPLES`] retained samples.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        self.last = value;
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples.push(value);
+        }
+    }
+
+    /// Total samples recorded (including ones beyond the retention cap).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) by the nearest-rank rule over the
+    /// retained samples; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(sorted[rank - 1])
+    }
+
+    /// Summarises the histogram.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            mean: if self.count > 0 {
+                self.sum / self.count as f64
+            } else {
+                0.0
+            },
+            last: self.last,
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Scalar summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Mean over all samples.
+    pub mean: f64,
+    /// Most recent sample.
+    pub last: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+/// A point-in-time copy of every counter and histogram summary.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Span events dropped after the event-buffer cap was reached.
+    pub dropped_events: u64,
+}
+
+/// The global mutable store behind the crate's free functions.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) events: Vec<SpanEvent>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) histograms: BTreeMap<String, Histogram>,
+    pub(crate) dropped_events: u64,
+}
+
+impl Registry {
+    pub(crate) fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn record(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+
+    pub(crate) fn push_event(&mut self, event: SpanEvent) {
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(event);
+        } else {
+            self.dropped_events += 1;
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+            dropped_events: self.dropped_events,
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+        self.counters.clear();
+        self.histograms.clear();
+        self.dropped_events = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn one_sample_dominates_every_quantile() {
+        let mut h = Histogram::default();
+        h.record(42.0);
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(42.0), "q={q}");
+        }
+        let s = h.summary();
+        assert_eq!((s.min, s.max, s.mean, s.last), (42.0, 42.0, 42.0, 42.0));
+    }
+
+    #[test]
+    fn uniform_samples_hit_nearest_rank_percentiles() {
+        let mut h = Histogram::default();
+        // insert 1..=100 shuffled (deterministic stride walk)
+        for i in 0..100u64 {
+            h.record(((i * 37 + 13) % 100 + 1) as f64);
+        }
+        assert_eq!(h.quantile(0.50), Some(50.0));
+        assert_eq!(h.quantile(0.95), Some(95.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut h = Histogram::default();
+        h.record(5.0);
+        h.record(-3.0);
+        h.record(9.0);
+        let s = h.summary();
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.last, 9.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::default();
+        r.add_counter("a", 2);
+        r.add_counter("a", 3);
+        r.add_counter("b", 1);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a"], 5);
+        assert_eq!(s.counters["b"], 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! RAII span timers: nestable, thread-safe, exported as Chrome
+//! trace-event "complete" events.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::{enabled, epoch, registry};
+
+/// One completed span, ready for trace export.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Span (stage) name.
+    pub name: Cow<'static, str>,
+    /// Start time in microseconds since the process epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Duration in seconds (full precision; µs rounds sub-µs spans to 0).
+    pub dur_secs: f64,
+    /// Logical thread id (dense, assigned in thread-creation order).
+    pub tid: u64,
+    /// Nesting depth on its thread at the time the span opened (0 = root).
+    pub depth: u32,
+    /// Per-span counters attached via [`SpanGuard::add`].
+    pub args: Vec<(String, f64)>,
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Opens a span; the returned guard records the span on drop.
+///
+/// While observability is disabled this is a no-op costing one atomic
+/// load. Spans opened on the same thread nest: each guard increments the
+/// thread's depth and its drop decrements it, so guards must drop in
+/// reverse open order (the natural RAII scoping).
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { inner: None };
+    }
+    let tid = TID.with(|t| *t);
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    let start = Instant::now();
+    let ts_us = start.duration_since(epoch()).as_micros() as u64;
+    SpanGuard {
+        inner: Some(SpanInner {
+            name: name.into(),
+            start,
+            ts_us,
+            tid,
+            depth,
+            args: Vec::new(),
+        }),
+    }
+}
+
+struct SpanInner {
+    name: Cow<'static, str>,
+    start: Instant,
+    ts_us: u64,
+    tid: u64,
+    depth: u32,
+    args: Vec<(String, f64)>,
+}
+
+/// RAII guard of an open span (see [`span`]).
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Attaches a per-span counter, exported as a trace-event arg
+    /// (no-op while disabled).
+    pub fn add(&mut self, key: &str, value: f64) {
+        if let Some(inner) = self.inner.as_mut() {
+            match inner.args.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v += value,
+                None => inner.args.push((key.to_owned(), value)),
+            }
+        }
+    }
+
+    /// Seconds elapsed since the span opened (0.0 while disabled).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map_or(0.0, |i| i.start.elapsed().as_secs_f64())
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let elapsed = inner.start.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let event = SpanEvent {
+            name: inner.name,
+            ts_us: inner.ts_us,
+            dur_us: elapsed.as_micros() as u64,
+            dur_secs: elapsed.as_secs_f64(),
+            tid: inner.tid,
+            depth: inner.depth,
+            args: inner.args,
+        };
+        let mut reg = registry();
+        reg.record(&event.name, event.dur_secs);
+        reg.push_event(event);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that touch the global registry/enabled flag.
+    pub(crate) fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = global_lock();
+        crate::set_enabled(false);
+        crate::reset();
+        {
+            let mut s = span("off");
+            s.add("k", 1.0);
+            assert_eq!(s.elapsed_secs(), 0.0);
+        }
+        crate::counter("off-counter", 1);
+        crate::record("off-hist", 1.0);
+        let snap = crate::snapshot();
+        assert!(crate::span_events().is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_depth_and_containment() {
+        let _g = global_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _outer = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let events = crate::span_events();
+        crate::set_enabled(false);
+        assert_eq!(events.len(), 2);
+        // inner drops first, so it is recorded first
+        let inner = &events[0];
+        let outer = &events[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.tid, outer.tid);
+        // time containment: outer starts first, ends last
+        assert!(outer.ts_us <= inner.ts_us);
+        assert!(outer.ts_us + outer.dur_us >= inner.ts_us + inner.dur_us);
+        assert!(outer.dur_secs >= inner.dur_secs);
+        assert!(inner.dur_secs > 0.0);
+    }
+
+    #[test]
+    fn span_durations_feed_histograms() {
+        let _g = global_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        for _ in 0..3 {
+            let mut s = span("stage");
+            s.add("items", 2.0);
+            s.add("items", 1.0);
+        }
+        let snap = crate::snapshot();
+        crate::set_enabled(false);
+        let h = &snap.histograms["stage"];
+        assert_eq!(h.count, 3);
+        assert!(h.p50 >= 0.0 && h.p95 >= h.p50);
+        let events = crate::span_events();
+        assert_eq!(events[0].args, vec![("items".to_owned(), 3.0)]);
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let _g = global_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = span("worker");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = crate::span_events();
+        crate::set_enabled(false);
+        assert_eq!(events.len(), 2);
+        assert_ne!(events[0].tid, events[1].tid);
+        assert_eq!(events[0].depth, 0);
+        assert_eq!(events[1].depth, 0);
+    }
+}

@@ -63,7 +63,12 @@ impl ConvSpec {
 ///
 /// Panics if `input` is not rank 3.
 pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
-    assert_eq!(input.rank(), 3, "im2col expects [C,H,W], got {}", input.shape());
+    assert_eq!(
+        input.rank(),
+        3,
+        "im2col expects [C,H,W], got {}",
+        input.shape()
+    );
     let (c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
     let k = spec.kernel;
@@ -85,8 +90,7 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        out[base + oy * ow + ox] =
-                            iv[(ci * h + iy as usize) * w + ix as usize];
+                        out[base + oy * ow + ox] = iv[(ci * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
@@ -128,8 +132,7 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: ConvSpec) -> Te
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        out[(ci * h + iy as usize) * w + ix as usize] +=
-                            cv[base + oy * ow + ox];
+                        out[(ci * h + iy as usize) * w + ix as usize] += cv[base + oy * ow + ox];
                     }
                 }
             }
@@ -146,7 +149,12 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: ConvSpec) -> Te
 ///
 /// Panics on rank or channel mismatches.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: ConvSpec) -> Tensor {
-    assert_eq!(input.rank(), 3, "conv2d input must be [C,H,W], got {}", input.shape());
+    assert_eq!(
+        input.rank(),
+        3,
+        "conv2d input must be [C,H,W], got {}",
+        input.shape()
+    );
     assert_eq!(
         weight.rank(),
         4,
@@ -155,8 +163,17 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
     );
     let (c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2));
     let (c_out, wc_in, k, k2) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
-    assert_eq!(k, k2, "conv2d kernel must be square, got {}", weight.shape());
-    assert_eq!(k, spec.kernel, "weight kernel {k} != spec kernel {}", spec.kernel);
+    assert_eq!(
+        k,
+        k2,
+        "conv2d kernel must be square, got {}",
+        weight.shape()
+    );
+    assert_eq!(
+        k, spec.kernel,
+        "weight kernel {k} != spec kernel {}",
+        spec.kernel
+    );
     assert_eq!(
         c_in, wc_in,
         "conv2d channel mismatch: input {c_in} vs weight {wc_in}"
@@ -170,7 +187,12 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
         .expect("weight reshape is size-preserving");
     let mut out = matmul(&wmat, &cols); // [c_out, oh*ow]
     if let Some(b) = bias {
-        assert_eq!(b.dims(), &[c_out], "bias must be [C_out], got {}", b.shape());
+        assert_eq!(
+            b.dims(),
+            &[c_out],
+            "bias must be [C_out], got {}",
+            b.shape()
+        );
         let bv = b.as_slice().to_vec();
         let ov = out.as_mut_slice();
         for (co, &bval) in bv.iter().enumerate() {

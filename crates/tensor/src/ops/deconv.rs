@@ -36,7 +36,11 @@ pub fn conv_transpose2d(
     let (c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2));
     let (wc_in, c_out, k, k2) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
     assert_eq!(k, k2, "kernel must be square, got {}", weight.shape());
-    assert_eq!(k, spec.kernel, "weight kernel {k} != spec kernel {}", spec.kernel);
+    assert_eq!(
+        k, spec.kernel,
+        "weight kernel {k} != spec kernel {}",
+        spec.kernel
+    );
     assert_eq!(
         c_in, wc_in,
         "conv_transpose2d channel mismatch: input {c_in} vs weight {wc_in}"
@@ -55,7 +59,12 @@ pub fn conv_transpose2d(
     let cols = matmul(&transpose(&wmat), &xmat);
     let mut out = col2im(&cols, c_out, oh, ow, spec);
     if let Some(b) = bias {
-        assert_eq!(b.dims(), &[c_out], "bias must be [C_out], got {}", b.shape());
+        assert_eq!(
+            b.dims(),
+            &[c_out],
+            "bias must be [C_out], got {}",
+            b.shape()
+        );
         let bv = b.as_slice().to_vec();
         let ov = out.as_mut_slice();
         for (co, &bval) in bv.iter().enumerate() {
@@ -183,8 +192,7 @@ mod tests {
         let x = Tensor::rand_normal([2, 3, 3], 0.0, 1.0, &mut rng);
         let w = Tensor::rand_normal([2, 3, 3, 3], 0.0, 0.5, &mut rng);
         let b = Tensor::rand_normal([3], 0.0, 0.5, &mut rng);
-        let loss =
-            |x: &Tensor, w: &Tensor, b: &Tensor| conv_transpose2d(x, w, Some(b), spec).sum();
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| conv_transpose2d(x, w, Some(b), spec).sum();
         let oh = spec.transpose_out_size(3);
         let g_out = Tensor::ones([3, oh, oh]);
         let (dx, dw, db) = conv_transpose2d_backward(&x, &w, &g_out, spec);

@@ -147,6 +147,9 @@ mod tests {
 
     #[test]
     fn clamp_bounds() {
-        assert_eq!(clamp(&t(&[-5., 0.5, 5.]), 0.0, 1.0).as_slice(), &[0., 0.5, 1.]);
+        assert_eq!(
+            clamp(&t(&[-5., 0.5, 5.]), 0.0, 1.0).as_slice(),
+            &[0., 0.5, 1.]
+        );
     }
 }

@@ -17,7 +17,8 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dim(0), a.dim(1));
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(
-        k, k2,
+        k,
+        k2,
         "matmul inner dimension mismatch: {} vs {}",
         a.shape(),
         b.shape()

@@ -26,11 +26,27 @@ pub struct PoolOutput {
 ///
 /// Panics if `input` is not rank 3 or `kernel`/`stride` is zero.
 pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> PoolOutput {
-    assert_eq!(input.rank(), 3, "max_pool2d expects [C,H,W], got {}", input.shape());
-    assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+    assert_eq!(
+        input.rank(),
+        3,
+        "max_pool2d expects [C,H,W], got {}",
+        input.shape()
+    );
+    assert!(
+        kernel > 0 && stride > 0,
+        "kernel and stride must be positive"
+    );
     let (c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
-    let oh = if h >= kernel { (h - kernel) / stride + 1 } else { 1 };
-    let ow = if w >= kernel { (w - kernel) / stride + 1 } else { 1 };
+    let oh = if h >= kernel {
+        (h - kernel) / stride + 1
+    } else {
+        1
+    };
+    let ow = if w >= kernel {
+        (w - kernel) / stride + 1
+    } else {
+        1
+    };
     let iv = input.as_slice();
     let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
     let mut argmax = vec![0usize; c * oh * ow];
@@ -68,11 +84,7 @@ pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> PoolOutput {
 /// # Panics
 ///
 /// Panics if `grad_out` length differs from `argmax` length.
-pub fn max_pool2d_backward(
-    input_shape: &[usize],
-    argmax: &[usize],
-    grad_out: &Tensor,
-) -> Tensor {
+pub fn max_pool2d_backward(input_shape: &[usize], argmax: &[usize], grad_out: &Tensor) -> Tensor {
     assert_eq!(
         grad_out.len(),
         argmax.len(),
@@ -138,7 +150,12 @@ impl FeatureRoi {
 ///
 /// Panics if `input` is not rank 3 or `out_h`/`out_w` is zero.
 pub fn roi_pool(input: &Tensor, roi: FeatureRoi, out_h: usize, out_w: usize) -> PoolOutput {
-    assert_eq!(input.rank(), 3, "roi_pool expects [C,H,W], got {}", input.shape());
+    assert_eq!(
+        input.rank(),
+        3,
+        "roi_pool expects [C,H,W], got {}",
+        input.shape()
+    );
     assert!(out_h > 0 && out_w > 0, "output size must be positive");
     let (c, h, w) = (input.dim(0), input.dim(1), input.dim(2));
     let roi = roi.clamped(h, w);
@@ -212,7 +229,11 @@ mod tests {
         let x = Tensor::from_vec([1, 2, 2], vec![1., 5., 2., 3.]).unwrap();
         let p = max_pool2d(&x, 2, 2);
         assert_eq!(p.output.as_slice(), &[5.0]);
-        let g = max_pool2d_backward(&[1, 2, 2], &p.argmax, &Tensor::from_vec([1, 1, 1], vec![7.0]).unwrap());
+        let g = max_pool2d_backward(
+            &[1, 2, 2],
+            &p.argmax,
+            &Tensor::from_vec([1, 1, 1], vec![7.0]).unwrap(),
+        );
         assert_eq!(g.as_slice(), &[0., 7., 0., 0.]);
     }
 
@@ -308,10 +329,7 @@ mod tests {
             let numeric = (roi_pool(&plus, roi, 3, 3).output.sum()
                 - roi_pool(&minus, roi, 3, 3).output.sum())
                 / (2.0 * eps);
-            assert!(
-                (numeric - dx.as_slice()[probe]).abs() < 1e-2,
-                "x[{probe}]"
-            );
+            assert!((numeric - dx.as_slice()[probe]).abs() < 1e-2, "x[{probe}]");
         }
     }
 }

@@ -53,11 +53,19 @@ pub fn mean_axis(t: &Tensor, axis: usize) -> Tensor {
 /// Panics if `parts` is empty, any part is not rank 3, or spatial sizes
 /// disagree.
 pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
-    assert!(!parts.is_empty(), "concat_channels needs at least one input");
+    assert!(
+        !parts.is_empty(),
+        "concat_channels needs at least one input"
+    );
     let (h, w) = (parts[0].dim(1), parts[0].dim(2));
     let mut total_c = 0;
     for p in parts {
-        assert_eq!(p.rank(), 3, "concat_channels expects [C,H,W], got {}", p.shape());
+        assert_eq!(
+            p.rank(),
+            3,
+            "concat_channels expects [C,H,W], got {}",
+            p.shape()
+        );
         assert_eq!(
             (p.dim(1), p.dim(2)),
             (h, w),
@@ -80,7 +88,12 @@ pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
 ///
 /// Panics if the channel counts do not sum to `grad.dim(0)`.
 pub fn split_channels(grad: &Tensor, channels: &[usize]) -> Vec<Tensor> {
-    assert_eq!(grad.rank(), 3, "split_channels expects [C,H,W], got {}", grad.shape());
+    assert_eq!(
+        grad.rank(),
+        3,
+        "split_channels expects [C,H,W], got {}",
+        grad.shape()
+    );
     let (c, h, w) = (grad.dim(0), grad.dim(1), grad.dim(2));
     let total: usize = channels.iter().sum();
     assert_eq!(total, c, "channel counts sum to {total}, tensor has {c}");

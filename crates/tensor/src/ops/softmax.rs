@@ -11,7 +11,12 @@ use crate::Tensor;
 ///
 /// Panics if `logits` is not rank 2.
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
-    assert_eq!(logits.rank(), 2, "softmax_rows expects [n,k], got {}", logits.shape());
+    assert_eq!(
+        logits.rank(),
+        2,
+        "softmax_rows expects [n,k], got {}",
+        logits.shape()
+    );
     let (n, k) = (logits.dim(0), logits.dim(1));
     let lv = logits.as_slice();
     let mut out = vec![0.0f32; n * k];
@@ -45,15 +50,26 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
 /// # Panics
 ///
 /// Panics on shape mismatches or a target index out of range.
-pub fn cross_entropy_rows(
-    logits: &Tensor,
-    targets: &[usize],
-    weights: &[f32],
-) -> (f32, Tensor) {
-    assert_eq!(logits.rank(), 2, "cross_entropy expects [n,k], got {}", logits.shape());
+pub fn cross_entropy_rows(logits: &Tensor, targets: &[usize], weights: &[f32]) -> (f32, Tensor) {
+    assert_eq!(
+        logits.rank(),
+        2,
+        "cross_entropy expects [n,k], got {}",
+        logits.shape()
+    );
     let (n, k) = (logits.dim(0), logits.dim(1));
-    assert_eq!(targets.len(), n, "targets length {} != rows {n}", targets.len());
-    assert_eq!(weights.len(), n, "weights length {} != rows {n}", weights.len());
+    assert_eq!(
+        targets.len(),
+        n,
+        "targets length {} != rows {n}",
+        targets.len()
+    );
+    assert_eq!(
+        weights.len(),
+        n,
+        "weights length {} != rows {n}",
+        weights.len()
+    );
 
     let probs = softmax_rows(logits);
     let pv = probs.as_slice();

@@ -219,7 +219,7 @@ mod tests {
     #[test]
     fn offset_matches_manual_calculation() {
         let s = Shape::from([2, 3, 4]);
-        assert_eq!(s.offset(&[1, 2, 3]), 1 * 12 + 2 * 4 + 3);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 2 * 4 + 3);
         assert_eq!(s.offset(&[0, 0, 0]), 0);
     }
 

@@ -12,7 +12,6 @@
 use rand::SeedableRng;
 use rhsd::core::{RegionDetector, RhsdConfig, RhsdNetwork, TrainConfig};
 use rhsd::data::{test_regions, RegionConfig, RegionSample};
-use rhsd::layout::synth::CaseId;
 use rhsd::nn::Layer;
 use rhsd_bench::pipeline::{build_benchmarks, merged_train_regions};
 

@@ -38,7 +38,10 @@ fn main() {
     const NM_PER_PX: f64 = 10.0;
 
     println!("== Wire CD through the process window (drawn width sweep) ==");
-    println!("{:>10} {:>24} {:>24} {:>24}", "drawn", "overexpose", "nominal", "underexpose");
+    println!(
+        "{:>10} {:>24} {:>24} {:>24}",
+        "drawn", "overexpose", "nominal", "underexpose"
+    );
     for width_px in [2usize, 3, 4, 6] {
         let rows = process_window_cd(&wire(width_px), Cut::Vertical { x: 32 }, 32, &pw, NM_PER_PX);
         let fmt = |name: &str| {
@@ -60,7 +63,10 @@ fn main() {
     }
 
     println!("\n== Tip-to-tip gap survival (bridge check) ==");
-    println!("{:>10} {:>16} {:>16} {:>16}", "drawn gap", "overexpose", "nominal", "underexpose");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "drawn gap", "overexpose", "nominal", "underexpose"
+    );
     for gap_px in [2usize, 3, 6, 10] {
         let design = tip_to_tip(gap_px);
         let mut cols = Vec::new();

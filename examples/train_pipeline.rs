@@ -33,17 +33,28 @@ fn main() {
     // Merge all three evaluated cases' training halves (paper protocol)
     // and augment with flips.
     let region_cfg = RegionConfig::demo();
-    let benches: Vec<Benchmark> = CaseId::EVALUATED.iter().map(|&c| Benchmark::demo(c)).collect();
+    let benches: Vec<Benchmark> = CaseId::EVALUATED
+        .iter()
+        .map(|&c| Benchmark::demo(c))
+        .collect();
     let mut samples = Vec::new();
     for b in &benches {
         samples.extend(train_regions(b, &region_cfg));
     }
     let flipped: Vec<_> = samples
         .iter()
-        .flat_map(|s| [flip_region(s, Flip::Horizontal), flip_region(s, Flip::Vertical)])
+        .flat_map(|s| {
+            [
+                flip_region(s, Flip::Horizontal),
+                flip_region(s, Flip::Vertical),
+            ]
+        })
         .collect();
     samples.extend(flipped);
-    println!("training on {} samples (with flip augmentation)…", samples.len());
+    println!(
+        "training on {} samples (with flip augmentation)…",
+        samples.len()
+    );
 
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2019);
     let mut net = RhsdNetwork::new(cfg, &mut rng);
@@ -51,7 +62,10 @@ fn main() {
     tc.epochs = epochs;
     let history = rhsd::core::train(&mut net, &samples, &tc);
     for h in &history {
-        println!("  epoch {:>2}: mean loss {:.4} (lr {:.4})", h.epoch, h.mean_loss, h.lr);
+        println!(
+            "  epoch {:>2}: mean loss {:.4} (lr {:.4})",
+            h.epoch, h.mean_loss, h.lr
+        );
     }
 
     // Checkpoint to disk and restore — what a production flow would ship.

@@ -255,12 +255,12 @@ fn cmd_eval(opts: &HashMap<String, Vec<String>>) -> Result<(), String> {
     let mut det = RegionDetector::new(net, RegionConfig::demo());
     for &c in &cases {
         let bench = Benchmark::demo(c);
-        let t0 = std::time::Instant::now();
+        let timer = rhsd::obs::Stopwatch::start();
         let result = det.scan_test_half(&bench);
         println!(
             "{c}: {} ({:.2}s, {} regions)",
             result.evaluation,
-            t0.elapsed().as_secs_f64(),
+            timer.secs(),
             result.regions
         );
     }

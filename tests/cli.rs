@@ -27,7 +27,10 @@ fn unknown_command_fails_with_message() {
 
 #[test]
 fn missing_required_option_fails() {
-    let out = rhsd().args(["gen", "--case", "2"]).output().expect("run rhsd gen");
+    let out = rhsd()
+        .args(["gen", "--case", "2"])
+        .output()
+        .expect("run rhsd gen");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--out"));
@@ -42,7 +45,11 @@ fn gen_writes_parseable_rlf() {
         .args(["gen", "--case", "1", "--out", path.to_str().unwrap()])
         .output()
         .expect("run rhsd gen");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let file = std::fs::File::open(&path).unwrap();
     let layout = rhsd::layout::io::read_rlf(std::io::BufReader::new(file)).unwrap();

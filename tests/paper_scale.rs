@@ -16,7 +16,10 @@ fn paper_scale_network_builds_and_detects() {
     let cfg = RhsdConfig::paper();
     let mut rng = ChaCha8Rng::seed_from_u64(42);
     let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
-    assert!(net.param_count() > 1_000_000, "paper scale is million-param class");
+    assert!(
+        net.param_count() > 1_000_000,
+        "paper scale is million-param class"
+    );
     let image = Tensor::rand_uniform([1, cfg.region_px, cfg.region_px], 0.0, 1.0, &mut rng);
     let dets = net.detect(&image);
     for d in &dets {
@@ -31,5 +34,9 @@ fn paper_config_anchor_grid_matches_fig4() {
     let cfg = RhsdConfig::paper();
     assert_eq!(cfg.feature_px(), 16);
     assert_eq!(cfg.total_anchors(), 16 * 16 * 12);
-    assert_eq!(224 / cfg.stride, 14, "the Fig. 4 grid at the paper's 224-px crop");
+    assert_eq!(
+        224 / cfg.stride,
+        14,
+        "the Fig. 4 grid at the paper's 224-px crop"
+    );
 }

@@ -31,8 +31,16 @@ fn defects_lie_near_metal_geometry() {
 fn defects_have_both_failure_modes() {
     // Case4 stresses both gaps and necks, so both kinds should appear.
     let b = bench();
-    let bridges = b.defects.iter().filter(|d| d.kind == DefectKind::Bridge).count();
-    let pinches = b.defects.iter().filter(|d| d.kind == DefectKind::Pinch).count();
+    let bridges = b
+        .defects
+        .iter()
+        .filter(|d| d.kind == DefectKind::Bridge)
+        .count();
+    let pinches = b
+        .defects
+        .iter()
+        .filter(|d| d.kind == DefectKind::Pinch)
+        .count();
     assert!(bridges > 0, "expected bridge defects");
     assert!(pinches > 0, "expected pinch defects");
 }

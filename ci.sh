@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, format, lint. Run before pushing.
+# Local CI gate: build, test, lint, format. Run before pushing.
 #
-#   ./ci.sh           # full gate
-#   ./ci.sh --fast    # skip the release build (debug test run only)
+#   ./ci.sh              # full gate
+#   ./ci.sh --fast       # skip the release build (debug test run only)
+#   ./ci.sh --lint-only  # only the workspace linter (cargo xtask lint)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
+case "${1:-}" in
+--fast) fast=1 ;;
+--lint-only)
+    exec cargo xtask lint
+    ;;
+esac
 
 step() { printf '\n== %s ==\n' "$*"; }
 
@@ -18,6 +24,12 @@ fi
 
 step "cargo test"
 cargo test --workspace -q
+
+step "cargo test --features debug_invariants"
+cargo test -q --features debug_invariants -p rhsd-nn -p rhsd-tensor
+
+step "cargo xtask lint"
+cargo xtask lint
 
 step "cargo fmt --check"
 cargo fmt --all --check

@@ -45,7 +45,7 @@ pub fn dct2(block: &Tensor) -> Tensor {
             out[u * n + v] = norm(u) * norm(v) * acc;
         }
     }
-    Tensor::from_vec([n, n], out).expect("dct output length n*n")
+    Tensor::from_parts([n, n], out)
 }
 
 /// Inverse 2-D DCT-II (i.e. DCT-III with orthonormal scaling).
@@ -87,7 +87,7 @@ pub fn idct2(coeffs: &Tensor) -> Tensor {
             out[y * n + x] = acc;
         }
     }
-    Tensor::from_vec([n, n], out).expect("idct output length n*n")
+    Tensor::from_parts([n, n], out)
 }
 
 /// Zig-zag scan order of an `n×n` matrix (JPEG-style).

@@ -11,8 +11,6 @@
 //! - [`dct`]: the block-DCT feature tensors the TCAD'18 front end uses.
 //! - [`eval`]: the shared layout-space Def. 1/2 scoring harness.
 
-#![warn(missing_docs)]
-
 pub mod dct;
 pub mod eval;
 pub mod generic;

@@ -139,7 +139,7 @@ impl Tcad18Detector {
     /// Hotspot probability of one clip raster.
     pub fn classify(&mut self, image: &Tensor) -> f32 {
         let logits = self.net.forward(&self.features(image));
-        let rows = logits.reshape([1, 2]).expect("classifier emits 2 logits");
+        let rows = logits.with_shape([1, 2]);
         softmax_rows(&rows).get(&[0, 0])
     }
 
@@ -169,11 +169,11 @@ impl Tcad18Detector {
                     1.0
                 };
                 let logits = self.net.forward(&self.features(image));
-                let rows = logits.reshape([1, 2]).expect("2 logits");
+                let rows = logits.with_shape([1, 2]);
                 let (loss, grad) = cross_entropy_rows(&rows, &[target], &[weight]);
                 sum += loss;
                 self.net.zero_grad();
-                self.net.backward(&grad.reshape([2]).expect("grad reshape"));
+                self.net.backward(&grad.with_shape([2]));
                 let mut params = self.net.params_mut();
                 opt.step(&mut params);
             }

@@ -11,6 +11,9 @@
 //!
 //! Unknown flags are rejected with a usage message instead of being
 //! silently ignored.
+//!
+//! Exit codes: `0` on success (and `--help`), `1` on a runtime failure
+//! reported via [`fail`], `2` on a usage error.
 
 use std::path::PathBuf;
 
@@ -25,6 +28,13 @@ pub struct BenchArgs {
     pub trace: Option<PathBuf>,
     /// Metrics snapshot output path (`--metrics <path>`).
     pub metrics: Option<PathBuf>,
+}
+
+/// Reports a fatal runtime error (as opposed to a usage error, which
+/// exits with code 2 via [`BenchArgs::parse`]) and exits with code 1.
+pub fn fail(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(1);
 }
 
 /// Usage text for a binary named `bin`.
@@ -73,10 +83,16 @@ impl BenchArgs {
             match arg.as_str() {
                 "--quick" => out.quick = true,
                 "--trace" => {
+                    if out.trace.is_some() {
+                        return Err("--trace given more than once".into());
+                    }
                     let path = it.next().ok_or("--trace requires a path argument")?;
                     out.trace = Some(PathBuf::from(path));
                 }
                 "--metrics" => {
+                    if out.metrics.is_some() {
+                        return Err("--metrics given more than once".into());
+                    }
                     let path = it.next().ok_or("--metrics requires a path argument")?;
                     out.metrics = Some(PathBuf::from(path));
                 }
@@ -158,6 +174,14 @@ mod tests {
     fn missing_path_is_rejected() {
         assert!(BenchArgs::parse_from(["--trace"]).is_err());
         assert!(BenchArgs::parse_from(["--metrics"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_path_flags_are_rejected() {
+        let err = BenchArgs::parse_from(["--trace", "a", "--trace", "b"]).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+        let err = BenchArgs::parse_from(["--metrics", "a", "--metrics", "b"]).unwrap_err();
+        assert!(err.contains("--metrics"), "{err}");
     }
 
     #[test]

@@ -77,8 +77,10 @@ fn main() {
         );
     }
 
-    let json = serde_json::to_string_pretty(&points).expect("serialise sweep");
-    std::fs::write("ablation_roc.json", json).expect("write ablation_roc.json");
+    let json = serde_json::to_string_pretty(&points)
+        .unwrap_or_else(|e| rhsd_bench::fail("serialise sweep", e));
+    std::fs::write("ablation_roc.json", json)
+        .unwrap_or_else(|e| rhsd_bench::fail("write ablation_roc.json", e));
     eprintln!("wrote ablation_roc.json");
     args.export_obs();
 }

@@ -57,11 +57,10 @@ fn main() {
         .iter()
         .map(|r| (r.name.clone(), r.rows.clone()))
         .collect::<Vec<_>>());
-    std::fs::write(
-        "fig10_results.json",
-        serde_json::to_string_pretty(&json).unwrap(),
-    )
-    .expect("write fig10_results.json");
+    let pretty = serde_json::to_string_pretty(&json)
+        .unwrap_or_else(|e| rhsd_bench::fail("serialise fig10 results", e));
+    std::fs::write("fig10_results.json", pretty)
+        .unwrap_or_else(|e| rhsd_bench::fail("write fig10_results.json", e));
     eprintln!("wrote fig10_results.json");
 
     args.export_obs();

@@ -73,7 +73,7 @@ fn main() {
         ] {
             let svg = render_svg(&bench.layout, &window, clips, &hotspots, px_per_nm);
             let name = format!("fig9_{}_{tag}.svg", bench.id.name().to_lowercase());
-            std::fs::write(&name, svg).expect("write svg");
+            std::fs::write(&name, svg).unwrap_or_else(|e| rhsd_bench::fail(&name, e));
             let c = viz_counts(clips, &hotspots);
             println!(
                 "{name}: detected {}, missed {}, false alarms {}",

@@ -54,15 +54,14 @@ fn main() {
         .iter()
         .map(|r| (r.name.clone(), r.rows.clone()))
         .collect::<Vec<_>>());
-    std::fs::write(
-        "table1_results.json",
-        serde_json::to_string_pretty(&json).unwrap(),
-    )
-    .expect("write table1_results.json");
+    let pretty = serde_json::to_string_pretty(&json)
+        .unwrap_or_else(|e| rhsd_bench::fail("serialise table1 results", e));
+    std::fs::write("table1_results.json", pretty)
+        .unwrap_or_else(|e| rhsd_bench::fail("write table1_results.json", e));
     eprintln!("wrote table1_results.json");
 
     write_bench_json("BENCH_table1.json", "repro_table1", args.quick, &reports)
-        .expect("write BENCH_table1.json");
+        .unwrap_or_else(|e| rhsd_bench::fail("write BENCH_table1.json", e));
     eprintln!("wrote BENCH_table1.json");
 
     args.export_obs();

@@ -11,9 +11,9 @@
 //! effort, `--trace <path>` / `--metrics <path>` to capture an
 //! observability trace of the run (see `rhsd-obs`).
 
-#![warn(missing_docs)]
-
 pub mod args;
 pub mod pipeline;
 pub mod table;
 pub mod viz;
+
+pub use args::{fail, usage, BenchArgs};

@@ -173,21 +173,30 @@ impl DetectorReport {
         }
     }
 
-    /// The average row.
-    pub fn average(&self) -> &CaseResult {
-        self.rows.last().expect("reports always hold the average")
+    /// The average row ([`DetectorReport::new`] always appends one; an
+    /// empty report — possible through the public field — averages to the
+    /// all-zero row).
+    pub fn average(&self) -> CaseResult {
+        match self.rows.last() {
+            Some(r) => r.clone(),
+            None => average_row(&self.rows),
+        }
     }
 
     /// Per-case rows, excluding the trailing average row.
     pub fn case_rows(&self) -> &[CaseResult] {
-        &self.rows[..self.rows.len() - 1]
+        &self.rows[..self.rows.len().saturating_sub(1)]
     }
 }
 
 /// Serialises detector reports as the machine-readable benchmark record
 /// tracked across revisions (`BENCH_table1.json`): per detector, the
 /// per-case accuracy / false-alarm / runtime rows plus the average.
-pub fn bench_json(source: &str, quick: bool, reports: &[DetectorReport]) -> String {
+pub fn bench_json(
+    source: &str,
+    quick: bool,
+    reports: &[DetectorReport],
+) -> std::io::Result<String> {
     let detectors: Vec<serde_json::Value> = reports
         .iter()
         .map(|r| {
@@ -204,7 +213,7 @@ pub fn bench_json(source: &str, quick: bool, reports: &[DetectorReport]) -> Stri
         "quick": quick,
         "detectors": detectors,
     });
-    serde_json::to_string_pretty(&doc).expect("bench report serialises")
+    serde_json::to_string_pretty(&doc).map_err(std::io::Error::other)
 }
 
 /// Writes [`bench_json`] to `path`.
@@ -214,7 +223,7 @@ pub fn write_bench_json(
     quick: bool,
     reports: &[DetectorReport],
 ) -> std::io::Result<()> {
-    std::fs::write(path, bench_json(source, quick, reports))
+    std::fs::write(path, bench_json(source, quick, reports)?)
 }
 
 /// Runs the full Table 1 comparison: TCAD'18, Faster R-CNN, SSD, Ours.

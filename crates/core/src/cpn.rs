@@ -56,6 +56,9 @@ impl ClipProposalNetwork {
 
     /// Runs the proposal heads over a `[C, f, f]` feature map.
     ///
+    /// Shapes: `features` is `[C, f, f]` with `f` the configured grid;
+    /// outputs are `[f·f·k, 2]` logits and `[f·f·k, 4]` codes.
+    ///
     /// # Panics
     ///
     /// Panics if the spatial size differs from the configured grid.
@@ -95,6 +98,9 @@ impl ClipProposalNetwork {
     /// Back-propagates row-space gradients and returns the feature-map
     /// gradient.
     ///
+    /// Shapes: `cls_grad` is `[f·f·k, 2]`, `reg_grad` is `[f·f·k, 4]`;
+    /// the returned gradient matches the forward feature map `[C, f, f]`.
+    ///
     /// # Panics
     ///
     /// Panics if called before [`ClipProposalNetwork::forward`] or with
@@ -125,6 +131,10 @@ impl ClipProposalNetwork {
 }
 
 impl Layer for ClipProposalNetwork {
+    fn name(&self) -> &'static str {
+        "ClipProposalNetwork"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         // Layer-trait adapter: returns classification logits only. The
         // typed API (`ClipProposalNetwork::forward`) is the primary one.

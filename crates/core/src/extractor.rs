@@ -90,6 +90,10 @@ impl FeatureExtractor {
 }
 
 impl Layer for FeatureExtractor {
+    fn name(&self) -> &'static str {
+        "FeatureExtractor"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         forward_all(&mut self.layers, input)
     }

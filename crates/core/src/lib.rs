@@ -34,8 +34,6 @@
 //! assert!(detections.iter().all(|d| d.score <= 1.0));
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod anchor;
 pub mod boxcode;
 pub mod config;

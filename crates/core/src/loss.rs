@@ -87,7 +87,8 @@ pub fn cpn_loss(
 /// `reg_target` is the Eq. (3) code of the matched ground truth relative
 /// to the proposal box (`None` for negatives — no localisation term).
 ///
-/// Returns `(loss, cls_grad [2], reg_grad [4])`.
+/// Shapes: `cls_logits` is `[2]`, `reg_code` is `[4]`; returns
+/// `(loss, cls_grad [2], reg_grad [4])`.
 pub fn refine_loss(
     cls_logits: &Tensor,
     reg_code: &Tensor,
@@ -95,17 +96,14 @@ pub fn refine_loss(
     reg_target: Option<[f32; 4]>,
     config: &RhsdConfig,
 ) -> (CrLoss, Tensor, Tensor) {
-    let logits2 = cls_logits
-        .clone()
-        .reshape([1, 2])
-        .expect("refine cls logits are [2]");
+    let logits2 = cls_logits.clone().with_shape([1, 2]);
     let (cls, cls_grad) = cross_entropy_rows(&logits2, &[target_class], &[1.0]);
-    let cls_grad = cls_grad.reshape([2]).expect("grad reshape");
+    let cls_grad = cls_grad.with_shape([2]);
 
     match reg_target {
         Some(t) => {
-            let pred = reg_code.clone().reshape([1, 4]).expect("reg code is [4]");
-            let target = Tensor::from_vec([1, 4], t.to_vec()).expect("target length 4");
+            let pred = reg_code.clone().with_shape([1, 4]);
+            let target = Tensor::from_parts([1, 4], t.to_vec());
             let (reg_raw, gr) = smooth_l1_loss(&pred, &target, &[1.0]);
             (
                 CrLoss {
@@ -113,9 +111,7 @@ pub fn refine_loss(
                     reg: config.alpha_loc * reg_raw,
                 },
                 cls_grad,
-                gr.map(|g| g * config.alpha_loc)
-                    .reshape([4])
-                    .expect("grad reshape"),
+                gr.map(|g| g * config.alpha_loc).with_shape([4]),
             )
         }
         None => (CrLoss { cls, reg: 0.0 }, cls_grad, Tensor::zeros([4])),

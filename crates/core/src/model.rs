@@ -309,6 +309,8 @@ impl RhsdNetwork {
 
     /// First-stage proposals (post h-NMS) for a region raster — exposed
     /// for diagnostics and for single-stage operation.
+    ///
+    /// Shapes: `image` is `[1, region_px, region_px]`.
     pub fn proposals(&mut self, image: &Tensor) -> Vec<Scored> {
         let feats = {
             let _sp = rhsd_obs::span("backbone");
@@ -319,6 +321,8 @@ impl RhsdNetwork {
 
     /// Detects hotspots in a `[1, region_px, region_px]` raster — the
     /// one-step feed-forward region detection of the paper.
+    ///
+    /// Shapes: `image` is `[1, region_px, region_px]`.
     pub fn detect(&mut self, image: &Tensor) -> Vec<Detection> {
         let feats = {
             let _sp = rhsd_obs::span("backbone");
@@ -334,11 +338,7 @@ impl RhsdNetwork {
             for p in &proposals {
                 let roi = roi_from_bbox(&p.bbox, self.config.stride, f);
                 let out = head.forward(&feats, roi);
-                let logits = out
-                    .cls_logits
-                    .clone()
-                    .reshape([1, 2])
-                    .expect("refine logits are [2]");
+                let logits = out.cls_logits.clone().with_shape([1, 2]);
                 let probs = softmax_rows(&logits);
                 let score = probs.get(&[0, CLASS_HOTSPOT]);
                 if score < self.config.score_threshold {

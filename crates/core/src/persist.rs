@@ -4,7 +4,7 @@
 //! parameter checkpoint, serialised as one JSON document.
 
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -12,6 +12,49 @@ use rhsd_nn::serialize::{restore, Checkpoint, CheckpointError};
 
 use crate::config::RhsdConfig;
 use crate::model::RhsdNetwork;
+
+/// Errors from saving or loading a trained detector, annotated with
+/// where in the pipeline the failure happened (and with the file path
+/// for the path-based APIs).
+#[derive(Debug)]
+pub enum PersistError {
+    /// The model file could not be created or opened.
+    File {
+        /// The path that failed to open.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// Serialising or writing the model document failed.
+    Write(CheckpointError),
+    /// Reading or parsing the saved JSON failed.
+    Read(CheckpointError),
+    /// The document parsed but its checkpoint does not match the
+    /// architecture implied by the saved configuration.
+    Restore(CheckpointError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::File { path, source } => {
+                write!(f, "cannot open model file {}: {source}", path.display())
+            }
+            PersistError::Write(e) => write!(f, "cannot write model: {e}"),
+            PersistError::Read(e) => write!(f, "cannot read model: {e}"),
+            PersistError::Restore(e) => write!(f, "saved model is inconsistent: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::File { source, .. } => Some(source),
+            PersistError::Write(e) | PersistError::Read(e) | PersistError::Restore(e) => Some(e),
+        }
+    }
+}
 
 /// Serialised form of a trained network.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -59,35 +102,36 @@ pub fn load_model(saved: &SavedModel) -> Result<RhsdNetwork, CheckpointError> {
 ///
 /// # Errors
 ///
-/// Returns serialisation or I/O failures.
-pub fn save_to_writer(
-    network: &mut RhsdNetwork,
-    writer: impl Write,
-) -> Result<(), CheckpointError> {
-    serde_json::to_writer(writer, &save_model(network))?;
-    Ok(())
+/// Returns [`PersistError::Write`] on serialisation or I/O failures.
+pub fn save_to_writer(network: &mut RhsdNetwork, writer: impl Write) -> Result<(), PersistError> {
+    serde_json::to_writer(writer, &save_model(network)).map_err(|e| PersistError::Write(e.into()))
 }
 
 /// Reads a model from JSON written by [`save_to_writer`].
 ///
 /// # Errors
 ///
-/// Returns deserialisation, I/O or architecture-mismatch failures.
-pub fn load_from_reader(reader: impl Read) -> Result<RhsdNetwork, CheckpointError> {
-    let saved: SavedModel = serde_json::from_reader(reader)?;
-    load_model(&saved)
+/// Returns [`PersistError::Read`] when the document cannot be parsed and
+/// [`PersistError::Restore`] when the checkpoint does not fit the saved
+/// architecture.
+pub fn load_from_reader(reader: impl Read) -> Result<RhsdNetwork, PersistError> {
+    let saved: SavedModel =
+        serde_json::from_reader(reader).map_err(|e| PersistError::Read(e.into()))?;
+    load_model(&saved).map_err(PersistError::Restore)
 }
 
 /// Saves a model to a file path.
 ///
 /// # Errors
 ///
-/// Returns I/O or serialisation failures.
-pub fn save_to_path(
-    network: &mut RhsdNetwork,
-    path: impl AsRef<Path>,
-) -> Result<(), CheckpointError> {
-    let file = std::fs::File::create(path)?;
+/// Returns [`PersistError::File`] (naming `path`) when the file cannot be
+/// created, [`PersistError::Write`] on serialisation failures.
+pub fn save_to_path(network: &mut RhsdNetwork, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path).map_err(|source| PersistError::File {
+        path: path.to_path_buf(),
+        source,
+    })?;
     save_to_writer(network, std::io::BufWriter::new(file))
 }
 
@@ -95,9 +139,14 @@ pub fn save_to_path(
 ///
 /// # Errors
 ///
-/// Returns I/O, deserialisation or architecture-mismatch failures.
-pub fn load_from_path(path: impl AsRef<Path>) -> Result<RhsdNetwork, CheckpointError> {
-    let file = std::fs::File::open(path)?;
+/// Returns [`PersistError::File`] (naming `path`) when the file cannot be
+/// opened, otherwise as [`load_from_reader`].
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<RhsdNetwork, PersistError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|source| PersistError::File {
+        path: path.to_path_buf(),
+        source,
+    })?;
     load_from_reader(std::io::BufReader::new(file))
 }
 
@@ -150,6 +199,30 @@ mod tests {
         let mut saved = save_model(&mut net);
         saved.checkpoint.tensors.pop();
         assert!(load_model(&saved).is_err());
+    }
+
+    #[test]
+    fn missing_file_error_names_the_path() {
+        let err = match load_from_path("/nonexistent/rhsd/model.json") {
+            Err(e) => e,
+            Ok(_) => unreachable!("load of a missing file must fail"),
+        };
+        assert!(matches!(err, PersistError::File { .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("/nonexistent/rhsd/model.json"), "{msg}");
+    }
+
+    #[test]
+    fn mismatched_architecture_is_a_restore_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(103);
+        let mut net = RhsdNetwork::new(RhsdConfig::tiny(), &mut rng);
+        let mut saved = save_model(&mut net);
+        saved.checkpoint.tensors.pop();
+        let err = match load_model(&saved) {
+            Err(e) => e,
+            Ok(_) => unreachable!("architecture mismatch must fail"),
+        };
+        assert!(matches!(err, CheckpointError::CountMismatch { .. }));
     }
 
     #[test]

@@ -73,6 +73,9 @@ impl RefinementHead {
 
     /// Refines one proposal: pools `roi` from `features` and runs the 2nd
     /// classification and regression.
+    ///
+    /// Shapes: `features` is the backbone map `[C, f, f]`; outputs are
+    /// `[2]` logits and a `[4]` regression code.
     pub fn forward(&mut self, features: &Tensor, roi: FeatureRoi) -> RefineOutput {
         let pooled = roi_pool(features, roi, self.roi_size, self.roi_size);
         self.cache = Some((features.dims().to_vec(), pooled.argmax));
@@ -89,14 +92,14 @@ impl RefinementHead {
     /// Back-propagates one proposal's gradients; returns the gradient with
     /// respect to the backbone feature map (zeros outside the RoI).
     ///
+    /// Shapes: `cls_grad` is `[2]`, `reg_grad` is `[4]`; the returned
+    /// gradient matches the forward feature map `[C, f, f]`.
+    ///
     /// # Panics
     ///
     /// Panics if called before [`RefinementHead::forward`].
     pub fn backward(&mut self, cls_grad: &Tensor, reg_grad: &Tensor) -> Tensor {
-        let (feat_dims, argmax) = self
-            .cache
-            .take()
-            .expect("RefinementHead::backward called before forward");
+        let (feat_dims, argmax) = rhsd_nn::take_cache(&mut self.cache, "RefinementHead");
         let gh = add(&self.cls.backward(cls_grad), &self.reg.backward(reg_grad));
         let gx = self.fc.backward(&self.relu.backward(&gh));
         let gx = self.flatten.backward(&gx);
@@ -107,6 +110,10 @@ impl RefinementHead {
 }
 
 impl Layer for RefinementHead {
+    fn name(&self) -> &'static str {
+        "RefinementHead"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         // Layer-trait adapter refining the full-map RoI; the typed API is
         // primary.

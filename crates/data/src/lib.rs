@@ -17,8 +17,6 @@
 //! println!("{} training regions", regions.len());
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod augment;
 mod bbox;
 mod benchmark;

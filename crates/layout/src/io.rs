@@ -126,7 +126,9 @@ pub fn read_rlf(r: impl Read) -> Result<Layout, RlfError> {
         }
         let line = raw.trim();
         let mut parts = line.split_whitespace();
-        let tag = parts.next().expect("relevant lines are non-empty");
+        let Some(tag) = parts.next() else {
+            continue; // unreachable: `relevant` filtered blank lines
+        };
         let nums: Result<Vec<i64>, _> = parts.map(|t| t.parse::<i64>()).collect();
         let nums = nums.map_err(|e| RlfError::BadRecord {
             line: line_no,

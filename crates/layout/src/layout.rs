@@ -93,6 +93,7 @@ impl Layout {
         let ny = (self.extent.height() as usize)
             .div_ceil(self.grid_cell as usize)
             .max(1);
+        let end = self.layers.len();
         self.layers.push((
             id,
             LayerData {
@@ -102,7 +103,7 @@ impl Layout {
                 ny,
             },
         ));
-        &mut self.layers.last_mut().expect("just pushed").1
+        &mut self.layers[end].1
     }
 
     fn bin_range(&self, data: &LayerData, rect: &Rect) -> (usize, usize, usize, usize) {

@@ -17,8 +17,6 @@
 //! assert_eq!(image.dims(), &[1, 256, 256]);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod drc;
 mod geom;
 pub mod io;

@@ -93,14 +93,13 @@ impl RectilinearPolygon {
 
     /// Axis-aligned bounding box.
     pub fn bbox(&self) -> Rect {
-        let xs: Vec<i64> = self.vertices.iter().map(|p| p.x).collect();
-        let ys: Vec<i64> = self.vertices.iter().map(|p| p.y).collect();
-        Rect::new(
-            *xs.iter().min().expect("non-empty ring"),
-            *ys.iter().min().expect("non-empty ring"),
-            *xs.iter().max().expect("non-empty ring"),
-            *ys.iter().max().expect("non-empty ring"),
-        )
+        // The ring is non-empty by construction (validated ≥4 vertices),
+        // so folding from extreme sentinels always tightens to real bounds.
+        let (x0, y0, x1, y1) = self.vertices.iter().fold(
+            (i64::MAX, i64::MAX, i64::MIN, i64::MIN),
+            |(x0, y0, x1, y1), p| (x0.min(p.x), y0.min(p.y), x1.max(p.x), y1.max(p.y)),
+        );
+        Rect::new(x0, y0, x1, y1)
     }
 
     /// Point-in-polygon via crossing number (half-open semantics matching
@@ -181,15 +180,18 @@ impl RectilinearPolygon {
             "degenerate L shape"
         );
         let Point { x, y } = origin;
-        RectilinearPolygon::new(vec![
-            Point::new(x, y),
-            Point::new(x + h_len, y),
-            Point::new(x + h_len, y + arm_w),
-            Point::new(x + arm_w, y + arm_w),
-            Point::new(x + arm_w, y + v_len),
-            Point::new(x, y + v_len),
-        ])
-        .expect("L-shape ring is rectilinear by construction")
+        // Alternating horizontal/vertical edges by construction; the ring
+        // is exercised against `new`'s validator in the unit tests.
+        RectilinearPolygon {
+            vertices: vec![
+                Point::new(x, y),
+                Point::new(x + h_len, y),
+                Point::new(x + h_len, y + arm_w),
+                Point::new(x + arm_w, y + arm_w),
+                Point::new(x + arm_w, y + v_len),
+                Point::new(x, y + v_len),
+            ],
+        }
     }
 }
 

@@ -61,7 +61,7 @@ pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
             out[y * w + x] = if norm > 0.0 { acc / norm } else { 0.0 };
         }
     }
-    Tensor::from_vec([1, h, w], out).expect("aerial output length consistent")
+    Tensor::from_parts([1, h, w], out)
 }
 
 #[cfg(test)]

@@ -156,8 +156,8 @@ fn find_defects_px(design_bin: &Tensor, printed: &Tensor) -> Vec<DefectPx> {
     let mut comp_size = vec![0usize; dn + 1];
     let mut comp_bbox = vec![(usize::MAX, usize::MAX, 0usize, 0usize); dn + 1];
     // fragment bboxes keyed by (design comp, print comp)
-    use std::collections::HashMap;
-    let mut fragments: HashMap<(u32, u32), (usize, usize, usize, usize)> = HashMap::new();
+    use std::collections::BTreeMap;
+    let mut fragments: BTreeMap<(u32, u32), (usize, usize, usize, usize)> = BTreeMap::new();
     let _ = pn;
     for y in 0..h {
         for x in 0..w {

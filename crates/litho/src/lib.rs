@@ -28,8 +28,6 @@
 //! assert!(!defects.is_empty());
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod aerial;
 pub mod cd;
 pub mod hotspot;

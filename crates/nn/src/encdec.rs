@@ -65,6 +65,10 @@ impl EncoderDecoder {
 }
 
 impl Layer for EncoderDecoder {
+    fn name(&self) -> &'static str {
+        "EncoderDecoder"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.chain.forward(input)
     }

@@ -43,7 +43,8 @@ impl BranchConcat {
                 Some(acc) => rhsd_tensor::ops::elementwise::add(&acc, &g),
             });
         }
-        grad_in.expect("inception module has at least one branch")
+        // A branchless module is an identity map; its gradient passes through.
+        grad_in.unwrap_or_else(|| grad_out.clone())
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -97,6 +98,10 @@ impl InceptionA {
 }
 
 impl Layer for InceptionA {
+    fn name(&self) -> &'static str {
+        "InceptionA"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.inner.forward(input)
     }
@@ -148,6 +153,10 @@ impl InceptionB {
 }
 
 impl Layer for InceptionB {
+    fn name(&self) -> &'static str {
+        "InceptionB"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.inner.forward(input)
     }

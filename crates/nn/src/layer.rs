@@ -18,6 +18,11 @@ use crate::param::Param;
 /// Implementations panic when `backward` is called without a preceding
 /// `forward` (a programming error), and on shape mismatches.
 pub trait Layer {
+    /// Short layer name used in invariant-violation and contract messages.
+    fn name(&self) -> &'static str {
+        "Layer"
+    }
+
     /// Runs the layer on `input`, caching state for the backward pass.
     fn forward(&mut self, input: &Tensor) -> Tensor;
 
@@ -45,20 +50,52 @@ pub trait Layer {
     }
 }
 
+/// Takes a layer's cached forward state for its backward pass.
+///
+/// Every stateful layer funnels its backward-before-forward contract
+/// through this single audited site, keeping the message format uniform.
+///
+/// # Panics
+///
+/// Panics when `cache` is `None`, i.e. `backward` ran without a
+/// preceding `forward` — a programming error, not a recoverable
+/// condition.
+pub fn take_cache<T>(cache: &mut Option<T>, layer: &str) -> T {
+    match cache.take() {
+        Some(v) => v,
+        // lint:allow(L1) — the one audited contract-violation panic site
+        None => panic!("{layer}::backward called before forward"),
+    }
+}
+
 /// Runs `forward` through a slice of boxed layers in order.
+///
+/// With the `debug_invariants` feature, every intermediate activation is
+/// checked for NaN/Inf, attributed to the producing layer.
+///
+/// Shapes: `input` is whatever the first layer accepts (each layer
+/// documents its own contract); the result is the last layer's output.
 pub fn forward_all(layers: &mut [Box<dyn Layer>], input: &Tensor) -> Tensor {
     let mut x = input.clone();
     for layer in layers.iter_mut() {
         x = layer.forward(&x);
+        rhsd_tensor::invariants::check_finite(layer.name(), &x);
     }
     x
 }
 
 /// Runs `backward` through a slice of boxed layers in reverse order.
+///
+/// With the `debug_invariants` feature, every intermediate gradient is
+/// checked for NaN/Inf, attributed to the producing layer.
+///
+/// Shapes: `grad_out` matches the last layer's output; the result
+/// matches the first layer's input.
 pub fn backward_all(layers: &mut [Box<dyn Layer>], grad_out: &Tensor) -> Tensor {
     let mut g = grad_out.clone();
     for layer in layers.iter_mut().rev() {
         g = layer.backward(&g);
+        rhsd_tensor::invariants::check_finite(layer.name(), &g);
     }
     g
 }

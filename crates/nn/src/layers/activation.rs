@@ -3,7 +3,7 @@
 use rhsd_tensor::ops::elementwise::{relu, relu_backward};
 use rhsd_tensor::Tensor;
 
-use crate::layer::Layer;
+use crate::layer::{take_cache, Layer};
 
 /// Rectified linear unit layer.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
@@ -20,16 +20,17 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.cached_input = Some(input.clone());
         relu(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("Relu::backward called before forward");
+        let input = take_cache(&mut self.cached_input, "Relu");
         relu_backward(&input, grad_out)
     }
 }

@@ -4,7 +4,7 @@
 
 use rhsd_tensor::Tensor;
 
-use crate::layer::Layer;
+use crate::layer::{take_cache, Layer};
 
 /// Leaky ReLU: `x` for `x > 0`, `alpha·x` otherwise.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -40,6 +40,10 @@ impl LeakyRelu {
 }
 
 impl Layer for LeakyRelu {
+    fn name(&self) -> &'static str {
+        "LeakyRelu"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.cached_input = Some(input.clone());
         let a = self.alpha;
@@ -47,10 +51,7 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("LeakyRelu::backward called before forward");
+        let input = take_cache(&mut self.cached_input, "LeakyRelu");
         let a = self.alpha;
         input.zip_with(grad_out, |x, g| if x > 0.0 { g } else { a * g })
     }

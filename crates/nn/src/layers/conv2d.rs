@@ -5,7 +5,7 @@ use rhsd_tensor::ops::conv::{conv2d, conv2d_backward, ConvSpec};
 use rhsd_tensor::Tensor;
 
 use crate::init::{conv_fans, he_normal};
-use crate::layer::Layer;
+use crate::layer::{take_cache, Layer};
 use crate::param::Param;
 
 /// A convolution layer `[C_in,H,W] → [C_out,H',W']` with bias.
@@ -54,16 +54,23 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
+        rhsd_tensor::invariants::check_layer_input(
+            "Conv2d",
+            &format!("[C_in={}, H, W]", self.c_in()),
+            input.rank() == 3 && input.dim(0) == self.c_in(),
+            input.shape(),
+        );
         self.cached_input = Some(input.clone());
         conv2d(input, &self.weight.value, Some(&self.bias.value), self.spec)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("Conv2d::backward called before forward");
+        let input = take_cache(&mut self.cached_input, "Conv2d");
         let (dx, dw, db) = conv2d_backward(&input, &self.weight.value, grad_out, self.spec);
         self.weight.accumulate(&dw);
         self.bias.accumulate(&db);

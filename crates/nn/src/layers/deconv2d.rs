@@ -7,7 +7,7 @@ use rhsd_tensor::ops::deconv::{conv_transpose2d, conv_transpose2d_backward};
 use rhsd_tensor::Tensor;
 
 use crate::init::he_normal;
-use crate::layer::Layer;
+use crate::layer::{take_cache, Layer};
 use crate::param::Param;
 
 /// A transposed-convolution layer `[C_in,H,W] → [C_out,(H−1)s−2p+K,…]`.
@@ -43,16 +43,23 @@ impl Deconv2d {
 }
 
 impl Layer for Deconv2d {
+    fn name(&self) -> &'static str {
+        "Deconv2d"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
+        rhsd_tensor::invariants::check_layer_input(
+            "Deconv2d",
+            &format!("[C_in={}, H, W]", self.weight.value.dim(0)),
+            input.rank() == 3 && input.dim(0) == self.weight.value.dim(0),
+            input.shape(),
+        );
         self.cached_input = Some(input.clone());
         conv_transpose2d(input, &self.weight.value, Some(&self.bias.value), self.spec)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("Deconv2d::backward called before forward");
+        let input = take_cache(&mut self.cached_input, "Deconv2d");
         let (dx, dw, db) =
             conv_transpose2d_backward(&input, &self.weight.value, grad_out, self.spec);
         self.weight.accumulate(&dw);

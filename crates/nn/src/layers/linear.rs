@@ -5,7 +5,7 @@ use rhsd_tensor::ops::matmul::{matvec, transpose};
 use rhsd_tensor::Tensor;
 
 use crate::init::xavier_uniform;
-use crate::layer::Layer;
+use crate::layer::{take_cache, Layer};
 use crate::param::Param;
 
 /// A fully-connected layer `[n_in] → [n_out]` (used by the refinement
@@ -40,7 +40,17 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
+        rhsd_tensor::invariants::check_layer_input(
+            "Linear",
+            &format!("[n_in={}]", self.n_in()),
+            input.rank() == 1 && input.dim(0) == self.n_in(),
+            input.shape(),
+        );
         assert_eq!(
             input.rank(),
             1,
@@ -54,10 +64,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("Linear::backward called before forward");
+        let input = take_cache(&mut self.cached_input, "Linear");
         // dW = g ⊗ x
         let (n_out, n_in) = (self.n_out(), self.n_in());
         let mut dw = vec![0.0f32; n_out * n_in];
@@ -69,7 +76,7 @@ impl Layer for Linear {
             }
         }
         self.weight
-            .accumulate(&Tensor::from_vec([n_out, n_in], dw).expect("dw length n_out*n_in"));
+            .accumulate(&Tensor::from_parts([n_out, n_in], dw));
         self.bias.accumulate(grad_out);
         matvec(&transpose(&self.weight.value), grad_out)
     }
@@ -95,24 +102,19 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.cached_dims = Some(input.dims().to_vec());
         let n = input.len();
-        input
-            .clone()
-            .reshape([n])
-            .expect("flatten reshape is size-preserving")
+        input.clone().with_shape([n])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let dims = self
-            .cached_dims
-            .take()
-            .expect("Flatten::backward called before forward");
-        grad_out
-            .clone()
-            .reshape(dims)
-            .expect("unflatten reshape is size-preserving")
+        let dims = take_cache(&mut self.cached_dims, "Flatten");
+        grad_out.clone().with_shape(dims)
     }
 }
 
@@ -162,8 +164,10 @@ mod tests {
         assert_eq!(g, x);
     }
 
+    // with `debug_invariants` the shape contract fires first, without it
+    // the rank assert does — both name the offending shape
     #[test]
-    #[should_panic(expected = "rank-1")]
+    #[should_panic(expected = "got [1, 2, 2]")]
     fn linear_rejects_rank3_input() {
         let mut rng = ChaCha8Rng::seed_from_u64(10);
         Linear::new(4, 2, &mut rng).forward(&Tensor::zeros([1, 2, 2]));

@@ -3,7 +3,7 @@
 use rhsd_tensor::ops::pool::{max_pool2d, max_pool2d_backward};
 use rhsd_tensor::Tensor;
 
-use crate::layer::Layer;
+use crate::layer::{take_cache, Layer};
 
 /// A 2-D max-pooling layer with square window.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -26,17 +26,24 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
+        rhsd_tensor::invariants::check_layer_input(
+            "MaxPool2d",
+            "[C, H, W]",
+            input.rank() == 3,
+            input.shape(),
+        );
         let out = max_pool2d(input, self.kernel, self.stride);
         self.cache = Some((input.dims().to_vec(), out.argmax));
         out.output
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (dims, argmax) = self
-            .cache
-            .take()
-            .expect("MaxPool2d::backward called before forward");
+        let (dims, argmax) = take_cache(&mut self.cache, "MaxPool2d");
         max_pool2d_backward(&dims, &argmax, grad_out)
     }
 }

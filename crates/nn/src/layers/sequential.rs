@@ -59,6 +59,10 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
     fn forward(&mut self, input: &Tensor) -> Tensor {
         forward_all(&mut self.layers, input)
     }

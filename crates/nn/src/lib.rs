@@ -31,8 +31,6 @@
 //! assert_eq!(features.dims(), &[4, 32, 32]);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod encdec;
 pub mod inception;
 pub mod init;
@@ -44,6 +42,6 @@ mod optim_adam;
 mod param;
 pub mod serialize;
 
-pub use layer::{backward_all, forward_all, Layer};
+pub use layer::{backward_all, forward_all, take_cache, Layer};
 pub use optim_adam::Adam;
 pub use param::Param;

@@ -36,6 +36,9 @@ pub fn smooth_l1_grad_scalar(d: f32) -> f32 {
 ///
 /// Returns `(loss, d_pred)`. The loss is normalised by the sum of weights.
 ///
+/// Shapes: `pred` and `target` are `[n, 4]`; `weights` has `n` entries;
+/// `d_pred` matches `pred`.
+///
 /// # Panics
 ///
 /// Panics if shapes disagree or `weights.len() != pred.dim(0)`.
@@ -73,16 +76,14 @@ pub fn smooth_l1_loss(pred: &Tensor, target: &Tensor, weights: &[f32]) -> (f32, 
             grad[i * k + j] = w * smooth_l1_grad_scalar(d) / norm;
         }
     }
-    (
-        loss / norm,
-        Tensor::from_vec([n, k], grad).expect("grad length n*k"),
-    )
+    (loss / norm, Tensor::from_parts([n, k], grad))
 }
 
 /// Classification loss re-export with the paper's naming: `l_hotspot` is the
 /// cross-entropy of Eq. (6) over (hotspot, non-hotspot) logits.
 ///
-/// See [`cross_entropy_rows`] for the contract.
+/// Shapes: `logits` is `[n, 2]`; `targets` and `weights` have `n`
+/// entries. See [`cross_entropy_rows`] for the contract.
 pub fn hotspot_cross_entropy(logits: &Tensor, targets: &[usize], weights: &[f32]) -> (f32, Tensor) {
     cross_entropy_rows(logits, targets, weights)
 }

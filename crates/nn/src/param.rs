@@ -17,6 +17,8 @@ pub struct Param {
 
 impl Param {
     /// Wraps a value tensor with a zeroed gradient of the same shape.
+    ///
+    /// Shapes: `grad` is allocated with `value`'s shape.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
         Param { value, grad }
@@ -38,6 +40,8 @@ impl Param {
     }
 
     /// Adds `g` into the gradient accumulator.
+    ///
+    /// Shapes: `g` must match `value`'s shape.
     ///
     /// # Panics
     ///

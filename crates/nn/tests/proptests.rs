@@ -113,3 +113,61 @@ proptest! {
         }
     }
 }
+
+/// With `debug_invariants` enabled, a NaN smuggled into a layer's weights
+/// must trip the non-finite detector on the very next forward pass.
+#[cfg(feature = "debug_invariants")]
+#[test]
+fn nan_weight_trips_invariant_checker() {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let mut layer = Conv2d::new(1, 2, ConvSpec::same(3), &mut rng);
+    layer.params_mut()[0].value.as_mut_slice()[0] = f32::NAN;
+    let x = Tensor::ones([1, 6, 6]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| layer.forward(&x)));
+    let err = result.expect_err("NaN weight must be detected");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("non-finite"),
+        "unexpected panic message: {msg}"
+    );
+}
+
+/// The invariant layer must stay silent across clean training epochs —
+/// finite data through forward/backward/step never trips a check.
+#[test]
+fn clean_epochs_do_not_trip_invariants() {
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let mut net = Sequential::new()
+        .push(Conv2d::new(1, 2, ConvSpec::same(3), &mut rng))
+        .push(Relu::new())
+        .push(MaxPool2d::new(2, 2))
+        .push(rhsd_nn::layers::Flatten::new())
+        .push(Linear::new(2 * 3 * 3, 2, &mut rng));
+    let mut opt = Sgd::new(StepDecay::constant(0.01), 0.9);
+    let x = Tensor::rand_normal([1, 6, 6], 0.0, 1.0, &mut rng);
+    for _ in 0..3 {
+        let y = net.forward(&x);
+        let grad = y.map(|v| v - 0.5);
+        net.backward(&grad);
+        opt.step(&mut net.params_mut());
+        for p in net.params_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// A mis-shaped layer input must produce a shape-contract error naming the
+/// layer and both the expected and actual shapes.
+#[cfg(feature = "debug_invariants")]
+#[test]
+fn mis_shaped_input_names_layer_and_shapes() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let mut layer = Linear::new(8, 2, &mut rng);
+    let bad = Tensor::ones([5]); // layer expects [8]
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| layer.forward(&bad)));
+    let err = result.expect_err("shape mismatch must be detected");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("Linear"), "layer name missing: {msg}");
+    assert!(msg.contains("n_in=8"), "expected shape missing: {msg}");
+    assert!(msg.contains('5'), "actual shape missing: {msg}");
+}

@@ -31,8 +31,6 @@
 //! # rhsd_obs::set_enabled(false);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod export;
 pub mod json;
 pub mod metrics;

@@ -25,9 +25,8 @@
 //! # Ok::<(), rhsd_tensor::TensorError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 mod error;
+pub mod invariants;
 pub mod ops;
 mod shape;
 mod tensor;

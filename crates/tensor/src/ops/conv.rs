@@ -96,7 +96,7 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
             }
         }
     }
-    Tensor::from_vec([c * k * k, ncols], out).expect("im2col length consistent by construction")
+    Tensor::from_parts([c * k * k, ncols], out)
 }
 
 /// Adjoint of [`im2col`]: folds a `[C·K·K, H_out·W_out]` column matrix back
@@ -138,7 +138,7 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: ConvSpec) -> Te
             }
         }
     }
-    Tensor::from_vec([c, h, w], out).expect("col2im length consistent by construction")
+    Tensor::from_parts([c, h, w], out)
 }
 
 /// Forward 2-D convolution: `[C_in,H,W] ⊛ [C_out,C_in,K,K] (+bias) → [C_out,H',W']`.
@@ -181,10 +181,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
 
     let cols = im2col(input, spec);
-    let wmat = weight
-        .clone()
-        .reshape([c_out, c_in * k * k])
-        .expect("weight reshape is size-preserving");
+    let wmat = weight.clone().with_shape([c_out, c_in * k * k]);
     let mut out = matmul(&wmat, &cols); // [c_out, oh*ow]
     if let Some(b) = bias {
         assert_eq!(
@@ -201,8 +198,9 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
             }
         }
     }
-    out.reshape([c_out, oh, ow])
-        .expect("conv output reshape is size-preserving")
+    let out = out.with_shape([c_out, oh, ow]);
+    crate::invariants::check_finite("conv2d", &out);
+    out
 }
 
 /// Gradients of [`conv2d`] with respect to input, weight and bias.
@@ -229,32 +227,25 @@ pub fn conv2d_backward(
         grad_out.shape()
     );
 
-    let gmat = grad_out
-        .clone()
-        .reshape([c_out, oh * ow])
-        .expect("grad reshape is size-preserving");
+    let gmat = grad_out.clone().with_shape([c_out, oh * ow]);
 
     // d_bias: sum over spatial positions.
     let gv = gmat.as_slice();
     let dbias: Vec<f32> = (0..c_out)
         .map(|co| gv[co * oh * ow..(co + 1) * oh * ow].iter().sum())
         .collect();
-    let d_bias = Tensor::from_vec([c_out], dbias).expect("bias grad length c_out");
+    let d_bias = Tensor::from_parts([c_out], dbias);
 
     // d_weight = grad · colsᵀ
     let cols = im2col(input, spec);
-    let d_weight = matmul(&gmat, &transpose(&cols))
-        .reshape([c_out, c_in, k, k])
-        .expect("weight grad reshape is size-preserving");
+    let d_weight = matmul(&gmat, &transpose(&cols)).with_shape([c_out, c_in, k, k]);
 
     // d_input = col2im(Wᵀ · grad)
-    let wmat = weight
-        .clone()
-        .reshape([c_out, c_in * k * k])
-        .expect("weight reshape is size-preserving");
+    let wmat = weight.clone().with_shape([c_out, c_in * k * k]);
     let dcols = matmul(&transpose(&wmat), &gmat);
     let d_input = col2im(&dcols, c_in, h, w, spec);
 
+    crate::invariants::check_finite("conv2d_backward", &d_input);
     (d_input, d_weight, d_bias)
 }
 

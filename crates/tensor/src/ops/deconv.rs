@@ -48,14 +48,8 @@ pub fn conv_transpose2d(
     let (oh, ow) = (spec.transpose_out_size(h), spec.transpose_out_size(w));
 
     // cols[(c_out·K·K), H·W] = Wᵀ · x, then fold into the output map.
-    let wmat = weight
-        .clone()
-        .reshape([c_in, c_out * k * k])
-        .expect("weight reshape is size-preserving");
-    let xmat = input
-        .clone()
-        .reshape([c_in, h * w])
-        .expect("input reshape is size-preserving");
+    let wmat = weight.clone().with_shape([c_in, c_out * k * k]);
+    let xmat = input.clone().with_shape([c_in, h * w]);
     let cols = matmul(&transpose(&wmat), &xmat);
     let mut out = col2im(&cols, c_out, oh, ow, spec);
     if let Some(b) = bias {
@@ -73,6 +67,7 @@ pub fn conv_transpose2d(
             }
         }
     }
+    crate::invariants::check_finite("conv_transpose2d", &out);
     out
 }
 
@@ -102,27 +97,18 @@ pub fn conv_transpose2d_backward(
     let dbias: Vec<f32> = (0..c_out)
         .map(|co| gv[co * oh * ow..(co + 1) * oh * ow].iter().sum())
         .collect();
-    let d_bias = Tensor::from_vec([c_out], dbias).expect("bias grad length c_out");
+    let d_bias = Tensor::from_parts([c_out], dbias);
 
     // Deconv forward is col2im ∘ (Wᵀ ·); its adjoint is (W ·) ∘ im2col.
     let gcols = im2col(grad_out, spec); // [c_out·K·K, H·W]
-    let wmat = weight
-        .clone()
-        .reshape([c_in, c_out * k * k])
-        .expect("weight reshape is size-preserving");
-    let d_input = matmul(&wmat, &gcols)
-        .reshape([c_in, h, w])
-        .expect("input grad reshape is size-preserving");
+    let wmat = weight.clone().with_shape([c_in, c_out * k * k]);
+    let d_input = matmul(&wmat, &gcols).with_shape([c_in, h, w]);
 
     // d_weight = x · im2col(grad)ᵀ, folded back to [C_in, C_out, K, K].
-    let xmat = input
-        .clone()
-        .reshape([c_in, h * w])
-        .expect("input reshape is size-preserving");
-    let d_weight = matmul(&xmat, &transpose(&gcols))
-        .reshape([c_in, c_out, k, k])
-        .expect("weight grad reshape is size-preserving");
+    let xmat = input.clone().with_shape([c_in, h * w]);
+    let d_weight = matmul(&xmat, &transpose(&gcols)).with_shape([c_in, c_out, k, k]);
 
+    crate::invariants::check_finite("conv_transpose2d_backward", &d_input);
     (d_input, d_weight, d_bias)
 }
 

@@ -40,7 +40,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec([m, n], out).expect("matmul output length is m*n by construction")
+    let out = Tensor::from_parts([m, n], out);
+    crate::invariants::check_finite("matmul", &out);
+    out
 }
 
 /// Transposes a rank-2 tensor.
@@ -58,7 +60,7 @@ pub fn transpose(a: &Tensor) -> Tensor {
             out[j * m + i] = av[i * n + j];
         }
     }
-    Tensor::from_vec([n, m], out).expect("transpose output length is n*m by construction")
+    Tensor::from_parts([n, m], out)
 }
 
 /// Matrix–vector product: `[m, k] × [k] → [m]`.
@@ -88,7 +90,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
                 .sum()
         })
         .collect();
-    Tensor::from_vec([m], out).expect("matvec output length is m by construction")
+    Tensor::from_parts([m], out)
 }
 
 #[cfg(test)]

@@ -73,7 +73,7 @@ pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> PoolOutput {
         }
     }
     PoolOutput {
-        output: Tensor::from_vec([c, oh, ow], out).expect("pool output length consistent"),
+        output: Tensor::from_parts([c, oh, ow], out),
         argmax,
     }
 }
@@ -191,7 +191,7 @@ pub fn roi_pool(input: &Tensor, roi: FeatureRoi, out_h: usize, out_w: usize) -> 
         }
     }
     PoolOutput {
-        output: Tensor::from_vec([c, out_h, out_w], out).expect("roi output length consistent"),
+        output: Tensor::from_parts([c, out_h, out_w], out),
         argmax,
     }
 }

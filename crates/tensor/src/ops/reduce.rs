@@ -31,7 +31,7 @@ pub fn sum_axis(t: &Tensor, axis: usize) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out_dims, out).expect("sum_axis output length consistent")
+    Tensor::from_parts(out_dims, out)
 }
 
 /// Mean along one axis, removing it.
@@ -78,7 +78,7 @@ pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
     for p in parts {
         data.extend_from_slice(p.as_slice());
     }
-    Tensor::from_vec([total_c, h, w], data).expect("concat output length consistent")
+    Tensor::from_parts([total_c, h, w], data)
 }
 
 /// Splits a gradient of a [`concat_channels`] output back into per-part
@@ -102,7 +102,7 @@ pub fn split_channels(grad: &Tensor, channels: &[usize]) -> Vec<Tensor> {
     let mut start = 0;
     for &ci in channels {
         let slice = gv[start * h * w..(start + ci) * h * w].to_vec();
-        out.push(Tensor::from_vec([ci, h, w], slice).expect("split lengths consistent"));
+        out.push(Tensor::from_parts([ci, h, w], slice));
         start += ci;
     }
     out

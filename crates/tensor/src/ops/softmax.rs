@@ -33,7 +33,9 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
             *o /= z;
         }
     }
-    Tensor::from_vec([n, k], out).expect("softmax output length n*k")
+    let out = Tensor::from_parts([n, k], out);
+    crate::invariants::check_finite("softmax_rows", &out);
+    out
 }
 
 /// Mean cross-entropy of row-softmaxed `logits` against integer `targets`,
@@ -92,10 +94,7 @@ pub fn cross_entropy_rows(logits: &Tensor, targets: &[usize], weights: &[f32]) -
             grad[i * k + j] = wgt * (pv[i * k + j] - indicator) / norm;
         }
     }
-    (
-        loss / norm,
-        Tensor::from_vec([n, k], grad).expect("grad length n*k"),
-    )
+    (loss / norm, Tensor::from_parts([n, k], grad))
 }
 
 #[cfg(test)]

@@ -72,6 +72,30 @@ impl Tensor {
         Ok(Tensor { shape, data })
     }
 
+    /// Creates a tensor from a shape and a data buffer whose length is
+    /// correct *by construction* (e.g. built by iterating the shape).
+    ///
+    /// This is the infallible counterpart of [`Tensor::from_vec`] for
+    /// callers that computed `data` from `shape` itself, where a length
+    /// mismatch would be a programming error rather than a recoverable
+    /// condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the element count implied by
+    /// `shape`.
+    pub fn from_parts(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "from_parts: shape {shape} implies {} elements, data holds {}",
+            shape.len(),
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
     /// Creates a tensor by evaluating `f` at every coordinate.
     pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(&[usize]) -> f32) -> Self {
         let shape = shape.into();
@@ -185,6 +209,27 @@ impl Tensor {
             shape,
             data: self.data,
         })
+    }
+
+    /// Reshapes without copying, for target shapes whose element count
+    /// matches *by construction* — the infallible counterpart of
+    /// [`Tensor::reshape`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn with_shape(self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "with_shape: cannot view {} elements as shape {shape}",
+            self.data.len()
+        );
+        Tensor {
+            shape,
+            data: self.data,
+        }
     }
 
     /// Applies `f` elementwise, returning a new tensor.

@@ -1,0 +1,264 @@
+//! The `cargo xtask lint` driver.
+//!
+//! Walks `crates/*/src/**/*.rs` under the workspace root, runs rules
+//! L1–L4 over each file, filters violations through the allowlist file
+//! and inline `// lint:allow(<rule>)` markers, and renders a report.
+
+mod rules;
+mod source;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use source::SourceFile;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id (`L1`..`L4`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The outcome of a lint run.
+pub struct Report {
+    violations: Vec<Violation>,
+    files_scanned: usize,
+    allowlisted: usize,
+}
+
+impl Report {
+    /// True when no un-allowlisted violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in &self.violations {
+            writeln!(f, "{}: {}:{}: {}", v.rule, v.path, v.line, v.message)?;
+        }
+        if self.violations.is_empty() {
+            writeln!(
+                f,
+                "lint: {} files clean ({} allowlisted findings)",
+                self.files_scanned, self.allowlisted
+            )
+        } else {
+            writeln!(
+                f,
+                "lint: {} violation(s) in {} files scanned ({} allowlisted)",
+                self.violations.len(),
+                self.files_scanned,
+                self.allowlisted
+            )
+        }
+    }
+}
+
+/// An entry in the allowlist file: `<rule> <path>[:<line>]`.
+#[derive(Debug, PartialEq, Eq)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+    line: Option<usize>,
+}
+
+impl AllowEntry {
+    fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule && self.path == v.path && self.line.is_none_or(|l| l == v.line)
+    }
+}
+
+/// Parses the allowlist format: one `<rule> <path>[:<line>]` per line,
+/// `#` comments and blank lines ignored.
+fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(target), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "allowlist line {}: expected `<rule> <path>[:<line>]`, got `{raw}`",
+                idx + 1
+            ));
+        };
+        let (path, line_no) = match target.rsplit_once(':') {
+            Some((p, n)) if n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty() => {
+                let parsed = n
+                    .parse::<usize>()
+                    .map_err(|e| format!("allowlist line {}: bad line number: {e}", idx + 1))?;
+                (p.to_string(), Some(parsed))
+            }
+            _ => (target.to_string(), None),
+        };
+        entries.push(AllowEntry {
+            rule: rule.to_string(),
+            path,
+            line: line_no,
+        });
+    }
+    Ok(entries)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full lint pass.
+pub fn run(root: &Path, allowlist_path: &Path) -> Result<Report, String> {
+    let allow_text = match std::fs::read_to_string(allowlist_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(format!("read {}: {e}", allowlist_path.display())),
+    };
+    let allowlist = parse_allowlist(&allow_text)?;
+
+    let crates_dir = root.join("crates");
+    let rd = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = rd
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for c in &crate_dirs {
+        collect_rs_files(&c.join("src"), &mut files)?;
+    }
+
+    let mut violations = Vec::new();
+    let mut allowlisted = 0usize;
+    let files_scanned = files.len();
+    for path in &files {
+        let raw =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let file = SourceFile::new(rel, raw);
+        for v in rules::check_file(&file) {
+            if file.inline_allowed(v.rule, v.line) || allowlist.iter().any(|a| a.matches(&v)) {
+                allowlisted += 1;
+            } else {
+                violations.push(v);
+            }
+        }
+    }
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    Ok(Report {
+        violations,
+        files_scanned,
+        allowlisted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_parses_entries_and_comments() {
+        let text = "# comment\n\nL1 crates/a/src/x.rs:10\nL4 crates/nn/src/y.rs # trailing\n";
+        let entries = parse_allowlist(text).expect("parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "L1");
+        assert_eq!(entries[0].line, Some(10));
+        assert_eq!(entries[1].path, "crates/nn/src/y.rs");
+        assert_eq!(entries[1].line, None);
+    }
+
+    #[test]
+    fn allowlist_rejects_malformed_lines() {
+        assert!(parse_allowlist("L1\n").is_err());
+        assert!(parse_allowlist("L1 a b c\n").is_err());
+    }
+
+    #[test]
+    fn allow_entry_matching() {
+        let v = Violation {
+            rule: "L1",
+            path: "crates/a/src/x.rs".into(),
+            line: 10,
+            message: String::new(),
+        };
+        let exact = AllowEntry {
+            rule: "L1".into(),
+            path: "crates/a/src/x.rs".into(),
+            line: Some(10),
+        };
+        let file_wide = AllowEntry {
+            rule: "L1".into(),
+            path: "crates/a/src/x.rs".into(),
+            line: None,
+        };
+        let other = AllowEntry {
+            rule: "L2".into(),
+            path: "crates/a/src/x.rs".into(),
+            line: None,
+        };
+        assert!(exact.matches(&v));
+        assert!(file_wide.matches(&v));
+        assert!(!other.matches(&v));
+    }
+
+    #[test]
+    fn report_renders_violations_and_summary() {
+        let r = Report {
+            violations: vec![Violation {
+                rule: "L2",
+                path: "crates/a/src/x.rs".into(),
+                line: 3,
+                message: "msg".into(),
+            }],
+            files_scanned: 5,
+            allowlisted: 1,
+        };
+        let s = r.to_string();
+        assert!(s.contains("L2: crates/a/src/x.rs:3: msg"));
+        assert!(s.contains("1 violation(s)"));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn end_to_end_over_a_temp_tree() {
+        let dir = std::env::temp_dir().join("xtask-lint-e2e");
+        let src = dir.join("crates/demo/src");
+        std::fs::create_dir_all(&src).expect("mkdir");
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+             pub fn g(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(L1)\n",
+        )
+        .expect("write");
+        let report = run(&dir, &dir.join("nonexistent.allow")).expect("runs");
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, "L1");
+        assert_eq!(report.allowlisted, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,361 @@
+//! The workspace lint rules L1–L4.
+//!
+//! Each rule scans a [`SourceFile`] code mask and returns violations.
+//! Rationale and examples live in DESIGN.md §Correctness tooling.
+
+use super::source::SourceFile;
+use super::Violation;
+
+/// Scope decisions derived from a file's workspace-relative path.
+pub struct FileScope {
+    /// Crate directory name under `crates/` (e.g. `tensor`).
+    pub crate_name: String,
+}
+
+impl FileScope {
+    /// Derives the scope from a `crates/<name>/src/...` relative path.
+    pub fn of(rel_path: &str) -> FileScope {
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        FileScope { crate_name }
+    }
+}
+
+/// Runs every rule over one file.
+pub fn check_file(file: &SourceFile) -> Vec<Violation> {
+    let scope = FileScope::of(&file.rel_path);
+    let mut v = Vec::new();
+    v.extend(l1_no_panics(file));
+    v.extend(l2_no_hash_collections(file));
+    v.extend(l3_no_wall_clock(file, &scope));
+    v.extend(l4_shapes_doc(file, &scope));
+    v
+}
+
+fn violation(file: &SourceFile, rule: &'static str, offset: usize, msg: String) -> Violation {
+    Violation {
+        rule,
+        path: file.rel_path.clone(),
+        line: file.line_of(offset),
+        message: msg,
+    }
+}
+
+/// Byte offsets of word-boundary occurrences of `word` in `code`.
+fn word_offsets<'a>(code: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = code.as_bytes();
+    code.match_indices(word).filter_map(move |(i, _)| {
+        let before_ok = i == 0 || !is_ident_byte(bytes[i - 1]);
+        let after = i + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        (before_ok && after_ok).then_some(i)
+    })
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// First non-whitespace byte at or after `i`.
+fn next_nonspace(code: &str, i: usize) -> Option<u8> {
+    code.as_bytes()[i..]
+        .iter()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+/// L1: no `unwrap()` / `expect()` / `panic!` in library code outside tests.
+///
+/// `assert!`/`debug_assert!` are deliberately permitted: they state
+/// invariants, not error handling. Recoverable failures must use the
+/// crate's typed error enums.
+fn l1_no_panics(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (word, needs, label) in [
+        ("unwrap", b'(', "`.unwrap()` in non-test library code"),
+        ("expect", b'(', "`.expect()` in non-test library code"),
+        ("panic", b'!', "`panic!` in non-test library code"),
+    ] {
+        for off in word_offsets(&file.code, word) {
+            if file.in_test(off) {
+                continue;
+            }
+            if next_nonspace(&file.code, off + word.len()) != Some(needs) {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L1",
+                off,
+                format!("{label}; use a typed error"),
+            ));
+        }
+    }
+    out
+}
+
+/// L2: no `HashMap`/`HashSet` in non-test library code.
+///
+/// Unordered iteration feeding serialization, metrics export or h-NMS
+/// ordering silently breaks run-to-run determinism; the workspace
+/// standard is `BTreeMap`/`BTreeSet` (deterministic iteration order).
+fn l2_no_hash_collections(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for word in ["HashMap", "HashSet"] {
+        for off in word_offsets(&file.code, word) {
+            if file.in_test(off) {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L2",
+                off,
+                format!("`{word}` has nondeterministic iteration order; use BTreeMap/BTreeSet"),
+            ));
+        }
+    }
+    out
+}
+
+/// L3: no wall-clock access outside `rhsd-obs` and `rhsd-bench`.
+///
+/// `Instant`-derived values leaking into library crates are a
+/// nondeterminism source; all timing goes through `rhsd-obs` spans.
+fn l3_no_wall_clock(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name == "obs" || scope.crate_name == "bench" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (pat, word_bounded) in [
+        ("std::time", false),
+        ("Instant", true),
+        ("SystemTime", true),
+    ] {
+        let offsets: Vec<usize> = if word_bounded {
+            word_offsets(&file.code, pat).collect()
+        } else {
+            file.code.match_indices(pat).map(|(i, _)| i).collect()
+        };
+        for off in offsets {
+            if file.in_test(off) {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L3",
+                off,
+                format!("`{pat}` outside rhsd-obs/rhsd-bench breaks determinism"),
+            ));
+        }
+    }
+    out
+}
+
+/// L4: public tensor-consuming functions in `rhsd-nn`/`rhsd-core` must
+/// document their expected shapes in a `/// Shapes:` doc section.
+fn l4_shapes_doc(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name != "nn" && scope.crate_name != "core" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for off in word_offsets(&file.code, "fn") {
+        if file.in_test(off) {
+            continue;
+        }
+        let line = file.line_of(off);
+        if !is_plain_pub_fn(file, line, off) {
+            continue;
+        }
+        let Some(params) = param_list(&file.code, off) else {
+            continue;
+        };
+        if word_offsets(&params, "Tensor").next().is_none() {
+            continue;
+        }
+        if !doc_block_mentions_shapes(file, line) {
+            let name = fn_name(&file.code, off);
+            out.push(violation(
+                file,
+                "L4",
+                off,
+                format!("public tensor-consuming fn `{name}` lacks a `/// Shapes:` doc section"),
+            ));
+        }
+    }
+    out
+}
+
+/// True if the `fn` at `off` is written `pub fn` (with optional
+/// `const`/`unsafe`/`async` qualifiers). `pub(crate)`/`pub(super)` and
+/// private fns are not public API; trait methods are never `pub`.
+fn is_plain_pub_fn(file: &SourceFile, line: usize, off: usize) -> bool {
+    let prefix = &file.code[line_byte_start(file, line)..off];
+    let mut tokens: Vec<&str> = prefix.split_whitespace().collect();
+    while matches!(tokens.last(), Some(&"const" | &"unsafe" | &"async")) {
+        tokens.pop();
+    }
+    tokens.last() == Some(&"pub")
+}
+
+fn line_byte_start(file: &SourceFile, line: usize) -> usize {
+    // Reconstruct from raw_line: find where this line begins.
+    let mut start = 0;
+    for _ in 1..line {
+        start = file.raw[start..]
+            .find('\n')
+            .map(|p| start + p + 1)
+            .unwrap_or(file.raw.len());
+    }
+    start
+}
+
+/// Extracts the parenthesised parameter list following `fn name`.
+fn param_list(code: &str, fn_off: usize) -> Option<String> {
+    let open = code[fn_off..].find('(')? + fn_off;
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(code[open + 1..k].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn fn_name(code: &str, fn_off: usize) -> String {
+    code[fn_off + 2..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Walks upward from the line above `fn_line` over doc comments and
+/// attributes, looking for `Shapes:`.
+fn doc_block_mentions_shapes(file: &SourceFile, fn_line: usize) -> bool {
+    let mut l = fn_line;
+    while l > 1 {
+        l -= 1;
+        let raw = file.raw_line(l).trim();
+        if raw.starts_with("///") || raw.starts_with("//!") {
+            if raw.contains("Shapes:") {
+                return true;
+            }
+        } else if raw.starts_with("#[") || raw.starts_with("//") || raw.ends_with("]") {
+            continue; // attribute (possibly multi-line) or plain comment
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Violation> {
+        check_file(&SourceFile::new(path, src))
+    }
+
+    fn rules(v: &[Violation]) -> Vec<&str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn l1_flags_unwrap_expect_panic() {
+        let v = lint(
+            "crates/data/src/a.rs",
+            "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); }",
+        );
+        assert_eq!(rules(&v), vec!["L1", "L1", "L1"]);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_and_tests_and_comments() {
+        let v = lint(
+            "crates/data/src/a.rs",
+            "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); }\n\
+             // a comment saying unwrap()\n\
+             #[cfg(test)]\nmod tests { fn g() { x.unwrap(); panic!(); } }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l1_ignores_should_panic_attr_and_asserts() {
+        let v = lint(
+            "crates/data/src/a.rs",
+            "#[should_panic(expected = \"boom\")]\nfn f() { assert!(x > 0); debug_assert_eq!(a, b); }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l1_inline_allow_is_reported_by_driver_not_rule() {
+        // The rule still fires; filtering happens in the driver.
+        let v = lint(
+            "crates/data/src/a.rs",
+            "fn f() { panic!(\"contract\"); } // lint:allow(L1)",
+        );
+        assert_eq!(rules(&v), vec!["L1"]);
+    }
+
+    #[test]
+    fn l2_flags_hash_collections_outside_tests() {
+        let v = lint(
+            "crates/data/src/a.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }\n\
+             #[cfg(test)]\nmod tests { use std::collections::HashSet; }\n",
+        );
+        assert_eq!(rules(&v), vec!["L2", "L2", "L2"]);
+        assert!(v[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn l3_flags_wall_clock_outside_obs_and_bench() {
+        let bad = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        let v = lint("crates/core/src/a.rs", bad);
+        assert!(rules(&v).iter().all(|r| *r == "L3"));
+        assert!(!v.is_empty());
+        assert!(lint("crates/obs/src/a.rs", bad).is_empty());
+        assert!(lint("crates/bench/src/a.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l4_requires_shapes_doc_on_public_tensor_fns() {
+        let bad = "/// Does things.\npub fn f(x: &Tensor) -> f32 { 0.0 }\n";
+        let good = "/// Does things.\n///\n/// Shapes: `x` is `[n, 4]`.\npub fn f(x: &Tensor) -> f32 { 0.0 }\n";
+        assert_eq!(rules(&lint("crates/nn/src/a.rs", bad)), vec!["L4"]);
+        assert!(lint("crates/nn/src/a.rs", good).is_empty());
+        // Other crates are out of scope.
+        assert!(lint("crates/layout/src/a.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l4_skips_private_and_pub_crate_and_tensorless_fns() {
+        let src = "fn f(x: &Tensor) {}\npub(crate) fn g(x: &Tensor) {}\npub fn h(n: usize) {}\n";
+        assert!(lint("crates/nn/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_handles_multiline_signatures_and_attrs() {
+        let bad =
+            "/// Doc.\n#[inline]\npub fn f(\n    x: &Tensor,\n    n: usize,\n) -> f32 { 0.0 }\n";
+        let good =
+            "/// Shapes: `x` is `[n]`.\n#[inline]\npub fn f(\n    x: &Tensor,\n) -> f32 { 0.0 }\n";
+        assert_eq!(rules(&lint("crates/core/src/a.rs", bad)), vec!["L4"]);
+        assert!(lint("crates/core/src/a.rs", good).is_empty());
+    }
+}

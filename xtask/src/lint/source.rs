@@ -1,0 +1,343 @@
+//! Source-file model for the lint rules.
+//!
+//! A [`SourceFile`] holds the raw text plus a *code mask*: a copy of the
+//! text where comments and string/char literals are blanked to spaces
+//! (byte offsets and line numbers are preserved). Rules scan the mask so
+//! that `// panic! is bad` or `"unwrap()"` in a string never match.
+//!
+//! It also computes *test regions*: the byte ranges of items annotated
+//! `#[cfg(test)]` or `#[test]`, so rules can skip test-only code.
+
+/// One lint-relevant source file.
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Raw file contents.
+    pub raw: String,
+    /// Contents with comments and string/char literals blanked.
+    pub code: String,
+    /// Byte ranges (half-open) covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Builds the model from raw text.
+    pub fn new(rel_path: impl Into<String>, raw: impl Into<String>) -> Self {
+        let raw = raw.into();
+        let code = mask_comments_and_strings(&raw);
+        let test_regions = find_test_regions(&code);
+        let mut line_starts = vec![0];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceFile {
+            rel_path: rel_path.into(),
+            raw,
+            code,
+            test_regions,
+            line_starts,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether a byte offset falls inside a test-only item.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| a <= offset && offset < b)
+    }
+
+    /// The raw text of a 1-based line (without the trailing newline).
+    pub fn raw_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&e| e.saturating_sub(1))
+            .unwrap_or(self.raw.len());
+        &self.raw[start..end.max(start)]
+    }
+
+    /// Whether a violation of `rule` at 1-based `line` carries an inline
+    /// `// lint:allow(<rule>)` escape hatch (same line or the line above).
+    pub fn inline_allowed(&self, rule: &str, line: usize) -> bool {
+        let marker = format!("lint:allow({rule})");
+        let mut lines = vec![line];
+        if line > 1 {
+            lines.push(line - 1);
+        }
+        lines.iter().any(|&l| self.raw_line(l).contains(&marker))
+    }
+}
+
+/// Blanks comments and string/char literals to spaces, preserving layout.
+fn mask_comments_and_strings(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment (incl. doc comments): blank to end of line.
+                // Doc text is recovered by rules from `raw` when needed.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 1;
+                blank(&mut out, i);
+                blank(&mut out, i + 1);
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                        i += 2;
+                    } else {
+                        blank(&mut out, i);
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                // String literal: keep the quotes, blank the contents.
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        blank(&mut out, i);
+                        blank(&mut out, i + 1);
+                        i += 2;
+                    } else {
+                        blank(&mut out, i);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing quote
+            }
+            b'r' if is_raw_string_start(bytes, i) => {
+                let (hashes, body_start) = raw_string_open(bytes, i);
+                for k in i + 1..body_start {
+                    blank(&mut out, k);
+                }
+                i = body_start;
+                let close: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat(b'#').take(hashes))
+                    .collect();
+                while i < bytes.len() && !bytes[i..].starts_with(&close) {
+                    blank(&mut out, i);
+                    i += 1;
+                }
+                i += close.len();
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A char literal closes with a
+                // `'` after one (possibly escaped) character.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    i += 2;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        blank(&mut out, i);
+                        i += 1;
+                    }
+                    i += 1;
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    blank(&mut out, i + 1);
+                    i += 3;
+                } else {
+                    i += 1; // lifetime: leave as-is
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Invalid UTF-8 cannot arise: we only overwrite whole multi-byte
+    // sequences inside literals/comments with ASCII spaces.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn blank(out: &mut [u8], i: usize) {
+    if !out[i].is_ascii_whitespace() {
+        out[i] = b' ';
+    }
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // `r"..."` / `r#"..."#` — and not part of an identifier like `for`.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+fn raw_string_open(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j + 1) // past the opening quote
+}
+
+/// Finds byte ranges of items introduced by `#[cfg(test)]` or `#[test]`.
+///
+/// The range starts at the attribute and ends at the matching close brace
+/// of the item's body (brace-depth tracking over the code mask).
+fn find_test_regions(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut regions = Vec::new();
+    let mut depth: i32 = 0;
+    // (attr offset, depth at attr) for a test attribute awaiting its body
+    let mut pending: Option<(usize, i32)> = None;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'#' if pending.is_none() && is_test_attr(code, i) => {
+                pending = Some((i, depth));
+                i += 1;
+            }
+            b'{' => {
+                depth += 1;
+                i += 1;
+                if let Some((start, d)) = pending {
+                    if depth == d + 1 {
+                        // body of the annotated item: find matching close
+                        let mut j = i;
+                        let mut bd = depth;
+                        while j < bytes.len() && bd > d {
+                            match bytes[j] {
+                                b'{' => bd += 1,
+                                b'}' => bd -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        regions.push((start, j));
+                        pending = None;
+                        depth = d;
+                        i = j;
+                    }
+                }
+            }
+            b'}' => {
+                depth -= 1;
+                i += 1;
+            }
+            b';' => {
+                // An item ending in `;` before any brace (e.g. a `use`)
+                // cancels a pending attribute only if we are still at the
+                // attribute's depth.
+                if let Some((_, d)) = pending {
+                    if depth == d {
+                        pending = None;
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    regions
+}
+
+fn is_test_attr(code: &str, i: usize) -> bool {
+    let rest = &code[i..];
+    let compact: String = rest
+        .chars()
+        .take(24)
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    compact.starts_with("#[cfg(test)]")
+        || compact.starts_with("#[test]")
+        || compact.starts_with("#[cfg(all(test")
+        || compact.starts_with("#[cfg(any(test")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let f = SourceFile::new("a.rs", "let x = 1; // unwrap()\n/* panic! */ let y;\n");
+        assert!(!f.code.contains("unwrap"));
+        assert!(!f.code.contains("panic"));
+        assert!(f.code.contains("let x = 1;"));
+        assert!(f.code.contains("let y;"));
+    }
+
+    #[test]
+    fn masks_string_and_char_literals_but_keeps_lifetimes() {
+        let f = SourceFile::new(
+            "a.rs",
+            "fn f<'a>(s: &'a str) { let c = 'x'; let s = \"unwrap()\"; }",
+        );
+        assert!(!f.code.contains("unwrap"));
+        assert!(f.code.contains("fn f<'a>(s: &'a str)"));
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let f = SourceFile::new("a.rs", "let s = r#\"panic!()\"#;");
+        assert!(!f.code.contains("panic"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = SourceFile::new("a.rs", src);
+        let unwrap_at = src.find("unwrap").expect("fixture");
+        assert!(f.in_test(unwrap_at));
+        assert!(!f.in_test(src.find("fn lib()").expect("fixture")));
+        assert!(!f.in_test(src.find("fn lib2").expect("fixture")));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_region() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn lib() {}\n";
+        let f = SourceFile::new("a.rs", src);
+        assert!(f.in_test(src.find("unwrap").expect("fixture")));
+        assert!(!f.in_test(src.find("fn lib").expect("fixture")));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based() {
+        let f = SourceFile::new("a.rs", "a\nbb\nccc\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(5), 3);
+    }
+
+    #[test]
+    fn inline_allow_matches_same_and_previous_line() {
+        let src = "x(); // lint:allow(L1)\ny();\nw();\n// lint:allow(L3)\nz();\n";
+        let f = SourceFile::new("a.rs", src);
+        assert!(f.inline_allowed("L1", 1));
+        assert!(f.inline_allowed("L1", 2), "marker excuses the next line");
+        assert!(!f.inline_allowed("L1", 3));
+        assert!(f.inline_allowed("L3", 5));
+        assert!(!f.inline_allowed("L1", 5));
+    }
+}

@@ -1,0 +1,87 @@
+//! Workspace automation tasks, invoked as `cargo xtask <task>`.
+//!
+//! The only task today is `lint`: the workspace-specific static-analysis
+//! gate described in DESIGN.md §Correctness tooling. It is deliberately
+//! dependency-free (line/token scanning, no rustc internals) so it builds
+//! instantly and works offline.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo xtask <task>
+
+tasks:
+  lint [--root <dir>] [--allowlist <file>]
+      Run the workspace lint rules (L1-L4) over crates/*/src/**/*.rs.
+      --root       workspace root (default: parent of the xtask crate)
+      --allowlist  allowlist file (default: <root>/xtask/lint.allow)
+
+exit codes: 0 clean, 1 violations found, 2 usage error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(&format!("unknown task `{other}`")),
+        None => usage_error("missing task"),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn default_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR points at the xtask crate; the workspace root is
+    // its parent. Fall back to the current directory when run directly.
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            let d = PathBuf::from(d);
+            d.parent().map(PathBuf::from).unwrap_or(d)
+        })
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allowlist = Some(PathBuf::from(v)),
+                None => return usage_error("--allowlist needs a file"),
+            },
+            other => return usage_error(&format!("unknown lint option `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let allowlist = allowlist.unwrap_or_else(|| root.join("xtask").join("lint.allow"));
+
+    match lint::run(&root, &allowlist) {
+        Ok(report) => {
+            print!("{report}");
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
 # Local CI gate: build, test, lint, format. Run before pushing.
 #
-#   ./ci.sh              # full gate
-#   ./ci.sh --fast       # skip the release build (debug test run only)
-#   ./ci.sh --lint-only  # only the workspace linter (cargo xtask lint)
+#   ./ci.sh               # full gate
+#   ./ci.sh --fast        # skip the release build (debug test run only)
+#   ./ci.sh --lint-only   # only the workspace linter (cargo xtask lint)
+#   ./ci.sh --bench-gate  # only the benchmark regression gate (below)
+#
+# The bench gate runs a quick deterministic repro_table1, self-checks the
+# differ (identical records pass, an injected 20% runtime regression
+# fails), then diffs the run against the committed
+# BENCH_baseline_quick.json with --skip-runtime (accuracy and false
+# alarms are seeded and deterministic; wall-clock is not portable across
+# machines). The baseline is tied to the locked dependency set — after a
+# legitimate accuracy change, refresh it with:
+#
+#   BENCH_BASELINE_REFRESH=1 ./ci.sh --bench-gate
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,9 +24,62 @@ case "${1:-}" in
 --lint-only)
     exec cargo xtask lint
     ;;
+--bench-gate)
+    bench_gate_only=1
+    ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
+
+bench_gate() {
+    step "bench gate: quick repro_table1"
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' RETURN
+    cargo run --release -p rhsd-bench --bin repro_table1 -- --quick \
+        --bench-out "$tmp/current.json" --ledger "$tmp/run.jsonl"
+
+    step "bench gate: ledger sanity"
+    head -n 1 "$tmp/run.jsonl" | grep -q '"event":"run_start"' ||
+        { echo "ledger does not start with run_start" >&2; return 1; }
+    tail -n 1 "$tmp/run.jsonl" | grep -q '"event":"run_end"' ||
+        { echo "ledger does not end with run_end" >&2; return 1; }
+
+    step "bench gate: differ self-check (identical records pass)"
+    cargo xtask bench-diff "$tmp/current.json" "$tmp/current.json"
+
+    step "bench gate: differ self-check (injected 20% runtime regression fails)"
+    python3 - "$tmp/current.json" "$tmp/regressed.json" <<'EOF'
+import re, sys
+src, dst = sys.argv[1], sys.argv[2]
+text = open(src).read()
+text = re.sub(r'"seconds": ([0-9.eE+-]+)',
+              lambda m: '"seconds": %s' % (float(m.group(1)) * 1.2 + 1e-6), text)
+open(dst, 'w').write(text)
+EOF
+    if cargo xtask bench-diff "$tmp/current.json" "$tmp/regressed.json"; then
+        echo "bench-diff failed to flag an injected 20% runtime regression" >&2
+        return 1
+    fi
+
+    if [[ "${BENCH_BASELINE_REFRESH:-0}" == "1" || ! -f BENCH_baseline_quick.json ]]; then
+        step "bench gate: refreshing committed baseline"
+        cp "$tmp/current.json" BENCH_baseline_quick.json
+        echo "wrote BENCH_baseline_quick.json — commit it"
+    else
+        step "bench gate: diff against committed baseline (runtime skipped)"
+        cargo xtask bench-diff BENCH_baseline_quick.json "$tmp/current.json" \
+            --skip-runtime ||
+            { echo "regression vs committed baseline (after a legitimate" \
+                   "change: BENCH_BASELINE_REFRESH=1 ./ci.sh --bench-gate)" >&2
+              return 1; }
+    fi
+}
+
+if [[ "${bench_gate_only:-0}" -eq 1 ]]; then
+    bench_gate
+    printf '\nBench gate passed.\n'
+    exit 0
+fi
 
 if [[ $fast -eq 0 ]]; then
     step "cargo build --release"

@@ -75,6 +75,20 @@ impl CaseResult {
             seconds,
         }
     }
+
+    /// Mirrors this row into the run ledger as an `eval` event, tagged
+    /// with the detector that produced it (a no-op unless a global
+    /// ledger is open) — baseline and region-detector rows land in the
+    /// same stream.
+    pub fn emit_ledger(&self, detector: &str) {
+        rhsd_obs::ledger::emit(&rhsd_obs::ledger::Event::Eval {
+            detector: detector.to_owned(),
+            case: self.case.clone(),
+            accuracy_pct: self.accuracy_pct,
+            false_alarms: self.false_alarms as u64,
+            seconds: self.seconds,
+        });
+    }
 }
 
 /// Averages a slice of case results into an "Average" row.

@@ -7,10 +7,20 @@
 //!   trace-event file (open in Perfetto or `chrome://tracing`);
 //! - `--metrics <path>` — enable observability and write a metrics
 //!   snapshot (counters + histogram summaries with p50/p95/p99);
+//! - `--ledger <path>` — write the JSONL run ledger there instead of the
+//!   default `LEDGER_<name>.jsonl` (the ledger is **on by default** for
+//!   every repro run; see `rhsd_obs::ledger`);
+//! - `--no-ledger` — disable the run ledger;
+//! - `--bench-out <path>` — where to write the machine-readable benchmark
+//!   record (used by `repro_table1`; default `BENCH_table1.json`);
 //! - `--help` — print usage.
 //!
 //! Unknown flags are rejected with a usage message instead of being
 //! silently ignored.
+//!
+//! On exit every binary prints the paths of all artifacts it wrote
+//! (bench record, figures, trace, metrics, ledger) via
+//! [`BenchArgs::finish_run`], so CI logs show where outputs went.
 //!
 //! Exit codes: `0` on success (and `--help`), `1` on a runtime failure
 //! reported via [`fail`], `2` on a usage error.
@@ -28,33 +38,62 @@ pub struct BenchArgs {
     pub trace: Option<PathBuf>,
     /// Metrics snapshot output path (`--metrics <path>`).
     pub metrics: Option<PathBuf>,
+    /// Run-ledger output path (`--ledger <path>`, or the per-binary
+    /// default unless `--no-ledger` was given).
+    pub ledger: Option<PathBuf>,
+    /// The run ledger was explicitly disabled (`--no-ledger`).
+    pub no_ledger: bool,
+    /// Machine-readable benchmark record path (`--bench-out <path>`).
+    pub bench_out: Option<PathBuf>,
+    /// Artifact paths written so far (printed by [`BenchArgs::finish_run`]).
+    artifacts: Vec<PathBuf>,
 }
 
 /// Reports a fatal runtime error (as opposed to a usage error, which
 /// exits with code 2 via [`BenchArgs::parse`]) and exits with code 1.
+/// An open run ledger is closed with status `"error"` first, so the
+/// failure is recorded in the stream.
 pub fn fail(context: &str, err: impl std::fmt::Display) -> ! {
     eprintln!("error: {context}: {err}");
+    let _ = rhsd_obs::ledger::close("error");
     std::process::exit(1);
+}
+
+/// The default run-ledger path for a binary named `bin`
+/// (`repro_table1` → `LEDGER_table1.jsonl`).
+pub fn default_ledger_path(bin: &str) -> PathBuf {
+    let name = bin.strip_prefix("repro_").unwrap_or(bin);
+    PathBuf::from(format!("LEDGER_{name}.jsonl"))
 }
 
 /// Usage text for a binary named `bin`.
 pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--quick] [--trace <path>] [--metrics <path>]\n\
+         \x20           [--ledger <path>] [--no-ledger] [--bench-out <path>]\n\
          \n\
          --quick            reduced-effort run (seconds instead of minutes)\n\
          --trace <path>     write a Chrome trace-event JSON (Perfetto-viewable)\n\
          --metrics <path>   write a metrics snapshot JSON (p50/p95/p99 per stage)\n\
-         --help             show this message"
+         --ledger <path>    write the JSONL run ledger there (default: {ledger})\n\
+         --no-ledger        disable the run ledger\n\
+         --bench-out <path> machine-readable benchmark record (repro_table1;\n\
+         \x20                  default: BENCH_table1.json)\n\
+         --help             show this message",
+        ledger = default_ledger_path(bin).display()
     )
 }
 
 impl BenchArgs {
     /// Parses the process arguments; prints usage and exits on `--help`
-    /// or on an invalid flag.
+    /// or on an invalid flag. Applies the per-binary default ledger path
+    /// and enables observability when any export is active.
     pub fn parse(bin: &str) -> Self {
         match Self::parse_from(std::env::args().skip(1)) {
-            Ok(Some(args)) => {
+            Ok(Some(mut args)) => {
+                if args.ledger.is_none() && !args.no_ledger {
+                    args.ledger = Some(default_ledger_path(bin));
+                }
                 args.init_obs();
                 args
             }
@@ -71,7 +110,9 @@ impl BenchArgs {
     }
 
     /// Parses an explicit argument list. Returns `Ok(None)` when `--help`
-    /// was requested, `Err` with a message on invalid input.
+    /// was requested, `Err` with a message on invalid input. (No default
+    /// ledger path is applied here — that needs the binary name; see
+    /// [`BenchArgs::parse`].)
     pub fn parse_from<I, S>(args: I) -> Result<Option<Self>, String>
     where
         I: IntoIterator<Item = S>,
@@ -79,26 +120,29 @@ impl BenchArgs {
     {
         let mut out = BenchArgs::default();
         let mut it = args.into_iter().map(Into::into);
+        let path_flag =
+            |slot: &mut Option<PathBuf>, flag: &str, value: Option<String>| -> Result<(), String> {
+                if slot.is_some() {
+                    return Err(format!("{flag} given more than once"));
+                }
+                let path = value.ok_or(format!("{flag} requires a path argument"))?;
+                *slot = Some(PathBuf::from(path));
+                Ok(())
+            };
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => out.quick = true,
-                "--trace" => {
-                    if out.trace.is_some() {
-                        return Err("--trace given more than once".into());
-                    }
-                    let path = it.next().ok_or("--trace requires a path argument")?;
-                    out.trace = Some(PathBuf::from(path));
-                }
-                "--metrics" => {
-                    if out.metrics.is_some() {
-                        return Err("--metrics given more than once".into());
-                    }
-                    let path = it.next().ok_or("--metrics requires a path argument")?;
-                    out.metrics = Some(PathBuf::from(path));
-                }
+                "--trace" => path_flag(&mut out.trace, "--trace", it.next())?,
+                "--metrics" => path_flag(&mut out.metrics, "--metrics", it.next())?,
+                "--ledger" => path_flag(&mut out.ledger, "--ledger", it.next())?,
+                "--bench-out" => path_flag(&mut out.bench_out, "--bench-out", it.next())?,
+                "--no-ledger" => out.no_ledger = true,
                 "--help" | "-h" => return Ok(None),
                 other => return Err(format!("unknown argument `{other}`")),
             }
+        }
+        if out.no_ledger && out.ledger.is_some() {
+            return Err("--ledger and --no-ledger are mutually exclusive".into());
         }
         Ok(Some(out))
     }
@@ -112,26 +156,67 @@ impl BenchArgs {
         }
     }
 
-    /// Turns observability on when any export was requested.
+    /// Turns observability on when any export (trace, metrics or run
+    /// ledger) is active.
     pub fn init_obs(&self) {
-        if self.trace.is_some() || self.metrics.is_some() {
+        if self.trace.is_some() || self.metrics.is_some() || self.ledger.is_some() {
             rhsd_obs::set_enabled(true);
         }
     }
 
-    /// Writes the requested trace/metrics exports (call once, at the end
-    /// of the run).
-    pub fn export_obs(&self) {
+    /// Opens the run ledger (when enabled) and writes its `run_start`
+    /// manifest: binary name, primary seed, config summary, effort, host
+    /// and crate version. Call once, right after parsing.
+    ///
+    /// A ledger that cannot be opened is reported and disabled rather
+    /// than failing the run.
+    pub fn start_run(&mut self, bin: &str, seed: u64, config: &str) {
+        let Some(path) = self.ledger.clone() else {
+            return;
+        };
+        let manifest = rhsd_obs::ledger::Manifest {
+            bin: bin.to_owned(),
+            seed,
+            config: config.to_owned(),
+            effort: format!("{:?}", self.effort()),
+            host: rhsd_obs::ledger::host_string(),
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+        };
+        if let Err(e) = rhsd_obs::ledger::open(&path, manifest) {
+            eprintln!("failed to open ledger {}: {e}", path.display());
+            self.ledger = None;
+        }
+    }
+
+    /// Records an artifact path for the exit summary printed by
+    /// [`BenchArgs::finish_run`].
+    pub fn note_artifact(&mut self, path: impl Into<PathBuf>) {
+        self.artifacts.push(path.into());
+    }
+
+    /// Finishes the run: writes the requested trace/metrics exports,
+    /// closes the run ledger with `status` (emitting its `run_end` line),
+    /// and prints the path of every artifact the run wrote.
+    pub fn finish_run(&mut self, status: &str) {
         if let Some(path) = &self.trace {
             match rhsd_obs::write_chrome_trace(path) {
-                Ok(()) => eprintln!("wrote trace to {}", path.display()),
+                Ok(()) => self.artifacts.push(path.clone()),
                 Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
             }
         }
         if let Some(path) = &self.metrics {
             match rhsd_obs::write_metrics(path) {
-                Ok(()) => eprintln!("wrote metrics to {}", path.display()),
+                Ok(()) => self.artifacts.push(path.clone()),
                 Err(e) => eprintln!("failed to write metrics {}: {e}", path.display()),
+            }
+        }
+        if let Some(path) = rhsd_obs::ledger::close(status) {
+            self.artifacts.push(path);
+        }
+        if !self.artifacts.is_empty() {
+            eprintln!("artifacts:");
+            for a in &self.artifacts {
+                eprintln!("  {}", a.display());
             }
         }
     }
@@ -143,14 +228,32 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let args = BenchArgs::parse_from(["--quick", "--trace", "t.json", "--metrics", "m.json"])
-            .unwrap()
-            .unwrap();
+        let args = BenchArgs::parse_from([
+            "--quick",
+            "--trace",
+            "t.json",
+            "--metrics",
+            "m.json",
+            "--ledger",
+            "run.jsonl",
+            "--bench-out",
+            "b.json",
+        ])
+        .unwrap()
+        .unwrap();
         assert!(args.quick);
         assert_eq!(args.trace.as_deref(), Some(std::path::Path::new("t.json")));
         assert_eq!(
             args.metrics.as_deref(),
             Some(std::path::Path::new("m.json"))
+        );
+        assert_eq!(
+            args.ledger.as_deref(),
+            Some(std::path::Path::new("run.jsonl"))
+        );
+        assert_eq!(
+            args.bench_out.as_deref(),
+            Some(std::path::Path::new("b.json"))
         );
         assert_eq!(args.effort(), Effort::Quick);
     }
@@ -174,14 +277,37 @@ mod tests {
     fn missing_path_is_rejected() {
         assert!(BenchArgs::parse_from(["--trace"]).is_err());
         assert!(BenchArgs::parse_from(["--metrics"]).is_err());
+        assert!(BenchArgs::parse_from(["--ledger"]).is_err());
+        assert!(BenchArgs::parse_from(["--bench-out"]).is_err());
     }
 
     #[test]
     fn duplicate_path_flags_are_rejected() {
-        let err = BenchArgs::parse_from(["--trace", "a", "--trace", "b"]).unwrap_err();
-        assert!(err.contains("--trace"), "{err}");
-        let err = BenchArgs::parse_from(["--metrics", "a", "--metrics", "b"]).unwrap_err();
-        assert!(err.contains("--metrics"), "{err}");
+        for flag in ["--trace", "--metrics", "--ledger", "--bench-out"] {
+            let err = BenchArgs::parse_from([flag, "a", flag, "b"]).unwrap_err();
+            assert!(err.contains(flag), "{err}");
+        }
+    }
+
+    #[test]
+    fn no_ledger_disables_and_conflicts_with_ledger() {
+        let args = BenchArgs::parse_from(["--no-ledger"]).unwrap().unwrap();
+        assert!(args.no_ledger);
+        assert_eq!(args.ledger, None);
+        let err = BenchArgs::parse_from(["--no-ledger", "--ledger", "x.jsonl"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn default_ledger_path_strips_repro_prefix() {
+        assert_eq!(
+            default_ledger_path("repro_table1"),
+            PathBuf::from("LEDGER_table1.jsonl")
+        );
+        assert_eq!(
+            default_ledger_path("other_bin"),
+            PathBuf::from("LEDGER_other_bin.jsonl")
+        );
     }
 
     #[test]
@@ -193,8 +319,17 @@ mod tests {
     #[test]
     fn usage_names_every_flag() {
         let u = usage("repro_table1");
-        for flag in ["--quick", "--trace", "--metrics", "--help"] {
+        for flag in [
+            "--quick",
+            "--trace",
+            "--metrics",
+            "--ledger",
+            "--no-ledger",
+            "--bench-out",
+            "--help",
+        ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }
+        assert!(u.contains("LEDGER_table1.jsonl"), "{u}");
     }
 }

@@ -11,7 +11,7 @@
 
 use rhsd_bench::args::BenchArgs;
 use rhsd_bench::pipeline::{
-    build_benchmarks, merged_train_regions, ours_config, train_region_network, Effort,
+    build_benchmarks, merged_train_regions, ours_config, train_region_network, Effort, OURS_SEED,
 };
 use rhsd_core::roc::{
     best_operating_point, default_thresholds, sweep_thresholds, RegionDetections,
@@ -20,14 +20,19 @@ use rhsd_core::Evaluation;
 use rhsd_data::{test_regions, RegionConfig};
 
 fn main() {
-    let args = BenchArgs::parse("repro_ablations");
+    let mut args = BenchArgs::parse("repro_ablations");
     let effort = args.effort();
+    args.start_run(
+        "repro_ablations",
+        OURS_SEED,
+        "eval-time ablations: h-NMS vs NMS, score-threshold operating curve",
+    );
     eprintln!("repro_ablations: effort = {effort:?}");
     let benches = build_benchmarks();
     let region = RegionConfig::demo();
     let samples = merged_train_regions(&benches, &region, effort == Effort::Full);
     eprintln!("training one full model…");
-    let mut det = train_region_network(ours_config(), &samples, effort, 103);
+    let mut det = train_region_network(ours_config(), &samples, effort, OURS_SEED);
 
     // --- 1. h-NMS vs conventional NMS at evaluation time.
     println!("\n== h-NMS (Algorithm 1) vs conventional NMS, same weights ==");
@@ -81,6 +86,6 @@ fn main() {
         .unwrap_or_else(|e| rhsd_bench::fail("serialise sweep", e));
     std::fs::write("ablation_roc.json", json)
         .unwrap_or_else(|e| rhsd_bench::fail("write ablation_roc.json", e));
-    eprintln!("wrote ablation_roc.json");
-    args.export_obs();
+    args.note_artifact("ablation_roc.json");
+    args.finish_run("ok");
 }

@@ -7,12 +7,17 @@
 //! [--quick] [--trace <path>] [--metrics <path>]`
 
 use rhsd_bench::args::BenchArgs;
-use rhsd_bench::pipeline::run_fig10;
+use rhsd_bench::pipeline::{run_fig10, OURS_SEED};
 use rhsd_bench::table::render_fig10;
 
 fn main() {
-    let args = BenchArgs::parse("repro_fig10");
+    let mut args = BenchArgs::parse("repro_fig10");
     let effort = args.effort();
+    args.start_run(
+        "repro_fig10",
+        OURS_SEED,
+        "demo-scale Figure 10 ablations: w/o ED, w/o L2, w/o Refine, Full",
+    );
     eprintln!("repro_fig10: effort = {effort:?} (pass --quick for a fast run)");
     eprintln!("training 4 ablation variants…");
     let timer = rhsd_obs::Stopwatch::start();
@@ -61,7 +66,7 @@ fn main() {
         .unwrap_or_else(|e| rhsd_bench::fail("serialise fig10 results", e));
     std::fs::write("fig10_results.json", pretty)
         .unwrap_or_else(|e| rhsd_bench::fail("write fig10_results.json", e));
-    eprintln!("wrote fig10_results.json");
+    args.note_artifact("fig10_results.json");
 
-    args.export_obs();
+    args.finish_run("ok");
 }

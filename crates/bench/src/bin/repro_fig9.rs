@@ -12,21 +12,26 @@ use rhsd_baselines::LayoutClip;
 use rhsd_bench::args::BenchArgs;
 use rhsd_bench::pipeline::{
     build_benchmarks, evaluate_tcad18, merged_train_regions, ours_config, train_region_network,
-    train_tcad18, Effort,
+    train_tcad18, Effort, OURS_SEED,
 };
 use rhsd_bench::viz::{render_svg, viz_counts};
 use rhsd_data::RegionConfig;
 
 fn main() {
-    let args = BenchArgs::parse("repro_fig9");
+    let mut args = BenchArgs::parse("repro_fig9");
     let effort = args.effort();
+    args.start_run(
+        "repro_fig9",
+        OURS_SEED,
+        "demo-scale Figure 9 visualisations: truth vs TCAD'18 vs Ours",
+    );
     eprintln!("repro_fig9: effort = {effort:?} (pass --quick for a fast run)");
     let benches = build_benchmarks();
     let region = RegionConfig::demo();
     let samples = merged_train_regions(&benches, &region, effort == Effort::Full);
 
     eprintln!("training ours + TCAD'18…");
-    let mut ours = train_region_network(ours_config(), &samples, effort, 103);
+    let mut ours = train_region_network(ours_config(), &samples, effort, OURS_SEED);
     let mut tcad = train_tcad18(&benches, effort);
 
     for bench in &benches {
@@ -74,6 +79,7 @@ fn main() {
             let svg = render_svg(&bench.layout, &window, clips, &hotspots, px_per_nm);
             let name = format!("fig9_{}_{tag}.svg", bench.id.name().to_lowercase());
             std::fs::write(&name, svg).unwrap_or_else(|e| rhsd_bench::fail(&name, e));
+            args.note_artifact(&name);
             let c = viz_counts(clips, &hotspots);
             println!(
                 "{name}: detected {}, missed {}, false alarms {}",
@@ -82,5 +88,5 @@ fn main() {
         }
     }
     eprintln!("done — open the fig9_*.svg files to compare detectors.");
-    args.export_obs();
+    args.finish_run("ok");
 }

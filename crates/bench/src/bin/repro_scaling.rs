@@ -19,13 +19,21 @@ use rhsd_layout::synth::CaseId;
 use rhsd_layout::Rect;
 use rhsd_obs::Stopwatch;
 
+/// Seed of the untrained scaling-study networks.
+const SCALING_SEED: u64 = 17;
+
 fn main() {
-    let args = BenchArgs::parse("repro_scaling");
+    let mut args = BenchArgs::parse("repro_scaling");
     let effort = args.effort();
+    args.start_run(
+        "repro_scaling",
+        SCALING_SEED,
+        "runtime scaling: region scan vs clip scan over growing layout area",
+    );
     eprintln!("repro_scaling: effort = {effort:?}");
     let bench = Benchmark::demo(CaseId::Case3);
     let region_cfg = RegionConfig::demo();
-    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let mut rng = ChaCha8Rng::seed_from_u64(SCALING_SEED);
     let net = RhsdNetwork::new(RhsdConfig::demo(), &mut rng);
     let mut ours = RegionDetector::new(net, region_cfg);
     let mut tcad = Tcad18Detector::new(Tcad18Config::demo(), &mut rng);
@@ -71,5 +79,5 @@ fn main() {
          core = clip/3), so the gap widens with area — the paper's speedup\n\
          mechanism, reproduced without its GPU batching."
     );
-    args.export_obs();
+    args.finish_run("ok");
 }

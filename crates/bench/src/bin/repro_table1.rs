@@ -3,19 +3,29 @@
 //! evaluated benchmark cases, plus Average and Ratio rows.
 //!
 //! Usage: `cargo run -p rhsd-bench --release --bin repro_table1 --
-//! [--quick] [--trace <path>] [--metrics <path>]`
+//! [--quick] [--trace <path>] [--metrics <path>] [--ledger <path>]
+//! [--bench-out <path>]`
 //!
-//! The run is deterministic (all seeds fixed); results are printed to
-//! stdout and written as JSON next to the binary's working directory
-//! (`table1_results.json` plus the machine-readable `BENCH_table1.json`).
+//! The run is deterministic (all seeds fixed). Results are printed to
+//! stdout; the machine-readable benchmark record lands in
+//! `BENCH_table1.json` (override with `--bench-out`) — the input of
+//! `cargo xtask bench-diff` — and the full run ledger in
+//! `LEDGER_table1.jsonl` unless `--no-ledger` is given.
+
+use std::path::PathBuf;
 
 use rhsd_bench::args::BenchArgs;
-use rhsd_bench::pipeline::{run_table1, write_bench_json};
+use rhsd_bench::pipeline::{run_table1, write_bench_json, OURS_SEED};
 use rhsd_bench::table::render_table1;
 
 fn main() {
-    let args = BenchArgs::parse("repro_table1");
+    let mut args = BenchArgs::parse("repro_table1");
     let effort = args.effort();
+    args.start_run(
+        "repro_table1",
+        OURS_SEED,
+        "demo-scale Table 1: TCAD'18, Faster R-CNN, SSD, Ours on Case2/3/4",
+    );
     eprintln!("repro_table1: effort = {effort:?} (pass --quick for a fast run)");
     eprintln!("building benchmarks, training 4 detectors, scanning test halves…");
     let timer = rhsd_obs::Stopwatch::start();
@@ -50,19 +60,13 @@ fn main() {
         }
     }
 
-    let json = serde_json::json!(reports
-        .iter()
-        .map(|r| (r.name.clone(), r.rows.clone()))
-        .collect::<Vec<_>>());
-    let pretty = serde_json::to_string_pretty(&json)
-        .unwrap_or_else(|e| rhsd_bench::fail("serialise table1 results", e));
-    std::fs::write("table1_results.json", pretty)
-        .unwrap_or_else(|e| rhsd_bench::fail("write table1_results.json", e));
-    eprintln!("wrote table1_results.json");
+    let bench_out = args
+        .bench_out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_table1.json"));
+    write_bench_json(&bench_out, "repro_table1", args.quick, OURS_SEED, &reports)
+        .unwrap_or_else(|e| rhsd_bench::fail("write bench record", e));
+    args.note_artifact(bench_out);
 
-    write_bench_json("BENCH_table1.json", "repro_table1", args.quick, &reports)
-        .unwrap_or_else(|e| rhsd_bench::fail("write BENCH_table1.json", e));
-    eprintln!("wrote BENCH_table1.json");
-
-    args.export_obs();
+    args.finish_run("ok");
 }

@@ -15,6 +15,10 @@ use rhsd_data::augment::{flip_region, Flip};
 use rhsd_data::{sample_regions, train_regions, Benchmark, RegionConfig, RegionSample};
 use rhsd_layout::synth::CaseId;
 
+/// Primary RNG seed of the "Ours" detector — also the seed recorded in
+/// run-ledger manifests and bench records of the Table-1/Figure-10 runs.
+pub const OURS_SEED: u64 = 103;
+
 /// Effort level of a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Effort {
@@ -163,14 +167,17 @@ pub struct DetectorReport {
 }
 
 impl DetectorReport {
-    /// Builds a report, appending the average row.
+    /// Builds a report, appending the average row. Every row (including
+    /// the average) is mirrored into the run ledger as an `eval` event,
+    /// so baseline and region-detector results land in the same stream.
     pub fn new(name: impl Into<String>, mut rows: Vec<CaseResult>) -> Self {
+        let name = name.into();
         let avg = average_row(&rows);
         rows.push(avg);
-        DetectorReport {
-            name: name.into(),
-            rows,
+        for row in &rows {
+            row.emit_ledger(&name);
         }
+        DetectorReport { name, rows }
     }
 
     /// The average row ([`DetectorReport::new`] always appends one; an
@@ -189,31 +196,87 @@ impl DetectorReport {
     }
 }
 
+/// Per-stage wall-clock totals for the bench record: span durations
+/// summed by name, plus the `eval.*` / `scaling.*` stopwatch series from
+/// the metrics registry. Empty when observability was disabled.
+fn stage_secs() -> std::collections::BTreeMap<String, f64> {
+    let mut stages = std::collections::BTreeMap::new();
+    for e in rhsd_obs::span_events() {
+        *stages.entry(e.name.to_string()).or_insert(0.0) += e.dur_secs;
+    }
+    let snap = rhsd_obs::snapshot();
+    for (name, h) in &snap.histograms {
+        if name.starts_with("eval.") || name.starts_with("scaling.") {
+            stages.insert(name.clone(), h.sum);
+        }
+    }
+    stages
+}
+
 /// Serialises detector reports as the machine-readable benchmark record
-/// tracked across revisions (`BENCH_table1.json`): per detector, the
-/// per-case accuracy / false-alarm / runtime rows plus the average.
-pub fn bench_json(
-    source: &str,
-    quick: bool,
-    reports: &[DetectorReport],
-) -> std::io::Result<String> {
-    let detectors: Vec<serde_json::Value> = reports
-        .iter()
-        .map(|r| {
-            serde_json::json!({
-                "name": r.name,
-                "cases": r.case_rows(),
-                "average": r.average(),
-            })
-        })
-        .collect();
-    let doc = serde_json::json!({
-        "schema": "rhsd-bench-table/1",
-        "source": source,
-        "quick": quick,
-        "detectors": detectors,
-    });
-    serde_json::to_string_pretty(&doc).map_err(std::io::Error::other)
+/// tracked across revisions (`BENCH_table1.json`, schema
+/// `rhsd-bench-table/2`): the run's primary seed, per-stage wall-clock
+/// totals from the observability snapshot, and per detector the per-case
+/// accuracy / false-alarm / runtime rows plus the average. This is the
+/// record `cargo xtask bench-diff` compares across commits.
+pub fn bench_json(source: &str, quick: bool, seed: u64, reports: &[DetectorReport]) -> String {
+    use rhsd_obs::json::{escape, number};
+    // `escape` yields string *contents*; `quoted` adds the delimiters.
+    fn quoted(s: &str) -> String {
+        format!("\"{}\"", escape(s))
+    }
+    fn row_json(r: &CaseResult) -> String {
+        format!(
+            "{{\"case\": {}, \"accuracy_pct\": {}, \"false_alarms\": {}, \"seconds\": {}}}",
+            quoted(&r.case),
+            number(r.accuracy_pct),
+            r.false_alarms,
+            number(r.seconds),
+        )
+    }
+    let mut o = String::with_capacity(2048);
+    o.push_str("{\n  \"schema\": \"rhsd-bench-table/2\",\n");
+    o.push_str(&format!("  \"source\": {},\n", quoted(source)));
+    o.push_str(&format!("  \"quick\": {quick},\n"));
+    o.push_str(&format!("  \"seed\": {seed},\n"));
+    o.push_str("  \"stage_secs\": {");
+    let stages = stage_secs();
+    for (i, (name, secs)) in stages.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!("\n    {}: {}", quoted(name), number(*secs)));
+    }
+    if !stages.is_empty() {
+        o.push_str("\n  ");
+    }
+    o.push_str("},\n  \"detectors\": [");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&format!("\n    {{\n      \"name\": {},\n", quoted(&r.name)));
+        o.push_str("      \"cases\": [");
+        for (j, row) in r.case_rows().iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            o.push_str("\n        ");
+            o.push_str(&row_json(row));
+        }
+        if !r.case_rows().is_empty() {
+            o.push_str("\n      ");
+        }
+        o.push_str("],\n      \"average\": ");
+        o.push_str(&row_json(&r.average()));
+        o.push_str("\n    }");
+    }
+    if !reports.is_empty() {
+        o.push_str("\n  ");
+    }
+    o.push_str("]\n}\n");
+    debug_assert!(rhsd_obs::json::validate(&o).is_ok());
+    o
 }
 
 /// Writes [`bench_json`] to `path`.
@@ -221,9 +284,10 @@ pub fn write_bench_json(
     path: impl AsRef<Path>,
     source: &str,
     quick: bool,
+    seed: u64,
     reports: &[DetectorReport],
 ) -> std::io::Result<()> {
-    std::fs::write(path, bench_json(source, quick, reports)?)
+    std::fs::write(path, bench_json(source, quick, seed, reports))
 }
 
 /// Runs the full Table 1 comparison: TCAD'18, Faster R-CNN, SSD, Ours.
@@ -260,7 +324,7 @@ pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
     reports.push(DetectorReport::new("SSD", rows));
 
     // Ours.
-    let mut ours = train_region_network(ours_config(), &samples, effort, 103);
+    let mut ours = train_region_network(ours_config(), &samples, effort, OURS_SEED);
     let rows = benches
         .iter()
         .map(|b| evaluate_region_detector(&mut ours, b))
@@ -292,7 +356,7 @@ pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
         .map(|(name, tweak)| {
             let mut cfg = ours_config();
             tweak(&mut cfg);
-            let mut det = train_region_network(cfg, &samples, effort, 103);
+            let mut det = train_region_network(cfg, &samples, effort, OURS_SEED);
             let rows = benches
                 .iter()
                 .map(|b| evaluate_region_detector(&mut det, b))
@@ -300,4 +364,58 @@ pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
             DetectorReport::new(*name, rows)
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhsd_baselines::CaseResult;
+    use rhsd_obs::json;
+
+    fn report(name: &str, secs: f64, acc: f64) -> DetectorReport {
+        let row = |case: &str| CaseResult {
+            case: case.to_owned(),
+            accuracy_pct: acc,
+            false_alarms: 3,
+            seconds: secs,
+        };
+        DetectorReport::new(name, vec![row("Case2"), row("Case3")])
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_carries_schema_seed_and_rows() {
+        let doc = bench_json("unit", true, 103, &[report("Ours", 0.5, 90.0)]);
+        let v = json::parse(&doc).expect("bench record parses");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("rhsd-bench-table/2")
+        );
+        assert_eq!(v.get("seed").and_then(|s| s.as_u64()), Some(103));
+        assert_eq!(v.get("quick").and_then(|q| q.as_bool()), Some(true));
+        let dets = v
+            .get("detectors")
+            .and_then(|d| d.as_arr())
+            .expect("detectors array");
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].get("name").and_then(|n| n.as_str()), Some("Ours"));
+        let cases = dets[0]
+            .get("cases")
+            .and_then(|c| c.as_arr())
+            .expect("cases");
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].get("case").and_then(|c| c.as_str()), Some("Case2"));
+        let avg = dets[0].get("average").expect("average row");
+        assert_eq!(avg.get("accuracy_pct").and_then(|a| a.as_f64()), Some(90.0));
+        assert_eq!(avg.get("false_alarms").and_then(|f| f.as_u64()), Some(3));
+    }
+
+    #[test]
+    fn bench_json_handles_empty_reports() {
+        let doc = bench_json("unit", false, 0, &[]);
+        let v = json::parse(&doc).expect("empty record parses");
+        assert_eq!(
+            v.get("detectors").and_then(|d| d.as_arr()).map(<[_]>::len),
+            Some(0)
+        );
+    }
 }

@@ -161,6 +161,19 @@ pub fn train(
         rhsd_obs::record("train.grad_norm", stats.mean_grad_norm as f64);
         rhsd_obs::record("train.lr", stats.lr as f64);
         rhsd_obs::counter("train.samples", seen as u64);
+        // Stream the epoch into the run ledger (no-op unless a ledger is
+        // open), so every run's training dynamics are captured next to
+        // its final numbers.
+        rhsd_obs::ledger::emit(&rhsd_obs::ledger::Event::Epoch {
+            epoch: epoch as u64,
+            mean_loss: stats.mean_loss as f64,
+            mean_cpn_cls: stats.mean_cpn_cls as f64,
+            mean_cpn_reg: stats.mean_cpn_reg as f64,
+            mean_refine_cls: stats.mean_refine_cls as f64,
+            grad_norm: stats.mean_grad_norm as f64,
+            lr: stats.lr as f64,
+            samples: seen as u64,
+        });
         if rhsd_obs::enabled() {
             let secs = sp.elapsed_secs();
             if secs > 0.0 {

@@ -1,6 +1,8 @@
-//! Minimal hand-rolled JSON support: string escaping, number formatting
-//! and a strict syntax validator — kept dependency-free on purpose (this
-//! crate must cost nothing when unused and pull nothing in).
+//! Minimal hand-rolled JSON support: string escaping, number formatting,
+//! a strict syntax validator and a small tree parser — kept
+//! dependency-free on purpose (this crate must cost nothing when unused
+//! and pull nothing in). The parser backs the ledger round-trip tests
+//! and the `cargo xtask bench-diff` regression gate.
 
 /// Escapes `s` as the contents of a JSON string literal (without the
 /// surrounding quotes).
@@ -162,6 +164,229 @@ fn string(b: &[u8], pos: &mut usize) -> Result<(), usize> {
     Err(*pos)
 }
 
+/// A parsed JSON value (see [`parse`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, parsed as `f64`.
+    Num(f64),
+    /// A string literal, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, keys in source order (duplicates retained).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object (first occurrence); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object fields in source order, if this is an object.
+    pub fn entries(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` as one well-formed JSON value (same strict grammar as
+/// [`validate`]). Returns the byte offset of the first error.
+pub fn parse(s: &str) -> Result<Value, usize> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    let v = pvalue(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos == b.len() {
+        Ok(v)
+    } else {
+        Err(pos)
+    }
+}
+
+fn pvalue(b: &[u8], pos: &mut usize) -> Result<Value, usize> {
+    match b.get(*pos) {
+        Some(b'{') => pobject(b, pos),
+        Some(b'[') => parray(b, pos),
+        Some(b'"') => pstring(b, pos).map(Value::Str),
+        Some(b't') => literal(b, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => literal(b, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'n') => literal(b, pos, b"null").map(|()| Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => pnum(b, pos),
+        _ => Err(*pos),
+    }
+}
+
+fn pobject(b: &[u8], pos: &mut usize) -> Result<Value, usize> {
+    let mut fields = Vec::new();
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = pstring(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(*pos);
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        let val = pvalue(b, pos)?;
+        fields.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            _ => return Err(*pos),
+        }
+    }
+}
+
+fn parray(b: &[u8], pos: &mut usize) -> Result<Value, usize> {
+    let mut items = Vec::new();
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        skip_ws(b, pos);
+        items.push(pvalue(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(*pos),
+        }
+    }
+}
+
+/// Parses a string literal, decoding escapes (including `\uXXXX` with
+/// surrogate pairs; unpaired surrogates become U+FFFD).
+fn pstring(b: &[u8], pos: &mut usize) -> Result<String, usize> {
+    let start = *pos;
+    string(b, pos)?; // validate + find the closing quote
+    let raw = &b[start + 1..*pos - 1];
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0usize;
+    while i < raw.len() {
+        if raw[i] != b'\\' {
+            // copy a run of plain bytes (UTF-8 passes through untouched)
+            let run = i;
+            while i < raw.len() && raw[i] != b'\\' {
+                i += 1;
+            }
+            out.push_str(std::str::from_utf8(&raw[run..i]).map_err(|_| start + run)?);
+            continue;
+        }
+        i += 1;
+        match raw.get(i) {
+            Some(b'"') => out.push('"'),
+            Some(b'\\') => out.push('\\'),
+            Some(b'/') => out.push('/'),
+            Some(b'b') => out.push('\u{8}'),
+            Some(b'f') => out.push('\u{c}'),
+            Some(b'n') => out.push('\n'),
+            Some(b'r') => out.push('\r'),
+            Some(b't') => out.push('\t'),
+            Some(b'u') => {
+                let mut code = hex4(raw, i + 1).ok_or(start + i)? as u32;
+                i += 4;
+                if (0xD800..0xDC00).contains(&code) {
+                    // high surrogate: consume a following \uXXXX low half
+                    if raw.get(i + 1) == Some(&b'\\') && raw.get(i + 2) == Some(&b'u') {
+                        if let Some(lo) = hex4(raw, i + 3) {
+                            if (0xDC00..0xE000).contains(&(lo as u32)) {
+                                code = 0x10000 + ((code - 0xD800) << 10) + (lo as u32 - 0xDC00);
+                                i += 6;
+                            }
+                        }
+                    }
+                }
+                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+            }
+            _ => return Err(start + i),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn hex4(raw: &[u8], at: usize) -> Option<u16> {
+    let chunk = raw.get(at..at + 4)?;
+    let text = std::str::from_utf8(chunk).ok()?;
+    u16::from_str_radix(text, 16).ok()
+}
+
+fn pnum(b: &[u8], pos: &mut usize) -> Result<Value, usize> {
+    let start = *pos;
+    num(b, pos)?;
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| start)?;
+    text.parse::<f64>().map(Value::Num).map_err(|_| start)
+}
+
 fn num(b: &[u8], pos: &mut usize) -> Result<(), usize> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -223,6 +448,49 @@ mod tests {
             r#"  { "x" : null }  "#,
         ] {
             assert!(validate(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(parse("null"), Ok(Value::Null));
+        assert_eq!(parse(" true "), Ok(Value::Bool(true)));
+        assert_eq!(parse("-1.5e2"), Ok(Value::Num(-150.0)));
+        assert_eq!(parse(r#""a\nb""#), Ok(Value::Str("a\nb".into())));
+        let v = parse(r#"{"rows":[{"acc":92.5,"fa":3}],"quick":false}"#).unwrap();
+        let rows = v.get("rows").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows[0].get("acc").and_then(Value::as_f64), Some(92.5));
+        assert_eq!(rows[0].get("fa").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("quick").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_unescapes_unicode() {
+        assert_eq!(parse(r#""Aé""#), Ok(Value::Str("Aé".into())));
+        // surrogate pair → astral char; lone surrogate → replacement
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\""),
+            Ok(Value::Str("\u{1F600}".into()))
+        );
+        assert_eq!(parse("\"\\ud800x\""), Ok(Value::Str("\u{FFFD}x".into())));
+    }
+
+    #[test]
+    fn parse_roundtrips_escape_and_number() {
+        let original = "weird \"name\"\twith\nbreaks";
+        let rendered = format!("\"{}\"", escape(original));
+        assert_eq!(parse(&rendered), Ok(Value::Str(original.into())));
+        let rendered = format!("[{}]", number(1234.5678));
+        let v = parse(&rendered).unwrap();
+        assert_eq!(v.as_arr().and_then(|a| a[0].as_f64()), Some(1234.5678));
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for bad in ["", "{", "[1,]", "{'a':1}", r#"{"a":}"#, "tru", "1 2"] {
+            assert!(parse(bad).is_err(), "{bad}");
+            assert!(validate(bad).is_err(), "{bad}");
         }
     }
 

@@ -1,0 +1,552 @@
+//! Append-only JSONL **run ledger**: a typed event stream that captures a
+//! whole run — the `run_start` manifest (seed, config, effort, host,
+//! version), per-epoch training telemetry, per-case evaluation rows,
+//! closed spans and a final `run_end` status line — one JSON object per
+//! line, flushed after every event so a crashed run still leaves a
+//! readable prefix.
+//!
+//! Two layers:
+//!
+//! - [`Ledger`] — an explicit writer over one file, for tests and
+//!   embedding;
+//! - a **process-global sink** ([`open`], [`emit`], [`close`]) used by
+//!   the pipeline crates: instrumentation points call [`emit`], which is
+//!   a no-op (one relaxed atomic load) until a ledger is opened, mirroring
+//!   the crate's global enabled gate.
+//!
+//! Every line carries `"event"` (the type tag), `"seq"` (dense, 0-based)
+//! and `"t"` (seconds since the ledger opened), then the event's own
+//! fields. Lines are independent JSON values: a reader can stop at the
+//! first truncated line and keep everything before it.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::json::{escape, number};
+
+/// The `run_start` manifest identifying a run — always the first ledger
+/// line, so even a crashed run records what it was.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Manifest {
+    /// Binary or harness name (`"repro_table1"`).
+    pub bin: String,
+    /// Primary RNG seed of the run.
+    pub seed: u64,
+    /// Human-readable config summary (scale, detector set, …).
+    pub config: String,
+    /// Effort level (`"Full"` / `"Quick"`).
+    pub effort: String,
+    /// Host platform, e.g. `"linux/x86_64"` (see [`host_string`]).
+    pub host: String,
+    /// Version of the crate that produced the ledger.
+    pub version: String,
+}
+
+/// The host platform tag recorded in manifests (`os/arch`).
+pub fn host_string() -> String {
+    format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH)
+}
+
+/// One typed ledger event, serialised as a single JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Run manifest; always the first line of a ledger.
+    RunStart(Manifest),
+    /// Per-epoch training telemetry (the `EpochStats` fields plus the
+    /// sample count).
+    Epoch {
+        /// 0-based epoch index.
+        epoch: u64,
+        /// Mean total loss over the epoch's samples.
+        mean_loss: f64,
+        /// Mean first-stage classification loss.
+        mean_cpn_cls: f64,
+        /// Mean first-stage localisation loss.
+        mean_cpn_reg: f64,
+        /// Mean refinement classification loss.
+        mean_refine_cls: f64,
+        /// Mean pre-clip global gradient norm over the epoch's steps.
+        grad_norm: f64,
+        /// Learning rate at the end of the epoch.
+        lr: f64,
+        /// Samples seen this epoch.
+        samples: u64,
+    },
+    /// One evaluation row: a detector's result on one case (or the
+    /// per-detector `"Average"` row).
+    Eval {
+        /// Detector label (`"Ours"`, `"TCAD'18"`, …).
+        detector: String,
+        /// Case name (`"Case2"`, …, or `"Average"`).
+        case: String,
+        /// Detection accuracy in percent (Def. 1).
+        accuracy_pct: f64,
+        /// False-alarm count (Def. 2).
+        false_alarms: u64,
+        /// Wall-clock detection time in seconds.
+        seconds: f64,
+    },
+    /// A span closed (mirrors the trace stream at stage granularity).
+    SpanClose {
+        /// Span (stage) name.
+        name: String,
+        /// Duration in seconds.
+        dur_secs: f64,
+        /// Nesting depth at open time (0 = root).
+        depth: u32,
+    },
+    /// Final line: exit status plus peak metrics from the registry.
+    RunEnd {
+        /// Exit status (`"ok"` or `"error"`).
+        status: String,
+        /// Seconds between ledger open and this line.
+        wall_secs: f64,
+        /// Counter totals at run end, by name.
+        counters: Vec<(String, u64)>,
+        /// Per-histogram peak (max) values at run end, by name.
+        peaks: Vec<(String, f64)>,
+    },
+}
+
+impl Event {
+    /// The event's type tag, as written in the `"event"` field.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::RunStart(_) => "run_start",
+            Event::Epoch { .. } => "epoch",
+            Event::Eval { .. } => "eval",
+            Event::SpanClose { .. } => "span_close",
+            Event::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// Serialises the event as one JSON object (no trailing newline).
+    pub fn to_json(&self, seq: u64, t_secs: f64) -> String {
+        let mut o = String::with_capacity(160);
+        o.push('{');
+        fld_str(&mut o, "event", self.tag());
+        fld_raw(&mut o, "seq", &seq.to_string());
+        fld_raw(&mut o, "t", &number(t_secs));
+        match self {
+            Event::RunStart(m) => {
+                fld_str(&mut o, "bin", &m.bin);
+                fld_raw(&mut o, "seed", &m.seed.to_string());
+                fld_str(&mut o, "config", &m.config);
+                fld_str(&mut o, "effort", &m.effort);
+                fld_str(&mut o, "host", &m.host);
+                fld_str(&mut o, "version", &m.version);
+            }
+            Event::Epoch {
+                epoch,
+                mean_loss,
+                mean_cpn_cls,
+                mean_cpn_reg,
+                mean_refine_cls,
+                grad_norm,
+                lr,
+                samples,
+            } => {
+                fld_raw(&mut o, "epoch", &epoch.to_string());
+                fld_raw(&mut o, "mean_loss", &number(*mean_loss));
+                fld_raw(&mut o, "mean_cpn_cls", &number(*mean_cpn_cls));
+                fld_raw(&mut o, "mean_cpn_reg", &number(*mean_cpn_reg));
+                fld_raw(&mut o, "mean_refine_cls", &number(*mean_refine_cls));
+                fld_raw(&mut o, "grad_norm", &number(*grad_norm));
+                fld_raw(&mut o, "lr", &number(*lr));
+                fld_raw(&mut o, "samples", &samples.to_string());
+            }
+            Event::Eval {
+                detector,
+                case,
+                accuracy_pct,
+                false_alarms,
+                seconds,
+            } => {
+                fld_str(&mut o, "detector", detector);
+                fld_str(&mut o, "case", case);
+                fld_raw(&mut o, "accuracy_pct", &number(*accuracy_pct));
+                fld_raw(&mut o, "false_alarms", &false_alarms.to_string());
+                fld_raw(&mut o, "seconds", &number(*seconds));
+            }
+            Event::SpanClose {
+                name,
+                dur_secs,
+                depth,
+            } => {
+                fld_str(&mut o, "name", name);
+                fld_raw(&mut o, "dur_secs", &number(*dur_secs));
+                fld_raw(&mut o, "depth", &depth.to_string());
+            }
+            Event::RunEnd {
+                status,
+                wall_secs,
+                counters,
+                peaks,
+            } => {
+                fld_str(&mut o, "status", status);
+                fld_raw(&mut o, "wall_secs", &number(*wall_secs));
+                let mut c = String::from("{");
+                for (i, (k, v)) in counters.iter().enumerate() {
+                    if i > 0 {
+                        c.push(',');
+                    }
+                    c.push_str(&format!("\"{}\":{}", escape(k), v));
+                }
+                c.push('}');
+                fld_raw(&mut o, "counters", &c);
+                let mut p = String::from("{");
+                for (i, (k, v)) in peaks.iter().enumerate() {
+                    if i > 0 {
+                        p.push(',');
+                    }
+                    p.push_str(&format!("\"{}\":{}", escape(k), number(*v)));
+                }
+                p.push('}');
+                fld_raw(&mut o, "peaks", &p);
+            }
+        }
+        o.push('}');
+        o
+    }
+}
+
+fn fld_str(out: &mut String, key: &str, val: &str) {
+    if out.len() > 1 {
+        out.push(',');
+    }
+    out.push_str(&format!("\"{}\":\"{}\"", escape(key), escape(val)));
+}
+
+fn fld_raw(out: &mut String, key: &str, rendered: &str) {
+    if out.len() > 1 {
+        out.push(',');
+    }
+    out.push_str(&format!("\"{}\":{}", escape(key), rendered));
+}
+
+/// An open JSONL ledger file. Every [`Ledger::emit`] appends one line and
+/// flushes it, so partial files from crashed runs stay readable up to the
+/// last completed event.
+#[derive(Debug)]
+pub struct Ledger {
+    out: BufWriter<File>,
+    path: PathBuf,
+    seq: u64,
+    opened: Instant,
+}
+
+impl Ledger {
+    /// Creates (truncating) the ledger file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Ledger> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(Ledger {
+            out: BufWriter::new(file),
+            path,
+            seq: 0,
+            opened: Instant::now(),
+        })
+    }
+
+    /// Appends one event as a JSONL line and flushes it to disk.
+    pub fn emit(&mut self, event: &Event) -> io::Result<()> {
+        let line = event.to_json(self.seq, self.opened.elapsed().as_secs_f64());
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// The path this ledger writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events written so far.
+    pub fn len(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether no event has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.seq == 0
+    }
+
+    /// Seconds since the ledger was opened.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.opened.elapsed().as_secs_f64()
+    }
+}
+
+/// Fast global gate: `true` while a process-global ledger is open.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn global() -> MutexGuard<'static, Option<Ledger>> {
+    static GLOBAL: OnceLock<Mutex<Option<Ledger>>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| Mutex::new(None))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Opens the process-global ledger at `path` and writes the `run_start`
+/// manifest line. Replaces (closing without a `run_end` line) any ledger
+/// already open.
+pub fn open(path: impl AsRef<Path>, manifest: Manifest) -> io::Result<()> {
+    let mut led = Ledger::create(path)?;
+    led.emit(&Event::RunStart(manifest))?;
+    *global() = Some(led);
+    ACTIVE.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Whether a process-global ledger is currently open.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Emits an event to the global ledger; a no-op while none is open.
+///
+/// Write failures never fail the pipeline: they bump the
+/// `ledger.write_errors` counter (when observability is enabled) instead.
+pub fn emit(event: &Event) {
+    if !active() {
+        return;
+    }
+    let failed = match global().as_mut() {
+        Some(led) => led.emit(event).is_err(),
+        None => false,
+    };
+    if failed {
+        crate::counter("ledger.write_errors", 1);
+    }
+}
+
+/// Forwards a closed span into the global ledger (called by the span
+/// guard on drop; no-op while no ledger is open).
+pub(crate) fn on_span_close(event: &crate::span::SpanEvent) {
+    if !active() {
+        return;
+    }
+    emit(&Event::SpanClose {
+        name: event.name.to_string(),
+        dur_secs: event.dur_secs,
+        depth: event.depth,
+    });
+}
+
+/// Writes the `run_end` line — `status` plus peak metrics from the
+/// current registry snapshot — then closes the global ledger, returning
+/// its path. `None` when no ledger was open.
+pub fn close(status: &str) -> Option<PathBuf> {
+    if !active() {
+        return None;
+    }
+    // Snapshot first: the registry and ledger locks are never nested.
+    let snap = crate::snapshot();
+    let mut guard = global();
+    let mut led = guard.take()?;
+    ACTIVE.store(false, Ordering::Relaxed);
+    drop(guard);
+    let event = Event::RunEnd {
+        status: status.to_owned(),
+        wall_secs: led.elapsed_secs(),
+        counters: snap.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        peaks: snap
+            .histograms
+            .iter()
+            .map(|(k, s)| (k.clone(), s.max))
+            .collect(),
+    };
+    let _ = led.emit(&event);
+    Some(led.path().to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, validate, Value};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rhsd_ledger_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    fn manifest() -> Manifest {
+        Manifest {
+            bin: "test_bin".into(),
+            seed: 103,
+            config: "demo-scale \"quick\"".into(),
+            effort: "Quick".into(),
+            host: host_string(),
+            version: "0.1.0".into(),
+        }
+    }
+
+    #[test]
+    fn every_event_serialises_to_valid_json() {
+        let events = [
+            Event::RunStart(manifest()),
+            Event::Epoch {
+                epoch: 3,
+                mean_loss: 0.5,
+                mean_cpn_cls: 0.2,
+                mean_cpn_reg: 0.1,
+                mean_refine_cls: 0.2,
+                grad_norm: 4.25,
+                lr: 0.01,
+                samples: 12,
+            },
+            Event::Eval {
+                detector: "TCAD'18".into(),
+                case: "Case2".into(),
+                accuracy_pct: 87.5,
+                false_alarms: 9,
+                seconds: 1.25,
+            },
+            Event::SpanClose {
+                name: "train-epoch".into(),
+                dur_secs: 0.125,
+                depth: 0,
+            },
+            Event::RunEnd {
+                status: "ok".into(),
+                wall_secs: 2.5,
+                counters: vec![("train.samples".into(), 8)],
+                peaks: vec![("train.loss".into(), 1.5)],
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            let line = e.to_json(i as u64, 0.5);
+            validate(&line).unwrap_or_else(|at| panic!("invalid at {at}: {line}"));
+            let v = parse(&line).unwrap();
+            assert_eq!(v.get("event").and_then(Value::as_str), Some(e.tag()));
+            assert_eq!(v.get("seq").and_then(Value::as_u64), Some(i as u64));
+            assert_eq!(v.get("t").and_then(Value::as_f64), Some(0.5));
+        }
+    }
+
+    #[test]
+    fn nonfinite_values_serialise_as_null() {
+        let e = Event::Epoch {
+            epoch: 0,
+            mean_loss: f64::NAN,
+            mean_cpn_cls: f64::INFINITY,
+            mean_cpn_reg: 0.0,
+            mean_refine_cls: 0.0,
+            grad_norm: 0.0,
+            lr: 0.0,
+            samples: 0,
+        };
+        let line = e.to_json(0, 0.0);
+        assert!(validate(&line).is_ok(), "{line}");
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("mean_loss"), Some(&Value::Null));
+        assert_eq!(v.get("mean_cpn_cls"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn ledger_file_roundtrips_with_ordering_and_manifest() {
+        let path = temp_path("roundtrip");
+        {
+            let mut led = Ledger::create(&path).unwrap();
+            assert!(led.is_empty());
+            led.emit(&Event::RunStart(manifest())).unwrap();
+            for epoch in 0..3u64 {
+                led.emit(&Event::Epoch {
+                    epoch,
+                    mean_loss: 1.0 / (epoch + 1) as f64,
+                    mean_cpn_cls: 0.1,
+                    mean_cpn_reg: 0.1,
+                    mean_refine_cls: 0.1,
+                    grad_norm: 2.0,
+                    lr: 0.01,
+                    samples: 4,
+                })
+                .unwrap();
+            }
+            led.emit(&Event::Eval {
+                detector: "Ours".into(),
+                case: "Case2".into(),
+                accuracy_pct: 92.0,
+                false_alarms: 3,
+                seconds: 0.5,
+            })
+            .unwrap();
+            led.emit(&Event::RunEnd {
+                status: "ok".into(),
+                wall_secs: 1.0,
+                counters: vec![],
+                peaks: vec![],
+            })
+            .unwrap();
+            assert_eq!(led.len(), 6);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        // every line is independently valid JSON with a dense seq
+        let mut parsed = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            validate(line).unwrap_or_else(|at| panic!("line {i} invalid at {at}: {line}"));
+            let v = parse(line).unwrap();
+            assert_eq!(v.get("seq").and_then(Value::as_u64), Some(i as u64));
+            parsed.push(v);
+        }
+        // ordering: run_start first, run_end last, epochs in order
+        assert_eq!(
+            parsed[0].get("event").and_then(Value::as_str),
+            Some("run_start")
+        );
+        assert_eq!(
+            parsed[5].get("event").and_then(Value::as_str),
+            Some("run_end")
+        );
+        let epochs: Vec<u64> = parsed
+            .iter()
+            .filter(|v| v.get("event").and_then(Value::as_str) == Some("epoch"))
+            .filter_map(|v| v.get("epoch").and_then(Value::as_u64))
+            .collect();
+        assert_eq!(epochs, vec![0, 1, 2]);
+        // manifest fields survive the trip (including escaped quotes)
+        let m = &parsed[0];
+        assert_eq!(m.get("bin").and_then(Value::as_str), Some("test_bin"));
+        assert_eq!(m.get("seed").and_then(Value::as_u64), Some(103));
+        assert_eq!(
+            m.get("config").and_then(Value::as_str),
+            Some("demo-scale \"quick\"")
+        );
+        assert_eq!(m.get("effort").and_then(Value::as_str), Some("Quick"));
+        assert_eq!(m.get("version").and_then(Value::as_str), Some("0.1.0"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crashed_run_prefix_is_readable() {
+        let path = temp_path("crash");
+        {
+            let mut led = Ledger::create(&path).unwrap();
+            led.emit(&Event::RunStart(manifest())).unwrap();
+            led.emit(&Event::SpanClose {
+                name: "raster".into(),
+                dur_secs: 0.01,
+                depth: 0,
+            })
+            .unwrap();
+            // dropped without a run_end — simulating a crash
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "both flushed lines survive");
+        for line in &lines {
+            assert!(validate(line).is_ok(), "{line}");
+        }
+        assert!(lines[0].contains("run_start"));
+        std::fs::remove_file(&path).ok();
+    }
+}

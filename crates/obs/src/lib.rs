@@ -10,7 +10,10 @@
 //!   Perfetto or `chrome://tracing`) and a `metrics.json` snapshot;
 //! - a **global no-op mode**: instrumentation is disabled by default and
 //!   costs a single relaxed atomic load per call site until
-//!   [`set_enabled`]`(true)` is called.
+//!   [`set_enabled`]`(true)` is called;
+//! - a **run ledger** ([`ledger`]) — an append-only JSONL event stream
+//!   (run manifest, per-epoch telemetry, evaluation rows, span closures,
+//!   final status) flushed line-by-line so crashed runs stay readable.
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 
 pub mod export;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod span;
 

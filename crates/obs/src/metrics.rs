@@ -207,6 +207,32 @@ mod tests {
     }
 
     #[test]
+    fn quantile_rank_clamps_at_both_ends() {
+        let mut h = Histogram::default();
+        h.record(1.0);
+        h.record(2.0);
+        // q ≈ 0 still selects the first sample (rank clamped to 1), and
+        // q = 1 the last; out-of-range q never panics or walks off the end
+        assert_eq!(h.quantile(1e-12), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(2.0), Some(2.0));
+    }
+
+    #[test]
+    fn two_samples_split_at_the_median() {
+        let mut h = Histogram::default();
+        h.record(10.0);
+        h.record(20.0);
+        // nearest-rank: ceil(0.5·2) = 1 → first sample
+        assert_eq!(h.quantile(0.5), Some(10.0));
+        assert_eq!(h.quantile(0.51), Some(20.0));
+        let s = h.summary();
+        assert_eq!(s.p50, 10.0);
+        assert_eq!((s.count, s.mean), (2, 15.0));
+    }
+
+    #[test]
     fn min_max_track_extremes() {
         let mut h = Histogram::default();
         h.record(5.0);

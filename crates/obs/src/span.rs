@@ -114,6 +114,10 @@ impl Drop for SpanGuard {
             depth: inner.depth,
             args: inner.args,
         };
+        // Mirror the closure into the run ledger (no-op unless one is
+        // open) before taking the registry lock — the two locks never
+        // nest.
+        crate::ledger::on_span_close(&event);
         let mut reg = registry();
         reg.record(&event.name, event.dur_secs);
         reg.push_event(event);

@@ -1,0 +1,398 @@
+//! `cargo xtask bench-diff`: the benchmark regression gate.
+//!
+//! Compares two machine-readable benchmark records (the
+//! `BENCH_table1.json` files written by `repro_table1 --bench-out`,
+//! schema `rhsd-bench-table/2` — the v1 schema without `seed` /
+//! `stage_secs` is accepted too) and fails when the current run regresses
+//! past the tolerances:
+//!
+//! - **runtime**: any detector's average scan time grew by more than
+//!   `--max-runtime-regress` percent (default 10). Runtime is
+//!   machine-dependent, so CI diffs against a committed baseline pass
+//!   `--skip-runtime` and gate on the deterministic columns only.
+//! - **accuracy**: any detector's average accuracy dropped by more than
+//!   `--max-accuracy-drop` points (default 0.5).
+//! - **false alarms**: informational — printed in the table but never
+//!   fails the gate on its own (FA changes surface as accuracy changes
+//!   in this pipeline).
+//!
+//! Exit codes: 0 clean, 1 regression, 2 malformed input / usage error.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rhsd_obs::json::{parse, Value};
+
+/// Comparison tolerances (percentages / accuracy points).
+pub struct Tolerance {
+    /// Maximum allowed runtime growth, in percent of the baseline.
+    pub max_runtime_regress_pct: f64,
+    /// Maximum allowed accuracy drop, in percentage points.
+    pub max_accuracy_drop_pt: f64,
+    /// Ignore the runtime column entirely (cross-machine CI gates).
+    pub skip_runtime: bool,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            max_runtime_regress_pct: 10.0,
+            max_accuracy_drop_pt: 0.5,
+            skip_runtime: false,
+        }
+    }
+}
+
+/// One detector row extracted from a bench record.
+#[derive(Debug, Clone, PartialEq)]
+struct DetectorRow {
+    name: String,
+    accuracy_pct: f64,
+    false_alarms: u64,
+    seconds: f64,
+}
+
+/// A parsed bench record: source tag and per-detector average rows.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    source: String,
+    quick: bool,
+    detectors: Vec<DetectorRow>,
+}
+
+fn row_from(name: &str, v: &Value) -> Result<DetectorRow, String> {
+    let num = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("detector `{name}`: average row missing numeric `{key}`"))
+    };
+    Ok(DetectorRow {
+        name: name.to_owned(),
+        accuracy_pct: num("accuracy_pct")?,
+        false_alarms: v.get("false_alarms").and_then(Value::as_u64).unwrap_or(0),
+        seconds: num("seconds")?,
+    })
+}
+
+/// Parses a bench record, checking the schema tag and extracting each
+/// detector's average row.
+fn parse_record(text: &str, label: &str) -> Result<BenchRecord, String> {
+    let v = parse(text).map_err(|pos| format!("{label}: invalid JSON at byte {pos}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{label}: missing `schema` field"))?;
+    if !schema.starts_with("rhsd-bench-table/") {
+        return Err(format!("{label}: unsupported schema `{schema}`"));
+    }
+    let detectors = v
+        .get("detectors")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{label}: missing `detectors` array"))?;
+    let mut rows = Vec::new();
+    for d in detectors {
+        let name = d
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{label}: detector entry missing `name`"))?;
+        let avg = d
+            .get("average")
+            .ok_or_else(|| format!("{label}: detector `{name}` missing `average` row"))?;
+        rows.push(row_from(name, avg).map_err(|e| format!("{label}: {e}"))?);
+    }
+    if rows.is_empty() {
+        return Err(format!("{label}: no detectors in record"));
+    }
+    Ok(BenchRecord {
+        source: v
+            .get("source")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_owned(),
+        quick: v.get("quick").and_then(Value::as_bool).unwrap_or(false),
+        detectors: rows,
+    })
+}
+
+/// One detector's comparison outcome.
+#[derive(Debug)]
+struct RowDiff {
+    name: String,
+    accuracy_delta_pt: f64,
+    fa_delta: i64,
+    runtime_delta_pct: Option<f64>,
+    regressions: Vec<String>,
+}
+
+/// Compares `current` against `baseline` under `tol`. Detectors present
+/// in only one record are reported but never fail the gate.
+fn diff(
+    baseline: &BenchRecord,
+    current: &BenchRecord,
+    tol: &Tolerance,
+) -> (Vec<RowDiff>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for b in &baseline.detectors {
+        let Some(c) = current.detectors.iter().find(|c| c.name == b.name) else {
+            notes.push(format!("detector `{}` missing from current record", b.name));
+            continue;
+        };
+        let accuracy_delta_pt = c.accuracy_pct - b.accuracy_pct;
+        let fa_delta = c.false_alarms as i64 - b.false_alarms as i64;
+        let runtime_delta_pct = (!tol.skip_runtime && b.seconds > 0.0)
+            .then(|| 100.0 * (c.seconds - b.seconds) / b.seconds);
+        let mut regressions = Vec::new();
+        if accuracy_delta_pt < -tol.max_accuracy_drop_pt {
+            regressions.push(format!(
+                "accuracy dropped {:.2}pt (tolerance {:.2}pt)",
+                -accuracy_delta_pt, tol.max_accuracy_drop_pt
+            ));
+        }
+        if let Some(rt) = runtime_delta_pct {
+            if rt > tol.max_runtime_regress_pct {
+                regressions.push(format!(
+                    "runtime grew {:.1}% (tolerance {:.1}%)",
+                    rt, tol.max_runtime_regress_pct
+                ));
+            }
+        }
+        rows.push(RowDiff {
+            name: b.name.clone(),
+            accuracy_delta_pt,
+            fa_delta,
+            runtime_delta_pct,
+            regressions,
+        });
+    }
+    for c in &current.detectors {
+        if !baseline.detectors.iter().any(|b| b.name == c.name) {
+            notes.push(format!("detector `{}` new in current record", c.name));
+        }
+    }
+    (rows, notes)
+}
+
+/// Renders the human-readable comparison table.
+fn render(
+    baseline: &BenchRecord,
+    current: &BenchRecord,
+    rows: &[RowDiff],
+    notes: &[String],
+) -> String {
+    let mut o = String::new();
+    let _ = writeln!(
+        o,
+        "bench-diff: {} (quick={}) vs {} (quick={})",
+        baseline.source, baseline.quick, current.source, current.quick
+    );
+    let _ = writeln!(
+        o,
+        "{:<14} {:>12} {:>8} {:>12}  status",
+        "detector", "Δacc(pt)", "ΔFA", "Δruntime"
+    );
+    for r in rows {
+        let rt = match r.runtime_delta_pct {
+            Some(pct) => format!("{pct:+.1}%"),
+            None => "skipped".to_owned(),
+        };
+        let status = if r.regressions.is_empty() {
+            "ok".to_owned()
+        } else {
+            format!("REGRESSION: {}", r.regressions.join("; "))
+        };
+        let _ = writeln!(
+            o,
+            "{:<14} {:>12} {:>8} {:>12}  {}",
+            r.name,
+            format!("{:+.2}", r.accuracy_delta_pt),
+            format!("{:+}", r.fa_delta),
+            rt,
+            status
+        );
+    }
+    for n in notes {
+        let _ = writeln!(o, "note: {n}");
+    }
+    o
+}
+
+/// Pure core of the gate: compares two record texts, returning the
+/// rendered report and whether any detector regressed. `Err` means a
+/// record was malformed.
+pub fn compare(
+    baseline_text: &str,
+    current_text: &str,
+    tol: &Tolerance,
+) -> Result<(String, bool), String> {
+    let baseline = parse_record(baseline_text, "baseline")?;
+    let current = parse_record(current_text, "current")?;
+    let (rows, notes) = diff(&baseline, &current, tol);
+    let regressed = rows.iter().any(|r| !r.regressions.is_empty());
+    Ok((render(&baseline, &current, &rows, &notes), regressed))
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// CLI entry point: `cargo xtask bench-diff <baseline.json> <current.json>
+/// [--max-runtime-regress <pct>] [--max-accuracy-drop <pt>]
+/// [--skip-runtime]`.
+pub fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut tol = Tolerance::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-runtime-regress" => {
+                tol.max_runtime_regress_pct = num_arg(it.next(), "--max-runtime-regress")?;
+            }
+            "--max-accuracy-drop" => {
+                tol.max_accuracy_drop_pt = num_arg(it.next(), "--max-accuracy-drop")?;
+            }
+            "--skip-runtime" => tol.skip_runtime = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown bench-diff option `{other}`"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        return Err(
+            "bench-diff needs exactly two record paths: <baseline.json> <current.json>".into(),
+        );
+    };
+    let (report, regressed) = compare(&read(baseline)?, &read(current)?, &tol)
+        .map_err(|e| format!("malformed record: {e}"))?;
+    print!("{report}");
+    Ok(if regressed {
+        println!("bench-diff: FAIL (regression past tolerance)");
+        ExitCode::FAILURE
+    } else {
+        println!("bench-diff: ok");
+        ExitCode::SUCCESS
+    })
+}
+
+fn num_arg(v: Option<&String>, flag: &str) -> Result<f64, String> {
+    let v = v.ok_or_else(|| format!("{flag} needs a number"))?;
+    let n: f64 = v
+        .parse()
+        .map_err(|_| format!("{flag}: `{v}` is not a number"))?;
+    if n.is_finite() && n >= 0.0 {
+        Ok(n)
+    } else {
+        Err(format!(
+            "{flag}: `{v}` must be a finite non-negative number"
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal valid record with one detector whose average row has the
+    /// given runtime and accuracy.
+    fn record(secs: f64, acc: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "rhsd-bench-table/2",
+  "source": "repro_table1",
+  "quick": true,
+  "seed": 103,
+  "stage_secs": {{"eval.region_scan": {secs}}},
+  "detectors": [
+    {{
+      "name": "Ours",
+      "cases": [
+        {{"case": "Case2", "accuracy_pct": {acc}, "false_alarms": 4, "seconds": {secs}}}
+      ],
+      "average": {{"case": "Average", "accuracy_pct": {acc}, "false_alarms": 4, "seconds": {secs}}}
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let r = record(1.0, 90.0);
+        let (report, regressed) = compare(&r, &r, &Tolerance::default()).expect("valid");
+        assert!(!regressed, "identical records must not regress:\n{report}");
+        assert!(report.contains("Ours"));
+    }
+
+    #[test]
+    fn twenty_percent_runtime_regression_fails() {
+        let base = record(1.0, 90.0);
+        let cur = record(1.2, 90.0);
+        let (report, regressed) = compare(&base, &cur, &Tolerance::default()).expect("valid");
+        assert!(regressed, "1.2x runtime must fail the 10% gate:\n{report}");
+        assert!(report.contains("runtime grew"));
+    }
+
+    #[test]
+    fn runtime_regression_is_ignored_with_skip_runtime() {
+        let base = record(1.0, 90.0);
+        let cur = record(10.0, 90.0);
+        let tol = Tolerance {
+            skip_runtime: true,
+            ..Tolerance::default()
+        };
+        let (report, regressed) = compare(&base, &cur, &tol).expect("valid");
+        assert!(!regressed, "--skip-runtime must ignore runtime:\n{report}");
+        assert!(report.contains("skipped"));
+    }
+
+    #[test]
+    fn accuracy_drop_fails() {
+        let base = record(1.0, 90.0);
+        let cur = record(1.0, 89.0);
+        let (report, regressed) = compare(&base, &cur, &Tolerance::default()).expect("valid");
+        assert!(
+            regressed,
+            "1pt accuracy drop must fail the 0.5pt gate:\n{report}"
+        );
+        assert!(report.contains("accuracy dropped"));
+    }
+
+    #[test]
+    fn small_drift_within_tolerance_passes() {
+        let base = record(1.0, 90.0);
+        let cur = record(1.05, 89.8);
+        let (_, regressed) = compare(&base, &cur, &Tolerance::default()).expect("valid");
+        assert!(
+            !regressed,
+            "5% runtime / 0.2pt accuracy drift is within tolerance"
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        let good = record(1.0, 90.0);
+        assert!(compare("not json", &good, &Tolerance::default()).is_err());
+        assert!(compare(
+            &good,
+            "{\"schema\": \"rhsd-bench-table/2\"}",
+            &Tolerance::default()
+        )
+        .is_err());
+        let wrong_schema = good.replace("rhsd-bench-table/2", "other/1");
+        assert!(compare(&wrong_schema, &good, &Tolerance::default()).is_err());
+        let no_avg = good.replace("\"average\"", "\"avg\"");
+        assert!(compare(&good, &no_avg, &Tolerance::default()).is_err());
+    }
+
+    #[test]
+    fn missing_detector_is_a_note_not_a_failure() {
+        let base = record(1.0, 90.0);
+        let cur = base.replace("\"Ours\"", "\"Renamed\"");
+        let (report, regressed) = compare(&base, &cur, &Tolerance::default()).expect("valid");
+        assert!(!regressed);
+        assert!(report.contains("missing from current record"));
+        assert!(report.contains("new in current record"));
+    }
+}

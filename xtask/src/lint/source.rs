@@ -140,7 +140,7 @@ fn mask_comments_and_strings(src: &str) -> String {
                 }
                 i = body_start;
                 let close: Vec<u8> = std::iter::once(b'"')
-                    .chain(std::iter::repeat(b'#').take(hashes))
+                    .chain(std::iter::repeat_n(b'#', hashes))
                     .collect();
                 while i < bytes.len() && !bytes[i..].starts_with(&close) {
                     blank(&mut out, i);

@@ -1,10 +1,13 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>`.
 //!
-//! The only task today is `lint`: the workspace-specific static-analysis
-//! gate described in DESIGN.md §Correctness tooling. It is deliberately
-//! dependency-free (line/token scanning, no rustc internals) so it builds
-//! instantly and works offline.
+//! Two tasks today: `lint`, the workspace-specific static-analysis gate
+//! described in DESIGN.md §Correctness tooling, and `bench-diff`, the
+//! benchmark regression gate over `BENCH_*.json` records. Both are kept
+//! near-dependency-free (the only dependency is the workspace's own
+//! zero-dep `rhsd-obs` for its JSON parser) so they build instantly and
+//! work offline.
 
+mod bench_diff;
 mod lint;
 
 use std::path::PathBuf;
@@ -19,12 +22,25 @@ tasks:
       --root       workspace root (default: parent of the xtask crate)
       --allowlist  allowlist file (default: <root>/xtask/lint.allow)
 
-exit codes: 0 clean, 1 violations found, 2 usage error";
+  bench-diff <baseline.json> <current.json> [options]
+      Compare two benchmark records (written by `repro_table1
+      --bench-out`) and fail on regression past tolerance.
+      --max-runtime-regress <pct>  runtime growth tolerance (default 10)
+      --max-accuracy-drop <pt>     accuracy drop tolerance (default 0.5)
+      --skip-runtime               ignore the machine-dependent runtime
+                                   column (cross-machine CI gates)
+
+exit codes: 0 clean, 1 violations/regression found, 2 usage error or
+malformed input";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("bench-diff") => match bench_diff::run(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => usage_error(&msg),
+        },
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS

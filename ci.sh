@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, lint, format. Run before pushing.
+# Local + CI gate: build, test, lint, format. Run before pushing.
 #
 #   ./ci.sh               # full gate
 #   ./ci.sh --fast        # skip the release build (debug test run only)
 #   ./ci.sh --lint-only   # only the workspace linter (cargo xtask lint)
 #   ./ci.sh --bench-gate  # only the benchmark regression gate (below)
 #
+# CI mode: when `CI=1` (or `CI=true`, as GitHub Actions sets) the script
+# disables colour, prints one machine-readable summary line per step
+# (`step|<name>|ok` / `step|<name>|fail (exit N)`), and mirrors those
+# lines into $GITHUB_STEP_SUMMARY when Actions provides one. Every step
+# fails fast with its own exit code — a failed step is recorded before
+# the script aborts and can never be masked by a later step.
+#
 # The bench gate runs a quick deterministic repro_table1, self-checks the
 # differ (identical records pass, an injected 20% runtime regression
 # fails), then diffs the run against the committed
 # BENCH_baseline_quick.json with --skip-runtime (accuracy and false
-# alarms are seeded and deterministic; wall-clock is not portable across
+# alarms are seeded and deterministic — and thread-count invariant; see
+# DESIGN.md §Parallel execution — while wall-clock is not portable across
 # machines). The baseline is tied to the locked dependency set — after a
 # legitimate accuracy change, refresh it with:
 #
@@ -18,36 +26,69 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-fast=0
-case "${1:-}" in
---fast) fast=1 ;;
---lint-only)
-    exec cargo xtask lint
-    ;;
---bench-gate)
-    bench_gate_only=1
+ci=0
+case "${CI:-}" in
+1 | true)
+    ci=1
+    export CARGO_TERM_COLOR=never NO_COLOR=1
     ;;
 esac
 
 step() { printf '\n== %s ==\n' "$*"; }
 
-bench_gate() {
-    step "bench gate: quick repro_table1"
-    tmp=$(mktemp -d)
-    trap 'rm -rf "$tmp"' RETURN
-    cargo run --release -p rhsd-bench --bin repro_table1 -- --quick \
-        --bench-out "$tmp/current.json" --ledger "$tmp/run.jsonl"
+# Machine-readable per-step status line (CI mode only).
+summary() {
+    [[ $ci -eq 1 ]] || return 0
+    printf 'step|%s|%s\n' "$1" "$2"
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        printf -- '- `%s`: %s\n' "$1" "$2" >>"$GITHUB_STEP_SUMMARY"
+    fi
+}
 
-    step "bench gate: ledger sanity"
-    head -n 1 "$tmp/run.jsonl" | grep -q '"event":"run_start"' ||
-        { echo "ledger does not start with run_start" >&2; return 1; }
-    tail -n 1 "$tmp/run.jsonl" | grep -q '"event":"run_end"' ||
-        { echo "ledger does not end with run_end" >&2; return 1; }
+# Runs one named gate step and fails fast with the step's own exit code.
+# The status is recorded (and summarised in CI mode) before aborting, so
+# a failure cannot be masked by any later command.
+run_step() {
+    local name="$1"
+    shift
+    step "$name"
+    local rc=0
+    "$@" || rc=$?
+    if [[ $rc -ne 0 ]]; then
+        summary "$name" "fail (exit $rc)"
+        echo "ci.sh: step '$name' failed with exit code $rc" >&2
+        exit "$rc"
+    fi
+    summary "$name" ok
+}
 
-    step "bench gate: differ self-check (identical records pass)"
-    cargo xtask bench-diff "$tmp/current.json" "$tmp/current.json"
+fast=0
+lint_only=0
+bench_gate_only=0
+case "${1:-}" in
+--fast) fast=1 ;;
+--lint-only) lint_only=1 ;;
+--bench-gate) bench_gate_only=1 ;;
+esac
 
-    step "bench gate: differ self-check (injected 20% runtime regression fails)"
+if [[ $lint_only -eq 1 ]]; then
+    run_step "cargo xtask lint" cargo xtask lint
+    printf '\nLint gate passed.\n'
+    exit 0
+fi
+
+bench_ledger_sanity() {
+    head -n 1 "$tmp/run.jsonl" | grep -q '"event":"run_start"' || {
+        echo "ledger does not start with run_start" >&2
+        return 1
+    }
+    tail -n 1 "$tmp/run.jsonl" | grep -q '"event":"run_end"' || {
+        echo "ledger does not end with run_end" >&2
+        return 1
+    }
+}
+
+bench_inject_regression() {
     python3 - "$tmp/current.json" "$tmp/regressed.json" <<'EOF'
 import re, sys
 src, dst = sys.argv[1], sys.argv[2]
@@ -56,49 +97,71 @@ text = re.sub(r'"seconds": ([0-9.eE+-]+)',
               lambda m: '"seconds": %s' % (float(m.group(1)) * 1.2 + 1e-6), text)
 open(dst, 'w').write(text)
 EOF
+}
+
+# The differ must FAIL on the injected regression; succeeding here is the
+# self-check failure.
+bench_selfcheck_fails() {
     if cargo xtask bench-diff "$tmp/current.json" "$tmp/regressed.json"; then
         echo "bench-diff failed to flag an injected 20% runtime regression" >&2
         return 1
     fi
+    return 0
+}
+
+bench_diff_baseline() {
+    cargo xtask bench-diff BENCH_baseline_quick.json "$tmp/current.json" \
+        --skip-runtime || {
+        echo "regression vs committed baseline (after a legitimate" \
+            "change: BENCH_BASELINE_REFRESH=1 ./ci.sh --bench-gate)" >&2
+        return 1
+    }
+}
+
+bench_gate() {
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+
+    run_step "bench gate: quick repro_table1" \
+        cargo run --release -p rhsd-bench --bin repro_table1 -- --quick \
+        --bench-out "$tmp/current.json" --ledger "$tmp/run.jsonl"
+    run_step "bench gate: ledger sanity" bench_ledger_sanity
+    run_step "bench gate: differ self-check (identical records pass)" \
+        cargo xtask bench-diff "$tmp/current.json" "$tmp/current.json"
+    run_step "bench gate: inject 20% runtime regression" bench_inject_regression
+    run_step "bench gate: differ self-check (injected regression fails)" \
+        bench_selfcheck_fails
 
     if [[ "${BENCH_BASELINE_REFRESH:-0}" == "1" || ! -f BENCH_baseline_quick.json ]]; then
         step "bench gate: refreshing committed baseline"
         cp "$tmp/current.json" BENCH_baseline_quick.json
+        summary "bench gate: refresh baseline" ok
         echo "wrote BENCH_baseline_quick.json — commit it"
     else
-        step "bench gate: diff against committed baseline (runtime skipped)"
-        cargo xtask bench-diff BENCH_baseline_quick.json "$tmp/current.json" \
-            --skip-runtime ||
-            { echo "regression vs committed baseline (after a legitimate" \
-                   "change: BENCH_BASELINE_REFRESH=1 ./ci.sh --bench-gate)" >&2
-              return 1; }
+        run_step "bench gate: diff against committed baseline (runtime skipped)" \
+            bench_diff_baseline
     fi
 }
 
-if [[ "${bench_gate_only:-0}" -eq 1 ]]; then
+if [[ $bench_gate_only -eq 1 ]]; then
     bench_gate
     printf '\nBench gate passed.\n'
     exit 0
 fi
 
 if [[ $fast -eq 0 ]]; then
-    step "cargo build --release"
-    cargo build --workspace --release
+    run_step "cargo build --release" cargo build --workspace --release
 fi
 
-step "cargo test"
-cargo test --workspace -q
+run_step "cargo test" cargo test --workspace -q
 
-step "cargo test --features debug_invariants"
-cargo test -q --features debug_invariants -p rhsd-nn -p rhsd-tensor
+run_step "cargo test --features debug_invariants" \
+    cargo test -q --features debug_invariants -p rhsd-nn -p rhsd-tensor
 
-step "cargo xtask lint"
-cargo xtask lint
+run_step "cargo xtask lint" cargo xtask lint
 
-step "cargo fmt --check"
-cargo fmt --all --check
+run_step "cargo fmt --check" cargo fmt --all --check
 
-step "cargo clippy -D warnings"
-cargo clippy --workspace -- -D warnings
+run_step "cargo clippy -D warnings" cargo clippy --workspace -- -D warnings
 
 printf '\nCI gate passed.\n'

@@ -209,13 +209,21 @@ impl Tcad18Detector {
         sp.add("windows", windows.len() as f64);
         let mut marked = Vec::new();
         let px = self.config.raster_px();
-        for w in &windows {
-            let clip_timer = rhsd_obs::Stopwatch::start();
-            let image = rasterize_window(bench, w, px);
-            let score = self.classify(&image);
-            rhsd_obs::record_secs("tcad18.clip", clip_timer.secs());
-            if score >= self.config.threshold {
-                marked.push(LayoutClip { clip: *w, score });
+        // Rasterisation is read-only and dominates per-window cost, so it
+        // runs on the `rhsd-par` pool in bounded blocks; classification
+        // stays sequential (the net is `&mut self`) and consumes the
+        // rasters in window order, so marks are identical at any thread
+        // count.
+        const BLOCK: usize = 32;
+        for block in windows.chunks(BLOCK) {
+            let images = rhsd_par::map(block.len(), 4, |i| rasterize_window(bench, &block[i], px));
+            for (w, image) in block.iter().zip(images.iter()) {
+                let clip_timer = rhsd_obs::Stopwatch::start();
+                let score = self.classify(image);
+                rhsd_obs::record_secs("tcad18.clip", clip_timer.secs());
+                if score >= self.config.threshold {
+                    marked.push(LayoutClip { clip: *w, score });
+                }
             }
         }
         sp.add("marked", marked.len() as f64);

@@ -13,6 +13,10 @@
 //! - `--no-ledger` — disable the run ledger;
 //! - `--bench-out <path>` — where to write the machine-readable benchmark
 //!   record (used by `repro_table1`; default `BENCH_table1.json`);
+//! - `--threads <n>` — worker-thread count for the `rhsd-par` pool
+//!   (default: the `RHSD_THREADS` environment variable, else the
+//!   machine's available parallelism; results are bit-identical at any
+//!   value);
 //! - `--help` — print usage.
 //!
 //! Unknown flags are rejected with a usage message instead of being
@@ -45,6 +49,9 @@ pub struct BenchArgs {
     pub no_ledger: bool,
     /// Machine-readable benchmark record path (`--bench-out <path>`).
     pub bench_out: Option<PathBuf>,
+    /// Worker-thread count override (`--threads <n>`); `None` keeps the
+    /// pool default (`RHSD_THREADS` or available parallelism).
+    pub threads: Option<usize>,
     /// Artifact paths written so far (printed by [`BenchArgs::finish_run`]).
     artifacts: Vec<PathBuf>,
 }
@@ -71,6 +78,7 @@ pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--quick] [--trace <path>] [--metrics <path>]\n\
          \x20           [--ledger <path>] [--no-ledger] [--bench-out <path>]\n\
+         \x20           [--threads <n>]\n\
          \n\
          --quick            reduced-effort run (seconds instead of minutes)\n\
          --trace <path>     write a Chrome trace-event JSON (Perfetto-viewable)\n\
@@ -79,6 +87,9 @@ pub fn usage(bin: &str) -> String {
          --no-ledger        disable the run ledger\n\
          --bench-out <path> machine-readable benchmark record (repro_table1;\n\
          \x20                  default: BENCH_table1.json)\n\
+         --threads <n>      rhsd-par worker threads (default: RHSD_THREADS or\n\
+         \x20                  available parallelism; output is bit-identical\n\
+         \x20                  at any value)\n\
          --help             show this message",
         ledger = default_ledger_path(bin).display()
     )
@@ -93,6 +104,9 @@ impl BenchArgs {
             Ok(Some(mut args)) => {
                 if args.ledger.is_none() && !args.no_ledger {
                     args.ledger = Some(default_ledger_path(bin));
+                }
+                if let Some(n) = args.threads {
+                    rhsd_par::set_threads(n);
                 }
                 args.init_obs();
                 args
@@ -136,6 +150,20 @@ impl BenchArgs {
                 "--metrics" => path_flag(&mut out.metrics, "--metrics", it.next())?,
                 "--ledger" => path_flag(&mut out.ledger, "--ledger", it.next())?,
                 "--bench-out" => path_flag(&mut out.bench_out, "--bench-out", it.next())?,
+                "--threads" => {
+                    if out.threads.is_some() {
+                        return Err("--threads given more than once".into());
+                    }
+                    let value = it.next().ok_or("--threads requires a count argument")?;
+                    match rhsd_par::parse_threads(Some(&value)) {
+                        Some(n) => out.threads = Some(n),
+                        None => {
+                            return Err(format!(
+                                "--threads needs a positive integer, got `{value}`"
+                            ))
+                        }
+                    }
+                }
                 "--no-ledger" => out.no_ledger = true,
                 "--help" | "-h" => return Ok(None),
                 other => return Err(format!("unknown argument `{other}`")),
@@ -165,8 +193,9 @@ impl BenchArgs {
     }
 
     /// Opens the run ledger (when enabled) and writes its `run_start`
-    /// manifest: binary name, primary seed, config summary, effort, host
-    /// and crate version. Call once, right after parsing.
+    /// manifest: binary name, primary seed, config summary, effort, host,
+    /// crate version and worker-thread count. Call once, right after
+    /// parsing.
     ///
     /// A ledger that cannot be opened is reported and disabled rather
     /// than failing the run.
@@ -181,6 +210,7 @@ impl BenchArgs {
             effort: format!("{:?}", self.effort()),
             host: rhsd_obs::ledger::host_string(),
             version: env!("CARGO_PKG_VERSION").to_owned(),
+            threads: rhsd_par::threads() as u64,
         };
         if let Err(e) = rhsd_obs::ledger::open(&path, manifest) {
             eprintln!("failed to open ledger {}: {e}", path.display());
@@ -299,6 +329,23 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses_and_rejects_bad_values() {
+        let args = BenchArgs::parse_from(["--threads", "4"]).unwrap().unwrap();
+        assert_eq!(args.threads, Some(4));
+        let args = BenchArgs::parse_from(Vec::<String>::new())
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.threads, None);
+        for bad in ["0", "-1", "four", ""] {
+            let err = BenchArgs::parse_from(["--threads", bad]).unwrap_err();
+            assert!(err.contains("--threads"), "{err}");
+        }
+        assert!(BenchArgs::parse_from(["--threads"]).is_err());
+        let err = BenchArgs::parse_from(["--threads", "2", "--threads", "3"]).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
     fn default_ledger_path_strips_repro_prefix() {
         assert_eq!(
             default_ledger_path("repro_table1"),
@@ -326,6 +373,7 @@ mod tests {
             "--ledger",
             "--no-ledger",
             "--bench-out",
+            "--threads",
             "--help",
         ] {
             assert!(u.contains(flag), "usage missing {flag}");

@@ -215,8 +215,10 @@ fn stage_secs() -> std::collections::BTreeMap<String, f64> {
 
 /// Serialises detector reports as the machine-readable benchmark record
 /// tracked across revisions (`BENCH_table1.json`, schema
-/// `rhsd-bench-table/2`): the run's primary seed, per-stage wall-clock
-/// totals from the observability snapshot, and per detector the per-case
+/// `rhsd-bench-table/3`): the run's primary seed, the worker-thread count
+/// of the `rhsd-par` pool (runtimes are only comparable like-for-like;
+/// accuracy rows are thread-count invariant), per-stage wall-clock totals
+/// from the observability snapshot, and per detector the per-case
 /// accuracy / false-alarm / runtime rows plus the average. This is the
 /// record `cargo xtask bench-diff` compares across commits.
 pub fn bench_json(source: &str, quick: bool, seed: u64, reports: &[DetectorReport]) -> String {
@@ -235,10 +237,11 @@ pub fn bench_json(source: &str, quick: bool, seed: u64, reports: &[DetectorRepor
         )
     }
     let mut o = String::with_capacity(2048);
-    o.push_str("{\n  \"schema\": \"rhsd-bench-table/2\",\n");
+    o.push_str("{\n  \"schema\": \"rhsd-bench-table/3\",\n");
     o.push_str(&format!("  \"source\": {},\n", quoted(source)));
     o.push_str(&format!("  \"quick\": {quick},\n"));
     o.push_str(&format!("  \"seed\": {seed},\n"));
+    o.push_str(&format!("  \"threads\": {},\n", rhsd_par::threads()));
     o.push_str("  \"stage_secs\": {");
     let stages = stage_secs();
     for (i, (name, secs)) in stages.iter().enumerate() {
@@ -388,10 +391,14 @@ mod tests {
         let v = json::parse(&doc).expect("bench record parses");
         assert_eq!(
             v.get("schema").and_then(|s| s.as_str()),
-            Some("rhsd-bench-table/2")
+            Some("rhsd-bench-table/3")
         );
         assert_eq!(v.get("seed").and_then(|s| s.as_u64()), Some(103));
         assert_eq!(v.get("quick").and_then(|q| q.as_bool()), Some(true));
+        assert_eq!(
+            v.get("threads").and_then(|t| t.as_u64()),
+            Some(rhsd_par::threads() as u64)
+        );
         let dets = v
             .get("detectors")
             .and_then(|d| d.as_arr())

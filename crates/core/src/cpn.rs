@@ -25,6 +25,7 @@ pub struct CpnOutput {
 }
 
 /// The clip proposal network.
+#[derive(Clone)]
 pub struct ClipProposalNetwork {
     trunk: Conv2d,
     trunk_relu: LeakyRelu,
@@ -131,6 +132,10 @@ impl ClipProposalNetwork {
 }
 
 impl Layer for ClipProposalNetwork {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "ClipProposalNetwork"
     }

@@ -75,16 +75,40 @@ impl RegionDetector {
     }
 
     /// Scans an extent of a benchmark, e.g. its test half.
+    ///
+    /// Regions are processed in parallel *stripes* over the `rhsd-par`
+    /// pool: every worker detects on its own deep copy of the trained
+    /// network, and per-region results are merged strictly in region
+    /// order afterwards, so the scan output (detections, evaluation
+    /// counters) is identical at any thread count. The h-NMS inside
+    /// each region's `detect` stays sequential — suppression order is
+    /// part of its semantics.
     pub fn scan(&mut self, bench: &Benchmark, extent: &Rect) -> ScanResult {
         let mut sp = rhsd_obs::span("scan");
         let regions = tile_regions(bench, extent, &self.region_config);
+        let n = regions.len();
+        // Fixed stripe width: one network clone amortises over STRIPE
+        // regions; independent of the thread count by design.
+        const STRIPE: usize = 2;
+        let network = &self.network;
+        let striped: Vec<Vec<(Vec<Detection>, Evaluation)>> =
+            rhsd_par::map(n.div_ceil(STRIPE), 1, |si| {
+                let mut net = network.clone();
+                regions[si * STRIPE..((si + 1) * STRIPE).min(n)]
+                    .iter()
+                    .map(|sample| {
+                        let mut rsp = rhsd_obs::span("scan-region");
+                        let dets = net.detect(&sample.image);
+                        let eval = evaluate_region(&dets, &sample.gt_centers);
+                        rsp.add("detections", dets.len() as f64);
+                        (dets, eval)
+                    })
+                    .collect()
+            });
         let mut detections = Vec::new();
         let mut evaluation = Evaluation::default();
-        let n = regions.len();
-        for sample in &regions {
-            let mut rsp = rhsd_obs::span("scan-region");
-            let (dets, eval) = self.detect_region(sample);
-            rsp.add("detections", dets.len() as f64);
+        for (idx, (dets, eval)) in striped.into_iter().flatten().enumerate() {
+            let sample = &regions[idx];
             evaluation.merge(&eval);
             for d in dets {
                 detections.push(LayoutDetection {

@@ -14,6 +14,7 @@ use rhsd_tensor::Tensor;
 use crate::config::RhsdConfig;
 
 /// The R-HSD backbone network.
+#[derive(Clone)]
 pub struct FeatureExtractor {
     layers: Vec<Box<dyn Layer>>,
     out_channels: usize,
@@ -92,6 +93,10 @@ impl FeatureExtractor {
 impl Layer for FeatureExtractor {
     fn name(&self) -> &'static str {
         "FeatureExtractor"
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {

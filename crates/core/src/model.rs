@@ -47,6 +47,10 @@ impl TrainStats {
 }
 
 /// The region-based hotspot detection network.
+///
+/// `Clone` deep-copies every parameter and cache, letting the parallel
+/// region scan give each `rhsd-par` worker its own network.
+#[derive(Clone)]
 pub struct RhsdNetwork {
     config: RhsdConfig,
     extractor: FeatureExtractor,

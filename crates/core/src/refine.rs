@@ -37,6 +37,7 @@ pub fn roi_from_bbox(bbox: &BBox, stride: usize, feature_px: usize) -> FeatureRo
 }
 
 /// The refinement head: RoI pooling → inception B, A → FC → 2nd C&R.
+#[derive(Clone)]
 pub struct RefinementHead {
     incep_b: InceptionB,
     incep_a: InceptionA,
@@ -110,6 +111,10 @@ impl RefinementHead {
 }
 
 impl Layer for RefinementHead {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "RefinementHead"
     }

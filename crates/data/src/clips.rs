@@ -30,7 +30,10 @@ pub struct ClipSample {
 /// window sees at inference) and `neg_per_pos` negatives sampled uniformly
 /// away from hotspots.
 ///
-/// Deterministic for a given seed.
+/// Deterministic for a given seed — and at any thread count: window
+/// *selection* consumes the seeded RNG sequentially (it never looks at
+/// raster content), and only the read-only rasterisation of the chosen
+/// windows is parallelised over the `rhsd-par` pool, in index order.
 pub fn build_clip_set(
     bench: &Benchmark,
     extent: &Rect,
@@ -42,7 +45,7 @@ pub fn build_clip_set(
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let side = (clip_px as f64 * NM_PER_PX) as i64;
     let core_half = side / 6; // half the core side
-    let mut out = Vec::new();
+    let mut windows: Vec<(Rect, bool)> = Vec::new();
     let hotspots = bench.hotspots_in(extent);
 
     for p in &hotspots {
@@ -58,10 +61,10 @@ pub fn build_clip_set(
             if !extent.contains_rect(&window) || !window.core().contains(*p) {
                 continue;
             }
-            out.push(make_clip(bench, window, true, clip_px));
+            windows.push((window, true));
         }
     }
-    let n_pos = out.len().max(1);
+    let n_pos = windows.len().max(1);
     let mut placed = 0;
     let mut attempts = 0;
     while placed < n_pos * neg_per_pos && attempts < n_pos * neg_per_pos * 50 {
@@ -76,10 +79,14 @@ pub fn build_clip_set(
         {
             continue; // too close to a real hotspot to be a clean negative
         }
-        out.push(make_clip(bench, window, false, clip_px));
+        windows.push((window, false));
         placed += 1;
     }
-    out
+
+    rhsd_par::map(windows.len(), 4, |i| {
+        let (window, is_hotspot) = windows[i];
+        make_clip(bench, window, is_hotspot, clip_px)
+    })
 }
 
 fn make_clip(bench: &Benchmark, window: Rect, is_hotspot: bool, clip_px: usize) -> ClipSample {

@@ -100,17 +100,21 @@ pub fn extract_region(bench: &Benchmark, origin: Point, config: &RegionConfig) -
 /// extents are sized as multiples of the region side).
 pub fn tile_regions(bench: &Benchmark, extent: &Rect, config: &RegionConfig) -> Vec<RegionSample> {
     let side = config.region_nm();
-    let mut out = Vec::new();
+    let mut origins = Vec::new();
     let mut y = extent.y0;
     while y + side <= extent.y1 {
         let mut x = extent.x0;
         while x + side <= extent.x1 {
-            out.push(extract_region(bench, Point::new(x, y), config));
+            origins.push(Point::new(x, y));
             x += side;
         }
         y += side;
     }
-    out
+    // Rasterisation + ground-truth lookup per tile is read-only, so
+    // tiles extract in parallel; `map` returns them in grid order.
+    rhsd_par::map(origins.len(), 1, |i| {
+        extract_region(bench, origins[i], config)
+    })
 }
 
 /// Samples `count` regions at random origins inside `extent` (training
@@ -130,13 +134,19 @@ pub fn sample_regions(
         return Vec::new();
     }
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-    (0..count)
+    // Origin selection consumes the seeded RNG sequentially; only the
+    // read-only extraction runs in parallel, so the sample list is
+    // identical at any thread count.
+    let origins: Vec<Point> = (0..count)
         .map(|_| {
             let x = rng.gen_range(extent.x0..=extent.x1 - side);
             let y = rng.gen_range(extent.y0..=extent.y1 - side);
-            extract_region(bench, Point::new(x, y), config)
+            Point::new(x, y)
         })
-        .collect()
+        .collect();
+    rhsd_par::map(origins.len(), 1, |i| {
+        extract_region(bench, origins[i], config)
+    })
 }
 
 /// Tiles the training half of a benchmark.

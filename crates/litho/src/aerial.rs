@@ -27,39 +27,57 @@ pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
     let r = kernel.radius() as isize;
     let mv = mask.as_slice();
 
+    // Both passes parallelise over image rows (each output row is a
+    // disjoint slice; the per-pixel tap accumulation order is exactly
+    // the serial one, so the image is bit-identical at any thread
+    // count). Fixed chunk schedule: rows per task from the tap count.
+    let rows_per_task = rhsd_par::chunk_units(h, 2 * w * taps.len().max(1));
+
     // horizontal pass
     let mut tmp = vec![0.0f32; h * w];
-    for y in 0..h {
-        let row = &mv[y * w..(y + 1) * w];
-        for x in 0..w {
-            let mut acc = 0.0f32;
-            let mut norm = 0.0f32;
-            for (t, &tw) in taps.iter().enumerate() {
-                let xi = x as isize + t as isize - r;
-                if xi >= 0 && (xi as usize) < w {
-                    acc += tw * row[xi as usize];
-                    norm += tw;
+    if w > 0 {
+        rhsd_par::for_each_mut(&mut tmp, rows_per_task * w, |ci, rows| {
+            let y0 = ci * rows_per_task;
+            for (dy, orow) in rows.chunks_mut(w).enumerate() {
+                let row = &mv[(y0 + dy) * w..(y0 + dy + 1) * w];
+                for (x, o) in orow.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    let mut norm = 0.0f32;
+                    for (t, &tw) in taps.iter().enumerate() {
+                        let xi = x as isize + t as isize - r;
+                        if xi >= 0 && (xi as usize) < w {
+                            acc += tw * row[xi as usize];
+                            norm += tw;
+                        }
+                    }
+                    *o = if norm > 0.0 { acc / norm } else { 0.0 };
                 }
             }
-            tmp[y * w + x] = if norm > 0.0 { acc / norm } else { 0.0 };
-        }
+        });
     }
 
     // vertical pass
     let mut out = vec![0.0f32; h * w];
-    for x in 0..w {
-        for y in 0..h {
-            let mut acc = 0.0f32;
-            let mut norm = 0.0f32;
-            for (t, &tw) in taps.iter().enumerate() {
-                let yi = y as isize + t as isize - r;
-                if yi >= 0 && (yi as usize) < h {
-                    acc += tw * tmp[yi as usize * w + x];
-                    norm += tw;
+    if w > 0 {
+        let tmp = &tmp;
+        rhsd_par::for_each_mut(&mut out, rows_per_task * w, |ci, rows| {
+            let y0 = ci * rows_per_task;
+            for (dy, orow) in rows.chunks_mut(w).enumerate() {
+                let y = y0 + dy;
+                for (x, o) in orow.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    let mut norm = 0.0f32;
+                    for (t, &tw) in taps.iter().enumerate() {
+                        let yi = y as isize + t as isize - r;
+                        if yi >= 0 && (yi as usize) < h {
+                            acc += tw * tmp[yi as usize * w + x];
+                            norm += tw;
+                        }
+                    }
+                    *o = if norm > 0.0 { acc / norm } else { 0.0 };
                 }
             }
-            out[y * w + x] = if norm > 0.0 { acc / norm } else { 0.0 };
-        }
+        });
     }
     Tensor::from_parts([1, h, w], out)
 }

@@ -16,6 +16,7 @@ use crate::layers::{Conv2d, Deconv2d, LeakyRelu, Sequential};
 use crate::param::Param;
 
 /// Encoder–decoder feature transformer.
+#[derive(Clone)]
 pub struct EncoderDecoder {
     chain: Sequential,
     c_in: usize,
@@ -67,6 +68,10 @@ impl EncoderDecoder {
 impl Layer for EncoderDecoder {
     fn name(&self) -> &'static str {
         "EncoderDecoder"
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
     }
 
     fn forward(&mut self, input: &Tensor) -> Tensor {

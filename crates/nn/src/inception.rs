@@ -21,6 +21,7 @@ use crate::layers::{Conv2d, LeakyRelu, Sequential};
 use crate::param::Param;
 
 /// Shared machinery: parallel branches concatenated along channels.
+#[derive(Clone)]
 struct BranchConcat {
     branches: Vec<Sequential>,
     branch_channels: Vec<usize>,
@@ -62,6 +63,7 @@ fn conv_relu(c_in: usize, c_out: usize, spec: ConvSpec, rng: &mut impl Rng) -> S
 }
 
 /// Inception module A: stride 1, four branches, output `4·width` channels.
+#[derive(Clone)]
 pub struct InceptionA {
     inner: BranchConcat,
     width: usize,
@@ -98,6 +100,10 @@ impl InceptionA {
 }
 
 impl Layer for InceptionA {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "InceptionA"
     }
@@ -117,6 +123,7 @@ impl Layer for InceptionA {
 
 /// Inception module B: stride 2, three branches, output `3·width` channels,
 /// spatial size halved.
+#[derive(Clone)]
 pub struct InceptionB {
     inner: BranchConcat,
     width: usize,
@@ -153,6 +160,10 @@ impl InceptionB {
 }
 
 impl Layer for InceptionB {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "InceptionB"
     }

@@ -17,7 +17,11 @@ use crate::param::Param;
 ///
 /// Implementations panic when `backward` is called without a preceding
 /// `forward` (a programming error), and on shape mismatches.
-pub trait Layer {
+///
+/// Layers are `Send + Sync` (they are plain parameter + cache data) so
+/// the parallel region scan can hand each `rhsd-par` worker its own
+/// deep copy of a network via [`Layer::clone_boxed`].
+pub trait Layer: Send + Sync {
     /// Short layer name used in invariant-violation and contract messages.
     fn name(&self) -> &'static str {
         "Layer"
@@ -47,6 +51,38 @@ pub trait Layer {
     /// Total number of trainable scalars.
     fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// A deep copy of this layer as a boxed trait object — how the
+    /// parallel region scan gives every worker its own network.
+    ///
+    /// The default is `None`, for internal adapter layers that borrow
+    /// external state and therefore cannot be duplicated; every real
+    /// network layer overrides this with `Some(Box::new(self.clone()))`.
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        None
+    }
+}
+
+/// Clones a boxed layer via [`Layer::clone_boxed`].
+///
+/// # Panics
+///
+/// Panics if the layer does not support cloning. Only non-network
+/// adapter layers (e.g. the persistence visitor) lack support, and they
+/// are never part of a cloned network — a programming error, not a
+/// recoverable condition.
+pub fn clone_layer(layer: &dyn Layer) -> Box<dyn Layer> {
+    match layer.clone_boxed() {
+        Some(l) => l,
+        // lint:allow(L1) — audited contract-violation panic, mirrors take_cache
+        None => panic!("{}: clone_boxed not supported", layer.name()),
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        clone_layer(&**self)
     }
 }
 

@@ -20,6 +20,10 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "Relu"
     }

@@ -40,6 +40,10 @@ impl LeakyRelu {
 }
 
 impl Layer for LeakyRelu {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "LeakyRelu"
     }

@@ -54,6 +54,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "Conv2d"
     }

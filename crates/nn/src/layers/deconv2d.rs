@@ -43,6 +43,10 @@ impl Deconv2d {
 }
 
 impl Layer for Deconv2d {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "Deconv2d"
     }

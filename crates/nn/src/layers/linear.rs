@@ -40,6 +40,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "Linear"
     }
@@ -65,15 +69,23 @@ impl Layer for Linear {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = take_cache(&mut self.cached_input, "Linear");
-        // dW = g ⊗ x
+        // dW = g ⊗ x, parallel over output rows (disjoint; pure
+        // products, so bit-identical at any thread count).
         let (n_out, n_in) = (self.n_out(), self.n_in());
         let mut dw = vec![0.0f32; n_out * n_in];
         let gv = grad_out.as_slice();
         let xv = input.as_slice();
-        for (i, &g) in gv.iter().enumerate() {
-            for (j, &x) in xv.iter().enumerate() {
-                dw[i * n_in + j] = g * x;
-            }
+        if n_in > 0 {
+            let rows_per_task = rhsd_par::chunk_units(n_out, n_in);
+            rhsd_par::for_each_mut(&mut dw, rows_per_task * n_in, |ci, rows| {
+                let i0 = ci * rows_per_task;
+                for (di, row) in rows.chunks_mut(n_in).enumerate() {
+                    let g = gv[i0 + di];
+                    for (o, &x) in row.iter_mut().zip(xv.iter()) {
+                        *o = g * x;
+                    }
+                }
+            });
         }
         self.weight
             .accumulate(&Tensor::from_parts([n_out, n_in], dw));
@@ -102,6 +114,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "Flatten"
     }

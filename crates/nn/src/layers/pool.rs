@@ -26,6 +26,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }

@@ -24,7 +24,7 @@ use crate::param::Param;
 /// let y = stem.forward(&Tensor::zeros([1, 16, 16]));
 /// assert_eq!(y.dims(), &[8, 8, 8]);
 /// ```
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
 }
@@ -59,6 +59,10 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
+    fn clone_boxed(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "Sequential"
     }

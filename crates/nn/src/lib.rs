@@ -42,6 +42,6 @@ mod optim_adam;
 mod param;
 pub mod serialize;
 
-pub use layer::{backward_all, forward_all, take_cache, Layer};
+pub use layer::{backward_all, clone_layer, forward_all, take_cache, Layer};
 pub use optim_adam::Adam;
 pub use param::Param;

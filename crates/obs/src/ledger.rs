@@ -44,6 +44,11 @@ pub struct Manifest {
     pub host: String,
     /// Version of the crate that produced the ledger.
     pub version: String,
+    /// Worker-thread count of the run's `rhsd-par` pool (1 = serial).
+    /// Recorded so ledger readers and `bench-diff` can compare runs
+    /// like-for-like; set by the bench caller, since this crate does not
+    /// depend on `rhsd-par`.
+    pub threads: u64,
 }
 
 /// The host platform tag recorded in manifests (`os/arch`).
@@ -139,6 +144,7 @@ impl Event {
                 fld_str(&mut o, "effort", &m.effort);
                 fld_str(&mut o, "host", &m.host);
                 fld_str(&mut o, "version", &m.version);
+                fld_raw(&mut o, "threads", &m.threads.to_string());
             }
             Event::Epoch {
                 epoch,
@@ -385,6 +391,7 @@ mod tests {
             effort: "Quick".into(),
             host: host_string(),
             version: "0.1.0".into(),
+            threads: 4,
         }
     }
 
@@ -523,6 +530,7 @@ mod tests {
         );
         assert_eq!(m.get("effort").and_then(Value::as_str), Some("Quick"));
         assert_eq!(m.get("version").and_then(Value::as_str), Some("0.1.0"));
+        assert_eq!(m.get("threads").and_then(Value::as_u64), Some(4));
         std::fs::remove_file(&path).ok();
     }
 

@@ -75,26 +75,38 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
     let mut out = vec![0.0f32; c * k * k * oh * ow];
     let iv = input.as_slice();
     let ncols = oh * ow;
-    for ci in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ci * k + ky) * k + kx;
-                let base = row * ncols;
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+    // Channel `ci` exclusively owns the contiguous output rows
+    // `ci·K·K .. (ci+1)·K·K`, so channels unfold in parallel with the
+    // serial tap order preserved inside each plane (pure copies —
+    // bit-identical at any thread count).
+    let plane = k * k * ncols;
+    if plane > 0 {
+        let ch_per_task = rhsd_par::chunk_units(c, plane);
+        rhsd_par::for_each_mut(&mut out, ch_per_task * plane, |ti, piece| {
+            let c0 = ti * ch_per_task;
+            for (dc, chan) in piece.chunks_mut(plane).enumerate() {
+                let ci = c0 + dc;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let base = (ky * k + kx) * ncols;
+                        for oy in 0..oh {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for ox in 0..ow {
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                chan[base + oy * ow + ox] =
+                                    iv[(ci * h + iy as usize) * w + ix as usize];
+                            }
                         }
-                        out[base + oy * ow + ox] = iv[(ci * h + iy as usize) * w + ix as usize];
                     }
                 }
             }
-        }
+        });
     }
     Tensor::from_parts([c * k * k, ncols], out)
 }
@@ -117,26 +129,38 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: ConvSpec) -> Te
     let cv = cols.as_slice();
     let mut out = vec![0.0f32; c * h * w];
     let ncols = oh * ow;
-    for ci in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ci * k + ky) * k + kx;
-                let base = row * ncols;
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+    // Channel `ci` exclusively owns the output plane `ci·H·W ..`; the
+    // overlapping-tap accumulation order within each plane is exactly
+    // the serial ky→kx→oy→ox order, so sums are bit-identical at any
+    // thread count.
+    let plane = h * w;
+    if plane > 0 {
+        let ch_per_task = rhsd_par::chunk_units(c, k * k * ncols);
+        rhsd_par::for_each_mut(&mut out, ch_per_task * plane, |ti, piece| {
+            let c0 = ti * ch_per_task;
+            for (dc, chan) in piece.chunks_mut(plane).enumerate() {
+                let ci = c0 + dc;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let row = (ci * k + ky) * k + kx;
+                        let base = row * ncols;
+                        for oy in 0..oh {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for ox in 0..ow {
+                                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                chan[iy as usize * w + ix as usize] += cv[base + oy * ow + ox];
+                            }
                         }
-                        out[(ci * h + iy as usize) * w + ix as usize] += cv[base + oy * ow + ox];
                     }
                 }
             }
-        }
+        });
     }
     Tensor::from_parts([c, h, w], out)
 }

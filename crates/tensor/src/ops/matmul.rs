@@ -8,6 +8,11 @@ use crate::Tensor;
 /// by the compiler; adequate for the moderate GEMM sizes produced by
 /// im2col convolution in this stack.
 ///
+/// Output rows are computed in parallel over the `rhsd-par` pool. Each
+/// row keeps the exact serial i-k-j accumulation order (including the
+/// zero-skip fast path) and rows never share output elements, so the
+/// result is bit-identical at any thread count.
+///
 /// # Panics
 ///
 /// Panics if either input is not rank 2 or the inner dimensions disagree.
@@ -27,18 +32,25 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     let av = a.as_slice();
     let bv = b.as_slice();
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (p, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
+    if n > 0 {
+        // Fixed chunk schedule: rows per task depend only on the shape
+        // (~2·k·n flops per row), never on the thread count.
+        let rows_per_task = rhsd_par::chunk_units(m, 2 * k.max(1) * n);
+        rhsd_par::for_each_mut(&mut out, rows_per_task * n, |ci, rows| {
+            let i0 = ci * rows_per_task;
+            for (di, orow) in rows.chunks_mut(n).enumerate() {
+                let arow = &av[(i0 + di) * k..(i0 + di + 1) * k];
+                for (p, &aval) in arow.iter().enumerate() {
+                    if aval == 0.0 {
+                        continue;
+                    }
+                    let brow = &bv[p * n..(p + 1) * n];
+                    for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                        *o += aval * bval;
+                    }
+                }
             }
-            let brow = &bv[p * n..(p + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bval;
-            }
-        }
+        });
     }
     let out = Tensor::from_parts([m, n], out);
     crate::invariants::check_finite("matmul", &out);
@@ -46,6 +58,9 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Transposes a rank-2 tensor.
+///
+/// Parallelised over contiguous output rows; element moves are pure
+/// copies, so the result is trivially identical at any thread count.
 ///
 /// # Panics
 ///
@@ -55,10 +70,17 @@ pub fn transpose(a: &Tensor) -> Tensor {
     let (m, n) = (a.dim(0), a.dim(1));
     let av = a.as_slice();
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = av[i * n + j];
-        }
+    if m > 0 && n > 0 {
+        let rows_per_task = rhsd_par::chunk_units(n, m);
+        rhsd_par::for_each_mut(&mut out, rows_per_task * m, |ci, rows| {
+            let j0 = ci * rows_per_task;
+            for (dj, orow) in rows.chunks_mut(m).enumerate() {
+                let j = j0 + dj;
+                for (i, o) in orow.iter_mut().enumerate() {
+                    *o = av[i * n + j];
+                }
+            }
+        });
     }
     Tensor::from_parts([n, m], out)
 }
@@ -81,15 +103,20 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     );
     let av = a.as_slice();
     let xv = x.as_slice();
-    let out: Vec<f32> = (0..m)
-        .map(|i| {
-            av[i * k..(i + 1) * k]
+    let mut out = vec![0.0f32; m];
+    // Parallel over output elements; each keeps the serial dot-product
+    // order, so results match the single-threaded path bit-for-bit.
+    let rows_per_task = rhsd_par::chunk_units(m, 2 * k.max(1));
+    rhsd_par::for_each_mut(&mut out, rows_per_task, |ci, piece| {
+        for (j, o) in piece.iter_mut().enumerate() {
+            let i = ci * rows_per_task + j;
+            *o = av[i * k..(i + 1) * k]
                 .iter()
                 .zip(xv.iter())
                 .map(|(&p, &q)| p * q)
-                .sum()
-        })
-        .collect();
+                .sum();
+        }
+    });
     Tensor::from_parts([m], out)
 }
 

@@ -44,4 +44,5 @@ pub use rhsd_layout as layout;
 pub use rhsd_litho as litho;
 pub use rhsd_nn as nn;
 pub use rhsd_obs as obs;
+pub use rhsd_par as par;
 pub use rhsd_tensor as tensor;

@@ -1,0 +1,164 @@
+//! Thread-count determinism: the `rhsd-par` pool uses a fixed chunk
+//! schedule with disjoint output slices and an in-order reduction, so
+//! every parallel section must produce **bit-identical** f32 results at
+//! any thread count. These tests pin that contract for the conv kernels
+//! (forward and backward), the litho aerial image, and the end-to-end
+//! scan + bench-record accuracy rows.
+//!
+//! The pool's thread count is process-global (`rhsd::par::set_threads`),
+//! so every test serialises on one mutex and restores the default.
+
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rhsd::core::{train, RegionDetector, RhsdConfig, RhsdNetwork, TrainConfig};
+use rhsd::data::{train_regions, Benchmark, RegionConfig};
+use rhsd::layout::synth::CaseId;
+use rhsd::litho::aerial::aerial_image;
+use rhsd::litho::GaussianKernel;
+use rhsd::tensor::ops::conv::{conv2d, conv2d_backward, ConvSpec};
+use rhsd::tensor::Tensor;
+use rhsd_bench::pipeline::{bench_json, DetectorReport};
+
+/// Serialises tests that switch the global pool size.
+static POOL: Mutex<()> = Mutex::new(());
+
+fn pool_lock() -> MutexGuard<'static, ()> {
+    POOL.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Runs `f` once at each thread count and returns both results.
+fn at_threads<T>(a: usize, b: usize, f: impl Fn() -> T) -> (T, T) {
+    rhsd::par::set_threads(a);
+    let ra = f();
+    rhsd::par::set_threads(b);
+    let rb = f();
+    rhsd::par::set_threads(rhsd::par::default_threads());
+    (ra, rb)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Deterministic pseudo-random fill from a seed and flat coordinates.
+fn noise(seed: u64, coords: &[usize]) -> f32 {
+    let mut h = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &c in coords {
+        h = (h ^ c as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 31;
+    }
+    (h % 2000) as f32 / 1000.0 - 1.0
+}
+
+// Property: conv2d output and all three gradients are bit-identical
+// between a serial pool and a 4-worker pool, across random shapes and
+// contents; likewise the separable aerial-image convolution.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn conv_forward_and_backward_bit_identical(
+        seed in 0u64..1_000_000,
+        c_in in 1usize..4,
+        c_out in 1usize..5,
+        hw in 4usize..24,
+        kernel_idx in 0usize..3,
+    ) {
+        let _guard = pool_lock();
+        let kernel = [1usize, 3, 5][kernel_idx];
+        let spec = ConvSpec::new(kernel, 1, kernel / 2);
+        let input = Tensor::from_fn([c_in, hw, hw], |c| noise(seed, c));
+        let weight = Tensor::from_fn([c_out, c_in, kernel, kernel], |c| noise(seed ^ 1, c));
+        let bias = Tensor::from_fn([c_out], |c| noise(seed ^ 2, c));
+        let (oh, ow) = (spec.out_size(hw), spec.out_size(hw));
+        let grad = Tensor::from_fn([c_out, oh, ow], |c| noise(seed ^ 3, c));
+
+        let ((o1, gi1, gw1, gb1), (o4, gi4, gw4, gb4)) = at_threads(1, 4, || {
+            let out = conv2d(&input, &weight, Some(&bias), spec);
+            let (gi, gw, gb) = conv2d_backward(&input, &weight, &grad, spec);
+            (out, gi, gw, gb)
+        });
+
+        prop_assert_eq!(bits(&o1), bits(&o4), "forward differs");
+        prop_assert_eq!(bits(&gi1), bits(&gi4), "d_input differs");
+        prop_assert_eq!(bits(&gw1), bits(&gw4), "d_weight differs");
+        prop_assert_eq!(bits(&gb1), bits(&gb4), "d_bias differs");
+    }
+
+    #[test]
+    fn aerial_image_bit_identical(
+        seed in 0u64..1_000_000,
+        h in 8usize..48,
+        w in 8usize..48,
+        sigma in 1u32..5,
+    ) {
+        let _guard = pool_lock();
+        let mask = Tensor::from_fn([1, h, w], |c| noise(seed, c).abs());
+        let kernel = GaussianKernel::new(f64::from(sigma));
+        let (a, b) = at_threads(1, 4, || aerial_image(&mask, &kernel));
+        prop_assert_eq!(bits(&a), bits(&b));
+    }
+}
+
+/// End to end: a tiny train + scan and the rendered bench-record rows
+/// must agree bit-for-bit between `--threads 1` and `--threads 4` — the
+/// accuracy columns `bench-diff --skip-runtime` gates on are
+/// thread-count invariant.
+#[test]
+fn scan_and_bench_accuracy_rows_bit_identical() {
+    let _guard = pool_lock();
+
+    let run = || {
+        let bench = Benchmark::demo(CaseId::Case2);
+        let region = RegionConfig::demo();
+        let mut samples = train_regions(&bench, &region);
+        samples.truncate(4);
+        let mut cfg = RhsdConfig::tiny();
+        cfg.region_px = region.region_px;
+        cfg.clip_px = region.clip_px;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let mut net = RhsdNetwork::new(cfg, &mut rng);
+        train(&mut net, &samples, &TrainConfig::tiny());
+        let mut det = RegionDetector::new(net, region);
+        let result = det.scan_test_half(&bench);
+        let row = rhsd::baselines::CaseResult::new(bench.id.name(), &result.evaluation, 0.0);
+        let report = DetectorReport::new("Ours", vec![row]);
+        let record = bench_json("determinism-test", true, 7, &[report]);
+        (result, record)
+    };
+    let ((r1, j1), (r4, j4)) = at_threads(1, 4, run);
+
+    assert_eq!(r1.regions, r4.regions);
+    assert_eq!(r1.detections.len(), r4.detections.len());
+    for (a, b) in r1.detections.iter().zip(r4.detections.iter()) {
+        assert_eq!(a.clip, b.clip);
+        assert_eq!(a.region, b.region);
+        assert_eq!(
+            a.score.to_bits(),
+            b.score.to_bits(),
+            "scores must match bit-for-bit"
+        );
+    }
+    assert_eq!(
+        format!("{:?}", r1.evaluation),
+        format!("{:?}", r4.evaluation)
+    );
+
+    // The records differ only in the recorded thread count.
+    let strip = |record: &str| -> String {
+        record
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"threads\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&j1),
+        strip(&j4),
+        "bench records must match modulo `threads`"
+    );
+    assert!(j1.contains("\"threads\": 1"), "{j1}");
+    assert!(j4.contains("\"threads\": 4"), "{j4}");
+}

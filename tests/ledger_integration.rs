@@ -30,6 +30,7 @@ fn demo_run_leaves_a_valid_ordered_ledger() {
         effort: "Quick".to_owned(),
         host: obs::ledger::host_string(),
         version: env!("CARGO_PKG_VERSION").to_owned(),
+        threads: rhsd::par::threads() as u64,
     };
     obs::ledger::open(&path, manifest).expect("open global ledger");
     assert!(obs::ledger::active());

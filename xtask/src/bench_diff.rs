@@ -2,9 +2,9 @@
 //!
 //! Compares two machine-readable benchmark records (the
 //! `BENCH_table1.json` files written by `repro_table1 --bench-out`,
-//! schema `rhsd-bench-table/2` — the v1 schema without `seed` /
-//! `stage_secs` is accepted too) and fails when the current run regresses
-//! past the tolerances:
+//! schema `rhsd-bench-table/3` — older schemas without `seed` /
+//! `stage_secs` / `threads` are accepted too) and fails when the current
+//! run regresses past the tolerances:
 //!
 //! - **runtime**: any detector's average scan time grew by more than
 //!   `--max-runtime-regress` percent (default 10). Runtime is
@@ -15,6 +15,13 @@
 //! - **false alarms**: informational — printed in the table but never
 //!   fails the gate on its own (FA changes surface as accuracy changes
 //!   in this pipeline).
+//!
+//! Records produced at different `--threads` counts are **refused** for
+//! runtime comparison (exit 2): parallel speedup would masquerade as a
+//! runtime improvement or regression. Pass `--skip-runtime` to compare
+//! the deterministic accuracy/FA columns across thread counts — those are
+//! bit-identical at any thread count by design. Records predating the
+//! `threads` field compare as before.
 //!
 //! Exit codes: 0 clean, 1 regression, 2 malformed input / usage error.
 
@@ -58,6 +65,9 @@ struct DetectorRow {
 struct BenchRecord {
     source: String,
     quick: bool,
+    /// `rhsd-par` worker-thread count of the run (`None` on records
+    /// predating schema v3).
+    threads: Option<u64>,
     detectors: Vec<DetectorRow>,
 }
 
@@ -111,6 +121,7 @@ fn parse_record(text: &str, label: &str) -> Result<BenchRecord, String> {
             .unwrap_or("?")
             .to_owned(),
         quick: v.get("quick").and_then(Value::as_bool).unwrap_or(false),
+        threads: v.get("threads").and_then(Value::as_u64),
         detectors: rows,
     })
 }
@@ -228,6 +239,16 @@ pub fn compare(
 ) -> Result<(String, bool), String> {
     let baseline = parse_record(baseline_text, "baseline")?;
     let current = parse_record(current_text, "current")?;
+    if let (Some(b), Some(c)) = (baseline.threads, current.threads) {
+        if b != c && !tol.skip_runtime {
+            return Err(format!(
+                "records were produced at different thread counts \
+                 (baseline {b}, current {c}); runtimes are not comparable — \
+                 pass --skip-runtime to gate on the thread-count-invariant \
+                 accuracy columns only"
+            ));
+        }
+    }
     let (rows, notes) = diff(&baseline, &current, tol);
     let regressed = rows.iter().any(|r| !r.regressions.is_empty());
     Ok((render(&baseline, &current, &rows, &notes), regressed))
@@ -294,8 +315,8 @@ fn num_arg(v: Option<&String>, flag: &str) -> Result<f64, String> {
 mod tests {
     use super::*;
 
-    /// A minimal valid record with one detector whose average row has the
-    /// given runtime and accuracy.
+    /// A minimal valid v2 record (no `threads` field) with one detector
+    /// whose average row has the given runtime and accuracy.
     fn record(secs: f64, acc: f64) -> String {
         format!(
             r#"{{
@@ -315,6 +336,16 @@ mod tests {
   ]
 }}"#
         )
+    }
+
+    /// A v3 record carrying a `threads` field.
+    fn record_v3(secs: f64, acc: f64, threads: u64) -> String {
+        record(secs, acc)
+            .replace("rhsd-bench-table/2", "rhsd-bench-table/3")
+            .replace(
+                "\"seed\": 103,",
+                &format!("\"seed\": 103,\n  \"threads\": {threads},"),
+            )
     }
 
     #[test]
@@ -384,6 +415,43 @@ mod tests {
         assert!(compare(&wrong_schema, &good, &Tolerance::default()).is_err());
         let no_avg = good.replace("\"average\"", "\"avg\"");
         assert!(compare(&good, &no_avg, &Tolerance::default()).is_err());
+    }
+
+    #[test]
+    fn cross_thread_count_runtime_comparison_is_refused() {
+        let base = record_v3(1.0, 90.0, 1);
+        let cur = record_v3(0.3, 90.0, 4);
+        let err = compare(&base, &cur, &Tolerance::default()).unwrap_err();
+        assert!(err.contains("thread counts"), "{err}");
+        assert!(err.contains("--skip-runtime"), "{err}");
+    }
+
+    #[test]
+    fn cross_thread_count_accuracy_comparison_works_with_skip_runtime() {
+        let base = record_v3(1.0, 90.0, 1);
+        let cur = record_v3(0.3, 90.0, 4);
+        let tol = Tolerance {
+            skip_runtime: true,
+            ..Tolerance::default()
+        };
+        let (report, regressed) = compare(&base, &cur, &tol).expect("valid");
+        assert!(!regressed, "accuracy is identical:\n{report}");
+        // ... and a real accuracy drop still fails across thread counts
+        let bad = record_v3(0.3, 80.0, 4);
+        let (_, regressed) = compare(&base, &bad, &tol).expect("valid");
+        assert!(regressed, "accuracy drop must still gate");
+    }
+
+    #[test]
+    fn same_thread_count_and_legacy_records_compare_runtimes() {
+        let base = record_v3(1.0, 90.0, 4);
+        let cur = record_v3(1.2, 90.0, 4);
+        let (_, regressed) = compare(&base, &cur, &Tolerance::default()).expect("valid");
+        assert!(regressed, "same-thread runtime regression still gates");
+        // a v2 baseline without `threads` never triggers the refusal
+        let legacy = record(1.0, 90.0);
+        let cur = record_v3(1.0, 90.0, 4);
+        assert!(compare(&legacy, &cur, &Tolerance::default()).is_ok());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The workspace lint rules L1–L4.
+//! The workspace lint rules L1–L5.
 //!
 //! Each rule scans a [`SourceFile`] code mask and returns violations.
 //! Rationale and examples live in DESIGN.md §Correctness tooling.
@@ -32,6 +32,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     v.extend(l2_no_hash_collections(file));
     v.extend(l3_no_wall_clock(file, &scope));
     v.extend(l4_shapes_doc(file, &scope));
+    v.extend(l5_no_raw_threads(file, &scope));
     v
 }
 
@@ -188,6 +189,35 @@ fn l4_shapes_doc(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
     out
 }
 
+/// L5: no raw thread creation (`thread::spawn` / `thread::Builder`)
+/// outside `rhsd-par` and `rhsd-obs`.
+///
+/// All pipeline parallelism goes through the `rhsd-par` pool: its fixed
+/// chunk schedule and in-order reduction are what keep results
+/// bit-identical at any thread count, and its counters feed the
+/// observability layer. Ad-hoc threads bypass both. (`rhsd-obs` owns one
+/// audited background writer thread.)
+fn l5_no_raw_threads(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name == "par" || scope.crate_name == "obs" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for pat in ["thread::spawn", "thread::Builder"] {
+        for (off, _) in file.code.match_indices(pat) {
+            if file.in_test(off) {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L5",
+                off,
+                format!("`{pat}` outside rhsd-par; use the rhsd_par pool (deterministic schedule + obs counters)"),
+            ));
+        }
+    }
+    out
+}
+
 /// True if the `fn` at `off` is written `pub fn` (with optional
 /// `const`/`unsafe`/`async` qualifiers). `pub(crate)`/`pub(super)` and
 /// private fns are not public API; trait methods are never `pub`.
@@ -331,6 +361,28 @@ mod tests {
         assert!(!v.is_empty());
         assert!(lint("crates/obs/src/a.rs", bad).is_empty());
         assert!(lint("crates/bench/src/a.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_raw_threads_outside_par_and_obs() {
+        let bad = "fn f() { std::thread::spawn(|| {}); }\n\
+                   fn g() { let b = std::thread::Builder::new(); }";
+        let v = lint("crates/core/src/a.rs", bad);
+        assert_eq!(rules(&v), vec!["L5", "L5"]);
+        assert!(v[0].message.contains("rhsd_par"));
+        // the pool crate and the obs writer thread are exempt
+        assert!(lint("crates/par/src/lib.rs", bad).is_empty());
+        assert!(lint("crates/obs/src/span.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l5_ignores_tests_and_comments() {
+        let v = lint(
+            "crates/core/src/a.rs",
+            "// a note about thread::spawn\n\
+             #[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

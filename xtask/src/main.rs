@@ -18,7 +18,7 @@ usage: cargo xtask <task>
 
 tasks:
   lint [--root <dir>] [--allowlist <file>]
-      Run the workspace lint rules (L1-L4) over crates/*/src/**/*.rs.
+      Run the workspace lint rules (L1-L5) over crates/*/src/**/*.rs.
       --root       workspace root (default: parent of the xtask crate)
       --allowlist  allowlist file (default: <root>/xtask/lint.allow)
 

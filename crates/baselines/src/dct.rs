@@ -8,7 +8,53 @@
 //! encoder–decoder (§3.1) and cites DCT's runtime as a drawback — which
 //! the Table 1 timing comparison exercises.
 
-use rhsd_tensor::Tensor;
+use rhsd_tensor::{workspace, Tensor};
+
+/// Orthonormal DCT scaling factor for frequency index `k` at size `n`.
+fn norm(n: usize, k: usize) -> f32 {
+    if k == 0 {
+        (1.0 / n as f32).sqrt()
+    } else {
+        (2.0 / n as f32).sqrt()
+    }
+}
+
+/// Precomputes the `n×n` DCT cosine table `basis[k·n + y] =
+/// cos(π·(2y+1)·k / 2n)` — the exact expression the naive kernels
+/// evaluated per element, now evaluated once per `(k, y)` pair. `cos`
+/// maps equal input bits to equal output bits, so transforms built on
+/// the table are bit-identical to the recomputing ones.
+fn cos_basis(n: usize) -> workspace::WsGuard {
+    let mut basis = workspace::take(n * n);
+    for k in 0..n {
+        for (y, b) in basis[k * n..(k + 1) * n].iter_mut().enumerate() {
+            *b =
+                (std::f32::consts::PI * (2.0 * y as f32 + 1.0) * k as f32 / (2.0 * n as f32)).cos();
+        }
+    }
+    basis
+}
+
+/// [`dct2`] over raw slices with a prebuilt [`cos_basis`] table — the
+/// hot path of [`feature_tensor`], which amortises the table over every
+/// block of a clip. Accumulation order (`y` outer, `x` inner, products
+/// applied `block·cy·cx`) matches the naive kernel exactly.
+fn dct2_with_basis(bv: &[f32], n: usize, basis: &[f32], out: &mut [f32]) {
+    for u in 0..n {
+        let by = &basis[u * n..(u + 1) * n];
+        for v in 0..n {
+            let bx = &basis[v * n..(v + 1) * n];
+            let mut acc = 0.0f32;
+            for (y, &cy) in by.iter().enumerate() {
+                let row = &bv[y * n..(y + 1) * n];
+                for (&val, &cx) in row.iter().zip(bx) {
+                    acc += val * cy * cx;
+                }
+            }
+            out[u * n + v] = norm(n, u) * norm(n, v) * acc;
+        }
+    }
+}
 
 /// 2-D DCT-II of a square block (orthonormal scaling).
 ///
@@ -19,32 +65,9 @@ pub fn dct2(block: &Tensor) -> Tensor {
     assert_eq!(block.rank(), 2, "dct2 expects [B,B], got {}", block.shape());
     let n = block.dim(0);
     assert_eq!(n, block.dim(1), "dct2 expects a square block");
-    let bv = block.as_slice();
+    let basis = cos_basis(n);
     let mut out = vec![0.0f32; n * n];
-    let norm = |k: usize| -> f32 {
-        if k == 0 {
-            (1.0 / n as f32).sqrt()
-        } else {
-            (2.0 / n as f32).sqrt()
-        }
-    };
-    for u in 0..n {
-        for v in 0..n {
-            let mut acc = 0.0f32;
-            for y in 0..n {
-                let cy = (std::f32::consts::PI * (2.0 * y as f32 + 1.0) * u as f32
-                    / (2.0 * n as f32))
-                    .cos();
-                for x in 0..n {
-                    let cx = (std::f32::consts::PI * (2.0 * x as f32 + 1.0) * v as f32
-                        / (2.0 * n as f32))
-                        .cos();
-                    acc += bv[y * n + x] * cy * cx;
-                }
-            }
-            out[u * n + v] = norm(u) * norm(v) * acc;
-        }
-    }
+    dct2_with_basis(block.as_slice(), n, &basis, &mut out);
     Tensor::from_parts([n, n], out)
 }
 
@@ -62,26 +85,17 @@ pub fn idct2(coeffs: &Tensor) -> Tensor {
     );
     let n = coeffs.dim(0);
     let cv = coeffs.as_slice();
+    let basis = cos_basis(n);
     let mut out = vec![0.0f32; n * n];
-    let norm = |k: usize| -> f32 {
-        if k == 0 {
-            (1.0 / n as f32).sqrt()
-        } else {
-            (2.0 / n as f32).sqrt()
-        }
-    };
     for y in 0..n {
         for x in 0..n {
             let mut acc = 0.0f32;
             for u in 0..n {
-                let cy = (std::f32::consts::PI * (2.0 * y as f32 + 1.0) * u as f32
-                    / (2.0 * n as f32))
-                    .cos();
+                let cy = basis[u * n + y];
+                let nu = norm(n, u);
                 for v in 0..n {
-                    let cx = (std::f32::consts::PI * (2.0 * x as f32 + 1.0) * v as f32
-                        / (2.0 * n as f32))
-                        .cos();
-                    acc += norm(u) * norm(v) * cv[u * n + v] * cy * cx;
+                    let cx = basis[v * n + x];
+                    acc += nu * norm(n, v) * cv[u * n + v] * cy * cx;
                 }
             }
             out[y * n + x] = acc;
@@ -140,15 +154,24 @@ pub fn feature_tensor(image: &Tensor, block: usize, k: usize) -> Tensor {
     );
     let (bh, bw) = (h / block, w / block);
     let order = zigzag_order(block);
+    // One cosine table and one pair of scratch buffers serve every
+    // block of the clip (and, via the workspace pool, every clip on
+    // this thread) — the naive path re-evaluated `cos` per element and
+    // allocated two tensors per block.
+    let basis = cos_basis(block);
+    let mut blk = workspace::take(block * block);
+    let mut coeffs = workspace::take(block * block);
+    let iv = image.as_slice();
     let mut out = Tensor::zeros([k, bh, bw]);
     for by in 0..bh {
         for bx in 0..bw {
-            let blk = Tensor::from_fn([block, block], |c| {
-                image.get(&[0, by * block + c[0], bx * block + c[1]])
-            });
-            let coeffs = dct2(&blk);
+            for c0 in 0..block {
+                let src = (by * block + c0) * w + bx * block;
+                blk[c0 * block..(c0 + 1) * block].copy_from_slice(&iv[src..src + block]);
+            }
+            dct2_with_basis(&blk, block, &basis, &mut coeffs);
             for (ci, &(u, v)) in order.iter().take(k).enumerate() {
-                out.set(&[ci, by, bx], coeffs.get(&[u, v]));
+                out.set(&[ci, by, bx], coeffs[u * block + v]);
             }
         }
     }

@@ -10,9 +10,14 @@ use rhsd_baselines::{
     average_row, faster_rcnn_config, ssd_config, CaseResult, LayoutClip, Tcad18Config,
     Tcad18Detector,
 };
-use rhsd_core::{RegionDetector, RhsdConfig, RhsdNetwork, TrainConfig};
+use rhsd_core::{
+    RegionDetector, RhsdConfig, RhsdNetwork, StemFeatureCache, TrainConfig, DEFAULT_STEM_CACHE_CAP,
+};
 use rhsd_data::augment::{flip_region, Flip};
-use rhsd_data::{sample_regions, train_regions, Benchmark, RegionConfig, RegionSample};
+use rhsd_data::{
+    sample_regions, train_regions, Benchmark, RegionConfig, RegionSample, RegionTileCache,
+    DEFAULT_TILE_CACHE_CAP,
+};
 use rhsd_layout::synth::CaseId;
 
 /// Primary RNG seed of the "Ours" detector — also the seed recorded in
@@ -110,6 +115,23 @@ pub fn ours_config() -> RhsdConfig {
 pub fn evaluate_region_detector(det: &mut RegionDetector, bench: &Benchmark) -> CaseResult {
     let timer = rhsd_obs::Stopwatch::start();
     let result = det.scan_test_half(bench);
+    let secs = timer.stop_into("eval.region_scan");
+    CaseResult::new(bench.id.name(), &result.evaluation, secs)
+}
+
+/// [`evaluate_region_detector`] through the incremental-scan caches:
+/// every detector evaluated on the same case shares `tiles` (the test
+/// half is rasterised once per case instead of once per detector), and
+/// repeated rasters replay their stem activations from `stems`. The
+/// reported rows are bit-identical to the uncached evaluation.
+pub fn evaluate_region_detector_cached(
+    det: &mut RegionDetector,
+    bench: &Benchmark,
+    tiles: &RegionTileCache,
+    stems: &StemFeatureCache,
+) -> CaseResult {
+    let timer = rhsd_obs::Stopwatch::start();
+    let result = det.scan_test_half_cached(bench, tiles, Some(stems));
     let secs = timer.stop_into("eval.region_scan");
     CaseResult::new(bench.id.name(), &result.evaluation, secs)
 }
@@ -215,12 +237,15 @@ fn stage_secs() -> std::collections::BTreeMap<String, f64> {
 
 /// Serialises detector reports as the machine-readable benchmark record
 /// tracked across revisions (`BENCH_table1.json`, schema
-/// `rhsd-bench-table/3`): the run's primary seed, the worker-thread count
+/// `rhsd-bench-table/4`): the run's primary seed, the worker-thread count
 /// of the `rhsd-par` pool (runtimes are only comparable like-for-like;
 /// accuracy rows are thread-count invariant), per-stage wall-clock totals
-/// from the observability snapshot, and per detector the per-case
-/// accuracy / false-alarm / runtime rows plus the average. This is the
-/// record `cargo xtask bench-diff` compares across commits.
+/// from the observability snapshot, the tensor-workspace counters
+/// (allocations, reused bytes, high-water residency — new in `/4`;
+/// readers treat the block as optional so `/2`–`/3` records still
+/// parse), and per detector the per-case accuracy / false-alarm /
+/// runtime rows plus the average. This is the record
+/// `cargo xtask bench-diff` compares across commits.
 pub fn bench_json(source: &str, quick: bool, seed: u64, reports: &[DetectorReport]) -> String {
     use rhsd_obs::json::{escape, number};
     // `escape` yields string *contents*; `quoted` adds the delimiters.
@@ -237,11 +262,18 @@ pub fn bench_json(source: &str, quick: bool, seed: u64, reports: &[DetectorRepor
         )
     }
     let mut o = String::with_capacity(2048);
-    o.push_str("{\n  \"schema\": \"rhsd-bench-table/3\",\n");
+    o.push_str("{\n  \"schema\": \"rhsd-bench-table/4\",\n");
     o.push_str(&format!("  \"source\": {},\n", quoted(source)));
     o.push_str(&format!("  \"quick\": {quick},\n"));
     o.push_str(&format!("  \"seed\": {seed},\n"));
     o.push_str(&format!("  \"threads\": {},\n", rhsd_par::threads()));
+    // Single line: scheduling-dependent (like the thread count), so the
+    // determinism harness can strip it the same way it strips "threads".
+    let ws = rhsd_tensor::workspace::stats();
+    o.push_str(&format!(
+        "  \"workspace\": {{\"allocs\": {}, \"bytes_reused\": {}, \"high_water_bytes\": {}}},\n",
+        ws.allocs, ws.bytes_reused, ws.high_water
+    ));
     o.push_str("  \"stage_secs\": {");
     let stages = stage_secs();
     for (i, (name, secs)) in stages.iter().enumerate() {
@@ -300,6 +332,16 @@ pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
     let augment = effort == Effort::Full;
     let samples = merged_train_regions(&benches, &region, augment);
 
+    // Incremental-scan caches: one tile cache per case (shared by every
+    // region detector, so each test half is rasterised once for the whole
+    // table) and one stem cache (identity-guarded, so detectors can share
+    // it without ever replaying each other's activations).
+    let tile_caches: Vec<RegionTileCache> = benches
+        .iter()
+        .map(|_| RegionTileCache::new(DEFAULT_TILE_CACHE_CAP))
+        .collect();
+    let stems = StemFeatureCache::new(DEFAULT_STEM_CACHE_CAP);
+
     let mut reports = Vec::new();
 
     // TCAD'18 clip-based baseline.
@@ -314,7 +356,8 @@ pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
     let mut frcnn = train_region_network(faster_rcnn_config(&region), &samples, effort, 101);
     let rows = benches
         .iter()
-        .map(|b| evaluate_region_detector(&mut frcnn, b))
+        .zip(&tile_caches)
+        .map(|(b, t)| evaluate_region_detector_cached(&mut frcnn, b, t, &stems))
         .collect();
     reports.push(DetectorReport::new("Faster R-CNN", rows));
 
@@ -322,7 +365,8 @@ pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
     let mut ssd = train_region_network(ssd_config(&region), &samples, effort, 102);
     let rows = benches
         .iter()
-        .map(|b| evaluate_region_detector(&mut ssd, b))
+        .zip(&tile_caches)
+        .map(|(b, t)| evaluate_region_detector_cached(&mut ssd, b, t, &stems))
         .collect();
     reports.push(DetectorReport::new("SSD", rows));
 
@@ -330,7 +374,8 @@ pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
     let mut ours = train_region_network(ours_config(), &samples, effort, OURS_SEED);
     let rows = benches
         .iter()
-        .map(|b| evaluate_region_detector(&mut ours, b))
+        .zip(&tile_caches)
+        .map(|(b, t)| evaluate_region_detector_cached(&mut ours, b, t, &stems))
         .collect();
     reports.push(DetectorReport::new("Ours", rows));
 
@@ -347,6 +392,14 @@ pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
     let augment = effort == Effort::Full;
     let samples = merged_train_regions(&benches, &region, augment);
 
+    // All four ablation variants share each case's tile cache: the test
+    // halves are rasterised once for the whole figure.
+    let tile_caches: Vec<RegionTileCache> = benches
+        .iter()
+        .map(|_| RegionTileCache::new(DEFAULT_TILE_CACHE_CAP))
+        .collect();
+    let stems = StemFeatureCache::new(DEFAULT_STEM_CACHE_CAP);
+
     let variants: [(&str, ConfigTweak); 4] = [
         ("w/o. ED", |c| c.use_encoder_decoder = false),
         ("w/o. L2", |c| c.use_l2 = false),
@@ -362,7 +415,8 @@ pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
             let mut det = train_region_network(cfg, &samples, effort, OURS_SEED);
             let rows = benches
                 .iter()
-                .map(|b| evaluate_region_detector(&mut det, b))
+                .zip(&tile_caches)
+                .map(|(b, t)| evaluate_region_detector_cached(&mut det, b, t, &stems))
                 .collect();
             DetectorReport::new(*name, rows)
         })
@@ -391,8 +445,15 @@ mod tests {
         let v = json::parse(&doc).expect("bench record parses");
         assert_eq!(
             v.get("schema").and_then(|s| s.as_str()),
-            Some("rhsd-bench-table/3")
+            Some("rhsd-bench-table/4")
         );
+        let ws = v.get("workspace").expect("workspace counters present");
+        assert!(ws.get("allocs").and_then(|a| a.as_u64()).is_some());
+        assert!(ws.get("bytes_reused").and_then(|a| a.as_u64()).is_some());
+        assert!(ws
+            .get("high_water_bytes")
+            .and_then(|a| a.as_u64())
+            .is_some());
         assert_eq!(v.get("seed").and_then(|s| s.as_u64()), Some(103));
         assert_eq!(v.get("quick").and_then(|q| q.as_bool()), Some(true));
         assert_eq!(

@@ -1,9 +1,15 @@
 //! Full-layout detection: scanning a benchmark's extent region by region
 //! and aggregating detections and metrics — the deployment flow of Fig. 2.
 
-use rhsd_data::{tile_regions, Benchmark, RegionConfig, RegionSample, NM_PER_PX};
+use std::sync::Arc;
+
+use rhsd_data::{
+    tile_regions, tile_regions_cached, Benchmark, RegionConfig, RegionSample, RegionTileCache,
+    NM_PER_PX,
+};
 use rhsd_layout::Rect;
 
+use crate::feature_cache::StemFeatureCache;
 use crate::metrics::{evaluate_region, Evaluation};
 use crate::model::{Detection, RhsdNetwork};
 
@@ -84,8 +90,37 @@ impl RegionDetector {
     /// each region's `detect` stays sequential — suppression order is
     /// part of its semantics.
     pub fn scan(&mut self, bench: &Benchmark, extent: &Rect) -> ScanResult {
+        let samples: Vec<Arc<RegionSample>> = tile_regions(bench, extent, &self.region_config)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        self.scan_samples(&samples, None)
+    }
+
+    /// [`RegionDetector::scan`] through the incremental-scan caches:
+    /// tiles come from (and populate) `tiles`, so repeated scans of one
+    /// benchmark rasterise each window once, and stem activations replay
+    /// through `stems` when the same raster recurs under unchanged
+    /// weights. Output is bit-identical to the uncached scan.
+    pub fn scan_cached(
+        &mut self,
+        bench: &Benchmark,
+        extent: &Rect,
+        tiles: &RegionTileCache,
+        stems: Option<&StemFeatureCache>,
+    ) -> ScanResult {
+        let samples = tile_regions_cached(bench, extent, &self.region_config, tiles);
+        self.scan_samples(&samples, stems)
+    }
+
+    /// Shared scan core over prepared samples (see [`RegionDetector::scan`]
+    /// for the parallel-stripe determinism argument).
+    fn scan_samples(
+        &mut self,
+        regions: &[Arc<RegionSample>],
+        stems: Option<&StemFeatureCache>,
+    ) -> ScanResult {
         let mut sp = rhsd_obs::span("scan");
-        let regions = tile_regions(bench, extent, &self.region_config);
         let n = regions.len();
         // Fixed stripe width: one network clone amortises over STRIPE
         // regions; independent of the thread count by design.
@@ -98,7 +133,10 @@ impl RegionDetector {
                     .iter()
                     .map(|sample| {
                         let mut rsp = rhsd_obs::span("scan-region");
-                        let dets = net.detect(&sample.image);
+                        let dets = match stems {
+                            Some(cache) => net.detect_cached(&sample.image, cache),
+                            None => net.detect(&sample.image),
+                        };
                         let eval = evaluate_region(&dets, &sample.gt_centers);
                         rsp.add("detections", dets.len() as f64);
                         (dets, eval)
@@ -130,6 +168,17 @@ impl RegionDetector {
     /// Scans the test half of a benchmark (the paper's evaluation split).
     pub fn scan_test_half(&mut self, bench: &Benchmark) -> ScanResult {
         self.scan(bench, &bench.test_extent.clone())
+    }
+
+    /// [`RegionDetector::scan_test_half`] through the incremental-scan
+    /// caches (see [`RegionDetector::scan_cached`]).
+    pub fn scan_test_half_cached(
+        &mut self,
+        bench: &Benchmark,
+        tiles: &RegionTileCache,
+        stems: Option<&StemFeatureCache>,
+    ) -> ScanResult {
+        self.scan_cached(bench, &bench.test_extent.clone(), tiles, stems)
     }
 }
 
@@ -194,6 +243,31 @@ mod tests {
                 "detection {d:?} escapes its region"
             );
         }
+    }
+
+    #[test]
+    fn cached_scan_is_bit_identical_to_plain_scan() {
+        let bench = Benchmark::demo(CaseId::Case2);
+        let mut det = tiny_detector();
+        let plain = det.scan_test_half(&bench);
+
+        let tiles = RegionTileCache::new(rhsd_data::DEFAULT_TILE_CACHE_CAP);
+        let stems = StemFeatureCache::new(crate::DEFAULT_STEM_CACHE_CAP);
+        let first = det.scan_test_half_cached(&bench, &tiles, Some(&stems));
+        assert_eq!(plain.detections, first.detections);
+        assert_eq!(plain.evaluation, first.evaluation);
+        assert_eq!(tiles.misses(), plain.regions as u64);
+
+        // a rescan reuses every tile and every stem activation, and the
+        // result is still bit-identical
+        let second = det.scan_test_half_cached(&bench, &tiles, Some(&stems));
+        assert_eq!(plain.detections, second.detections);
+        assert_eq!(tiles.hits(), plain.regions as u64);
+        assert!(
+            stems.hits() >= plain.regions as u64,
+            "rescan must replay cached stem activations (hits {})",
+            stems.hits()
+        );
     }
 
     #[test]

@@ -17,6 +17,12 @@ use crate::config::RhsdConfig;
 #[derive(Clone)]
 pub struct FeatureExtractor {
     layers: Vec<Box<dyn Layer>>,
+    /// Number of leading layers forming the *stem* (encoder–decoder and
+    /// the compressing convolutions through the second max-pool). The
+    /// stem depends only on the input raster and the weights, so its
+    /// activations can be cached and replayed into the inception stack
+    /// (see [`crate::StemFeatureCache`]).
+    stem_len: usize,
     out_channels: usize,
 }
 
@@ -51,6 +57,7 @@ impl FeatureExtractor {
         layers.push(Box::new(Conv2d::new(s1, s2, ConvSpec::same(3), rng)));
         layers.push(Box::new(LeakyRelu::default_slope()));
         layers.push(Box::new(MaxPool2d::new(2, 2)));
+        let stem_len = layers.len();
 
         // Inception stack A A B A A A (Fig. 3).
         let wa = config.inception_width_a;
@@ -80,6 +87,7 @@ impl FeatureExtractor {
 
         FeatureExtractor {
             layers,
+            stem_len,
             out_channels: c,
         }
     }
@@ -87,6 +95,26 @@ impl FeatureExtractor {
     /// Channel count of the produced feature map.
     pub fn out_channels(&self) -> usize {
         self.out_channels
+    }
+
+    /// Runs only the stem (encoder–decoder + compressing convolutions).
+    /// `forward_rest(&forward_stem(x))` is the exact layer sequence of
+    /// `forward(x)` — splitting at a layer boundary changes nothing about
+    /// the arithmetic, so the composition is bit-identical.
+    ///
+    /// Shapes: `input` is `[1, region_px, region_px]`; returns the stem
+    /// activation map `[c, region_px / 4, region_px / 4]`.
+    pub fn forward_stem(&mut self, input: &Tensor) -> Tensor {
+        forward_all(&mut self.layers[..self.stem_len], input)
+    }
+
+    /// Runs the inception stack and final pooling on a stem activation
+    /// map (the counterpart of [`FeatureExtractor::forward_stem`]).
+    ///
+    /// Shapes: `stem_out` is the `[c, h, w]` map `forward_stem` returns;
+    /// the result matches [`FeatureExtractor::forward`].
+    pub fn forward_rest(&mut self, stem_out: &Tensor) -> Tensor {
+        forward_all(&mut self.layers[self.stem_len..], stem_out)
     }
 }
 
@@ -158,6 +186,21 @@ mod tests {
         assert_eq!(gx.dims(), x.dims());
         let gn: f32 = fx.params_mut().iter().map(|p| p.grad.sq_norm()).sum();
         assert!(gn > 0.0);
+    }
+
+    #[test]
+    fn stem_split_composes_to_full_forward_bitwise() {
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(44);
+        let mut fx = FeatureExtractor::new(&cfg, &mut rng);
+        let x = Tensor::rand_uniform([1, cfg.region_px, cfg.region_px], 0.0, 1.0, &mut rng);
+        let full = fx.forward(&x);
+        let stem = fx.forward_stem(&x);
+        let split = fx.forward_rest(&stem);
+        assert_eq!(full.dims(), split.dims());
+        let fb: Vec<u32> = full.as_slice().iter().map(|v| v.to_bits()).collect();
+        let sb: Vec<u32> = split.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fb, sb, "stem/rest split must be bit-identical");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::boxcode::{decode, encode};
 use crate::config::RhsdConfig;
 use crate::cpn::ClipProposalNetwork;
 use crate::extractor::FeatureExtractor;
+use crate::feature_cache::StemFeatureCache;
 use crate::hnms::{conventional_nms, hotspot_nms, Scored};
 use crate::loss::{cpn_loss, refine_loss, CrLoss, CLASS_HOTSPOT, CLASS_NON_HOTSPOT};
 use crate::pruning::{assign_anchors, sample_minibatch};
@@ -46,10 +47,15 @@ impl TrainStats {
     }
 }
 
+/// Source of unique network identities (see [`RhsdNetwork::identity`]).
+static NEXT_IDENTITY: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// The region-based hotspot detection network.
 ///
 /// `Clone` deep-copies every parameter and cache, letting the parallel
-/// region scan give each `rhsd-par` worker its own network.
+/// region scan give each `rhsd-par` worker its own network. Clones keep
+/// the original's identity and weights version: they hold the same
+/// weights, so they may share [`StemFeatureCache`] entries.
 #[derive(Clone)]
 pub struct RhsdNetwork {
     config: RhsdConfig,
@@ -57,6 +63,13 @@ pub struct RhsdNetwork {
     cpn: ClipProposalNetwork,
     refinement: Option<RefinementHead>,
     anchors: Vec<BBox>,
+    /// Process-unique id distinguishing this network (and its clones)
+    /// from every other network, so cached activations never cross
+    /// between independently-trained weights.
+    identity: u64,
+    /// Bumped whenever mutable access to the parameters is handed out;
+    /// cached stem activations from older versions stop matching.
+    weights_version: u64,
 }
 
 impl RhsdNetwork {
@@ -79,6 +92,8 @@ impl RhsdNetwork {
             cpn,
             refinement,
             anchors,
+            identity: NEXT_IDENTITY.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            weights_version: 0,
         }
     }
 
@@ -103,8 +118,25 @@ impl RhsdNetwork {
         &self.anchors
     }
 
+    /// Process-unique identity of this network's weights lineage (shared
+    /// by clones, distinct across independently-created networks).
+    pub fn identity(&self) -> u64 {
+        self.identity
+    }
+
+    /// Monotonic counter of potential weight mutations; part of every
+    /// [`StemFeatureCache`] key, so stale activations can never replay.
+    pub fn weights_version(&self) -> u64 {
+        self.weights_version
+    }
+
     /// All trainable parameters.
+    ///
+    /// Handing out mutable parameter access conservatively bumps the
+    /// weights version — the optimiser steps through this method, and a
+    /// spurious bump only costs a cache miss, never correctness.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.weights_version = self.weights_version.wrapping_add(1);
         let mut p = self.extractor.params_mut();
         p.extend(self.cpn.params_mut());
         if let Some(r) = self.refinement.as_mut() {
@@ -332,7 +364,37 @@ impl RhsdNetwork {
             let _sp = rhsd_obs::span("backbone");
             self.extractor.forward(image)
         };
-        let proposals = self.propose(&feats);
+        self.detect_from_feats(&feats)
+    }
+
+    /// [`RhsdNetwork::detect`] through a [`StemFeatureCache`]: replays
+    /// the stem activations when this exact raster was already scanned
+    /// under the current weights, and populates the cache otherwise.
+    /// Bit-identical to `detect` in either case (the cache stores the
+    /// bits a fresh stem forward would produce, and
+    /// `forward_rest ∘ forward_stem` is the exact `forward` sequence).
+    ///
+    /// Shapes: `image` is `[1, region_px, region_px]`.
+    pub fn detect_cached(&mut self, image: &Tensor, cache: &StemFeatureCache) -> Vec<Detection> {
+        let feats = {
+            let _sp = rhsd_obs::span("backbone");
+            match cache.get(self.identity, self.weights_version, image) {
+                Some(stem) => self.extractor.forward_rest(&stem),
+                None => {
+                    let stem = self.extractor.forward_stem(image);
+                    let feats = self.extractor.forward_rest(&stem);
+                    cache.put(self.identity, self.weights_version, image, stem);
+                    feats
+                }
+            }
+        };
+        self.detect_from_feats(&feats)
+    }
+
+    /// Shared tail of [`RhsdNetwork::detect`]/[`RhsdNetwork::detect_cached`]:
+    /// proposal, refinement, and NMS on an extracted feature map.
+    fn detect_from_feats(&mut self, feats: &Tensor) -> Vec<Detection> {
+        let proposals = self.propose(feats);
 
         let finals: Vec<Scored> = if let Some(head) = self.refinement.as_mut() {
             let mut sp = rhsd_obs::span("refine");
@@ -341,7 +403,7 @@ impl RhsdNetwork {
             let mut refined = Vec::new();
             for p in &proposals {
                 let roi = roi_from_bbox(&p.bbox, self.config.stride, f);
-                let out = head.forward(&feats, roi);
+                let out = head.forward(feats, roi);
                 let logits = out.cls_logits.clone().with_shape([1, 2]);
                 let probs = softmax_rows(&logits);
                 let score = probs.get(&[0, CLASS_HOTSPOT]);
@@ -382,8 +444,10 @@ impl RhsdNetwork {
             .collect()
     }
 
-    /// Accesses the extractor (for feature-level benchmarks).
+    /// Accesses the extractor (for feature-level benchmarks). Bumps the
+    /// weights version: the caller may mutate stem weights.
     pub fn extractor_mut(&mut self) -> &mut FeatureExtractor {
+        self.weights_version = self.weights_version.wrapping_add(1);
         &mut self.extractor
     }
 }
@@ -471,6 +535,36 @@ mod tests {
             assert!(d.bbox.x0() >= -1e-3 && d.bbox.x1() <= r + 1e-3);
             assert!(d.score >= 0.0 && d.score <= 1.0);
         }
+    }
+
+    #[test]
+    fn detect_cached_matches_detect_and_reuses_the_stem() {
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(76);
+        let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
+        let sample = tiny_sample(&cfg, true);
+        let cache = crate::StemFeatureCache::new(8);
+
+        let plain = net.detect(&sample.image);
+        let cold = net.detect_cached(&sample.image, &cache);
+        assert_eq!(plain, cold, "cold cached detect must match detect");
+        assert_eq!(cache.misses(), 1);
+
+        let warm = net.detect_cached(&sample.image, &cache);
+        assert_eq!(plain, warm, "warm cached detect must be bit-identical");
+        assert_eq!(cache.hits(), 1, "second scan replays the stem");
+
+        // a weight update (any mutable param access) invalidates entries
+        let _ = net.params_mut();
+        let after = net.detect_cached(&sample.image, &cache);
+        assert_eq!(plain, after, "weights unchanged ⇒ same detections");
+        assert_eq!(cache.misses(), 2, "bumped version cannot replay");
+
+        // a clone shares identity/version and therefore the cache entry
+        let mut twin = net.clone();
+        let twin_dets = twin.detect_cached(&sample.image, &cache);
+        assert_eq!(plain, twin_dets);
+        assert_eq!(cache.hits(), 2, "clone replays the shared stem");
     }
 
     #[test]

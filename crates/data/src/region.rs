@@ -94,12 +94,9 @@ pub fn extract_region(bench: &Benchmark, origin: Point, config: &RegionConfig) -
     }
 }
 
-/// Tiles an extent into non-overlapping region samples.
-///
-/// Regions that would extend past the extent are dropped (the synthetic
-/// extents are sized as multiples of the region side).
-pub fn tile_regions(bench: &Benchmark, extent: &Rect, config: &RegionConfig) -> Vec<RegionSample> {
-    let side = config.region_nm();
+/// The origin grid of [`tile_regions`]: row-major window origins of every
+/// complete `side`-nm tile inside `extent`.
+pub fn tile_origins(extent: &Rect, side: i64) -> Vec<Point> {
     let mut origins = Vec::new();
     let mut y = extent.y0;
     while y + side <= extent.y1 {
@@ -110,6 +107,15 @@ pub fn tile_regions(bench: &Benchmark, extent: &Rect, config: &RegionConfig) -> 
         }
         y += side;
     }
+    origins
+}
+
+/// Tiles an extent into non-overlapping region samples.
+///
+/// Regions that would extend past the extent are dropped (the synthetic
+/// extents are sized as multiples of the region side).
+pub fn tile_regions(bench: &Benchmark, extent: &Rect, config: &RegionConfig) -> Vec<RegionSample> {
+    let origins = tile_origins(extent, config.region_nm());
     // Rasterisation + ground-truth lookup per tile is read-only, so
     // tiles extract in parallel; `map` returns them in grid order.
     rhsd_par::map(origins.len(), 1, |i| {

@@ -33,8 +33,10 @@ pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
     // count). Fixed chunk schedule: rows per task from the tap count.
     let rows_per_task = rhsd_par::chunk_units(h, 2 * w * taps.len().max(1));
 
-    // horizontal pass
-    let mut tmp = vec![0.0f32; h * w];
+    // horizontal pass — the intermediate lives in workspace scratch so
+    // repeated aerial simulations (three print corners per region, many
+    // regions per scan) reuse one ring buffer per thread.
+    let mut tmp = rhsd_tensor::workspace::take(h * w);
     if w > 0 {
         rhsd_par::for_each_mut(&mut tmp, rows_per_task * w, |ci, rows| {
             let y0 = ci * rows_per_task;
@@ -59,7 +61,7 @@ pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
     // vertical pass
     let mut out = vec![0.0f32; h * w];
     if w > 0 {
-        let tmp = &tmp;
+        let tmp = tmp.as_slice();
         rhsd_par::for_each_mut(&mut out, rows_per_task * w, |ci, rows| {
             let y0 = ci * rows_per_task;
             for (dy, orow) in rows.chunks_mut(w).enumerate() {

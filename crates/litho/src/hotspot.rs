@@ -274,9 +274,32 @@ pub fn label_region(
     let raster = rasterize(layout, layer, &spec);
     let design_bin = binarize(&raster);
 
+    // The aerial image depends only on the blur sigma, not on the resist
+    // threshold, so corners sharing a sigma (the default window's over-
+    // and under-exposure corners both use the defocus blur) convolve the
+    // raster once and differ only in the cheap thresholding step. Reuse
+    // returns the identical tensor, so the labels are bit-identical to
+    // simulating every corner from scratch.
+    let mut aerials: Vec<(u64, Tensor)> = Vec::new();
     let mut defects: Vec<Defect> = Vec::new();
     for corner in pw.all_corners() {
-        let printed = simulate_print(&raster, &corner, nm_per_px);
+        let printed = {
+            let mut sp = rhsd_obs::span("litho");
+            sp.add("px", raster.len() as f64);
+            let sigma_bits = corner.sigma_nm.to_bits();
+            let idx = match aerials.iter().position(|(s, _)| *s == sigma_bits) {
+                Some(i) => {
+                    rhsd_obs::counter("litho.aerial_reused", 1);
+                    i
+                }
+                None => {
+                    let kernel = GaussianKernel::new(corner.sigma_nm / nm_per_px);
+                    aerials.push((sigma_bits, aerial_image(&raster, &kernel)));
+                    aerials.len() - 1
+                }
+            };
+            print_resist(&aerials[idx].1, corner.threshold)
+        };
         for d in find_defects_px(&design_bin, &printed) {
             let x_nm = padded.x0 + (d.x * nm_per_px).round() as i64;
             let y_nm = padded.y0 + (d.y * nm_per_px).round() as i64;

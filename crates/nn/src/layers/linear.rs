@@ -1,7 +1,7 @@
 //! Fully-connected layer and flattening adapter.
 
 use rand::Rng;
-use rhsd_tensor::ops::matmul::{matvec, transpose};
+use rhsd_tensor::ops::matmul::{matvec, matvec_t};
 use rhsd_tensor::Tensor;
 
 use crate::init::xavier_uniform;
@@ -90,7 +90,9 @@ impl Layer for Linear {
         self.weight
             .accumulate(&Tensor::from_parts([n_out, n_in], dw));
         self.bias.accumulate(grad_out);
-        matvec(&transpose(&self.weight.value), grad_out)
+        // Wᵀ·g without materialising the transpose: the fused kernel
+        // streams W's rows in place (bit-identical to the old path).
+        matvec_t(&self.weight.value, grad_out)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -486,6 +486,36 @@ mod tests {
     }
 
     #[test]
+    fn chunk_units_edge_cases_stay_in_bounds() {
+        // Zero work per unit is treated as one op, not a division by zero.
+        assert_eq!(chunk_units(100, 0), chunk_units(100, 1));
+        // Zero units with zero work still yields a legal chunk length.
+        assert_eq!(chunk_units(0, usize::MAX), 1);
+        // A single unit is never split or batched further.
+        assert_eq!(chunk_units(1, 1), 1);
+        assert_eq!(chunk_units(1, usize::MAX), 1);
+        // Exact threshold: MIN_TASK_WORK-weight units go one per task;
+        // one op lighter and div_ceil still rounds the batch up to 2.
+        assert_eq!(chunk_units(100, MIN_TASK_WORK), 1);
+        assert_eq!(chunk_units(100, MIN_TASK_WORK - 1), 2);
+        assert_eq!(chunk_units(100, MIN_TASK_WORK + 1), 1);
+        // Astronomical per-unit work must not overflow.
+        assert_eq!(chunk_units(usize::MAX, usize::MAX), 1);
+        // The result is always a valid chunk length, and heavier units
+        // never produce larger batches.
+        let weights = [0, 1, 7, 1000, MIN_TASK_WORK, MIN_TASK_WORK * 3];
+        for units in [0usize, 1, 2, 17, 100_000] {
+            let mut prev = usize::MAX;
+            for w in weights {
+                let c = chunk_units(units, w);
+                assert!((1..=units.max(1)).contains(&c), "units={units} w={w}");
+                assert!(c <= prev, "batching must shrink as work grows");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
     fn parse_threads_accepts_positive_integers_only() {
         assert_eq!(parse_threads(None), None);
         assert_eq!(parse_threads(Some("")), None);

@@ -30,6 +30,7 @@ pub mod invariants;
 pub mod ops;
 mod shape;
 mod tensor;
+pub mod workspace;
 
 pub use error::{Result, TensorError};
 pub use shape::Shape;

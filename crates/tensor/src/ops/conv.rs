@@ -4,8 +4,8 @@
 //! `[C, H, W]` feature maps; weights are `[C_out, C_in, K, K]`. Batching is
 //! handled one sample at a time by the layer framework above this crate.
 
-use crate::ops::matmul::{matmul, transpose};
-use crate::Tensor;
+use crate::ops::matmul::{gemm_nn_into, gemm_nt_into, gemm_tn_into};
+use crate::{workspace, Tensor};
 
 /// Geometry of a convolution: kernel size, stride and zero padding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -73,7 +73,23 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
     let k = spec.kernel;
     let mut out = vec![0.0f32; c * k * k * oh * ow];
-    let iv = input.as_slice();
+    im2col_into(&mut out, input.as_slice(), c, h, w, spec);
+    Tensor::from_parts([c * k * k, oh * ow], out)
+}
+
+/// Slice-level [`im2col`] writing into a pre-zeroed buffer of length
+/// `c·k²·oh·ow` — the workspace-backed path used by [`conv2d`] /
+/// [`conv2d_backward`] so column matrices are scratch, not fresh heap.
+pub(crate) fn im2col_into(
+    out: &mut [f32],
+    iv: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: ConvSpec,
+) {
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
     let ncols = oh * ow;
     // Channel `ci` exclusively owns the contiguous output rows
     // `ci·K·K .. (ci+1)·K·K`, so channels unfold in parallel with the
@@ -82,7 +98,7 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
     let plane = k * k * ncols;
     if plane > 0 {
         let ch_per_task = rhsd_par::chunk_units(c, plane);
-        rhsd_par::for_each_mut(&mut out, ch_per_task * plane, |ti, piece| {
+        rhsd_par::for_each_mut(out, ch_per_task * plane, |ti, piece| {
             let c0 = ti * ch_per_task;
             for (dc, chan) in piece.chunks_mut(plane).enumerate() {
                 let ci = c0 + dc;
@@ -108,7 +124,6 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
             }
         });
     }
-    Tensor::from_parts([c * k * k, ncols], out)
 }
 
 /// Adjoint of [`im2col`]: folds a `[C·K·K, H_out·W_out]` column matrix back
@@ -126,7 +141,14 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: ConvSpec) -> Te
         "col2im input shape {} inconsistent with geometry",
         cols.shape()
     );
-    let cv = cols.as_slice();
+    col2im_from(cols.as_slice(), c, h, w, spec)
+}
+
+/// Slice-level [`col2im`]: folds a column buffer (already shape-checked
+/// by the caller) into a fresh `[C, H, W]` tensor.
+pub(crate) fn col2im_from(cv: &[f32], c: usize, h: usize, w: usize, spec: ConvSpec) -> Tensor {
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
     let mut out = vec![0.0f32; c * h * w];
     let ncols = oh * ow;
     // Channel `ci` exclusively owns the output plane `ci·H·W ..`; the
@@ -203,10 +225,17 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
         "conv2d channel mismatch: input {c_in} vs weight {wc_in}"
     );
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let ncols = oh * ow;
+    let ckk = c_in * k * k;
 
-    let cols = im2col(input, spec);
-    let wmat = weight.clone().with_shape([c_out, c_in * k * k]);
-    let mut out = matmul(&wmat, &cols); // [c_out, oh*ow]
+    // The column matrix is scratch: built in a workspace buffer, reused
+    // across every conv on this thread. The weight matrix view needs no
+    // reshape copy — `[C_out, C_in, K, K]` is already `[C_out, C_in·K²]`
+    // row-major.
+    let mut cols = workspace::take(ckk * ncols);
+    im2col_into(&mut cols, input.as_slice(), c_in, h, w, spec);
+    let mut out = vec![0.0f32; c_out * ncols];
+    gemm_nn_into(&mut out, weight.as_slice(), c_out, ckk, ncols, &cols);
     if let Some(b) = bias {
         assert_eq!(
             b.dims(),
@@ -214,15 +243,13 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
             "bias must be [C_out], got {}",
             b.shape()
         );
-        let bv = b.as_slice().to_vec();
-        let ov = out.as_mut_slice();
-        for (co, &bval) in bv.iter().enumerate() {
-            for o in &mut ov[co * oh * ow..(co + 1) * oh * ow] {
+        for (co, &bval) in b.as_slice().iter().enumerate() {
+            for o in &mut out[co * ncols..(co + 1) * ncols] {
                 *o += bval;
             }
         }
     }
-    let out = out.with_shape([c_out, oh, ow]);
+    let out = Tensor::from_parts([c_out, oh, ow], out);
     crate::invariants::check_finite("conv2d", &out);
     out
 }
@@ -251,23 +278,30 @@ pub fn conv2d_backward(
         grad_out.shape()
     );
 
-    let gmat = grad_out.clone().with_shape([c_out, oh * ow]);
+    let ncols = oh * ow;
+    let ckk = c_in * k * k;
+    let gv = grad_out.as_slice(); // [c_out, oh·ow] row-major as-is
 
     // d_bias: sum over spatial positions.
-    let gv = gmat.as_slice();
     let dbias: Vec<f32> = (0..c_out)
-        .map(|co| gv[co * oh * ow..(co + 1) * oh * ow].iter().sum())
+        .map(|co| gv[co * ncols..(co + 1) * ncols].iter().sum())
         .collect();
     let d_bias = Tensor::from_parts([c_out], dbias);
 
-    // d_weight = grad · colsᵀ
-    let cols = im2col(input, spec);
-    let d_weight = matmul(&gmat, &transpose(&cols)).with_shape([c_out, c_in, k, k]);
+    // d_weight = grad · colsᵀ — the transpose is folded into the NT
+    // GEMM's packing pass, and the column matrix is workspace scratch.
+    let mut cols = workspace::take(ckk * ncols);
+    im2col_into(&mut cols, input.as_slice(), c_in, h, w, spec);
+    let mut dw = vec![0.0f32; c_out * ckk];
+    gemm_nt_into(&mut dw, gv, c_out, ncols, ckk, &cols);
+    let d_weight = Tensor::from_parts([c_out, c_in, k, k], dw);
+    drop(cols);
 
-    // d_input = col2im(Wᵀ · grad)
-    let wmat = weight.clone().with_shape([c_out, c_in * k * k]);
-    let dcols = matmul(&transpose(&wmat), &gmat);
-    let d_input = col2im(&dcols, c_in, h, w, spec);
+    // d_input = col2im(Wᵀ · grad) — the TN GEMM reads W columns in
+    // place, and the intermediate column gradient is scratch too.
+    let mut dcols = workspace::take(ckk * ncols);
+    gemm_tn_into(&mut dcols, weight.as_slice(), ckk, c_out, ncols, gv);
+    let d_input = col2im_from(&dcols, c_in, h, w, spec);
 
     crate::invariants::check_finite("conv2d_backward", &d_input);
     (d_input, d_weight, d_bias)

@@ -5,9 +5,9 @@
 //! with the same [`ConvSpec`]. Weights follow the `[C_in, C_out, K, K]`
 //! convention so that a deconv layer can mirror a conv layer symmetrically.
 
-use crate::ops::conv::{col2im, im2col, ConvSpec};
-use crate::ops::matmul::{matmul, transpose};
-use crate::Tensor;
+use crate::ops::conv::{col2im_from, im2col_into, ConvSpec};
+use crate::ops::matmul::{gemm_nn_into, gemm_nt_into, gemm_tn_into};
+use crate::{workspace, Tensor};
 
 /// Forward transposed convolution:
 /// `[C_in,H,W] → [C_out, (H−1)·s − 2p + K, (W−1)·s − 2p + K]`.
@@ -48,10 +48,20 @@ pub fn conv_transpose2d(
     let (oh, ow) = (spec.transpose_out_size(h), spec.transpose_out_size(w));
 
     // cols[(c_out·K·K), H·W] = Wᵀ · x, then fold into the output map.
-    let wmat = weight.clone().with_shape([c_in, c_out * k * k]);
-    let xmat = input.clone().with_shape([c_in, h * w]);
-    let cols = matmul(&transpose(&wmat), &xmat);
-    let mut out = col2im(&cols, c_out, oh, ow, spec);
+    // The TN GEMM reads W columns in place (no transpose tensor) and
+    // the column matrix is workspace scratch.
+    let ckk = c_out * k * k;
+    let mut cols = workspace::take(ckk * h * w);
+    gemm_tn_into(
+        &mut cols,
+        weight.as_slice(),
+        ckk,
+        c_in,
+        h * w,
+        input.as_slice(),
+    );
+    let mut out = col2im_from(&cols, c_out, oh, ow, spec);
+    drop(cols);
     if let Some(b) = bias {
         assert_eq!(
             b.dims(),
@@ -59,9 +69,8 @@ pub fn conv_transpose2d(
             "bias must be [C_out], got {}",
             b.shape()
         );
-        let bv = b.as_slice().to_vec();
         let ov = out.as_mut_slice();
-        for (co, &bval) in bv.iter().enumerate() {
+        for (co, &bval) in b.as_slice().iter().enumerate() {
             for o in &mut ov[co * oh * ow..(co + 1) * oh * ow] {
                 *o += bval;
             }
@@ -100,13 +109,18 @@ pub fn conv_transpose2d_backward(
     let d_bias = Tensor::from_parts([c_out], dbias);
 
     // Deconv forward is col2im ∘ (Wᵀ ·); its adjoint is (W ·) ∘ im2col.
-    let gcols = im2col(grad_out, spec); // [c_out·K·K, H·W]
-    let wmat = weight.clone().with_shape([c_in, c_out * k * k]);
-    let d_input = matmul(&wmat, &gcols).with_shape([c_in, h, w]);
+    let ckk = c_out * k * k;
+    let mut gcols = workspace::take(ckk * h * w); // [c_out·K·K, H·W]
+    im2col_into(&mut gcols, gv, c_out, oh, ow, spec);
+    let mut di = vec![0.0f32; c_in * h * w];
+    gemm_nn_into(&mut di, weight.as_slice(), c_in, ckk, h * w, &gcols);
+    let d_input = Tensor::from_parts([c_in, h, w], di);
 
-    // d_weight = x · im2col(grad)ᵀ, folded back to [C_in, C_out, K, K].
-    let xmat = input.clone().with_shape([c_in, h * w]);
-    let d_weight = matmul(&xmat, &transpose(&gcols)).with_shape([c_in, c_out, k, k]);
+    // d_weight = x · im2col(grad)ᵀ, folded back to [C_in, C_out, K, K] —
+    // the transpose happens inside the NT GEMM's packing pass.
+    let mut dw = vec![0.0f32; c_in * ckk];
+    gemm_nt_into(&mut dw, input.as_slice(), c_in, h * w, ckk, &gcols);
+    let d_weight = Tensor::from_parts([c_in, c_out, k, k], dw);
 
     crate::invariants::check_finite("conv_transpose2d_backward", &d_input);
     (d_input, d_weight, d_bias)

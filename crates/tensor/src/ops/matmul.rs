@@ -1,17 +1,308 @@
-//! Dense matrix multiplication.
+//! Dense matrix multiplication — a packed, cache-blocked GEMM core.
+//!
+//! # Kernel architecture
+//!
+//! All rank-2 products ([`matmul`], the transpose-fused [`matmul_tn`] /
+//! [`matmul_nt`]) run through one blocked driver:
+//!
+//! * **Packing** — the right operand is repacked once per call into
+//!   column strips of width `NR = 8`: strip `s` stores, for ascending
+//!   `p`, the eight values `B[p][8s..8s+8]` contiguously (zero-padded at
+//!   the right edge). The packed panel lives in a [`crate::workspace`]
+//!   buffer, so steady-state calls allocate nothing. For the `NT`
+//!   variant the packing step *is* the transpose — `Bᵀ` strips are
+//!   gathered straight from `B`'s rows, which is how the old
+//!   `matmul(a, &transpose(b))` call sites fold their transpose into
+//!   the GEMM.
+//! * **Blocking** — each parallel task walks `NC`-wide column blocks and
+//!   `KC`-deep k blocks over `MR × NR` register tiles (`MC` rows per
+//!   task, set by the `rhsd-par` chunk schedule). The micro-kernel keeps
+//!   an `MR × 8` accumulator array in registers and is fully unrolled at
+//!   `MR = 4`, which the compiler auto-vectorises 8 lanes wide.
+//! * **Sparse rows** — the old per-element `aval == 0.0` branch is gone
+//!   from the dense micro-kernel; instead each `MR`-row block is scanned
+//!   once, and blocks that are ≥ 75 % zeros take a separate
+//!   skipping-row path (the im2col-shaped inputs that motivated the
+//!   original branch).
+//!
+//! # Determinism
+//!
+//! Every output element accumulates its `k` products in ascending-`p`
+//! order, exactly as the previous naive kernel did: `KC` blocks load the
+//! partial sum back from `C` and continue the same chain (an `f32`
+//! store/load round-trip is exact), the packed layout changes only
+//! *where* operands live, and skipping a `0.0 · b` term equals adding
+//! it (the sum of this chain is never `-0.0`, and `±0.0` addends leave
+//! finite partials bit-unchanged). Parallelism splits output rows with
+//! the shape-only `rhsd_par::chunk_units` schedule and rows never share
+//! output elements — so results are bit-identical at any thread count
+//! *and* to the pre-blocking kernel.
 
-use crate::Tensor;
+use crate::{workspace, Tensor};
+
+/// Micro-kernel register-tile height (rows of `A` per tile).
+const MR: usize = 4;
+/// Micro-kernel width (output columns per tile) — the 8-wide unroll.
+const NR: usize = 8;
+/// k-block depth: one `KC × NR` packed sub-panel stays L1-resident.
+const KC: usize = 256;
+/// Column-block width walked per k block (multiple of `NR`).
+const NC: usize = 2048;
+
+/// Zero fraction (×4) above which an `MR`-row block takes the
+/// skipping-row path: ≥ 3/4 zeros.
+const SPARSE_NUM: usize = 3;
+const SPARSE_DEN: usize = 4;
+
+/// Packed panel length for a `k × n` right operand.
+fn packed_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
+/// Packs row-major `b` (`[k, n]`) into `NR`-wide column strips.
+fn pack_b_nn(bv: &[f32], k: usize, n: usize, bp: &mut [f32]) {
+    let n_strips = n.div_ceil(NR);
+    let strips_per_task = rhsd_par::chunk_units(n_strips, 2 * k.max(1) * NR);
+    rhsd_par::for_each_mut(bp, strips_per_task * k * NR, |ci, chunk| {
+        let s0 = ci * strips_per_task;
+        for (ds, strip) in chunk.chunks_mut(k * NR).enumerate() {
+            let j0 = (s0 + ds) * NR;
+            let w = NR.min(n - j0);
+            for p in 0..k {
+                let dst = &mut strip[p * NR..p * NR + NR];
+                dst[..w].copy_from_slice(&bv[p * n + j0..p * n + j0 + w]);
+                dst[w..].fill(0.0);
+            }
+        }
+    });
+}
+
+/// Packs `bᵀ` strips straight from row-major `b` (`[n, kp]`) — the
+/// transpose is folded into the packing pass.
+fn pack_b_nt(bv: &[f32], kp: usize, n: usize, bp: &mut [f32]) {
+    let n_strips = n.div_ceil(NR);
+    let strips_per_task = rhsd_par::chunk_units(n_strips, 2 * kp.max(1) * NR);
+    rhsd_par::for_each_mut(bp, strips_per_task * kp * NR, |ci, chunk| {
+        let s0 = ci * strips_per_task;
+        for (ds, strip) in chunk.chunks_mut(kp * NR).enumerate() {
+            let j0 = (s0 + ds) * NR;
+            let w = NR.min(n - j0);
+            for l in 0..w {
+                let row = &bv[(j0 + l) * kp..(j0 + l + 1) * kp];
+                for (p, &v) in row.iter().enumerate() {
+                    strip[p * NR + l] = v;
+                }
+            }
+            if w < NR {
+                for p in 0..kp {
+                    strip[p * NR + w..p * NR + NR].fill(0.0);
+                }
+            }
+        }
+    });
+}
+
+/// The `MRR × NR` register micro-kernel over one packed k sub-panel.
+///
+/// Loads the current partial sums from `C`, accumulates `panel.len()/NR`
+/// ascending-`p` terms, and stores back — continuing each element's
+/// single accumulation chain exactly (f32 round-trips are lossless).
+/// `A` elements are addressed as `av[row · ars + p · acs]`, which serves
+/// both the normal (`ars = k, acs = 1`) and transposed
+/// (`ars = 1, acs = m`) left operand without a separate kernel.
+#[inline(always)]
+// `r` indexes two parallel register arrays plus the output row
+// arithmetic; the explicit range keeps the unroll obvious.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn micro<const MRR: usize>(
+    c: &mut [f32],
+    n: usize,
+    il: usize,
+    jj: usize,
+    w: usize,
+    av: &[f32],
+    i_abs: usize,
+    ars: usize,
+    acs: usize,
+    p0: usize,
+    panel: &[f32],
+) {
+    let kc = panel.len() / NR;
+    let mut acc = [[0.0f32; NR]; MRR];
+    for r in 0..MRR {
+        let start = (il + r) * n + jj;
+        acc[r][..w].copy_from_slice(&c[start..start + w]);
+    }
+    let mut aidx = [0usize; MRR];
+    for r in 0..MRR {
+        aidx[r] = (i_abs + r) * ars + p0 * acs;
+    }
+    let mut poff = 0usize;
+    for _ in 0..kc {
+        let bp = &panel[poff..poff + NR];
+        for r in 0..MRR {
+            let aval = av[aidx[r]];
+            aidx[r] += acs;
+            for (a, &b) in acc[r].iter_mut().zip(bp) {
+                *a += aval * b;
+            }
+        }
+        poff += NR;
+    }
+    for r in 0..MRR {
+        let start = (il + r) * n + jj;
+        c[start..start + w].copy_from_slice(&acc[r][..w]);
+    }
+}
+
+/// One parallel task: all blocked updates for a contiguous row chunk.
+#[allow(clippy::too_many_arguments)]
+fn gemm_task(
+    rows: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+    av: &[f32],
+    ars: usize,
+    acs: usize,
+    bpack: &[f32],
+    bv_sparse: Option<&[f32]>,
+) {
+    let m_t = rows.len() / n;
+    let nblocks = m_t.div_ceil(MR);
+    // Per-task block map, sized by this task's row count — set up once
+    // before the blocked loops (not per-iteration scratch).
+    let mut dense = vec![true; nblocks];
+    if let Some(bv) = bv_sparse {
+        for (blk, dflag) in dense.iter_mut().enumerate() {
+            let il = blk * MR;
+            let mr = MR.min(m_t - il);
+            let mut zeros = 0usize;
+            for r in 0..mr {
+                let arow = &av[(i0 + il + r) * k..(i0 + il + r + 1) * k];
+                zeros += arow.iter().filter(|&&v| v == 0.0).count();
+            }
+            if zeros * SPARSE_DEN >= mr * k * SPARSE_NUM {
+                *dflag = false;
+                // Skipping-row path: the original i-k-j kernel. Skipped
+                // `0.0 · b` terms equal added ones bit-for-bit, so this
+                // path and the dense tile path agree exactly.
+                for r in 0..mr {
+                    let arow = &av[(i0 + il + r) * k..(i0 + il + r + 1) * k];
+                    let orow = &mut rows[(il + r) * n..(il + r + 1) * n];
+                    for (p, &aval) in arow.iter().enumerate() {
+                        if aval == 0.0 {
+                            continue;
+                        }
+                        let brow = &bv[p * n..(p + 1) * n];
+                        for (o, &bval) in orow.iter_mut().zip(brow) {
+                            *o += aval * bval;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for j0 in (0..n).step_by(NC) {
+        let jend = n.min(j0 + NC);
+        for p0 in (0..k).step_by(KC) {
+            let pend = k.min(p0 + KC);
+            for (blk, &dflag) in dense.iter().enumerate() {
+                if !dflag {
+                    continue;
+                }
+                let il = blk * MR;
+                let mr = MR.min(m_t - il);
+                let i_abs = i0 + il;
+                let mut jj = j0;
+                let mut s = j0 / NR;
+                while jj < jend {
+                    let w = NR.min(n - jj);
+                    let base = s * k * NR;
+                    let panel = &bpack[base + p0 * NR..base + pend * NR];
+                    match mr {
+                        4 => micro::<4>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
+                        3 => micro::<3>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
+                        2 => micro::<2>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
+                        1 => micro::<1>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
+                        _ => {}
+                    }
+                    jj += NR;
+                    s += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Which packing pass the right operand needs.
+enum BLayout {
+    /// `b` is `[k, n]` row-major.
+    Normal,
+    /// `b` is `[n, k]` row-major; packing gathers `bᵀ`.
+    Transposed,
+}
+
+/// The blocked GEMM driver over raw slices: `out += op(A) · op(B)` with
+/// `out` pre-zeroed (or holding partial sums to continue).
+#[allow(clippy::too_many_arguments)]
+fn gemm(
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    av: &[f32],
+    ars: usize,
+    acs: usize,
+    bv: &[f32],
+    b_layout: BLayout,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut bp = workspace::take(packed_len(k, n));
+    let sparse_bv = match b_layout {
+        BLayout::Normal => {
+            pack_b_nn(bv, k, n, &mut bp);
+            // The skipping-row path streams unpacked B rows, which only
+            // exist contiguously in the normal layout with a row-major A.
+            (ars == k && acs == 1).then_some(bv)
+        }
+        BLayout::Transposed => {
+            pack_b_nt(bv, k, n, &mut bp);
+            None
+        }
+    };
+    // Fixed chunk schedule: rows per task depend only on the shape
+    // (~2·k·n flops per row), never on the thread count.
+    let rows_per_task = rhsd_par::chunk_units(m, 2 * k.max(1) * n);
+    let bp = bp.as_slice();
+    rhsd_par::for_each_mut(out, rows_per_task * n, |ci, rows| {
+        gemm_task(rows, ci * rows_per_task, k, n, av, ars, acs, bp, sparse_bv);
+    });
+}
+
+/// `out = a · b` over raw slices; `out` must be zeroed, length `m · n`.
+pub(crate) fn gemm_nn_into(out: &mut [f32], av: &[f32], m: usize, k: usize, n: usize, bv: &[f32]) {
+    gemm(out, m, k, n, av, k, 1, bv, BLayout::Normal);
+}
+
+/// `out = aᵀ · b` over raw slices with `a` stored `[k, m]` row-major;
+/// `out` must be zeroed, length `m · n`.
+pub(crate) fn gemm_tn_into(out: &mut [f32], av: &[f32], m: usize, k: usize, n: usize, bv: &[f32]) {
+    gemm(out, m, k, n, av, 1, m, bv, BLayout::Normal);
+}
+
+/// `out = a · bᵀ` over raw slices with `b` stored `[n, k]` row-major;
+/// `out` must be zeroed, length `m · n`.
+pub(crate) fn gemm_nt_into(out: &mut [f32], av: &[f32], m: usize, k: usize, n: usize, bv: &[f32]) {
+    gemm(out, m, k, n, av, k, 1, bv, BLayout::Transposed);
+}
 
 /// Multiplies two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
 ///
-/// Uses a cache-friendly i-k-j loop order with the inner loop vectorisable
-/// by the compiler; adequate for the moderate GEMM sizes produced by
-/// im2col convolution in this stack.
-///
-/// Output rows are computed in parallel over the `rhsd-par` pool. Each
-/// row keeps the exact serial i-k-j accumulation order (including the
-/// zero-skip fast path) and rows never share output elements, so the
-/// result is bit-identical at any thread count.
+/// Runs the packed cache-blocked GEMM kernel (see the module docs);
+/// results are bit-identical at any thread count.
 ///
 /// # Panics
 ///
@@ -28,32 +319,86 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
-
     let mut out = vec![0.0f32; m * n];
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    if n > 0 {
-        // Fixed chunk schedule: rows per task depend only on the shape
-        // (~2·k·n flops per row), never on the thread count.
-        let rows_per_task = rhsd_par::chunk_units(m, 2 * k.max(1) * n);
-        rhsd_par::for_each_mut(&mut out, rows_per_task * n, |ci, rows| {
-            let i0 = ci * rows_per_task;
-            for (di, orow) in rows.chunks_mut(n).enumerate() {
-                let arow = &av[(i0 + di) * k..(i0 + di + 1) * k];
-                for (p, &aval) in arow.iter().enumerate() {
-                    if aval == 0.0 {
-                        continue;
-                    }
-                    let brow = &bv[p * n..(p + 1) * n];
-                    for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-                        *o += aval * bval;
-                    }
-                }
-            }
-        });
-    }
+    gemm_nn_into(&mut out, a.as_slice(), m, k, n, b.as_slice());
     let out = Tensor::from_parts([m, n], out);
     crate::invariants::check_finite("matmul", &out);
+    out
+}
+
+/// Transpose-fused product `aᵀ · b`: `[k, m]ᵀ × [k, n] → [m, n]`.
+///
+/// Bit-identical to `matmul(&transpose(a), b)` without materialising
+/// the transpose — the micro-kernel addresses `a` column-wise.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the leading dimensions
+/// disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(
+        a.rank(),
+        2,
+        "matmul_tn lhs must be rank 2, got {}",
+        a.shape()
+    );
+    assert_eq!(
+        b.rank(),
+        2,
+        "matmul_tn rhs must be rank 2, got {}",
+        b.shape()
+    );
+    let (k, m) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    assert_eq!(
+        k,
+        b.dim(0),
+        "matmul_tn inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    gemm_tn_into(&mut out, a.as_slice(), m, k, n, b.as_slice());
+    let out = Tensor::from_parts([m, n], out);
+    crate::invariants::check_finite("matmul_tn", &out);
+    out
+}
+
+/// Transpose-fused product `a · bᵀ`: `[m, k] × [n, k]ᵀ → [m, n]`.
+///
+/// Bit-identical to `matmul(a, &transpose(b))`; the transpose happens
+/// inside the GEMM's packing pass instead of as a fresh tensor.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the trailing dimensions
+/// disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(
+        a.rank(),
+        2,
+        "matmul_nt lhs must be rank 2, got {}",
+        a.shape()
+    );
+    assert_eq!(
+        b.rank(),
+        2,
+        "matmul_nt rhs must be rank 2, got {}",
+        b.shape()
+    );
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = b.dim(0);
+    assert_eq!(
+        k,
+        b.dim(1),
+        "matmul_nt inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut out = vec![0.0f32; m * n];
+    gemm_nt_into(&mut out, a.as_slice(), m, k, n, b.as_slice());
+    let out = Tensor::from_parts([m, n], out);
+    crate::invariants::check_finite("matmul_nt", &out);
     out
 }
 
@@ -120,9 +465,97 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     Tensor::from_parts([m], out)
 }
 
+/// Transpose-fused matrix–vector product `aᵀ · x`: `[k, m]ᵀ × [k] → [m]`.
+///
+/// Bit-identical to `matvec(&transpose(a), x)` without materialising
+/// the transpose: each output element accumulates its `k` terms in
+/// ascending order while the kernel streams `a`'s rows contiguously.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank 2, `x` not rank 1, or `a.dim(0)` differs
+/// from `x`'s length.
+pub fn matvec_t(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(
+        a.rank(),
+        2,
+        "matvec_t lhs must be rank 2, got {}",
+        a.shape()
+    );
+    assert_eq!(
+        x.rank(),
+        1,
+        "matvec_t rhs must be rank 1, got {}",
+        x.shape()
+    );
+    let (k, m) = (a.dim(0), a.dim(1));
+    assert_eq!(
+        k,
+        x.dim(0),
+        "matvec_t dimension mismatch: {} vs {}",
+        a.shape(),
+        x.shape()
+    );
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; m];
+    if m > 0 {
+        // Parallel over disjoint output column ranges; each element's
+        // chain runs i = 0..k ascending, matching the transpose path.
+        let cols_per_task = rhsd_par::chunk_units(m, 2 * k.max(1));
+        rhsd_par::for_each_mut(&mut out, cols_per_task, |ci, piece| {
+            let j0 = ci * cols_per_task;
+            for (i, &xi) in xv.iter().enumerate() {
+                let arow = &av[i * m + j0..i * m + j0 + piece.len()];
+                for (o, &aval) in piece.iter_mut().zip(arow) {
+                    *o += xi * aval;
+                }
+            }
+        });
+    }
+    Tensor::from_parts([m], out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-blocking reference kernel (serial i-k-j with the
+    /// zero-skip branch) — the bit-exact oracle the packed GEMM must
+    /// reproduce.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let n = b.dim(1);
+        let (av, bv) = (a.as_slice(), b.as_slice());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aval = av[i * k + p];
+                if aval == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += aval * bv[p * n + j];
+                }
+            }
+        }
+        Tensor::from_parts([m, n], out)
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn noisy(shape: [usize; 2], seed: u64, zero_every: usize) -> Tensor {
+        Tensor::from_fn(shape, |c| {
+            let h = (seed ^ (c[0] as u64) << 32 ^ c[1] as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            if zero_every > 0 && h % zero_every as u64 == 0 {
+                0.0
+            } else {
+                (h % 1999) as f32 / 500.0 - 2.0
+            }
+        })
+    }
 
     #[test]
     fn matmul_small_known_result() {
@@ -143,11 +576,71 @@ mod tests {
 
     #[test]
     fn matmul_skips_zero_rows_correctly() {
-        // the zero-skip fast path must not change results
+        // the sparse-row path must not change results
         let a = Tensor::from_vec([2, 3], vec![0., 0., 0., 1., 0., 2.]).unwrap();
         let b = Tensor::from_vec([3, 1], vec![5., 7., 11.]).unwrap();
         let c = matmul(&a, &b);
         assert_eq!(c.as_slice(), &[0., 27.]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference_bitwise() {
+        // Edge-heavy shapes: odd strips (n % 8), odd row blocks
+        // (m % 4), k crossing the KC=256 boundary, and sparse inputs
+        // that trip the skipping-row path.
+        for (m, k, n, zero_every) in [
+            (1usize, 1usize, 1usize, 0usize),
+            (5, 7, 9, 0),
+            (12, 72, 64, 0),  // the TCAD'18 conv1 GEMM shape
+            (20, 108, 16, 0), // the TCAD'18 conv2 GEMM shape
+            (4, 300, 17, 0),  // crosses the KC block boundary
+            (9, 33, 40, 2),   // ~50% zeros: dense path with zeros
+            (8, 40, 24, 1),   // all zeros: sparse path
+            (13, 21, 8, 3),
+        ] {
+            let a = noisy([m, k], 11 + m as u64, zero_every);
+            let b = noisy([k, n], 23 + n as u64, 0);
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul(&a, &b);
+            assert_eq!(
+                bits(&fast),
+                bits(&slow),
+                "matmul {m}x{k}x{n} (zero_every={zero_every}) diverged from reference"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose_bitwise() {
+        for (k, m, n) in [(7usize, 5usize, 9usize), (72, 12, 64), (300, 6, 17)] {
+            let a = noisy([k, m], 3, 0);
+            let b = noisy([k, n], 5, 0);
+            let fused = matmul_tn(&a, &b);
+            let explicit = matmul(&transpose(&a), &b);
+            assert_eq!(bits(&fused), bits(&explicit), "tn {k}x{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose_bitwise() {
+        for (m, k, n) in [(5usize, 7usize, 9usize), (12, 64, 72), (6, 300, 17)] {
+            let a = noisy([m, k], 7, 0);
+            let b = noisy([n, k], 13, 0);
+            let fused = matmul_nt(&a, &b);
+            let explicit = matmul(&a, &transpose(&b));
+            assert_eq!(bits(&fused), bits(&explicit), "nt {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matvec_t_matches_explicit_transpose_bitwise() {
+        for (k, m) in [(3usize, 5usize), (32, 320), (61, 19)] {
+            let a = noisy([k, m], 17, 0);
+            let x = noisy([k, 1], 19, 0).with_shape([k]);
+            let fused = matvec_t(&a, &x);
+            let explicit = matvec(&transpose(&a), &x);
+            assert_eq!(bits(&fused), bits(&explicit), "matvec_t {k}x{m}");
+        }
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! The steady-state allocation guarantee: once the per-thread scratch
+//! pools are warm, repeated inference draws every tensor scratch buffer
+//! (im2col matrices, packed GEMM panels, pooling buffers) from the
+//! `rhsd_tensor::workspace` pool and performs **zero** workspace
+//! allocations. This is the contract the `ws.allocs` counter in the
+//! bench record (schema `rhsd-bench-table/4`) makes observable; this
+//! test pins it end to end through a real network forward pass.
+//!
+//! One test per binary: the workspace counters are process-global, and a
+//! lone test keeps them quiescent while we read them.
+
+use rand::SeedableRng;
+use rhsd::core::{RhsdConfig, RhsdNetwork};
+use rhsd::tensor::{workspace, Tensor};
+
+#[test]
+fn steady_state_inference_makes_zero_workspace_allocations() {
+    // One pool thread: all scratch traffic lands on one warm pool, so
+    // the counter deltas below are exact.
+    rhsd::par::set_threads(1);
+
+    let cfg = RhsdConfig::tiny();
+    let px = cfg.region_px;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let mut net = RhsdNetwork::new(cfg, &mut rng);
+    let image = Tensor::from_fn([1, px, px], |c| ((c[1] * 31 + c[2] * 7) % 13) as f32 / 13.0);
+
+    // Warm-up: the first passes populate the scratch pool with every
+    // buffer size the layer stack asks for.
+    for _ in 0..3 {
+        net.detect(&image);
+    }
+
+    let before = workspace::stats();
+    for _ in 0..5 {
+        net.detect(&image);
+    }
+    let after = workspace::stats();
+
+    assert_eq!(
+        after.allocs,
+        before.allocs,
+        "warm inference must perform zero workspace allocations \
+         (allocs grew by {})",
+        after.allocs - before.allocs
+    );
+    assert!(
+        after.bytes_reused > before.bytes_reused,
+        "warm inference must serve its scratch from the pool"
+    );
+    assert_eq!(after.high_water, before.high_water, "no new retention");
+
+    rhsd::par::set_threads(rhsd::par::default_threads());
+}

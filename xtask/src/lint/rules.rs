@@ -1,4 +1,4 @@
-//! The workspace lint rules L1–L5.
+//! The workspace lint rules L1–L6.
 //!
 //! Each rule scans a [`SourceFile`] code mask and returns violations.
 //! Rationale and examples live in DESIGN.md §Correctness tooling.
@@ -33,6 +33,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     v.extend(l3_no_wall_clock(file, &scope));
     v.extend(l4_shapes_doc(file, &scope));
     v.extend(l5_no_raw_threads(file, &scope));
+    v.extend(l6_no_loop_allocs(file));
     v
 }
 
@@ -218,6 +219,94 @@ fn l5_no_raw_threads(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
     out
 }
 
+/// L6: no buffer allocation (`vec![..]` / `Vec::with_capacity`) inside
+/// loop bodies in the `rhsd-tensor` op kernels (`crates/tensor/src/ops/`).
+///
+/// The hot kernels draw scratch from `rhsd_tensor::workspace` so
+/// steady-state inference performs zero heap allocations; a `vec!` inside
+/// a `for`/`while`/`loop` body re-pays the allocator on every iteration.
+/// One-time allocations before the loop (and the workspace pool itself,
+/// which lives outside `ops/`) are fine.
+fn l6_no_loop_allocs(file: &SourceFile) -> Vec<Violation> {
+    if !file.rel_path.starts_with("crates/tensor/src/ops/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let vec_bang: Vec<usize> = word_offsets(&file.code, "vec")
+        .filter(|&off| next_nonspace(&file.code, off + 3) == Some(b'!'))
+        .collect();
+    let with_cap: Vec<usize> = file
+        .code
+        .match_indices("Vec::with_capacity")
+        .map(|(i, _)| i)
+        .collect();
+    for (off, label) in vec_bang
+        .into_iter()
+        .map(|o| (o, "`vec!`"))
+        .chain(with_cap.into_iter().map(|o| (o, "`Vec::with_capacity`")))
+    {
+        if file.in_test(off) || !inside_loop_body(&file.code, off) {
+            continue;
+        }
+        out.push(violation(
+            file,
+            "L6",
+            off,
+            format!(
+                "{label} inside a kernel loop; hoist it or take scratch from the Workspace pool"
+            ),
+        ));
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// True when `off` falls inside the brace-delimited body of a
+/// `for`/`while`/`loop`. Scans the code mask tracking which open braces
+/// belong to loop headers; `impl Trait for Type` is recognised so its
+/// `for` does not count as a loop.
+fn inside_loop_body(code: &str, off: usize) -> bool {
+    let bytes = code.as_bytes();
+    // true entries mark braces opened by a loop header
+    let mut stack: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
+    let mut pending_impl = false;
+    let mut i = 0;
+    while i < off {
+        let b = bytes[i];
+        if is_ident_byte(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            match &code[start..i] {
+                "impl" => pending_impl = true,
+                "for" if pending_impl => {}
+                "for" | "while" | "loop" => pending_loop = true,
+                _ => {}
+            }
+            continue;
+        }
+        match b {
+            b'{' => {
+                stack.push(pending_loop);
+                pending_loop = false;
+                pending_impl = false;
+            }
+            b'}' => {
+                stack.pop();
+            }
+            b';' => {
+                pending_loop = false;
+                pending_impl = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    stack.iter().any(|&is_loop| is_loop)
+}
+
 /// True if the `fn` at `off` is written `pub fn` (with optional
 /// `const`/`unsafe`/`async` qualifiers). `pub(crate)`/`pub(super)` and
 /// private fns are not public API; trait methods are never `pub`.
@@ -399,6 +488,36 @@ mod tests {
     fn l4_skips_private_and_pub_crate_and_tensorless_fns() {
         let src = "fn f(x: &Tensor) {}\npub(crate) fn g(x: &Tensor) {}\npub fn h(n: usize) {}\n";
         assert!(lint("crates/nn/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l6_flags_loop_allocs_only_under_tensor_ops() {
+        let bad = "fn f(n: usize) {\n    for _i in 0..n {\n        let v = vec![0.0f32; n];\n        let mut w: Vec<f32> = Vec::with_capacity(n);\n        w.push(v[0]);\n    }\n}\n";
+        let v = lint("crates/tensor/src/ops/a.rs", bad);
+        assert_eq!(rules(&v), vec!["L6", "L6"]);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("Workspace"));
+        // the workspace pool itself and other crates are out of scope
+        assert!(lint("crates/tensor/src/workspace.rs", bad).is_empty());
+        assert!(lint("crates/nn/src/layers/a.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l6_ignores_allocs_outside_loops_and_in_tests() {
+        let src = "fn f(n: usize) -> Vec<f32> {\n    let v = vec![0.0f32; n];\n    let _w: Vec<f32> = Vec::with_capacity(n);\n    v\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { for _ in 0..3 { let _v = vec![1]; } }\n}\n";
+        assert!(lint("crates/tensor/src/ops/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l6_impl_for_is_not_a_loop() {
+        let src = "impl Kernel for Packed {\n    fn f(&self, n: usize) -> Vec<f32> {\n        vec![0.0f32; n]\n    }\n}\n";
+        assert!(lint("crates/tensor/src/ops/a.rs", src).is_empty());
+        let nested = "impl Kernel for Packed {\n    fn f(&self, n: usize) {\n        while n > 0 {\n            let _v = vec![0.0f32; n];\n        }\n    }\n}\n";
+        assert_eq!(
+            rules(&lint("crates/tensor/src/ops/a.rs", nested)),
+            vec!["L6"]
+        );
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>`.
 //!
-//! Two tasks today: `lint`, the workspace-specific static-analysis gate
-//! described in DESIGN.md §Correctness tooling, and `bench-diff`, the
-//! benchmark regression gate over `BENCH_*.json` records. Both are kept
-//! near-dependency-free (the only dependency is the workspace's own
-//! zero-dep `rhsd-obs` for its JSON parser) so they build instantly and
-//! work offline.
+//! Three tasks today: `lint`, the workspace-specific static-analysis
+//! gate described in DESIGN.md §Correctness tooling; `bench-diff`, the
+//! benchmark regression gate over `BENCH_*.json` records; and
+//! `microbench`, the per-kernel timing harness that localises runtime
+//! regressions to a kernel family. All are kept dependency-free beyond
+//! the workspace's own crates so they build instantly and work offline.
 
 mod bench_diff;
 mod lint;
+mod microbench;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,9 +19,16 @@ usage: cargo xtask <task>
 
 tasks:
   lint [--root <dir>] [--allowlist <file>]
-      Run the workspace lint rules (L1-L5) over crates/*/src/**/*.rs.
+      Run the workspace lint rules (L1-L6) over crates/*/src/**/*.rs.
       --root       workspace root (default: parent of the xtask crate)
       --allowlist  allowlist file (default: <root>/xtask/lint.allow)
+
+  microbench [--quick] [--threads <n>] [--out <file>]
+      Time the hot kernels (packed GEMM, im2col conv, litho aerial) over
+      a fixed shape table and write a `rhsd-microbench/1` JSON record.
+      --quick    small shape table / few reps (CI smoke mode)
+      --threads  rhsd-par pool size (default: machine default)
+      --out      output path (default: <workspace root>/MICROBENCH.json)
 
   bench-diff <baseline.json> <current.json> [options]
       Compare two benchmark records (written by `repro_table1
@@ -37,6 +45,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("microbench") => match microbench::run(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => usage_error(&msg),
+        },
         Some("bench-diff") => match bench_diff::run(&args[1..]) {
             Ok(code) => code,
             Err(msg) => usage_error(&msg),

@@ -1,0 +1,258 @@
+//! `cargo xtask microbench` — a zero-dependency kernel timing harness.
+//!
+//! Times the three kernel families the end-to-end repro spends its cycles
+//! in — the packed GEMM (`rhsd_tensor::ops::matmul`), the im2col
+//! convolution (`rhsd_tensor::ops::conv`), and the separable litho aerial
+//! convolution (`rhsd_litho::aerial`) — over a fixed shape table, and
+//! writes a JSON record next to the `BENCH_*.json` bench records. The
+//! harness exists to localise regressions: when `bench-diff` flags an
+//! end-to-end runtime change, the per-kernel rows here say which layer
+//! moved.
+//!
+//! Timing protocol: one untimed warm-up iteration (fills the workspace
+//! scratch pools), then `reps` timed iterations; both the minimum and the
+//! mean wall time are recorded. The minimum is the stable
+//! noise-resistant statistic; the mean surfaces allocator or scheduling
+//! jitter. A `--quick` mode shrinks the rep counts for CI.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rhsd_litho::aerial::aerial_image;
+use rhsd_litho::GaussianKernel;
+use rhsd_tensor::ops::conv::{conv2d, ConvSpec};
+use rhsd_tensor::ops::matmul::matmul;
+use rhsd_tensor::Tensor;
+
+/// One timed kernel invocation set.
+struct Case {
+    /// Kernel family (`matmul` / `conv2d` / `aerial`).
+    kernel: &'static str,
+    /// Human-readable shape description.
+    shape: String,
+    /// Timed repetitions (after one warm-up).
+    reps: usize,
+    /// Fastest observed wall time.
+    best_secs: f64,
+    /// Mean wall time over the reps.
+    mean_secs: f64,
+}
+
+/// Deterministic pseudo-random fill, matching the style of the
+/// determinism tests (no RNG dependency).
+fn noise(seed: u64, i: usize) -> f32 {
+    let mut h = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i as u64);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 31;
+    (h % 2000) as f32 / 1000.0 - 1.0
+}
+
+fn filled(dims: &[usize], seed: u64) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|i| noise(seed, i)).collect();
+    Tensor::from_vec(dims, data).expect("element count matches the shape")
+}
+
+/// Times `f` over `reps` iterations after one warm-up call; a volatile
+/// checksum of each result keeps the optimiser honest.
+fn time_case(reps: usize, mut f: impl FnMut() -> Tensor) -> (f64, f64) {
+    let warm = f();
+    std::hint::black_box(warm.as_slice().first().copied());
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(out.as_slice().first().copied());
+        best = best.min(dt);
+        total += dt;
+    }
+    (best, total / reps as f64)
+}
+
+fn run_cases(quick: bool) -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    // GEMM shapes: a square sweep plus the tall-skinny im2col shape the
+    // conv layers actually produce (K = c_in * k * k rows, N = out pixels).
+    let gemm_shapes: &[(usize, usize, usize, usize)] = if quick {
+        &[(64, 64, 64, 8), (32, 72, 1024, 8)]
+    } else {
+        &[
+            (64, 64, 64, 40),
+            (128, 128, 128, 20),
+            (256, 256, 256, 8),
+            (32, 72, 1024, 20),
+        ]
+    };
+    for &(m, k, n, reps) in gemm_shapes {
+        let a = filled(&[m, k], 1);
+        let b = filled(&[k, n], 2);
+        let (best, mean) = time_case(reps, || matmul(&a, &b));
+        cases.push(Case {
+            kernel: "matmul",
+            shape: format!("{m}x{k}*{k}x{n}"),
+            reps,
+            best_secs: best,
+            mean_secs: mean,
+        });
+    }
+
+    // Conv shapes mirroring the extractor stem (3x3, stride 1, pad 1).
+    let conv_shapes: &[(usize, usize, usize, usize)] = if quick {
+        &[(8, 16, 32, 8)]
+    } else {
+        &[(8, 16, 32, 20), (16, 32, 32, 12), (32, 64, 16, 12)]
+    };
+    for &(c_in, c_out, hw, reps) in conv_shapes {
+        let spec = ConvSpec::new(3, 1, 1);
+        let input = filled(&[c_in, hw, hw], 3);
+        let weight = filled(&[c_out, c_in, 3, 3], 4);
+        let bias = filled(&[c_out], 5);
+        let (best, mean) = time_case(reps, || conv2d(&input, &weight, Some(&bias), spec));
+        cases.push(Case {
+            kernel: "conv2d",
+            shape: format!("{c_in}x{hw}x{hw}->{c_out} k3s1p1"),
+            reps,
+            best_secs: best,
+            mean_secs: mean,
+        });
+    }
+
+    // Aerial shapes at the EUV nominal sigma (region-raster scale).
+    let aerial_shapes: &[(usize, usize)] = if quick {
+        &[(128, 8)]
+    } else {
+        &[(128, 20), (256, 10)]
+    };
+    for &(px, reps) in aerial_shapes {
+        let mask = filled(&[1, px, px], 6);
+        let kernel = GaussianKernel::new(3.75);
+        let (best, mean) = time_case(reps, || aerial_image(&mask, &kernel));
+        cases.push(Case {
+            kernel: "aerial",
+            shape: format!("{px}x{px} sigma3.75"),
+            reps,
+            best_secs: best,
+            mean_secs: mean,
+        });
+    }
+
+    cases
+}
+
+/// Renders the record. Hand-written JSON in the style of
+/// `rhsd_bench::pipeline::bench_json` — no serde in the xtask.
+fn render(quick: bool, threads: usize, cases: &[Case]) -> String {
+    let ws = rhsd_tensor::workspace::stats();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"rhsd-microbench/1\",\n");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(
+        out,
+        "  \"workspace\": {{\"allocs\": {}, \"bytes_reused\": {}, \"high_water_bytes\": {}}},",
+        ws.allocs, ws.bytes_reused, ws.high_water
+    );
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"reps\": {}, \"best_secs\": {:.6}, \"mean_secs\": {:.6}}}{comma}",
+            c.kernel, c.shape, c.reps, c.best_secs, c.mean_secs
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Entry point for `cargo xtask microbench`.
+pub fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut quick = false;
+    let mut threads: Option<usize> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                threads = Some(v.parse().map_err(|e| format!("--threads: {e}"))?);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file")?;
+                out_path = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown microbench option `{other}`")),
+        }
+    }
+    let threads = threads.unwrap_or_else(rhsd_par::default_threads);
+    rhsd_par::set_threads(threads);
+    let out_path = out_path.unwrap_or_else(|| crate::default_root().join("MICROBENCH.json"));
+
+    let cases = run_cases(quick);
+    let record = render(quick, threads, &cases);
+
+    for c in &cases {
+        println!(
+            "{:<8} {:<24} reps {:>3}  best {:>10.3} ms  mean {:>10.3} ms",
+            c.kernel,
+            c.shape,
+            c.reps,
+            c.best_secs * 1e3,
+            c.mean_secs * 1e3
+        );
+    }
+    std::fs::write(&out_path, &record).map_err(|e| format!("write {}: {e}", out_path.display()))?;
+    println!("microbench: wrote {}", out_path.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cases_cover_every_kernel_family() {
+        let cases = run_cases(true);
+        let kernels: Vec<&str> = cases.iter().map(|c| c.kernel).collect();
+        assert!(kernels.contains(&"matmul"));
+        assert!(kernels.contains(&"conv2d"));
+        assert!(kernels.contains(&"aerial"));
+        for c in &cases {
+            assert!(c.best_secs.is_finite() && c.best_secs >= 0.0);
+            assert!(c.mean_secs >= c.best_secs);
+        }
+    }
+
+    #[test]
+    fn record_is_parseable_and_carries_the_schema() {
+        let cases = vec![Case {
+            kernel: "matmul",
+            shape: "8x8*8x8".into(),
+            reps: 3,
+            best_secs: 0.001,
+            mean_secs: 0.002,
+        }];
+        let record = render(true, 2, &cases);
+        let v = rhsd_obs::json::parse(&record).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some("rhsd-microbench/1")
+        );
+        let arr = v.get("cases").and_then(|c| c.as_arr()).expect("cases");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(
+            arr[0].get("kernel").and_then(|k| k.as_str()),
+            Some("matmul")
+        );
+        assert!(v.get("workspace").is_some());
+    }
+}

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Local + CI gate: build, test, lint, format. Run before pushing.
 #
-#   ./ci.sh               # full gate
-#   ./ci.sh --fast        # skip the release build (debug test run only)
-#   ./ci.sh --lint-only   # only the workspace linter (cargo xtask lint)
-#   ./ci.sh --bench-gate  # only the benchmark regression gate (below)
+#   ./ci.sh                 # full gate
+#   ./ci.sh --fast          # skip the release build (debug test run only)
+#   ./ci.sh --lint-only     # only the workspace linter (cargo xtask lint)
+#   ./ci.sh --bench-gate    # only the benchmark regression gate (below)
+#   ./ci.sh --profile-smoke # only the deep-observability smoke (below)
 #
 # CI mode: when `CI=1` (or `CI=true`, as GitHub Actions sets) the script
 # disables colour, prints one machine-readable summary line per step
@@ -65,10 +66,12 @@ run_step() {
 fast=0
 lint_only=0
 bench_gate_only=0
+profile_smoke_only=0
 case "${1:-}" in
 --fast) fast=1 ;;
 --lint-only) lint_only=1 ;;
 --bench-gate) bench_gate_only=1 ;;
+--profile-smoke) profile_smoke_only=1 ;;
 esac
 
 if [[ $lint_only -eq 1 ]]; then
@@ -146,6 +149,67 @@ bench_gate() {
 if [[ $bench_gate_only -eq 1 ]]; then
     bench_gate
     printf '\nBench gate passed.\n'
+    exit 0
+fi
+
+# Deep-observability smoke: a profiled quick repro must emit well-formed
+# collapsed-stacks + flame-chart artifacts and a bench record whose
+# caches block shows real traffic, and `cargo xtask report` must render
+# the ledger + profile. Artifacts land in PROFILE_SMOKE/ so Actions can
+# upload them.
+profile_check_artifacts() {
+    [[ -s PROFILE_SMOKE/PROFILE_table1.collapsed ]] || {
+        echo "PROFILE_table1.collapsed is missing or empty" >&2
+        return 1
+    }
+    # Every collapsed line is `path count`.
+    awk 'NF < 2 || $NF !~ /^[0-9]+$/ { bad = 1 } END { exit bad }' \
+        PROFILE_SMOKE/PROFILE_table1.collapsed || {
+        echo "malformed collapsed-stacks line(s)" >&2
+        return 1
+    }
+    head -c 15 PROFILE_SMOKE/PROFILE_table1.html | grep -q '<!DOCTYPE html>' || {
+        echo "PROFILE_table1.html is not a self-contained page" >&2
+        return 1
+    }
+    # The sampler must not blind the caches block: both scan caches saw
+    # real traffic during the profiled run.
+    python3 - <<'EOF'
+import json, sys
+rec = json.load(open("PROFILE_SMOKE/BENCH_profiled.json"))
+caches = rec["caches"]
+for family in ("region_tile", "stem_feature"):
+    g = caches[family]
+    if g["hits"] + g["misses"] == 0:
+        sys.exit(f"caches.{family} recorded no traffic")
+EOF
+}
+
+profile_report_renders() {
+    cargo xtask report PROFILE_SMOKE/run.jsonl \
+        --profile PROFILE_SMOKE/PROFILE_table1.collapsed | tee "$tmp/report.txt"
+    grep -q 'run report' "$tmp/report.txt" &&
+        grep -q 'cache efficiency' "$tmp/report.txt" &&
+        grep -q 'sampling profile' "$tmp/report.txt"
+}
+
+profile_smoke() {
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    rm -rf PROFILE_SMOKE
+    mkdir -p PROFILE_SMOKE
+
+    run_step "profile smoke: profiled quick repro_table1" \
+        env -C PROFILE_SMOKE cargo run --release -p rhsd-bench --bin repro_table1 -- \
+        --quick --profile=97 --span-tree \
+        --bench-out BENCH_profiled.json --ledger run.jsonl
+    run_step "profile smoke: artifacts well-formed" profile_check_artifacts
+    run_step "profile smoke: xtask report renders" profile_report_renders
+}
+
+if [[ $profile_smoke_only -eq 1 ]]; then
+    profile_smoke
+    printf '\nProfile smoke passed.\n'
     exit 0
 fi
 

@@ -17,6 +17,13 @@
 //!   (default: the `RHSD_THREADS` environment variable, else the
 //!   machine's available parallelism; results are bit-identical at any
 //!   value);
+//! - `--profile[=<hz>]` — run the in-process sampling profiler for the
+//!   whole run (default 97 Hz) and write `PROFILE_<name>.collapsed`
+//!   (Brendan-Gregg collapsed stacks) plus `PROFILE_<name>.html` (a
+//!   self-contained flame chart). Sampling only reads span stacks, so
+//!   the run's results are bit-identical to an unprofiled run;
+//! - `--span-tree` — print the hierarchical span-tree attribution
+//!   (inclusive/exclusive time per stack path) on exit;
 //! - `--help` — print usage.
 //!
 //! Unknown flags are rejected with a usage message instead of being
@@ -52,6 +59,14 @@ pub struct BenchArgs {
     /// Worker-thread count override (`--threads <n>`); `None` keeps the
     /// pool default (`RHSD_THREADS` or available parallelism).
     pub threads: Option<usize>,
+    /// Sampling-profiler rate in Hz (`--profile[=<hz>]`); `None` means
+    /// no profiling.
+    pub profile: Option<u32>,
+    /// Print the span-tree attribution on exit (`--span-tree`).
+    pub span_tree: bool,
+    /// Binary name captured by [`BenchArgs::parse`] (names the profile
+    /// artifacts); empty when built via [`BenchArgs::parse_from`].
+    bin: String,
     /// Artifact paths written so far (printed by [`BenchArgs::finish_run`]).
     artifacts: Vec<PathBuf>,
 }
@@ -90,9 +105,24 @@ pub fn usage(bin: &str) -> String {
          --threads <n>      rhsd-par worker threads (default: RHSD_THREADS or\n\
          \x20                  available parallelism; output is bit-identical\n\
          \x20                  at any value)\n\
+         --profile[=<hz>]   sample all live span stacks (default 97 Hz) and\n\
+         \x20                  write PROFILE_{name}.collapsed / .html\n\
+         --span-tree        print span-tree attribution (incl/excl time) on exit\n\
          --help             show this message",
-        ledger = default_ledger_path(bin).display()
+        ledger = default_ledger_path(bin).display(),
+        name = profile_stem(bin),
     )
+}
+
+/// The artifact stem for a binary named `bin`
+/// (`repro_table1` → `table1`, used as `PROFILE_table1.collapsed`).
+fn profile_stem(bin: &str) -> &str {
+    let stem = bin.strip_prefix("repro_").unwrap_or(bin);
+    if stem.is_empty() {
+        "run"
+    } else {
+        stem
+    }
 }
 
 impl BenchArgs {
@@ -102,6 +132,7 @@ impl BenchArgs {
     pub fn parse(bin: &str) -> Self {
         match Self::parse_from(std::env::args().skip(1)) {
             Ok(Some(mut args)) => {
+                args.bin = bin.to_owned();
                 if args.ledger.is_none() && !args.no_ledger {
                     args.ledger = Some(default_ledger_path(bin));
                 }
@@ -109,6 +140,9 @@ impl BenchArgs {
                     rhsd_par::set_threads(n);
                 }
                 args.init_obs();
+                if let Some(hz) = args.profile {
+                    rhsd_obs::profile::start_global(hz);
+                }
                 args
             }
             Ok(None) => {
@@ -165,8 +199,31 @@ impl BenchArgs {
                     }
                 }
                 "--no-ledger" => out.no_ledger = true,
+                "--span-tree" => out.span_tree = true,
+                "--profile" => {
+                    if out.profile.is_some() {
+                        return Err("--profile given more than once".into());
+                    }
+                    out.profile = Some(rhsd_obs::profile::DEFAULT_HZ);
+                }
                 "--help" | "-h" => return Ok(None),
-                other => return Err(format!("unknown argument `{other}`")),
+                other => {
+                    if let Some(hz) = other.strip_prefix("--profile=") {
+                        if out.profile.is_some() {
+                            return Err("--profile given more than once".into());
+                        }
+                        match hz.parse::<u32>() {
+                            Ok(n) if n > 0 => out.profile = Some(n),
+                            _ => {
+                                return Err(format!(
+                                    "--profile needs a positive integer rate, got `{hz}`"
+                                ))
+                            }
+                        }
+                        continue;
+                    }
+                    return Err(format!("unknown argument `{other}`"));
+                }
             }
         }
         if out.no_ledger && out.ledger.is_some() {
@@ -184,10 +241,15 @@ impl BenchArgs {
         }
     }
 
-    /// Turns observability on when any export (trace, metrics or run
-    /// ledger) is active.
+    /// Turns observability on when any export (trace, metrics, run
+    /// ledger, profiler or span tree) is active.
     pub fn init_obs(&self) {
-        if self.trace.is_some() || self.metrics.is_some() || self.ledger.is_some() {
+        if self.trace.is_some()
+            || self.metrics.is_some()
+            || self.ledger.is_some()
+            || self.profile.is_some()
+            || self.span_tree
+        {
             rhsd_obs::set_enabled(true);
         }
     }
@@ -224,10 +286,32 @@ impl BenchArgs {
         self.artifacts.push(path.into());
     }
 
-    /// Finishes the run: writes the requested trace/metrics exports,
-    /// closes the run ledger with `status` (emitting its `run_end` line),
-    /// and prints the path of every artifact the run wrote.
+    /// Finishes the run: stops the sampling profiler and writes its
+    /// collapsed-stacks / flame-chart artifacts, prints the span tree
+    /// when requested, writes the trace/metrics exports, closes the run
+    /// ledger with `status` (emitting its `run_end` line), and prints
+    /// the path of every artifact the run wrote.
     pub fn finish_run(&mut self, status: &str) {
+        if self.profile.is_some() {
+            if let Some(profile) = rhsd_obs::profile::stop_global() {
+                let stem = profile_stem(&self.bin).to_owned();
+                let collapsed = PathBuf::from(format!("PROFILE_{stem}.collapsed"));
+                match std::fs::write(&collapsed, profile.collapsed()) {
+                    Ok(()) => self.artifacts.push(collapsed),
+                    Err(e) => eprintln!("failed to write {}: {e}", collapsed.display()),
+                }
+                let html = PathBuf::from(format!("PROFILE_{stem}.html"));
+                let title = format!("{stem} — {} Hz sampling profile", profile.hz);
+                match std::fs::write(&html, profile.flame_html(&title)) {
+                    Ok(()) => self.artifacts.push(html),
+                    Err(e) => eprintln!("failed to write {}: {e}", html.display()),
+                }
+            }
+        }
+        if self.span_tree {
+            let tree = rhsd_obs::SpanTree::from_events(&rhsd_obs::span_events());
+            eprint!("{}", tree.render());
+        }
         if let Some(path) = &self.trace {
             match rhsd_obs::write_chrome_trace(path) {
                 Ok(()) => self.artifacts.push(path.clone()),
@@ -346,6 +430,46 @@ mod tests {
     }
 
     #[test]
+    fn profile_flag_parses_default_and_explicit_rates() {
+        let args = BenchArgs::parse_from(["--profile"]).unwrap().unwrap();
+        assert_eq!(args.profile, Some(rhsd_obs::profile::DEFAULT_HZ));
+        let args = BenchArgs::parse_from(["--profile=250"]).unwrap().unwrap();
+        assert_eq!(args.profile, Some(250));
+        let args = BenchArgs::parse_from(Vec::<String>::new())
+            .unwrap()
+            .unwrap();
+        assert_eq!(args.profile, None);
+        for bad in [
+            "--profile=0",
+            "--profile=-5",
+            "--profile=fast",
+            "--profile=",
+        ] {
+            let err = BenchArgs::parse_from([bad]).unwrap_err();
+            assert!(err.contains("--profile"), "{err}");
+        }
+        let err = BenchArgs::parse_from(["--profile", "--profile=97"]).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn span_tree_flag_parses() {
+        let args = BenchArgs::parse_from(["--span-tree"]).unwrap().unwrap();
+        assert!(args.span_tree);
+        let args = BenchArgs::parse_from(Vec::<String>::new())
+            .unwrap()
+            .unwrap();
+        assert!(!args.span_tree);
+    }
+
+    #[test]
+    fn profile_stem_names_artifacts() {
+        assert_eq!(profile_stem("repro_table1"), "table1");
+        assert_eq!(profile_stem("other_bin"), "other_bin");
+        assert_eq!(profile_stem(""), "run");
+    }
+
+    #[test]
     fn default_ledger_path_strips_repro_prefix() {
         assert_eq!(
             default_ledger_path("repro_table1"),
@@ -374,10 +498,13 @@ mod tests {
             "--no-ledger",
             "--bench-out",
             "--threads",
+            "--profile",
+            "--span-tree",
             "--help",
         ] {
             assert!(u.contains(flag), "usage missing {flag}");
         }
         assert!(u.contains("LEDGER_table1.jsonl"), "{u}");
+        assert!(u.contains("PROFILE_table1"), "{u}");
     }
 }

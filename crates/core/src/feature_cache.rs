@@ -58,6 +58,7 @@ pub struct StemFeatureCache {
     cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl StemFeatureCache {
@@ -76,6 +77,7 @@ impl StemFeatureCache {
             cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -96,13 +98,14 @@ impl StemFeatureCache {
             }
         }
         match &found {
-            Some(_) => {
+            Some(stem) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                rhsd_obs::counter("core.stem_cache.hits", 1);
+                rhsd_obs::counter("cache.stem_feature.hits", 1);
+                rhsd_obs::counter("cache.stem_feature.bytes", stem.as_slice().len() as u64 * 4);
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                rhsd_obs::counter("core.stem_cache.misses", 1);
+                rhsd_obs::counter("cache.stem_feature.misses", 1);
             }
         }
         found
@@ -130,6 +133,8 @@ impl StemFeatureCache {
         while g.order.len() > self.cap {
             if let Some(old) = g.order.pop_front() {
                 g.map.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                rhsd_obs::counter("cache.stem_feature.evictions", 1);
             }
         }
     }
@@ -142,6 +147,11 @@ impl StemFeatureCache {
     /// Number of lookups that missed.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries evicted by the FIFO bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of entries currently resident.

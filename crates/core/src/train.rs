@@ -47,12 +47,18 @@ impl TrainConfig {
 
     /// CPU-demo settings: few epochs, small batches, a gentler decay
     /// (the paper's 30 000-step schedule scaled to demo step counts).
+    ///
+    /// The initial rate is deliberately below the tiny-test value: at
+    /// 0.01 with momentum 0.9 the demo-scale network collapses to a
+    /// bias-only prior predictor (every ReLU path saturates and the
+    /// refinement loss pins at the class-prior entropy), while 0.005
+    /// escapes the plateau and learns to discriminate.
     pub fn demo() -> Self {
         TrainConfig {
             epochs: 8,
             batch_size: 4,
             schedule: StepDecay {
-                initial: 0.01,
+                initial: 0.005,
                 factor: 0.3,
                 every: 600,
             },

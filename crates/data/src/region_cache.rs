@@ -57,6 +57,7 @@ pub struct RegionTileCache {
     cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl RegionTileCache {
@@ -76,6 +77,7 @@ impl RegionTileCache {
             cap,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -105,12 +107,13 @@ impl RegionTileCache {
             }
             if let Some(hit) = g.map.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                rhsd_obs::counter("data.tile_cache.hits", 1);
+                rhsd_obs::counter("cache.region_tile.hits", 1);
+                rhsd_obs::counter("cache.region_tile.bytes", sample_bytes(hit));
                 return Arc::clone(hit);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        rhsd_obs::counter("data.tile_cache.misses", 1);
+        rhsd_obs::counter("cache.region_tile.misses", 1);
         let sample = Arc::new(extract_region(bench, origin, config));
         let mut g = lock(&self.inner);
         if let Some(raced) = g.map.get(&key) {
@@ -123,6 +126,8 @@ impl RegionTileCache {
         while g.order.len() > self.cap {
             if let Some(old) = g.order.pop_front() {
                 g.map.remove(&old);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                rhsd_obs::counter("cache.region_tile.evictions", 1);
             }
         }
         sample
@@ -136,6 +141,11 @@ impl RegionTileCache {
     /// Number of cache misses (extractions) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of tiles evicted by the FIFO bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of tiles currently resident.
@@ -152,6 +162,12 @@ impl RegionTileCache {
 fn lock(m: &Mutex<TileCacheInner>) -> std::sync::MutexGuard<'_, TileCacheInner> {
     // the cache holds no invariants across panics — recover the data
     m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Raster bytes a cache hit avoided re-extracting (the `bytes` gauge in
+/// the `cache.region_tile.*` family).
+fn sample_bytes(s: &RegionSample) -> u64 {
+    s.image.as_slice().len() as u64 * 4
 }
 
 /// [`crate::tile_regions`] through a [`RegionTileCache`]: the same grid,

@@ -289,10 +289,15 @@ pub fn label_region(
             let sigma_bits = corner.sigma_nm.to_bits();
             let idx = match aerials.iter().position(|(s, _)| *s == sigma_bits) {
                 Some(i) => {
-                    rhsd_obs::counter("litho.aerial_reused", 1);
+                    rhsd_obs::counter("cache.aerial_dedup.hits", 1);
+                    rhsd_obs::counter(
+                        "cache.aerial_dedup.bytes",
+                        aerials[i].1.as_slice().len() as u64 * 4,
+                    );
                     i
                 }
                 None => {
+                    rhsd_obs::counter("cache.aerial_dedup.misses", 1);
                     let kernel = GaussianKernel::new(corner.sigma_nm / nm_per_px);
                     aerials.push((sigma_bits, aerial_image(&raster, &kernel)));
                     aerials.len() - 1

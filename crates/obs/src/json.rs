@@ -495,6 +495,43 @@ mod tests {
     }
 
     #[test]
+    fn trailing_garbage_is_rejected_at_its_byte_offset() {
+        // One complete value followed by anything non-whitespace must
+        // fail, and the reported offset must point at the garbage — the
+        // ledger reader surfaces that offset in its diagnostics.
+        for (text, at) in [
+            (r#"{"a":1}x"#, 7),
+            ("[1] [2]", 4),
+            ("null,", 4),
+            ("42abc", 2),
+            ("true  x", 6),
+            (r#""done" 0"#, 7),
+        ] {
+            assert_eq!(parse(text), Err(at), "{text}");
+            assert_eq!(validate(text), Err(at), "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_surrogate_pairs_decode_to_replacement_chars() {
+        // Unpairable surrogate halves decode to U+FFFD rather than
+        // producing invalid UTF-8 or aborting the parse.
+        let cases = [
+            ("\"\\udc00\"", "\u{FFFD}"),                // lone low half
+            ("\"\\ud800\\ud800\"", "\u{FFFD}\u{FFFD}"), // high + high
+            ("\"\\ud83d\"", "\u{FFFD}"),                // high at end of string
+            ("\"\\ud83d\\u0041\"", "\u{FFFD}A"),        // high + non-surrogate
+            ("\"a\\udfff z\"", "a\u{FFFD} z"),          // low half mid-string
+        ];
+        for (text, want) in cases {
+            assert_eq!(parse(text), Ok(Value::Str(want.into())), "{text}");
+        }
+        // A truncated \u escape is a hard error, not a replacement.
+        assert!(parse("\"\\ud83\"").is_err());
+        assert!(parse("\"\\u00\"").is_err());
+    }
+
+    #[test]
     fn rejects_malformed_json() {
         for bad in [
             "",

@@ -99,6 +99,9 @@ pub enum Event {
     SpanClose {
         /// Span (stage) name.
         name: String,
+        /// Full `;`-separated stack path at open time, including the
+        /// span itself (empty when unknown — pre-`path` ledgers).
+        path: String,
         /// Duration in seconds.
         dur_secs: f64,
         /// Nesting depth at open time (0 = root).
@@ -180,10 +183,12 @@ impl Event {
             }
             Event::SpanClose {
                 name,
+                path,
                 dur_secs,
                 depth,
             } => {
                 fld_str(&mut o, "name", name);
+                fld_str(&mut o, "path", path);
                 fld_raw(&mut o, "dur_secs", &number(*dur_secs));
                 fld_raw(&mut o, "depth", &depth.to_string());
             }
@@ -342,6 +347,7 @@ pub(crate) fn on_span_close(event: &crate::span::SpanEvent) {
     }
     emit(&Event::SpanClose {
         name: event.name.to_string(),
+        path: event.path.clone(),
         dur_secs: event.dur_secs,
         depth: event.depth,
     });
@@ -418,6 +424,7 @@ mod tests {
             },
             Event::SpanClose {
                 name: "train-epoch".into(),
+                path: "train;train-epoch".into(),
                 dur_secs: 0.125,
                 depth: 0,
             },
@@ -542,6 +549,7 @@ mod tests {
             led.emit(&Event::RunStart(manifest())).unwrap();
             led.emit(&Event::SpanClose {
                 name: "raster".into(),
+                path: "raster".into(),
                 dur_secs: 0.01,
                 depth: 0,
             })

@@ -13,7 +13,13 @@
 //!   [`set_enabled`]`(true)` is called;
 //! - a **run ledger** ([`ledger`]) — an append-only JSONL event stream
 //!   (run manifest, per-epoch telemetry, evaluation rows, span closures,
-//!   final status) flushed line-by-line so crashed runs stay readable.
+//!   final status) flushed line-by-line so crashed runs stay readable;
+//! - **span-tree attribution** ([`spantree`]) — closed spans aggregated
+//!   by their full stack path into a hierarchy with inclusive/exclusive
+//!   time, call counts and a per-thread breakdown;
+//! - an **in-process sampling profiler** ([`profile`]) — a background
+//!   thread snapshotting every thread's live span stack, exporting
+//!   collapsed-stacks text and a self-contained HTML flame chart.
 //!
 //! # Example
 //!
@@ -38,7 +44,9 @@ pub mod export;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
+pub mod profile;
 pub mod span;
+pub mod spantree;
 
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,7 +54,8 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 pub use metrics::{HistogramSummary, MetricsSnapshot};
-pub use span::{span, SpanEvent, SpanGuard};
+pub use span::{base_stack, current_stack, span, BaseStackGuard, SpanEvent, SpanGuard};
+pub use spantree::SpanTree;
 
 /// Global switch; all instrumentation is a no-op while this is `false`.
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -1,18 +1,38 @@
 //! RAII span timers: nestable, thread-safe, exported as Chrome
 //! trace-event "complete" events.
+//!
+//! Every thread additionally maintains a **live span stack** — the names
+//! of its currently-open spans, rooted at an optional *base stack*
+//! installed by `rhsd-par` when a task is handed to a worker. The stack
+//! serves two consumers:
+//!
+//! - each closing span records its full path (`outer;inner;leaf`), which
+//!   [`crate::spantree`] aggregates into a hierarchical attribution tree
+//!   that is identical at any worker-thread count;
+//! - the sampling profiler ([`crate::profile`]) snapshots every thread's
+//!   live stack through a shared registry without stopping the world.
 
 use std::borrow::Cow;
-use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
 use crate::{enabled, epoch, registry};
+
+/// Separator between frames in a span path (Brendan-Gregg collapsed
+/// stack convention). Span names must not contain it.
+pub const PATH_SEP: char = ';';
 
 /// One completed span, ready for trace export.
 #[derive(Debug, Clone)]
 pub struct SpanEvent {
     /// Span (stage) name.
     pub name: Cow<'static, str>,
+    /// Full open-stack path at open time, `;`-separated, including the
+    /// span itself (`scan;scan-region;cpn`). Worker threads inherit the
+    /// submitting thread's path as a prefix, so the path is identical at
+    /// any `rhsd-par` thread count.
+    pub path: String,
     /// Start time in microseconds since the process epoch.
     pub ts_us: u64,
     /// Duration in microseconds.
@@ -21,7 +41,8 @@ pub struct SpanEvent {
     pub dur_secs: f64,
     /// Logical thread id (dense, assigned in thread-creation order).
     pub tid: u64,
-    /// Nesting depth on its thread at the time the span opened (0 = root).
+    /// Nesting depth at open time (0 = root), counting inherited base
+    /// frames on worker threads.
     pub depth: u32,
     /// Per-span counters attached via [`SpanGuard::add`].
     pub args: Vec<(String, f64)>,
@@ -29,32 +50,125 @@ pub struct SpanEvent {
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
+/// A thread's live span stack, shared with the sampling profiler.
+pub(crate) struct LiveStack {
+    pub(crate) tid: u64,
+    /// Open frames, base (inherited) frames first.
+    frames: Mutex<Vec<String>>,
+}
+
+fn stack_registry() -> &'static Mutex<Vec<Weak<LiveStack>>> {
+    static STACKS: OnceLock<Mutex<Vec<Weak<LiveStack>>>> = OnceLock::new();
+    STACKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
 thread_local! {
-    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
-    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static LIVE: Arc<LiveStack> = {
+        let stack = Arc::new(LiveStack {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            frames: Mutex::new(Vec::new()),
+        });
+        let mut reg = stack_registry()
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        reg.retain(|w| w.strong_count() > 0);
+        reg.push(Arc::downgrade(&stack));
+        stack
+    };
+}
+
+fn with_live<R>(f: impl FnOnce(&LiveStack) -> R) -> R {
+    LIVE.with(|l| f(l))
+}
+
+fn lock_frames(stack: &LiveStack) -> std::sync::MutexGuard<'_, Vec<String>> {
+    stack.frames.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Snapshot of the current thread's live span stack (base frames first).
+/// Used by `rhsd-par` to propagate the submitting thread's stack onto
+/// workers; empty while no spans are open.
+pub fn current_stack() -> Vec<String> {
+    with_live(|l| lock_frames(l).clone())
+}
+
+/// Installs `frames` as the current thread's base span stack for the
+/// guard's lifetime. Spans opened while the guard is alive nest under
+/// the base frames in both span paths and profiler samples — this is how
+/// `rhsd-par` workers attribute task time to the submitting thread's
+/// open spans. No-op for an empty `frames`.
+pub fn base_stack(frames: &[String]) -> BaseStackGuard {
+    if frames.is_empty() {
+        return BaseStackGuard { pushed: 0 };
+    }
+    with_live(|l| {
+        lock_frames(l).extend(frames.iter().cloned());
+    });
+    BaseStackGuard {
+        pushed: frames.len(),
+    }
+}
+
+/// RAII guard of an installed base stack (see [`base_stack`]).
+pub struct BaseStackGuard {
+    pushed: usize,
+}
+
+impl Drop for BaseStackGuard {
+    fn drop(&mut self) {
+        if self.pushed == 0 {
+            return;
+        }
+        with_live(|l| {
+            let mut frames = lock_frames(l);
+            let keep = frames.len().saturating_sub(self.pushed);
+            frames.truncate(keep);
+        });
+    }
+}
+
+/// Snapshots every registered thread's live stack: `(tid, frames)` per
+/// thread, including threads with an empty stack (the profiler counts
+/// those as idle samples). Dead threads are pruned.
+pub(crate) fn sample_stacks() -> Vec<(u64, Vec<String>)> {
+    let mut reg = stack_registry().lock().unwrap_or_else(|p| p.into_inner());
+    reg.retain(|w| w.strong_count() > 0);
+    reg.iter()
+        .filter_map(Weak::upgrade)
+        .map(|s| (s.tid, lock_frames(&s).clone()))
+        .collect()
 }
 
 /// Opens a span; the returned guard records the span on drop.
 ///
 /// While observability is disabled this is a no-op costing one atomic
-/// load. Spans opened on the same thread nest: each guard increments the
-/// thread's depth and its drop decrements it, so guards must drop in
-/// reverse open order (the natural RAII scoping).
+/// load. Spans opened on the same thread nest: each guard pushes the
+/// span's name onto the thread's live stack and its drop pops it, so
+/// guards must drop in reverse open order (the natural RAII scoping).
 pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
     if !enabled() {
         return SpanGuard { inner: None };
     }
-    let tid = TID.with(|t| *t);
-    let depth = DEPTH.with(|d| {
-        let v = d.get();
-        d.set(v + 1);
-        v
+    let name = name.into();
+    let (tid, path, depth) = with_live(|l| {
+        let mut frames = lock_frames(l);
+        let depth = frames.len() as u32;
+        frames.push(name.to_string());
+        let mut path = String::with_capacity(frames.iter().map(|f| f.len() + 1).sum());
+        for (i, f) in frames.iter().enumerate() {
+            if i > 0 {
+                path.push(PATH_SEP);
+            }
+            path.push_str(f);
+        }
+        (l.tid, path, depth)
     });
     let start = Instant::now();
     let ts_us = start.duration_since(epoch()).as_micros() as u64;
     SpanGuard {
         inner: Some(SpanInner {
-            name: name.into(),
+            name,
+            path,
             start,
             ts_us,
             tid,
@@ -66,6 +180,7 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard {
 
 struct SpanInner {
     name: Cow<'static, str>,
+    path: String,
     start: Instant,
     ts_us: u64,
     tid: u64,
@@ -104,9 +219,12 @@ impl Drop for SpanGuard {
             return;
         };
         let elapsed = inner.start.elapsed();
-        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        with_live(|l| {
+            lock_frames(l).pop();
+        });
         let event = SpanEvent {
             name: inner.name,
+            path: inner.path,
             ts_us: inner.ts_us,
             dur_us: elapsed.as_micros() as u64,
             dur_secs: elapsed.as_secs_f64(),
@@ -151,10 +269,11 @@ pub(crate) mod tests {
         assert!(crate::span_events().is_empty());
         assert!(snap.counters.is_empty());
         assert!(snap.histograms.is_empty());
+        assert!(current_stack().is_empty());
     }
 
     #[test]
-    fn nested_spans_record_depth_and_containment() {
+    fn nested_spans_record_depth_path_and_containment() {
         let _g = global_lock();
         crate::set_enabled(true);
         crate::reset();
@@ -163,6 +282,7 @@ pub(crate) mod tests {
             std::thread::sleep(std::time::Duration::from_millis(2));
             {
                 let _inner = span("inner");
+                assert_eq!(current_stack(), vec!["outer", "inner"]);
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
         }
@@ -176,12 +296,15 @@ pub(crate) mod tests {
         assert_eq!(outer.name, "outer");
         assert_eq!(outer.depth, 0);
         assert_eq!(inner.depth, 1);
+        assert_eq!(outer.path, "outer");
+        assert_eq!(inner.path, "outer;inner");
         assert_eq!(inner.tid, outer.tid);
         // time containment: outer starts first, ends last
         assert!(outer.ts_us <= inner.ts_us);
         assert!(outer.ts_us + outer.dur_us >= inner.ts_us + inner.dur_us);
         assert!(outer.dur_secs >= inner.dur_secs);
         assert!(inner.dur_secs > 0.0);
+        assert!(current_stack().is_empty(), "stack unwinds with the guards");
     }
 
     #[test]
@@ -224,5 +347,56 @@ pub(crate) mod tests {
         assert_ne!(events[0].tid, events[1].tid);
         assert_eq!(events[0].depth, 0);
         assert_eq!(events[1].depth, 0);
+    }
+
+    #[test]
+    fn base_stack_prefixes_paths_and_unwinds() {
+        let _g = global_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let base: Vec<String> = vec!["scan".into(), "scan-region".into()];
+        {
+            let _b = base_stack(&base);
+            assert_eq!(current_stack(), base);
+            let _s = span("cpn");
+            assert_eq!(current_stack(), vec!["scan", "scan-region", "cpn"]);
+        }
+        assert!(current_stack().is_empty());
+        let events = crate::span_events();
+        crate::set_enabled(false);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].path, "scan;scan-region;cpn");
+        assert_eq!(events[0].depth, 2);
+    }
+
+    #[test]
+    fn empty_base_stack_is_a_no_op() {
+        let _g = global_lock();
+        let before = current_stack();
+        {
+            let _b = base_stack(&[]);
+            assert_eq!(current_stack(), before);
+        }
+        assert_eq!(current_stack(), before);
+    }
+
+    #[test]
+    fn sample_stacks_sees_live_frames() {
+        let _g = global_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let _outer = span("sampled-outer");
+        let _inner = span("sampled-inner");
+        let my_tid = with_live(|l| l.tid);
+        let stacks = sample_stacks();
+        let mine = stacks
+            .iter()
+            .find(|(tid, _)| *tid == my_tid)
+            .expect("own thread registered");
+        assert_eq!(mine.1, vec!["sampled-outer", "sampled-inner"]);
+        drop(_inner);
+        drop(_outer);
+        crate::set_enabled(false);
+        crate::reset();
     }
 }

@@ -1,0 +1,293 @@
+//! Hierarchical span attribution: aggregates closed spans (or ledger
+//! `span_close` lines) by their full stack path into a tree with
+//! inclusive/exclusive wall-clock time, call counts, and a per-thread
+//! breakdown.
+//!
+//! *Inclusive* time is the summed duration of every span closing at a
+//! node's path. *Exclusive* time subtracts the inclusive time of the
+//! node's children — the time spent at the node itself. With worker
+//! threads, children run concurrently, so a node's children can sum to
+//! more wall-clock than the node; exclusive time clamps at zero in that
+//! case. Tree *structure* and *call counts* are identical at any
+//! `rhsd-par` thread count (worker spans inherit the submitting thread's
+//! path); durations remain wall-clock and machine-dependent.
+
+use std::collections::BTreeMap;
+
+use crate::span::{SpanEvent, PATH_SEP};
+
+/// One node of the aggregated span tree.
+#[derive(Debug, Clone, Default)]
+pub struct SpanNode {
+    /// Number of spans that closed at exactly this path.
+    pub count: u64,
+    /// Summed duration of spans closing at this path, seconds.
+    pub incl_secs: f64,
+    /// `incl_secs` minus the children's inclusive time, clamped at 0
+    /// (children on concurrent workers can out-sum their parent).
+    pub excl_secs: f64,
+    /// Inclusive seconds per logical thread id.
+    pub by_thread: BTreeMap<u64, f64>,
+    /// Child nodes by span name (BTreeMap: deterministic iteration).
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+/// The aggregated span tree of a run.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTree {
+    /// Root nodes by span name.
+    pub roots: BTreeMap<String, SpanNode>,
+}
+
+impl SpanTree {
+    /// Builds the tree from completed span events (see
+    /// [`crate::span_events`]). Events with an empty path are skipped.
+    pub fn from_events(events: &[SpanEvent]) -> Self {
+        Self::from_paths(events.iter().map(|e| (e.path.as_str(), e.dur_secs, e.tid)))
+    }
+
+    /// Builds the tree from `(path, dur_secs, tid)` triples — the shape
+    /// ledger `span_close` lines decode to. A `tid` of 0 means unknown
+    /// (the per-thread breakdown is skipped for that sample).
+    pub fn from_paths<'a>(paths: impl IntoIterator<Item = (&'a str, f64, u64)>) -> Self {
+        let mut tree = SpanTree::default();
+        for (path, dur, tid) in paths {
+            tree.insert(path, dur, tid);
+        }
+        tree.finish();
+        tree
+    }
+
+    fn insert(&mut self, path: &str, dur_secs: f64, tid: u64) {
+        if path.is_empty() {
+            return;
+        }
+        let mut frames = path.split(PATH_SEP);
+        let Some(first) = frames.next() else {
+            return;
+        };
+        let mut node = self.roots.entry(first.to_owned()).or_default();
+        for frame in frames {
+            node = node.children.entry(frame.to_owned()).or_default();
+        }
+        node.count += 1;
+        node.incl_secs += dur_secs;
+        if tid != 0 {
+            *node.by_thread.entry(tid).or_insert(0.0) += dur_secs;
+        }
+    }
+
+    fn finish(&mut self) {
+        fn fixup(node: &mut SpanNode) {
+            let mut child_incl = 0.0;
+            for child in node.children.values_mut() {
+                fixup(child);
+                child_incl += child.incl_secs;
+            }
+            node.excl_secs = (node.incl_secs - child_incl).max(0.0);
+        }
+        for node in self.roots.values_mut() {
+            fixup(node);
+        }
+    }
+
+    /// Total inclusive seconds across the root spans.
+    pub fn total_secs(&self) -> f64 {
+        self.roots.values().map(|n| n.incl_secs).sum()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Deterministic `(path, count)` pairs for every node, sorted by
+    /// path — the thread-count-invariant *shape* of the tree (durations
+    /// and thread ids excluded), pinned by the determinism tests.
+    pub fn shape(&self) -> Vec<(String, u64)> {
+        fn walk(prefix: &str, name: &str, node: &SpanNode, out: &mut Vec<(String, u64)>) {
+            let path = if prefix.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{prefix}{PATH_SEP}{name}")
+            };
+            out.push((path.clone(), node.count));
+            for (cname, child) in &node.children {
+                walk(&path, cname, child, out);
+            }
+        }
+        let mut out = Vec::new();
+        for (name, node) in &self.roots {
+            walk("", name, node, &mut out);
+        }
+        out
+    }
+
+    /// The `n` nodes with the largest exclusive time, as
+    /// `(path, excl_secs, count)`, descending.
+    pub fn top_exclusive(&self, n: usize) -> Vec<(String, f64, u64)> {
+        let mut all: Vec<(String, f64, u64)> = Vec::new();
+        fn walk(prefix: &str, name: &str, node: &SpanNode, out: &mut Vec<(String, f64, u64)>) {
+            let path = if prefix.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{prefix}{PATH_SEP}{name}")
+            };
+            out.push((path.clone(), node.excl_secs, node.count));
+            for (cname, child) in &node.children {
+                walk(&path, cname, child, out);
+            }
+        }
+        for (name, node) in &self.roots {
+            walk("", name, node, &mut all);
+        }
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        all.truncate(n);
+        all
+    }
+
+    /// Renders the tree as indented text: one line per node with call
+    /// count, inclusive/exclusive seconds and the number of distinct
+    /// threads that executed it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("span tree: (no spans recorded)\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "span tree ({} total inclusive across {} root span(s))\n",
+            fmt_secs(self.total_secs()),
+            self.roots.len()
+        ));
+        fn walk(name: &str, node: &SpanNode, depth: usize, out: &mut String) {
+            let indent = "  ".repeat(depth + 1);
+            let label = format!("{indent}{name}");
+            let threads = node.by_thread.len();
+            out.push_str(&format!(
+                "{label:<38} {:>8} call(s)  {:>10} incl  {:>10} excl  {} thread(s)\n",
+                node.count,
+                fmt_secs(node.incl_secs),
+                fmt_secs(node.excl_secs),
+                threads.max(1),
+            ));
+            for (cname, child) in &node.children {
+                walk(cname, child, depth + 1, out);
+            }
+        }
+        for (name, node) in &self.roots {
+            walk(name, node, 0, &mut out);
+        }
+        out
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else {
+        format!("{:.3}ms", s * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> SpanTree {
+        SpanTree::from_paths([
+            ("scan", 10.0, 1),
+            ("scan;raster", 2.0, 1),
+            ("scan;cpn", 3.0, 2),
+            ("scan;cpn", 1.0, 3),
+            ("scan;cpn;hnms", 0.5, 2),
+            ("train", 4.0, 1),
+        ])
+    }
+
+    #[test]
+    fn aggregates_counts_inclusive_and_exclusive() {
+        let tree = sample_tree();
+        let scan = &tree.roots["scan"];
+        assert_eq!(scan.count, 1);
+        assert_eq!(scan.incl_secs, 10.0);
+        // 10 - (2 + 4) = 4 exclusive
+        assert!((scan.excl_secs - 4.0).abs() < 1e-12);
+        let cpn = &scan.children["cpn"];
+        assert_eq!(cpn.count, 2);
+        assert_eq!(cpn.incl_secs, 4.0);
+        assert!((cpn.excl_secs - 3.5).abs() < 1e-12);
+        assert_eq!(cpn.by_thread.len(), 2);
+        assert_eq!(tree.roots["train"].count, 1);
+        assert!((tree.total_secs() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusive_time_clamps_when_children_outsum_parent() {
+        // Concurrent children on workers: 3s + 3s under a 4s parent.
+        let tree = SpanTree::from_paths([("p", 4.0, 1), ("p;a", 3.0, 2), ("p;b", 3.0, 3)]);
+        assert_eq!(tree.roots["p"].excl_secs, 0.0);
+    }
+
+    #[test]
+    fn shape_is_deterministic_and_duration_free() {
+        let a = sample_tree().shape();
+        let b = SpanTree::from_paths([
+            // Same structure, different durations/threads/order.
+            ("train", 1.0, 9),
+            ("scan;cpn;hnms", 9.0, 8),
+            ("scan;cpn", 1.0, 7),
+            ("scan;cpn", 2.0, 7),
+            ("scan;raster", 7.0, 6),
+            ("scan", 1.0, 5),
+        ])
+        .shape();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            vec![
+                ("scan".to_owned(), 1),
+                ("scan;cpn".to_owned(), 2),
+                ("scan;cpn;hnms".to_owned(), 1),
+                ("scan;raster".to_owned(), 1),
+                ("train".to_owned(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn top_exclusive_ranks_descending() {
+        let top = sample_tree().top_exclusive(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, "scan");
+        assert!((top[0].1 - 4.0).abs() < 1e-12);
+        assert_eq!(top[1].0, "train");
+        assert_eq!(top[2].0, "scan;cpn");
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn renders_all_nodes_and_handles_empty() {
+        let text = sample_tree().render();
+        for name in ["scan", "raster", "cpn", "hnms", "train"] {
+            assert!(text.contains(name), "render missing {name}:\n{text}");
+        }
+        assert!(text.contains("incl"));
+        let empty = SpanTree::default();
+        assert!(empty.render().contains("no spans"));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn paths_with_missing_parents_still_build() {
+        // A parent span can still be open (never closed) when the tree is
+        // built: the intermediate node exists with zero count.
+        let tree = SpanTree::from_paths([("a;b;c", 1.0, 1)]);
+        let a = &tree.roots["a"];
+        assert_eq!(a.count, 0);
+        assert_eq!(a.incl_secs, 0.0);
+        assert_eq!(a.children["b"].children["c"].count, 1);
+        // Exclusive of the phantom parent clamps at zero.
+        assert_eq!(a.excl_secs, 0.0);
+    }
+}

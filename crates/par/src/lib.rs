@@ -241,11 +241,22 @@ impl Pool {
         }
         rhsd_obs::counter("par.sections", 1);
         rhsd_obs::counter("par.tasks", n_chunks as u64);
+        // Capture the submitting thread's live span stack once so spans
+        // opened inside worker jobs attribute under the same tree path
+        // at any thread count (the inline path above inherits it for
+        // free by running on the submitting thread).
+        let base = rhsd_obs::current_stack();
+        let baseref = &base;
         let fref = &f;
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = data
             .chunks_mut(chunk)
             .enumerate()
-            .map(|(ci, piece)| Box::new(move || fref(ci, piece)) as Box<dyn FnOnce() + Send + '_>)
+            .map(|(ci, piece)| {
+                Box::new(move || {
+                    let _stack = rhsd_obs::base_stack(baseref);
+                    fref(ci, piece)
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
             .collect();
         self.run_scoped(jobs);
     }

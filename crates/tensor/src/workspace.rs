@@ -28,13 +28,16 @@
 //! *workspace* performs zero allocations once warm, which the
 //! [`stats`] counters make observable:
 //!
-//! * `ws.allocs` — pool misses that allocated or grew a buffer;
-//! * `ws.bytes_reused` — bytes served from retained buffers;
-//! * `ws.high_water` — peak total bytes retained across all pools.
+//! * `allocs` — pool misses that allocated or grew a buffer;
+//! * `bytes_reused` — bytes served from retained buffers;
+//! * `high_water` — peak total bytes retained across all pools.
 //!
-//! The same three counters are mirrored into `rhsd-obs` so metrics
-//! exports and the bench record (schema `rhsd-bench-table/4`) carry
-//! them.
+//! The pool is also one of the four first-class caches in the
+//! `rhsd-obs` gauge namespace: every take mirrors into
+//! `cache.workspace.hits` / `cache.workspace.misses` /
+//! `cache.workspace.evictions` / `cache.workspace.bytes` (plus the
+//! `cache.workspace.high_water` delta counter), which the bench record
+//! surfaces in its `caches` block.
 
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
@@ -147,6 +150,7 @@ impl Drop for WsGuard {
                 if let Some((idx, _)) = pool.iter().enumerate().min_by_key(|(_, b)| b.capacity()) {
                     let victim = pool.swap_remove(idx);
                     CURRENT_BYTES.fetch_sub(victim.capacity() as u64 * 4, Ordering::Relaxed);
+                    rhsd_obs::counter("cache.workspace.evictions", 1);
                 }
             }
         });
@@ -175,18 +179,19 @@ pub fn take(len: usize) -> WsGuard {
         Some(b) => {
             BYTES_REUSED.fetch_add(len as u64 * 4, Ordering::Relaxed);
             TL_BYTES_REUSED.with(|c| c.set(c.get() + len as u64 * 4));
-            rhsd_obs::counter("ws.bytes_reused", len as u64 * 4);
+            rhsd_obs::counter("cache.workspace.hits", 1);
+            rhsd_obs::counter("cache.workspace.bytes", len as u64 * 4);
             b
         }
         None => {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             TL_ALLOCS.with(|c| c.set(c.get() + 1));
-            rhsd_obs::counter("ws.allocs", 1);
+            rhsd_obs::counter("cache.workspace.misses", 1);
             let b = Vec::with_capacity(len);
             let now = CURRENT_BYTES.fetch_add(len as u64 * 4, Ordering::Relaxed) + len as u64 * 4;
             let prev = HIGH_WATER.fetch_max(now, Ordering::Relaxed);
             if now > prev {
-                rhsd_obs::counter("ws.high_water", now - prev);
+                rhsd_obs::counter("cache.workspace.high_water", now - prev);
             }
             b
         }

@@ -167,3 +167,44 @@ fn scan_and_bench_accuracy_rows_bit_identical() {
     assert!(j1.contains("\"threads\": 1"), "{j1}");
     assert!(j4.contains("\"threads\": 4"), "{j4}");
 }
+
+/// The span-tree *shape* — every stack path with its call count — must
+/// be identical at any pool size. Parallel sections run under the
+/// submitting thread's span stack (rhsd-par re-installs it as the base
+/// stack on every worker), so moving work across threads must not move
+/// spans between tree nodes; only per-thread timing attribution may
+/// differ.
+#[test]
+fn span_tree_shape_identical_across_thread_counts() {
+    let _guard = pool_lock();
+
+    let run = || {
+        rhsd::obs::reset();
+        rhsd::obs::set_enabled(true);
+        {
+            let _scan = rhsd::obs::span("scan");
+            let bench = Benchmark::demo(CaseId::Case2);
+            let mask = {
+                let _raster = rhsd::obs::span("raster");
+                Tensor::from_fn([1, 40, 40], |c| noise(11, c).abs())
+            };
+            let _ = {
+                let _litho = rhsd::obs::span("litho");
+                aerial_image(&mask, &GaussianKernel::new(2.0))
+            };
+            drop(bench);
+        }
+        let tree = rhsd::obs::SpanTree::from_events(&rhsd::obs::span_events());
+        rhsd::obs::set_enabled(false);
+        rhsd::obs::reset();
+        tree
+    };
+    let (t1, t4) = at_threads(1, 4, run);
+
+    assert!(!t1.is_empty(), "spans were recorded");
+    assert_eq!(
+        t1.shape(),
+        t4.shape(),
+        "span-tree shape (paths + call counts) must be pool-size invariant"
+    );
+}

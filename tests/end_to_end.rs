@@ -77,9 +77,11 @@ fn scan_metrics_aggregate_over_regions() {
         .map(|r| r.gt_clips.len())
         .sum();
     assert_eq!(result.evaluation.ground_truth, expected);
-    // detections (if any) are inside the test half
+    // every detection originates from a region tiling the test half;
+    // the clip itself is an unclamped regression output (an untrained
+    // network may place it far outside its region)
     for d in &result.detections {
-        assert!(b.test_extent.inflated(10).contains_rect(&d.clip));
+        assert!(b.test_extent.contains_rect(&d.region));
     }
 }
 

@@ -2,9 +2,10 @@
 //! pools are warm, repeated inference draws every tensor scratch buffer
 //! (im2col matrices, packed GEMM panels, pooling buffers) from the
 //! `rhsd_tensor::workspace` pool and performs **zero** workspace
-//! allocations. This is the contract the `ws.allocs` counter in the
-//! bench record (schema `rhsd-bench-table/4`) makes observable; this
-//! test pins it end to end through a real network forward pass.
+//! allocations. This is the contract the `workspace` block in the
+//! bench record (schema `rhsd-bench-table/5`; mirrored by the
+//! `cache.workspace.*` obs gauges) makes observable; this test pins it
+//! end to end through a real network forward pass.
 //!
 //! One test per binary: the workspace counters are process-global, and a
 //! lone test keeps them quiescent while we read them.

@@ -1,7 +1,7 @@
 //! The `cargo xtask lint` driver.
 //!
 //! Walks `crates/*/src/**/*.rs` under the workspace root, runs rules
-//! L1–L6 over each file, filters violations through the allowlist file
+//! L1–L7 over each file, filters violations through the allowlist file
 //! and inline `// lint:allow(<rule>)` markers, and renders a report.
 
 mod rules;
@@ -15,7 +15,7 @@ use source::SourceFile;
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`L1`..`L6`).
+    /// Rule id (`L1`..`L7`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,

@@ -1,4 +1,4 @@
-//! The workspace lint rules L1–L6.
+//! The workspace lint rules L1–L7.
 //!
 //! Each rule scans a [`SourceFile`] code mask and returns violations.
 //! Rationale and examples live in DESIGN.md §Correctness tooling.
@@ -34,6 +34,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     v.extend(l4_shapes_doc(file, &scope));
     v.extend(l5_no_raw_threads(file, &scope));
     v.extend(l6_no_loop_allocs(file));
+    v.extend(l7_no_stdio_prints(file, &scope));
     v
 }
 
@@ -256,6 +257,41 @@ fn l6_no_loop_allocs(file: &SourceFile) -> Vec<Violation> {
                 "{label} inside a kernel loop; hoist it or take scratch from the Workspace pool"
             ),
         ));
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// L7: no `println!`/`eprintln!` (or `print!`/`eprint!`) in library
+/// code.
+///
+/// Library crates report through `rhsd-obs` (counters, spans, the
+/// ledger) so output stays machine-readable and quiet by default;
+/// stray prints corrupt piped output (`--bench-out -` style usage) and
+/// bypass the run ledger. Binaries (`src/bin/`), `rhsd-obs` itself and
+/// the `xtask` tree (not scanned) own the terminal. The audited CLI
+/// surface in `rhsd-bench` is allowlisted, not exempted: new prints
+/// there still need a deliberate allowlist entry.
+fn l7_no_stdio_prints(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name == "obs" || file.rel_path.contains("/src/bin/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for word in ["println", "eprintln", "print", "eprint"] {
+        for off in word_offsets(&file.code, word) {
+            if file.in_test(off) {
+                continue;
+            }
+            if next_nonspace(&file.code, off + word.len()) != Some(b'!') {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L7",
+                off,
+                format!("`{word}!` in library code; report through rhsd-obs instead"),
+            ));
+        }
     }
     out.sort_by_key(|v| v.line);
     out
@@ -518,6 +554,26 @@ mod tests {
             rules(&lint("crates/tensor/src/ops/a.rs", nested)),
             vec!["L6"]
         );
+    }
+
+    #[test]
+    fn l7_flags_prints_in_library_code() {
+        let bad = "fn f() { println!(\"x\"); eprintln!(\"y\"); print!(\"z\"); eprint!(\"w\"); }";
+        let v = lint("crates/data/src/a.rs", bad);
+        assert_eq!(rules(&v), vec!["L7", "L7", "L7", "L7"]);
+        assert!(v[0].message.contains("rhsd-obs"));
+    }
+
+    #[test]
+    fn l7_exempts_bins_obs_and_tests() {
+        let bad = "fn f() { println!(\"x\"); }";
+        assert!(lint("crates/bench/src/bin/repro_table1.rs", bad).is_empty());
+        assert!(lint("crates/obs/src/ledger.rs", bad).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests { fn t() { println!(\"x\"); } }";
+        assert!(lint("crates/data/src/a.rs", in_test).is_empty());
+        // comments and non-macro identifiers don't fire
+        let benign = "// println! is banned here\nfn print_table() {}\n";
+        assert!(lint("crates/data/src/a.rs", benign).is_empty());
     }
 
     #[test]

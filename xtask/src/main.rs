@@ -1,15 +1,18 @@
 //! Workspace automation tasks, invoked as `cargo xtask <task>`.
 //!
-//! Three tasks today: `lint`, the workspace-specific static-analysis
+//! Four tasks today: `lint`, the workspace-specific static-analysis
 //! gate described in DESIGN.md §Correctness tooling; `bench-diff`, the
-//! benchmark regression gate over `BENCH_*.json` records; and
+//! benchmark regression gate over `BENCH_*.json` records;
 //! `microbench`, the per-kernel timing harness that localises runtime
-//! regressions to a kernel family. All are kept dependency-free beyond
-//! the workspace's own crates so they build instantly and work offline.
+//! regressions to a kernel family; and `report`, which renders a run
+//! ledger (plus an optional collapsed-stacks profile) as a readable run
+//! report. All are kept dependency-free beyond the workspace's own
+//! crates so they build instantly and work offline.
 
 mod bench_diff;
 mod lint;
 mod microbench;
+mod report;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,7 +22,7 @@ usage: cargo xtask <task>
 
 tasks:
   lint [--root <dir>] [--allowlist <file>]
-      Run the workspace lint rules (L1-L6) over crates/*/src/**/*.rs.
+      Run the workspace lint rules (L1-L7) over crates/*/src/**/*.rs.
       --root       workspace root (default: parent of the xtask crate)
       --allowlist  allowlist file (default: <root>/xtask/lint.allow)
 
@@ -37,6 +40,17 @@ tasks:
       --max-accuracy-drop <pt>     accuracy drop tolerance (default 0.5)
       --skip-runtime               ignore the machine-dependent runtime
                                    column (cross-machine CI gates)
+      --min-cache-hit-rate <pct>   opt-in gate: fail when the current
+                                   record's region_tile/stem_feature
+                                   hit rate falls below <pct>
+
+  report <ledger.jsonl> [--profile <collapsed>] [--top <n>]
+      Render a JSONL run ledger as a run report: manifest, span tree
+      with inclusive/exclusive time, cache hit rates, and the eval
+      table.
+      --profile  also summarise a collapsed-stacks file written by
+                 a repro binary's --profile flag
+      --top      rows in the top-exclusive/top-stacks lists (default 8)
 
 exit codes: 0 clean, 1 violations/regression found, 2 usage error or
 malformed input";
@@ -50,6 +64,10 @@ fn main() -> ExitCode {
             Err(msg) => usage_error(&msg),
         },
         Some("bench-diff") => match bench_diff::run(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => usage_error(&msg),
+        },
+        Some("report") => match report::run(&args[1..]) {
             Ok(code) => code,
             Err(msg) => usage_error(&msg),
         },

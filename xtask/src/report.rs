@@ -1,0 +1,370 @@
+//! `cargo xtask report`: renders a run ledger (and optionally a
+//! sampling profile) as a human-readable run report.
+//!
+//! Reads the JSONL ledger a repro binary writes (`LEDGER_*.jsonl`),
+//! reconstructs the run from its typed events, and prints:
+//!
+//! - the `run_start` manifest (binary, seed, effort, threads, host);
+//! - the span tree aggregated from `span_close` lines — hierarchical
+//!   inclusive/exclusive wall-clock attribution per stack path;
+//! - the top exclusive-time span paths (where the run actually spent
+//!   its time);
+//! - cache-efficiency gauges from the `run_end` counters: hit/miss/
+//!   eviction/byte totals and the hit rate per `cache.*` family;
+//! - the evaluation table (per detector and case);
+//! - with `--profile <file>`, the heaviest sampled stacks from a
+//!   collapsed-stacks file written by `--profile`.
+//!
+//! A ledger without a `run_end` line (crashed run) still reports
+//! everything up to the crash — that is the point of a flushed JSONL
+//! stream.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rhsd_obs::json::{parse, Value};
+use rhsd_obs::SpanTree;
+
+/// Everything extracted from one ledger file.
+#[derive(Debug, Default)]
+struct LedgerRun {
+    manifest: Vec<(String, String)>,
+    spans: Vec<(String, f64)>,
+    evals: Vec<(String, String, f64, u64, f64)>,
+    status: Option<String>,
+    wall_secs: Option<f64>,
+    counters: Vec<(String, u64)>,
+    /// Lines that failed to parse (truncated tail of a crashed run).
+    bad_lines: usize,
+}
+
+fn parse_ledger(text: &str) -> LedgerRun {
+    let mut run = LedgerRun::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = parse(line) else {
+            run.bad_lines += 1;
+            continue;
+        };
+        match v.get("event").and_then(Value::as_str) {
+            Some("run_start") => {
+                for key in [
+                    "bin", "seed", "config", "effort", "threads", "host", "version",
+                ] {
+                    if let Some(val) = v.get(key) {
+                        let rendered = match val {
+                            Value::Str(s) => s.clone(),
+                            other => format!("{other:?}")
+                                .trim_start_matches("Num(")
+                                .trim_end_matches(')')
+                                .to_owned(),
+                        };
+                        run.manifest.push((key.to_owned(), rendered));
+                    }
+                }
+            }
+            Some("span_close") => {
+                let path = v.get("path").and_then(Value::as_str).unwrap_or("");
+                // pre-`path` ledgers: fall back to the flat span name
+                let path = if path.is_empty() {
+                    v.get("name").and_then(Value::as_str).unwrap_or("")
+                } else {
+                    path
+                };
+                let dur = v.get("dur_secs").and_then(Value::as_f64).unwrap_or(0.0);
+                if !path.is_empty() {
+                    run.spans.push((path.to_owned(), dur));
+                }
+            }
+            Some("eval") => {
+                run.evals.push((
+                    v.get("detector")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_owned(),
+                    v.get("case")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_owned(),
+                    v.get("accuracy_pct").and_then(Value::as_f64).unwrap_or(0.0),
+                    v.get("false_alarms").and_then(Value::as_u64).unwrap_or(0),
+                    v.get("seconds").and_then(Value::as_f64).unwrap_or(0.0),
+                ));
+            }
+            Some("run_end") => {
+                run.status = v.get("status").and_then(Value::as_str).map(str::to_owned);
+                run.wall_secs = v.get("wall_secs").and_then(Value::as_f64);
+                if let Some(Value::Obj(fields)) = v.get("counters") {
+                    for (k, val) in fields {
+                        if let Some(n) = val.as_u64() {
+                            run.counters.push((k.clone(), n));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    run
+}
+
+/// The cache families surfaced in the report, in display order.
+const CACHE_FAMILIES: [&str; 4] = ["region_tile", "stem_feature", "aerial_dedup", "workspace"];
+
+fn render_caches(counters: &[(String, u64)], out: &mut String) {
+    let get = |name: String| {
+        counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let mut any = false;
+    for family in CACHE_FAMILIES {
+        let hits = get(format!("cache.{family}.hits"));
+        let misses = get(format!("cache.{family}.misses"));
+        let evictions = get(format!("cache.{family}.evictions"));
+        let bytes = get(format!("cache.{family}.bytes"));
+        let total = hits + misses;
+        if total == 0 && evictions == 0 && bytes == 0 {
+            continue;
+        }
+        if !any {
+            let _ = writeln!(out, "\ncache efficiency:");
+            any = true;
+        }
+        let rate = if total > 0 {
+            format!("{:5.1}%", 100.0 * hits as f64 / total as f64)
+        } else {
+            "    —".to_owned()
+        };
+        let _ = writeln!(
+            out,
+            "  {family:<13} {hits:>9} hits {misses:>9} misses {evictions:>7} evicted  \
+             {rate} hit rate  {} reused",
+            fmt_bytes(bytes)
+        );
+    }
+    if !any {
+        let _ = writeln!(
+            out,
+            "\ncache efficiency: (no cache.* counters in the ledger — run \
+             with observability enabled)"
+        );
+    }
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Parses a collapsed-stacks file into `(path, samples)` pairs sorted by
+/// sample count descending. Malformed lines are skipped.
+fn parse_collapsed(text: &str) -> Vec<(String, u64)> {
+    let mut stacks: Vec<(String, u64)> = text
+        .lines()
+        .filter_map(|line| {
+            let (path, count) = line.rsplit_once(' ')?;
+            let count: u64 = count.parse().ok()?;
+            if path.is_empty() {
+                return None;
+            }
+            Some((path.to_owned(), count))
+        })
+        .collect();
+    stacks.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    stacks
+}
+
+/// Pure core: renders the full report from the ledger text and an
+/// optional collapsed-stacks profile text.
+pub fn render(ledger_text: &str, profile_text: Option<&str>, top: usize) -> String {
+    let run = parse_ledger(ledger_text);
+    let mut o = String::new();
+
+    let _ = writeln!(o, "run report");
+    for (k, v) in &run.manifest {
+        let _ = writeln!(o, "  {k:<9} {v}");
+    }
+    match (&run.status, run.wall_secs) {
+        (Some(status), Some(wall)) => {
+            let _ = writeln!(o, "  status    {status} after {wall:.2}s");
+        }
+        _ => {
+            let _ = writeln!(
+                o,
+                "  status    (no run_end line — crashed or still running)"
+            );
+        }
+    }
+    if run.bad_lines > 0 {
+        let _ = writeln!(o, "  ({} unparseable line(s) skipped)", run.bad_lines);
+    }
+
+    let tree = SpanTree::from_paths(run.spans.iter().map(|(p, d)| (p.as_str(), *d, 0u64)));
+    let _ = writeln!(o);
+    o.push_str(&tree.render());
+    if !tree.is_empty() {
+        let _ = writeln!(o, "\ntop exclusive time:");
+        for (path, secs, count) in tree.top_exclusive(top) {
+            let _ = writeln!(o, "  {:>9.3}s  {count:>7} call(s)  {path}", secs);
+        }
+    }
+
+    render_caches(&run.counters, &mut o);
+
+    if !run.evals.is_empty() {
+        let _ = writeln!(o, "\nevaluation:");
+        let _ = writeln!(
+            o,
+            "  {:<14} {:<10} {:>9} {:>6} {:>10}",
+            "detector", "case", "accuracy", "FA", "seconds"
+        );
+        for (det, case, acc, fa, secs) in &run.evals {
+            let _ = writeln!(o, "  {det:<14} {case:<10} {acc:>8.2}% {fa:>6} {secs:>10.3}",);
+        }
+    }
+
+    if let Some(text) = profile_text {
+        let stacks = parse_collapsed(text);
+        let total: u64 = stacks.iter().map(|(_, c)| c).sum();
+        let _ = writeln!(o, "\nsampling profile ({total} busy samples):");
+        if stacks.is_empty() {
+            let _ = writeln!(o, "  (no stacks in the collapsed file)");
+        }
+        for (path, count) in stacks.iter().take(top) {
+            let pct = 100.0 * *count as f64 / total.max(1) as f64;
+            let _ = writeln!(o, "  {count:>7} ({pct:5.1}%)  {path}");
+        }
+    }
+    o
+}
+
+/// CLI entry point: `cargo xtask report <ledger.jsonl>
+/// [--profile <collapsed>] [--top <n>]`.
+pub fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut ledger: Option<PathBuf> = None;
+    let mut profile: Option<PathBuf> = None;
+    let mut top = 8usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => {
+                let v = it.next().ok_or("--profile needs a file path")?;
+                profile = Some(PathBuf::from(v));
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a count")?;
+                top = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("--top: `{v}` is not a positive integer"))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown report option `{other}`"));
+            }
+            path if ledger.is_none() => ledger = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected extra argument `{extra}`")),
+        }
+    }
+    let ledger = ledger.ok_or("report needs a ledger path: <ledger.jsonl>")?;
+    let ledger_text = read(&ledger)?;
+    let profile_text = match &profile {
+        Some(p) => Some(read(p)?),
+        None => None,
+    };
+    print!("{}", render(&ledger_text, profile_text.as_deref(), top));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ledger() -> String {
+        [
+            r#"{"event":"run_start","seq":0,"t":0,"bin":"repro_quick","seed":103,"config":"demo","effort":"Quick","host":"linux/x86_64","version":"0.1.0","threads":4}"#,
+            r#"{"event":"epoch","seq":1,"t":0.5,"epoch":0,"mean_loss":0.8,"mean_cpn_cls":0.3,"mean_cpn_reg":0.2,"mean_refine_cls":0.3,"grad_norm":2.0,"lr":0.01,"samples":8}"#,
+            r#"{"event":"span_close","seq":2,"t":1.0,"name":"raster","path":"scan;raster","dur_secs":0.25,"depth":1}"#,
+            r#"{"event":"span_close","seq":3,"t":1.5,"name":"scan","path":"scan","dur_secs":1.0,"depth":0}"#,
+            r#"{"event":"eval","seq":4,"t":2.0,"detector":"Ours","case":"Case2","accuracy_pct":87.5,"false_alarms":9,"seconds":1.25}"#,
+            r#"{"event":"run_end","seq":5,"t":2.5,"status":"ok","wall_secs":2.5,"counters":{"cache.region_tile.hits":18,"cache.region_tile.misses":18,"cache.stem_feature.hits":3,"cache.stem_feature.misses":9,"cache.stem_feature.bytes":4096},"peaks":{}}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn report_renders_manifest_tree_caches_and_evals() {
+        let out = render(&sample_ledger(), None, 8);
+        assert!(out.contains("repro_quick"), "{out}");
+        assert!(out.contains("status    ok after 2.50s"), "{out}");
+        // span tree with both nodes and exclusive attribution
+        assert!(out.contains("scan"), "{out}");
+        assert!(out.contains("raster"), "{out}");
+        assert!(out.contains("top exclusive time:"), "{out}");
+        // cache hit rates from run_end counters
+        assert!(out.contains("region_tile"), "{out}");
+        assert!(out.contains(" 50.0% hit rate"), "{out}");
+        assert!(out.contains("stem_feature"), "{out}");
+        assert!(out.contains(" 25.0% hit rate"), "{out}");
+        assert!(out.contains("4.00 KiB"), "{out}");
+        // eval table
+        assert!(out.contains("Ours"), "{out}");
+        assert!(out.contains("87.50%"), "{out}");
+    }
+
+    #[test]
+    fn crashed_ledger_reports_prefix_without_run_end() {
+        let full = sample_ledger();
+        let crashed: String = full.lines().take(5).collect::<Vec<_>>().join("\n");
+        let out = render(&crashed, None, 8);
+        assert!(out.contains("crashed or still running"), "{out}");
+        assert!(out.contains("scan"), "spans before the crash render");
+        assert!(
+            out.contains("no cache.* counters"),
+            "no run_end → no counters:\n{out}"
+        );
+    }
+
+    #[test]
+    fn profile_section_ranks_collapsed_stacks() {
+        let collapsed = "scan;cpn 30\nscan;raster 10\ntrain 60\n";
+        let out = render(&sample_ledger(), Some(collapsed), 2);
+        assert!(out.contains("sampling profile (100 busy samples)"), "{out}");
+        assert!(out.contains("60 ( 60.0%)  train"), "{out}");
+        assert!(out.contains("30 ( 30.0%)  scan;cpn"), "{out}");
+        // --top 2 cuts the third stack
+        assert!(!out.contains("scan;raster 10"), "{out}");
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let text = format!("{}\nnot json at all\n{{\"trunc", sample_ledger());
+        let out = render(&text, None, 8);
+        assert!(out.contains("2 unparseable line(s) skipped"), "{out}");
+    }
+
+    #[test]
+    fn pre_path_ledgers_fall_back_to_span_names() {
+        let text =
+            r#"{"event":"span_close","seq":0,"t":1.0,"name":"raster","dur_secs":0.25,"depth":1}"#;
+        let out = render(text, None, 8);
+        assert!(out.contains("raster"), "{out}");
+    }
+}

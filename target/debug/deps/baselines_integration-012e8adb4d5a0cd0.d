@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_integration-012e8adb4d5a0cd0.d: tests/baselines_integration.rs
+
+/root/repo/target/debug/deps/baselines_integration-012e8adb4d5a0cd0: tests/baselines_integration.rs
+
+tests/baselines_integration.rs:

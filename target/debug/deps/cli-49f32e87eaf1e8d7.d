@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-49f32e87eaf1e8d7.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-49f32e87eaf1e8d7: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_rhsd=/root/repo/target/debug/rhsd

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_scan-bb395591b2b8e61c.d: src/bin/dbg_scan.rs
+
+/root/repo/target/debug/deps/dbg_scan-bb395591b2b8e61c: src/bin/dbg_scan.rs
+
+src/bin/dbg_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cb1ac4a1a1fad51e.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cb1ac4a1a1fad51e: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-35c2c1fc5c669c2c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-35c2c1fc5c669c2c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

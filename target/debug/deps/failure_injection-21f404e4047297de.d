@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-21f404e4047297de.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-21f404e4047297de: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ledger_integration-4392ceec390843be.d: tests/ledger_integration.rs
+
+/root/repo/target/debug/deps/ledger_integration-4392ceec390843be: tests/ledger_integration.rs
+
+tests/ledger_integration.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_integration-6cd5f2b28b5a116e.d: tests/obs_integration.rs
+
+/root/repo/target/debug/deps/obs_integration-6cd5f2b28b5a116e: tests/obs_integration.rs
+
+tests/obs_integration.rs:

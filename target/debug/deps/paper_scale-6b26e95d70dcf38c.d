@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-6b26e95d70dcf38c.d: tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-6b26e95d70dcf38c: tests/paper_scale.rs
+
+tests/paper_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-745aea91fe048916.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-745aea91fe048916: tests/persistence.rs
+
+tests/persistence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/profile_integration-5b9aa9a9f5428fef.d: tests/profile_integration.rs
+
+/root/repo/target/debug/deps/profile_integration-5b9aa9a9f5428fef: tests/profile_integration.rs
+
+tests/profile_integration.rs:

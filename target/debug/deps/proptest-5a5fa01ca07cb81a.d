@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-5a5fa01ca07cb81a.d: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-5a5fa01ca07cb81a.rmeta: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

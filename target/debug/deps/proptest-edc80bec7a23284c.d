@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-edc80bec7a23284c.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-edc80bec7a23284c: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-26d816ebd32d16ad.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-26d816ebd32d16ad: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

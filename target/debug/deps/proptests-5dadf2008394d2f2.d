@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5dadf2008394d2f2.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5dadf2008394d2f2: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

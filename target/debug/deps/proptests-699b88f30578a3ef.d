@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-699b88f30578a3ef.d: crates/data/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-699b88f30578a3ef: crates/data/tests/proptests.rs
+
+crates/data/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-867574a6e5ec28ba.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-867574a6e5ec28ba: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

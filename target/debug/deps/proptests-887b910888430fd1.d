@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-887b910888430fd1.d: crates/nn/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-887b910888430fd1: crates/nn/tests/proptests.rs
+
+crates/nn/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-9c24b1fcf64c0da8.d: crates/layout/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-9c24b1fcf64c0da8: crates/layout/tests/proptests.rs
+
+crates/layout/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ab61d9ff4ca3e66d.d: crates/litho/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ab61d9ff4ca3e66d: crates/litho/tests/proptests.rs
+
+crates/litho/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e2e7cfee9d3735c3.d: crates/baselines/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e2e7cfee9d3735c3: crates/baselines/tests/proptests.rs
+
+crates/baselines/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e8ff629220489df5.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e8ff629220489df5: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-2a87a535d9b05ce5.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-2a87a535d9b05ce5: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

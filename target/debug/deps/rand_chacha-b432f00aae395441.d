@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand_chacha-b432f00aae395441.d: /root/repo/clippy.toml vendor/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-b432f00aae395441.rmeta: /root/repo/clippy.toml vendor/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

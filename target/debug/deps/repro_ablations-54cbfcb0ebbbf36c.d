@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablations-54cbfcb0ebbbf36c.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/debug/deps/repro_ablations-54cbfcb0ebbbf36c: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

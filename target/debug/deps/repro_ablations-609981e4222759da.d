@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/repro_ablations-609981e4222759da.d: /root/repo/clippy.toml crates/bench/src/bin/repro_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_ablations-609981e4222759da.rmeta: /root/repo/clippy.toml crates/bench/src/bin/repro_ablations.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/repro_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

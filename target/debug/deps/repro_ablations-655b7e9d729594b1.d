@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_ablations-655b7e9d729594b1.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/debug/deps/repro_ablations-655b7e9d729594b1: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

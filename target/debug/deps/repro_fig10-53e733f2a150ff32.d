@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig10-53e733f2a150ff32.d: crates/bench/src/bin/repro_fig10.rs
+
+/root/repo/target/debug/deps/repro_fig10-53e733f2a150ff32: crates/bench/src/bin/repro_fig10.rs
+
+crates/bench/src/bin/repro_fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig10-d6a0ebf638891879.d: crates/bench/src/bin/repro_fig10.rs
+
+/root/repo/target/debug/deps/repro_fig10-d6a0ebf638891879: crates/bench/src/bin/repro_fig10.rs
+
+crates/bench/src/bin/repro_fig10.rs:

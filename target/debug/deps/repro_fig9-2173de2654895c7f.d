@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/repro_fig9-2173de2654895c7f.d: /root/repo/clippy.toml crates/bench/src/bin/repro_fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_fig9-2173de2654895c7f.rmeta: /root/repo/clippy.toml crates/bench/src/bin/repro_fig9.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/repro_fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

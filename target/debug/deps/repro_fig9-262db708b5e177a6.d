@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig9-262db708b5e177a6.d: crates/bench/src/bin/repro_fig9.rs
+
+/root/repo/target/debug/deps/repro_fig9-262db708b5e177a6: crates/bench/src/bin/repro_fig9.rs
+
+crates/bench/src/bin/repro_fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_fig9-4338de505d1e9c7a.d: crates/bench/src/bin/repro_fig9.rs
+
+/root/repo/target/debug/deps/repro_fig9-4338de505d1e9c7a: crates/bench/src/bin/repro_fig9.rs
+
+crates/bench/src/bin/repro_fig9.rs:

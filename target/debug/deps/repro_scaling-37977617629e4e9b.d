@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_scaling-37977617629e4e9b.d: crates/bench/src/bin/repro_scaling.rs
+
+/root/repo/target/debug/deps/repro_scaling-37977617629e4e9b: crates/bench/src/bin/repro_scaling.rs
+
+crates/bench/src/bin/repro_scaling.rs:

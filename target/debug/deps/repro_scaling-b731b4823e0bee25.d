@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_scaling-b731b4823e0bee25.d: crates/bench/src/bin/repro_scaling.rs
+
+/root/repo/target/debug/deps/repro_scaling-b731b4823e0bee25: crates/bench/src/bin/repro_scaling.rs
+
+crates/bench/src/bin/repro_scaling.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/repro_scaling-e08a6de7bf0c4ab0.d: /root/repo/clippy.toml crates/bench/src/bin/repro_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_scaling-e08a6de7bf0c4ab0.rmeta: /root/repo/clippy.toml crates/bench/src/bin/repro_scaling.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/repro_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

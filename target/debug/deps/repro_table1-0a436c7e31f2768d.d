@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-0a436c7e31f2768d.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-0a436c7e31f2768d: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/repro_table1-31f3fb7c2133a192.d: /root/repo/clippy.toml crates/bench/src/bin/repro_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_table1-31f3fb7c2133a192.rmeta: /root/repo/clippy.toml crates/bench/src/bin/repro_table1.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/repro_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

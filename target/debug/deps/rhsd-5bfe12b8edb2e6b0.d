@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rhsd-5bfe12b8edb2e6b0.d: src/lib.rs
+
+/root/repo/target/debug/deps/librhsd-5bfe12b8edb2e6b0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librhsd-5bfe12b8edb2e6b0.rmeta: src/lib.rs
+
+src/lib.rs:

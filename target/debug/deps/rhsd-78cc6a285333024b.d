@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rhsd-78cc6a285333024b.d: src/bin/rhsd.rs
+
+/root/repo/target/debug/deps/rhsd-78cc6a285333024b: src/bin/rhsd.rs
+
+src/bin/rhsd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rhsd-810e1a403cf813ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/librhsd-810e1a403cf813ec.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librhsd-810e1a403cf813ec.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rhsd-86f8ff1fb9e71ffd.d: src/bin/rhsd.rs
+
+/root/repo/target/debug/deps/rhsd-86f8ff1fb9e71ffd: src/bin/rhsd.rs
+
+src/bin/rhsd.rs:

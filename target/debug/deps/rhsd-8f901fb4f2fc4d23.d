@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rhsd-8f901fb4f2fc4d23.d: src/lib.rs
+
+/root/repo/target/debug/deps/rhsd-8f901fb4f2fc4d23: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rhsd-b0898780e7fbd110.d: /root/repo/clippy.toml src/bin/rhsd.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd-b0898780e7fbd110.rmeta: /root/repo/clippy.toml src/bin/rhsd.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/rhsd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rhsd-c9649cf61b68d22e.d: src/bin/rhsd.rs
+
+/root/repo/target/debug/deps/rhsd-c9649cf61b68d22e: src/bin/rhsd.rs
+
+src/bin/rhsd.rs:

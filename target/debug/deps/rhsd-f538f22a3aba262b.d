@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rhsd-f538f22a3aba262b.d: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd-f538f22a3aba262b.rmeta: /root/repo/clippy.toml src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

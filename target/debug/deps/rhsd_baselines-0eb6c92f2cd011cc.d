@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rhsd_baselines-0eb6c92f2cd011cc.d: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+/root/repo/target/debug/deps/librhsd_baselines-0eb6c92f2cd011cc.rlib: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+/root/repo/target/debug/deps/librhsd_baselines-0eb6c92f2cd011cc.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dct.rs:
+crates/baselines/src/eval.rs:
+crates/baselines/src/generic.rs:
+crates/baselines/src/tcad18.rs:

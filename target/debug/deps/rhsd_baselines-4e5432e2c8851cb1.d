@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rhsd_baselines-4e5432e2c8851cb1.d: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+/root/repo/target/debug/deps/librhsd_baselines-4e5432e2c8851cb1.rlib: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+/root/repo/target/debug/deps/librhsd_baselines-4e5432e2c8851cb1.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dct.rs:
+crates/baselines/src/eval.rs:
+crates/baselines/src/generic.rs:
+crates/baselines/src/tcad18.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rhsd_baselines-51dcc515a4f2571d.d: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+/root/repo/target/debug/deps/rhsd_baselines-51dcc515a4f2571d: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dct.rs:
+crates/baselines/src/eval.rs:
+crates/baselines/src/generic.rs:
+crates/baselines/src/tcad18.rs:

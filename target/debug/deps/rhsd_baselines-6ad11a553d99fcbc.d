@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rhsd_baselines-6ad11a553d99fcbc.d: /root/repo/clippy.toml crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_baselines-6ad11a553d99fcbc.rmeta: /root/repo/clippy.toml crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/baselines/src/lib.rs:
+crates/baselines/src/dct.rs:
+crates/baselines/src/eval.rs:
+crates/baselines/src/generic.rs:
+crates/baselines/src/tcad18.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rhsd_bench-00311e4f913bf009.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs
+
+/root/repo/target/debug/deps/librhsd_bench-00311e4f913bf009.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs
+
+/root/repo/target/debug/deps/librhsd_bench-00311e4f913bf009.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/table.rs:
+crates/bench/src/viz.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rhsd_bench-23ac5f5a3fba300a.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs
+
+/root/repo/target/debug/deps/rhsd_bench-23ac5f5a3fba300a: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/table.rs:
+crates/bench/src/viz.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

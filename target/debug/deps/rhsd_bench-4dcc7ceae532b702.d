@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rhsd_bench-4dcc7ceae532b702.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_bench-4dcc7ceae532b702.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/table.rs:
+crates/bench/src/viz.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/rhsd_core-760c37b5b93dcdda.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/anchor.rs crates/core/src/boxcode.rs crates/core/src/config.rs crates/core/src/cpn.rs crates/core/src/detector.rs crates/core/src/extractor.rs crates/core/src/feature_cache.rs crates/core/src/hnms.rs crates/core/src/loss.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/persist.rs crates/core/src/pruning.rs crates/core/src/refine.rs crates/core/src/roc.rs crates/core/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_core-760c37b5b93dcdda.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/anchor.rs crates/core/src/boxcode.rs crates/core/src/config.rs crates/core/src/cpn.rs crates/core/src/detector.rs crates/core/src/extractor.rs crates/core/src/feature_cache.rs crates/core/src/hnms.rs crates/core/src/loss.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/persist.rs crates/core/src/pruning.rs crates/core/src/refine.rs crates/core/src/roc.rs crates/core/src/train.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/core/src/lib.rs:
+crates/core/src/anchor.rs:
+crates/core/src/boxcode.rs:
+crates/core/src/config.rs:
+crates/core/src/cpn.rs:
+crates/core/src/detector.rs:
+crates/core/src/extractor.rs:
+crates/core/src/feature_cache.rs:
+crates/core/src/hnms.rs:
+crates/core/src/loss.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/persist.rs:
+crates/core/src/pruning.rs:
+crates/core/src/refine.rs:
+crates/core/src/roc.rs:
+crates/core/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/rhsd_core-bf1944e2fa2f772d.d: crates/core/src/lib.rs crates/core/src/anchor.rs crates/core/src/boxcode.rs crates/core/src/config.rs crates/core/src/cpn.rs crates/core/src/detector.rs crates/core/src/extractor.rs crates/core/src/feature_cache.rs crates/core/src/hnms.rs crates/core/src/loss.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/persist.rs crates/core/src/pruning.rs crates/core/src/refine.rs crates/core/src/roc.rs crates/core/src/train.rs
+
+/root/repo/target/debug/deps/librhsd_core-bf1944e2fa2f772d.rlib: crates/core/src/lib.rs crates/core/src/anchor.rs crates/core/src/boxcode.rs crates/core/src/config.rs crates/core/src/cpn.rs crates/core/src/detector.rs crates/core/src/extractor.rs crates/core/src/feature_cache.rs crates/core/src/hnms.rs crates/core/src/loss.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/persist.rs crates/core/src/pruning.rs crates/core/src/refine.rs crates/core/src/roc.rs crates/core/src/train.rs
+
+/root/repo/target/debug/deps/librhsd_core-bf1944e2fa2f772d.rmeta: crates/core/src/lib.rs crates/core/src/anchor.rs crates/core/src/boxcode.rs crates/core/src/config.rs crates/core/src/cpn.rs crates/core/src/detector.rs crates/core/src/extractor.rs crates/core/src/feature_cache.rs crates/core/src/hnms.rs crates/core/src/loss.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/persist.rs crates/core/src/pruning.rs crates/core/src/refine.rs crates/core/src/roc.rs crates/core/src/train.rs
+
+crates/core/src/lib.rs:
+crates/core/src/anchor.rs:
+crates/core/src/boxcode.rs:
+crates/core/src/config.rs:
+crates/core/src/cpn.rs:
+crates/core/src/detector.rs:
+crates/core/src/extractor.rs:
+crates/core/src/feature_cache.rs:
+crates/core/src/hnms.rs:
+crates/core/src/loss.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/persist.rs:
+crates/core/src/pruning.rs:
+crates/core/src/refine.rs:
+crates/core/src/roc.rs:
+crates/core/src/train.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rhsd_data-78551e7c86eebbf8.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs
+
+/root/repo/target/debug/deps/librhsd_data-78551e7c86eebbf8.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs
+
+/root/repo/target/debug/deps/librhsd_data-78551e7c86eebbf8.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/bbox.rs:
+crates/data/src/benchmark.rs:
+crates/data/src/clips.rs:
+crates/data/src/region.rs:
+crates/data/src/region_cache.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rhsd_data-cdbf1526b122aa1b.d: /root/repo/clippy.toml crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_data-cdbf1526b122aa1b.rmeta: /root/repo/clippy.toml crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/bbox.rs:
+crates/data/src/benchmark.rs:
+crates/data/src/clips.rs:
+crates/data/src/region.rs:
+crates/data/src/region_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rhsd_data-cff2315799bd22a8.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs
+
+/root/repo/target/debug/deps/rhsd_data-cff2315799bd22a8: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/bbox.rs:
+crates/data/src/benchmark.rs:
+crates/data/src/clips.rs:
+crates/data/src/region.rs:
+crates/data/src/region_cache.rs:

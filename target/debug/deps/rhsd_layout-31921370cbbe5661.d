@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rhsd_layout-31921370cbbe5661.d: /root/repo/clippy.toml crates/layout/src/lib.rs crates/layout/src/drc.rs crates/layout/src/geom.rs crates/layout/src/io.rs crates/layout/src/layout.rs crates/layout/src/polygon.rs crates/layout/src/raster.rs crates/layout/src/synth/mod.rs crates/layout/src/synth/cases.rs crates/layout/src/synth/generator.rs crates/layout/src/synth/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_layout-31921370cbbe5661.rmeta: /root/repo/clippy.toml crates/layout/src/lib.rs crates/layout/src/drc.rs crates/layout/src/geom.rs crates/layout/src/io.rs crates/layout/src/layout.rs crates/layout/src/polygon.rs crates/layout/src/raster.rs crates/layout/src/synth/mod.rs crates/layout/src/synth/cases.rs crates/layout/src/synth/generator.rs crates/layout/src/synth/rules.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/layout/src/lib.rs:
+crates/layout/src/drc.rs:
+crates/layout/src/geom.rs:
+crates/layout/src/io.rs:
+crates/layout/src/layout.rs:
+crates/layout/src/polygon.rs:
+crates/layout/src/raster.rs:
+crates/layout/src/synth/mod.rs:
+crates/layout/src/synth/cases.rs:
+crates/layout/src/synth/generator.rs:
+crates/layout/src/synth/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

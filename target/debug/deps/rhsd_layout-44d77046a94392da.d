@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rhsd_layout-44d77046a94392da.d: crates/layout/src/lib.rs crates/layout/src/drc.rs crates/layout/src/geom.rs crates/layout/src/io.rs crates/layout/src/layout.rs crates/layout/src/polygon.rs crates/layout/src/raster.rs crates/layout/src/synth/mod.rs crates/layout/src/synth/cases.rs crates/layout/src/synth/generator.rs crates/layout/src/synth/rules.rs
+
+/root/repo/target/debug/deps/librhsd_layout-44d77046a94392da.rlib: crates/layout/src/lib.rs crates/layout/src/drc.rs crates/layout/src/geom.rs crates/layout/src/io.rs crates/layout/src/layout.rs crates/layout/src/polygon.rs crates/layout/src/raster.rs crates/layout/src/synth/mod.rs crates/layout/src/synth/cases.rs crates/layout/src/synth/generator.rs crates/layout/src/synth/rules.rs
+
+/root/repo/target/debug/deps/librhsd_layout-44d77046a94392da.rmeta: crates/layout/src/lib.rs crates/layout/src/drc.rs crates/layout/src/geom.rs crates/layout/src/io.rs crates/layout/src/layout.rs crates/layout/src/polygon.rs crates/layout/src/raster.rs crates/layout/src/synth/mod.rs crates/layout/src/synth/cases.rs crates/layout/src/synth/generator.rs crates/layout/src/synth/rules.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/drc.rs:
+crates/layout/src/geom.rs:
+crates/layout/src/io.rs:
+crates/layout/src/layout.rs:
+crates/layout/src/polygon.rs:
+crates/layout/src/raster.rs:
+crates/layout/src/synth/mod.rs:
+crates/layout/src/synth/cases.rs:
+crates/layout/src/synth/generator.rs:
+crates/layout/src/synth/rules.rs:

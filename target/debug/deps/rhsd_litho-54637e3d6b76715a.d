@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rhsd_litho-54637e3d6b76715a.d: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+/root/repo/target/debug/deps/librhsd_litho-54637e3d6b76715a.rlib: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+/root/repo/target/debug/deps/librhsd_litho-54637e3d6b76715a.rmeta: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+crates/litho/src/lib.rs:
+crates/litho/src/aerial.rs:
+crates/litho/src/cd.rs:
+crates/litho/src/hotspot.rs:
+crates/litho/src/kernel.rs:
+crates/litho/src/resist.rs:
+crates/litho/src/window.rs:

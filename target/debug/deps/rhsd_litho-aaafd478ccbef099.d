@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rhsd_litho-aaafd478ccbef099.d: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+/root/repo/target/debug/deps/librhsd_litho-aaafd478ccbef099.rlib: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+/root/repo/target/debug/deps/librhsd_litho-aaafd478ccbef099.rmeta: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+crates/litho/src/lib.rs:
+crates/litho/src/aerial.rs:
+crates/litho/src/cd.rs:
+crates/litho/src/hotspot.rs:
+crates/litho/src/kernel.rs:
+crates/litho/src/resist.rs:
+crates/litho/src/window.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rhsd_litho-acb23d22a4a179fb.d: /root/repo/clippy.toml crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_litho-acb23d22a4a179fb.rmeta: /root/repo/clippy.toml crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/litho/src/lib.rs:
+crates/litho/src/aerial.rs:
+crates/litho/src/cd.rs:
+crates/litho/src/hotspot.rs:
+crates/litho/src/kernel.rs:
+crates/litho/src/resist.rs:
+crates/litho/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rhsd_litho-d15535f602fd669d.d: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+/root/repo/target/debug/deps/rhsd_litho-d15535f602fd669d: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+crates/litho/src/lib.rs:
+crates/litho/src/aerial.rs:
+crates/litho/src/cd.rs:
+crates/litho/src/hotspot.rs:
+crates/litho/src/kernel.rs:
+crates/litho/src/resist.rs:
+crates/litho/src/window.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/rhsd_nn-6ad29d8ce8161bb5.d: /root/repo/clippy.toml crates/nn/src/lib.rs crates/nn/src/encdec.rs crates/nn/src/inception.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/activation2.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/deconv2d.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/optim_adam.rs crates/nn/src/param.rs crates/nn/src/serialize.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_nn-6ad29d8ce8161bb5.rmeta: /root/repo/clippy.toml crates/nn/src/lib.rs crates/nn/src/encdec.rs crates/nn/src/inception.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/activation2.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/deconv2d.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/optim_adam.rs crates/nn/src/param.rs crates/nn/src/serialize.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/nn/src/lib.rs:
+crates/nn/src/encdec.rs:
+crates/nn/src/inception.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/activation2.rs:
+crates/nn/src/layers/conv2d.rs:
+crates/nn/src/layers/deconv2d.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/sequential.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/optim_adam.rs:
+crates/nn/src/param.rs:
+crates/nn/src/serialize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

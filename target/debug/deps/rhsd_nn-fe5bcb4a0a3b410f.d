@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/rhsd_nn-fe5bcb4a0a3b410f.d: crates/nn/src/lib.rs crates/nn/src/encdec.rs crates/nn/src/inception.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/activation2.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/deconv2d.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/optim_adam.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+
+/root/repo/target/debug/deps/librhsd_nn-fe5bcb4a0a3b410f.rlib: crates/nn/src/lib.rs crates/nn/src/encdec.rs crates/nn/src/inception.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/activation2.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/deconv2d.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/optim_adam.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+
+/root/repo/target/debug/deps/librhsd_nn-fe5bcb4a0a3b410f.rmeta: crates/nn/src/lib.rs crates/nn/src/encdec.rs crates/nn/src/inception.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/activation2.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/deconv2d.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/optim_adam.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/encdec.rs:
+crates/nn/src/inception.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/activation2.rs:
+crates/nn/src/layers/conv2d.rs:
+crates/nn/src/layers/deconv2d.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/sequential.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/optim_adam.rs:
+crates/nn/src/param.rs:
+crates/nn/src/serialize.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rhsd_obs-249be026c376ac8a.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs
+
+/root/repo/target/debug/deps/rhsd_obs-249be026c376ac8a: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/json.rs:
+crates/obs/src/ledger.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/span.rs:
+crates/obs/src/spantree.rs:

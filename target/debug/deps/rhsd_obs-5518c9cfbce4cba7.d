@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rhsd_obs-5518c9cfbce4cba7.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs
+
+/root/repo/target/debug/deps/librhsd_obs-5518c9cfbce4cba7.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs
+
+/root/repo/target/debug/deps/librhsd_obs-5518c9cfbce4cba7.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/json.rs:
+crates/obs/src/ledger.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/span.rs:
+crates/obs/src/spantree.rs:

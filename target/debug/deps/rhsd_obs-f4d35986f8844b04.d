@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rhsd_obs-f4d35986f8844b04.d: /root/repo/clippy.toml crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_obs-f4d35986f8844b04.rmeta: /root/repo/clippy.toml crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/json.rs:
+crates/obs/src/ledger.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/span.rs:
+crates/obs/src/spantree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rhsd_par-a9ed6e0980162bab.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/rhsd_par-a9ed6e0980162bab: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rhsd_par-f3fac53410c36d19.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/librhsd_par-f3fac53410c36d19.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/librhsd_par-f3fac53410c36d19.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

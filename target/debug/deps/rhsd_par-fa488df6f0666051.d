@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rhsd_par-fa488df6f0666051.d: /root/repo/clippy.toml crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_par-fa488df6f0666051.rmeta: /root/repo/clippy.toml crates/par/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

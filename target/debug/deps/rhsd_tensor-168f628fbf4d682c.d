@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rhsd_tensor-168f628fbf4d682c.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/invariants.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/deconv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/ops/softmax.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/workspace.rs
+
+/root/repo/target/debug/deps/librhsd_tensor-168f628fbf4d682c.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/invariants.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/deconv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/ops/softmax.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/workspace.rs
+
+/root/repo/target/debug/deps/librhsd_tensor-168f628fbf4d682c.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/invariants.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/deconv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/ops/softmax.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/workspace.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/invariants.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/deconv.rs:
+crates/tensor/src/ops/elementwise.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/pool.rs:
+crates/tensor/src/ops/reduce.rs:
+crates/tensor/src/ops/softmax.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/workspace.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/rhsd_tensor-257de6ab8326a2c0.d: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/invariants.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/deconv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/ops/softmax.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/workspace.rs Cargo.toml
+
+/root/repo/target/debug/deps/librhsd_tensor-257de6ab8326a2c0.rmeta: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/invariants.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/deconv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/ops/softmax.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/workspace.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/invariants.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/deconv.rs:
+crates/tensor/src/ops/elementwise.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/pool.rs:
+crates/tensor/src/ops/reduce.rs:
+crates/tensor/src/ops/softmax.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/workspace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

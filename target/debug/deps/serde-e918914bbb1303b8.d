@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/serde-e918914bbb1303b8.d: /root/repo/clippy.toml vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-e918914bbb1303b8.rmeta: /root/repo/clippy.toml vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

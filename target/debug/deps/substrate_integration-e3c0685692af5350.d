@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate_integration-e3c0685692af5350.d: tests/substrate_integration.rs
+
+/root/repo/target/debug/deps/substrate_integration-e3c0685692af5350: tests/substrate_integration.rs
+
+tests/substrate_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workspace_steady_state-272f2c0a166b6b89.d: tests/workspace_steady_state.rs
+
+/root/repo/target/debug/deps/workspace_steady_state-272f2c0a166b6b89: tests/workspace_steady_state.rs
+
+tests/workspace_steady_state.rs:

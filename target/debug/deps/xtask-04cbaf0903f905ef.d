@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/xtask-04cbaf0903f905ef.d: /root/repo/clippy.toml xtask/src/main.rs xtask/src/bench_diff.rs xtask/src/lint/mod.rs xtask/src/lint/rules.rs xtask/src/lint/source.rs xtask/src/microbench.rs xtask/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxtask-04cbaf0903f905ef.rmeta: /root/repo/clippy.toml xtask/src/main.rs xtask/src/bench_diff.rs xtask/src/lint/mod.rs xtask/src/lint/rules.rs xtask/src/lint/source.rs xtask/src/microbench.rs xtask/src/report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+xtask/src/main.rs:
+xtask/src/bench_diff.rs:
+xtask/src/lint/mod.rs:
+xtask/src/lint/rules.rs:
+xtask/src/lint/source.rs:
+xtask/src/microbench.rs:
+xtask/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

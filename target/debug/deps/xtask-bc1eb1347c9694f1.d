@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/xtask-bc1eb1347c9694f1.d: xtask/src/main.rs xtask/src/bench_diff.rs xtask/src/lint/mod.rs xtask/src/lint/rules.rs xtask/src/lint/source.rs xtask/src/microbench.rs xtask/src/report.rs
+
+/root/repo/target/debug/deps/xtask-bc1eb1347c9694f1: xtask/src/main.rs xtask/src/bench_diff.rs xtask/src/lint/mod.rs xtask/src/lint/rules.rs xtask/src/lint/source.rs xtask/src/microbench.rs xtask/src/report.rs
+
+xtask/src/main.rs:
+xtask/src/bench_diff.rs:
+xtask/src/lint/mod.rs:
+xtask/src/lint/rules.rs:
+xtask/src/lint/source.rs:
+xtask/src/microbench.rs:
+xtask/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnostics-89024ac8fa0d1b07.d: examples/diagnostics.rs
+
+/root/repo/target/debug/examples/diagnostics-89024ac8fa0d1b07: examples/diagnostics.rs
+
+examples/diagnostics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_chip_scan-d516e1210d349019.d: examples/full_chip_scan.rs
+
+/root/repo/target/debug/examples/full_chip_scan-d516e1210d349019: examples/full_chip_scan.rs
+
+examples/full_chip_scan.rs:

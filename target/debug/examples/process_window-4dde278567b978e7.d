@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/process_window-4dde278567b978e7.d: examples/process_window.rs
+
+/root/repo/target/debug/examples/process_window-4dde278567b978e7: examples/process_window.rs
+
+examples/process_window.rs:

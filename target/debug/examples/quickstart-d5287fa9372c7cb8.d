@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d5287fa9372c7cb8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d5287fa9372c7cb8: examples/quickstart.rs
+
+examples/quickstart.rs:

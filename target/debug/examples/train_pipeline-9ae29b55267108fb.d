@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_pipeline-9ae29b55267108fb.d: examples/train_pipeline.rs
+
+/root/repo/target/debug/examples/train_pipeline-9ae29b55267108fb: examples/train_pipeline.rs
+
+examples/train_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/visualize-33add2973e0a811f.d: examples/visualize.rs
+
+/root/repo/target/debug/examples/visualize-33add2973e0a811f: examples/visualize.rs
+
+examples/visualize.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-1cb988bdffb5f169.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1cb988bdffb5f169.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-1cb988bdffb5f169.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

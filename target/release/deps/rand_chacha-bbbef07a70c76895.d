@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-bbbef07a70c76895.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-bbbef07a70c76895.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-bbbef07a70c76895.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_ablations-f661b64e025306e0.d: crates/bench/src/bin/repro_ablations.rs
+
+/root/repo/target/release/deps/repro_ablations-f661b64e025306e0: crates/bench/src/bin/repro_ablations.rs
+
+crates/bench/src/bin/repro_ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig10-d5bfb10afed53277.d: crates/bench/src/bin/repro_fig10.rs
+
+/root/repo/target/release/deps/repro_fig10-d5bfb10afed53277: crates/bench/src/bin/repro_fig10.rs
+
+crates/bench/src/bin/repro_fig10.rs:

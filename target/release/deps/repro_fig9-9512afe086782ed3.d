@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_fig9-9512afe086782ed3.d: crates/bench/src/bin/repro_fig9.rs
+
+/root/repo/target/release/deps/repro_fig9-9512afe086782ed3: crates/bench/src/bin/repro_fig9.rs
+
+crates/bench/src/bin/repro_fig9.rs:

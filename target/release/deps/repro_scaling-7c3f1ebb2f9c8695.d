@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_scaling-7c3f1ebb2f9c8695.d: crates/bench/src/bin/repro_scaling.rs
+
+/root/repo/target/release/deps/repro_scaling-7c3f1ebb2f9c8695: crates/bench/src/bin/repro_scaling.rs
+
+crates/bench/src/bin/repro_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-20752dfa0d9c4ab0.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-20752dfa0d9c4ab0: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

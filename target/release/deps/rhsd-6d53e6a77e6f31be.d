@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rhsd-6d53e6a77e6f31be.d: src/lib.rs
+
+/root/repo/target/release/deps/librhsd-6d53e6a77e6f31be.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librhsd-6d53e6a77e6f31be.rmeta: src/lib.rs
+
+src/lib.rs:

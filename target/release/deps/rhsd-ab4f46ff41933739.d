@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rhsd-ab4f46ff41933739.d: src/bin/rhsd.rs
+
+/root/repo/target/release/deps/rhsd-ab4f46ff41933739: src/bin/rhsd.rs
+
+src/bin/rhsd.rs:

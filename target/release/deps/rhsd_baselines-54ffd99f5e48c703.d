@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rhsd_baselines-54ffd99f5e48c703.d: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+/root/repo/target/release/deps/librhsd_baselines-54ffd99f5e48c703.rlib: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+/root/repo/target/release/deps/librhsd_baselines-54ffd99f5e48c703.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dct.rs crates/baselines/src/eval.rs crates/baselines/src/generic.rs crates/baselines/src/tcad18.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dct.rs:
+crates/baselines/src/eval.rs:
+crates/baselines/src/generic.rs:
+crates/baselines/src/tcad18.rs:

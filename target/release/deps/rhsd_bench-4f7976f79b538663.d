@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rhsd_bench-4f7976f79b538663.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs
+
+/root/repo/target/release/deps/librhsd_bench-4f7976f79b538663.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs
+
+/root/repo/target/release/deps/librhsd_bench-4f7976f79b538663.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/pipeline.rs crates/bench/src/table.rs crates/bench/src/viz.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/pipeline.rs:
+crates/bench/src/table.rs:
+crates/bench/src/viz.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rhsd_data-abc4a8d47a234d3f.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs
+
+/root/repo/target/release/deps/librhsd_data-abc4a8d47a234d3f.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs
+
+/root/repo/target/release/deps/librhsd_data-abc4a8d47a234d3f.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/bbox.rs crates/data/src/benchmark.rs crates/data/src/clips.rs crates/data/src/region.rs crates/data/src/region_cache.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/bbox.rs:
+crates/data/src/benchmark.rs:
+crates/data/src/clips.rs:
+crates/data/src/region.rs:
+crates/data/src/region_cache.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/rhsd_layout-8c8ec21a908e1355.d: crates/layout/src/lib.rs crates/layout/src/drc.rs crates/layout/src/geom.rs crates/layout/src/io.rs crates/layout/src/layout.rs crates/layout/src/polygon.rs crates/layout/src/raster.rs crates/layout/src/synth/mod.rs crates/layout/src/synth/cases.rs crates/layout/src/synth/generator.rs crates/layout/src/synth/rules.rs
+
+/root/repo/target/release/deps/librhsd_layout-8c8ec21a908e1355.rlib: crates/layout/src/lib.rs crates/layout/src/drc.rs crates/layout/src/geom.rs crates/layout/src/io.rs crates/layout/src/layout.rs crates/layout/src/polygon.rs crates/layout/src/raster.rs crates/layout/src/synth/mod.rs crates/layout/src/synth/cases.rs crates/layout/src/synth/generator.rs crates/layout/src/synth/rules.rs
+
+/root/repo/target/release/deps/librhsd_layout-8c8ec21a908e1355.rmeta: crates/layout/src/lib.rs crates/layout/src/drc.rs crates/layout/src/geom.rs crates/layout/src/io.rs crates/layout/src/layout.rs crates/layout/src/polygon.rs crates/layout/src/raster.rs crates/layout/src/synth/mod.rs crates/layout/src/synth/cases.rs crates/layout/src/synth/generator.rs crates/layout/src/synth/rules.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/drc.rs:
+crates/layout/src/geom.rs:
+crates/layout/src/io.rs:
+crates/layout/src/layout.rs:
+crates/layout/src/polygon.rs:
+crates/layout/src/raster.rs:
+crates/layout/src/synth/mod.rs:
+crates/layout/src/synth/cases.rs:
+crates/layout/src/synth/generator.rs:
+crates/layout/src/synth/rules.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rhsd_litho-2960fc7a666d6ed8.d: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+/root/repo/target/release/deps/librhsd_litho-2960fc7a666d6ed8.rlib: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+/root/repo/target/release/deps/librhsd_litho-2960fc7a666d6ed8.rmeta: crates/litho/src/lib.rs crates/litho/src/aerial.rs crates/litho/src/cd.rs crates/litho/src/hotspot.rs crates/litho/src/kernel.rs crates/litho/src/resist.rs crates/litho/src/window.rs
+
+crates/litho/src/lib.rs:
+crates/litho/src/aerial.rs:
+crates/litho/src/cd.rs:
+crates/litho/src/hotspot.rs:
+crates/litho/src/kernel.rs:
+crates/litho/src/resist.rs:
+crates/litho/src/window.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/rhsd_nn-803ecd931ae51a28.d: crates/nn/src/lib.rs crates/nn/src/encdec.rs crates/nn/src/inception.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/activation2.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/deconv2d.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/optim_adam.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+
+/root/repo/target/release/deps/librhsd_nn-803ecd931ae51a28.rlib: crates/nn/src/lib.rs crates/nn/src/encdec.rs crates/nn/src/inception.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/activation2.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/deconv2d.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/optim_adam.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+
+/root/repo/target/release/deps/librhsd_nn-803ecd931ae51a28.rmeta: crates/nn/src/lib.rs crates/nn/src/encdec.rs crates/nn/src/inception.rs crates/nn/src/init.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/activation2.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/deconv2d.rs crates/nn/src/layers/linear.rs crates/nn/src/layers/pool.rs crates/nn/src/layers/sequential.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/optim_adam.rs crates/nn/src/param.rs crates/nn/src/serialize.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/encdec.rs:
+crates/nn/src/inception.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/activation2.rs:
+crates/nn/src/layers/conv2d.rs:
+crates/nn/src/layers/deconv2d.rs:
+crates/nn/src/layers/linear.rs:
+crates/nn/src/layers/pool.rs:
+crates/nn/src/layers/sequential.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/optim_adam.rs:
+crates/nn/src/param.rs:
+crates/nn/src/serialize.rs:

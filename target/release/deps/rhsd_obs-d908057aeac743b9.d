@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rhsd_obs-d908057aeac743b9.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs
+
+/root/repo/target/release/deps/librhsd_obs-d908057aeac743b9.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs
+
+/root/repo/target/release/deps/librhsd_obs-d908057aeac743b9.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/json.rs crates/obs/src/ledger.rs crates/obs/src/metrics.rs crates/obs/src/profile.rs crates/obs/src/span.rs crates/obs/src/spantree.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/json.rs:
+crates/obs/src/ledger.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/span.rs:
+crates/obs/src/spantree.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rhsd_par-41efc77db10eb9d9.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/librhsd_par-41efc77db10eb9d9.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/librhsd_par-41efc77db10eb9d9.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_probe-db57069f311eaa11.d: tests/tmp_probe.rs
+
+/root/repo/target/release/deps/tmp_probe-db57069f311eaa11: tests/tmp_probe.rs
+
+tests/tmp_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_probe2-2b13f7cfdc87b91d.d: tests/tmp_probe2.rs
+
+/root/repo/target/release/deps/tmp_probe2-2b13f7cfdc87b91d: tests/tmp_probe2.rs
+
+tests/tmp_probe2.rs:

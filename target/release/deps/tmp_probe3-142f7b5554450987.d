@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_probe3-142f7b5554450987.d: tests/tmp_probe3.rs
+
+/root/repo/target/release/deps/tmp_probe3-142f7b5554450987: tests/tmp_probe3.rs
+
+tests/tmp_probe3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_probe4-89c86158fddadc8e.d: tests/tmp_probe4.rs
+
+/root/repo/target/release/deps/tmp_probe4-89c86158fddadc8e: tests/tmp_probe4.rs
+
+tests/tmp_probe4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_probe5-3b58a5f891518d9f.d: tests/tmp_probe5.rs
+
+/root/repo/target/release/deps/tmp_probe5-3b58a5f891518d9f: tests/tmp_probe5.rs
+
+tests/tmp_probe5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_probe6-7e99ce5c4eaf56dd.d: tests/tmp_probe6.rs
+
+/root/repo/target/release/deps/tmp_probe6-7e99ce5c4eaf56dd: tests/tmp_probe6.rs
+
+tests/tmp_probe6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_probe7-f8e1c8e281a6c3e9.d: tests/tmp_probe7.rs
+
+/root/repo/target/release/deps/tmp_probe7-f8e1c8e281a6c3e9: tests/tmp_probe7.rs
+
+tests/tmp_probe7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tmp_probe8-9275e1552ead9836.d: tests/tmp_probe8.rs
+
+/root/repo/target/release/deps/tmp_probe8-9275e1552ead9836: tests/tmp_probe8.rs
+
+tests/tmp_probe8.rs:

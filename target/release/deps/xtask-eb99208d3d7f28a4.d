@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/xtask-eb99208d3d7f28a4.d: xtask/src/main.rs xtask/src/bench_diff.rs xtask/src/lint/mod.rs xtask/src/lint/rules.rs xtask/src/lint/source.rs xtask/src/microbench.rs xtask/src/report.rs
+
+/root/repo/target/release/deps/xtask-eb99208d3d7f28a4: xtask/src/main.rs xtask/src/bench_diff.rs xtask/src/lint/mod.rs xtask/src/lint/rules.rs xtask/src/lint/source.rs xtask/src/microbench.rs xtask/src/report.rs
+
+xtask/src/main.rs:
+xtask/src/bench_diff.rs:
+xtask/src/lint/mod.rs:
+xtask/src/lint/rules.rs:
+xtask/src/lint/source.rs:
+xtask/src/microbench.rs:
+xtask/src/report.rs:

@@ -1,0 +1,418 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde is a zero-copy serialisation *framework*; this stub
+//! replaces it with a much simpler value model that is sufficient for
+//! the workspace's needs (JSON checkpoints, configs and bench tables):
+//!
+//! - [`Value`] — a JSON-shaped tree (object fields keep insertion
+//!   order, integers stay lossless);
+//! - [`Serialize`] — `fn to_value(&self) -> Value`;
+//! - [`Deserialize`] — `fn from_value(&Value) -> Result<Self, DeError>`;
+//! - impls for primitives, `String`, `Option`, `Vec`, fixed arrays and
+//!   small tuples;
+//! - with the `derive` feature, re-exports of the companion derive
+//!   macros (which understand `#[serde(skip)]`).
+//!
+//! The `serde_json` stub renders and parses [`Value`] as JSON text.
+
+/// A JSON-shaped value tree.
+///
+/// Objects are vectors of `(key, value)` pairs so serialisation order
+/// matches declaration order (stable golden files); integers keep their
+/// own variants so `u64` seeds survive round trips losslessly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A negative or signed integer.
+    Int(i64),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (ordered key/value pairs).
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The object's fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content widened to `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object-field lookup; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Looks up `name` in an object's fields; absent keys read as `Null`
+/// (so `Option` fields deserialise to `None` and everything else
+/// reports a typed error).
+pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> &'a Value {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Deserialisation error: a message with accumulated field context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Prefixes the message with a field-path context.
+    pub fn at(self, context: &str) -> Self {
+        DeError {
+            msg: format!("{context}: {}", self.msg),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] model.
+pub trait Serialize {
+    /// Serialises `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Deserialises from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ------------------------------------------------------------ primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::new("expected a boolean"))
+    }
+}
+
+fn as_i128(v: &Value) -> Option<i128> {
+    match v {
+        Value::Int(i) => Some(*i as i128),
+        Value::UInt(u) => Some(*u as i128),
+        _ => None,
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide = as_i128(v).ok_or_else(|| DeError::new("expected an integer"))?;
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::new(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide = as_i128(v).ok_or_else(|| DeError::new("expected an integer"))?;
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::new(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::new("expected a number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.as_f64()
+            .ok_or_else(|| DeError::new("expected a number"))? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected a string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new("expected an array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::new("expected an array"))?;
+        if arr.len() != N {
+            return Err(DeError::new(format!(
+                "expected an array of length {N}, got {}",
+                arr.len()
+            )));
+        }
+        let items: Vec<T> = arr.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        items
+            .try_into()
+            .map_err(|_| DeError::new("array length mismatch"))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::new("expected a tuple array"))?;
+                let want = [$($n),+].len();
+                if arr.len() != want {
+                    return Err(DeError::new(format!(
+                        "expected a tuple of {want} elements, got {}", arr.len()
+                    )));
+                }
+                Ok(($($t::from_value(&arr[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impls!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(u64::from_value(&7u64.to_value()), Ok(7));
+        assert_eq!(i32::from_value(&(-3i32).to_value()), Ok(-3));
+        assert_eq!(f32::from_value(&1.5f32.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn floats_accept_integer_values() {
+        // The JSON writer prints 2.0 as "2", which parses as an integer.
+        assert_eq!(f32::from_value(&Value::Int(2)), Ok(2.0));
+        assert_eq!(f64::from_value(&Value::UInt(3)), Ok(3.0));
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(u64::from_value(&Value::UInt(u64::MAX)), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+        let arr = [4usize, 5, 6];
+        assert_eq!(<[usize; 3]>::from_value(&arr.to_value()), Ok(arr));
+        let none: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&none.to_value()), Ok(None));
+        let pair = ("x".to_string(), vec![1u8]);
+        assert_eq!(
+            <(String, Vec<u8>)>::from_value(&pair.clone().to_value()),
+            Ok(pair)
+        );
+    }
+
+    #[test]
+    fn missing_fields_read_as_null() {
+        let obj = vec![("a".to_string(), Value::UInt(1))];
+        assert_eq!(field(&obj, "a"), &Value::UInt(1));
+        assert_eq!(field(&obj, "b"), &Value::Null);
+        assert_eq!(Option::<u8>::from_value(field(&obj, "b")), Ok(None));
+        assert!(u8::from_value(field(&obj, "b")).is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item token stream (no `syn`/`quote`) and emits
+//! implementations of the vendored serde's value-model traits
+//! (`Serialize::to_value` / `Deserialize::from_value`). Supported item
+//! shapes — the full set this workspace derives on:
+//!
+//! - named-field structs, with `#[serde(skip)]` (omitted when
+//!   serialising, `Default::default()` when deserialising);
+//! - single-field tuple structs (newtypes), serialised transparently;
+//! - enums with unit variants (externally tagged as a string) and
+//!   struct variants (externally tagged as a one-key object).
+//!
+//! Generics, tuple variants and other serde attributes are rejected
+//! with a compile-time panic naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+/// The derivable item shapes.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    NewtypeStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored serde's `Serialize` (value-model) trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(serialize_impl(&item))
+}
+
+/// Derives the vendored serde's `Deserialize` (value-model) trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(deserialize_impl(&item))
+}
+
+fn render(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive stub emitted unparsable code: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (doc comments etc.) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic item `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let commas = top_level_commas(&inner);
+                if commas > 0 {
+                    panic!(
+                        "serde_derive stub: tuple struct `{name}` has more than one \
+                         field; only newtypes are supported"
+                    );
+                }
+                Item::NewtypeStruct { name }
+            }
+            other => panic!("serde_derive stub: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive stub: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for a `{other}`"),
+    }
+}
+
+/// Counts commas at angle-bracket depth zero (group delimiters are
+/// already nested away by the tokeniser; only `<`/`>` need tracking).
+fn top_level_commas(tokens: &[TokenTree]) -> usize {
+    let mut depth: i32 = 0;
+    let mut commas = 0;
+    let mut it = tokens.iter().peekable();
+    while let Some(t) = it.next() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                '-' => {
+                    // `->` in an fn-pointer type: skip the `>` of the arrow
+                    if let Some(TokenTree::Punct(n)) = it.peek() {
+                        if n.as_char() == '>' {
+                            it.next();
+                        }
+                    }
+                }
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    commas
+}
+
+/// Parses `attr* vis? name : type` fields separated by top-level commas.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        // attributes
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if attr_is_serde_skip(&g.stream()) {
+                    skip = true;
+                }
+            }
+            i += 2;
+        }
+        // visibility
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after `{name}`, got {other:?}"),
+        }
+        // type: skip to the next comma at angle-depth 0
+        let mut depth: i32 = 0;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // the comma (or one past the end)
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Parses `attr* Name ({fields})?` variants separated by commas.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // attributes (doc comments)
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive stub: tuple variant `{name}` is not supported");
+            }
+            _ => None,
+        };
+        // trailing comma
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// True when the bracket-group content is `serde(... skip ...)`.
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => {
+            let has_skip = g
+                .stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"));
+            if !has_skip {
+                panic!(
+                    "serde_derive stub: only #[serde(skip)] is supported, got #[serde({})]",
+                    g.stream()
+                );
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+// --------------------------------------------------------------- codegen
+
+fn serialize_impl(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| push_field(&f.name, &format!("&self.{}", f.name)))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: String = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| push_field(&f.name, &f.name))
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(::std::vec::Vec::from([(::std::string::String::from(\"{v}\"), ::serde::Value::Object(__fields))]))\n\
+                             }}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn push_field(name: &str, expr: &str) -> String {
+    format!(
+        "__fields.push((::std::string::String::from(\"{name}\"), ::serde::Serialize::to_value({expr})));\n"
+    )
+}
+
+fn deserialize_impl(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| init_field(name, f, "__obj"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::new(\"{name}: expected a JSON object\"))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v).map_err(|__e| __e.at(\"{name}\"))?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let struct_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|f| (v, f)))
+                .map(|(v, fields)| {
+                    let scope = format!("{}::{}", name, v.name);
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| init_field(&scope, f, "__vobj"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{\n\
+                             let __vobj = __inner.as_object().ok_or_else(|| ::serde::DeError::new(\"{scope}: expected a JSON object\"))?;\n\
+                             ::std::result::Result::Ok({scope} {{\n{inits}}})\n\
+                         }}\n",
+                        v = v.name,
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::DeError::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                                 let (__tag, __inner) = (&__o[0].0, &__o[0].1);\n\
+                                 match __tag.as_str() {{\n\
+                                     {struct_arms}\
+                                     __other => ::std::result::Result::Err(::serde::DeError::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::new(\"{name}: expected a variant string or a single-key object\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn init_field(scope: &str, f: &Field, obj: &str) -> String {
+    if f.skip {
+        format!("{}: ::std::default::Default::default(),\n", f.name)
+    } else {
+        format!(
+            "{n}: ::serde::Deserialize::from_value(::serde::field({obj}, \"{n}\")).map_err(|__e| __e.at(\"{scope}.{n}\"))?,\n",
+            n = f.name,
+        )
+    }
+}

@@ -74,8 +74,17 @@ case "${1:-}" in
 --profile-smoke) profile_smoke_only=1 ;;
 esac
 
+# Lint-only gate. Exit codes are the linter's own and are propagated
+# unchanged by run_step: 0 clean, 1 violations (or a stale allowlist
+# entry under --check-allow), 2 internal/usage error. Under CI=1 the
+# findings render as GitHub workflow annotations and the JSON report
+# (schema rhsd-lint-report/1) is written to lint-report.json for upload.
 if [[ $lint_only -eq 1 ]]; then
-    run_step "cargo xtask lint" cargo xtask lint
+    lint_cmd=(cargo xtask lint --check-allow)
+    if [[ $ci -eq 1 ]]; then
+        lint_cmd+=(--format github --out lint-report.json)
+    fi
+    run_step "lint" "${lint_cmd[@]}"
     printf '\nLint gate passed.\n'
     exit 0
 fi
@@ -222,7 +231,7 @@ run_step "cargo test" cargo test --workspace -q
 run_step "cargo test --features debug_invariants" \
     cargo test -q --features debug_invariants -p rhsd-nn -p rhsd-tensor
 
-run_step "cargo xtask lint" cargo xtask lint
+run_step "cargo xtask lint" cargo xtask lint --check-allow
 
 run_step "cargo fmt --check" cargo fmt --all --check
 

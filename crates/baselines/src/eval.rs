@@ -4,6 +4,7 @@
 
 use rhsd_core::Evaluation;
 use rhsd_layout::{Point, Rect};
+use rhsd_tensor::ops::reduce;
 
 /// A scored hotspot clip in layout coordinates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,12 +23,7 @@ pub struct LayoutClip {
 /// detection is a false alarm (Def. 1 and Def. 2).
 pub fn evaluate_layout(detections: &[LayoutClip], hotspots: &[Point]) -> Evaluation {
     let mut order: Vec<usize> = (0..detections.len()).collect();
-    order.sort_by(|&a, &b| {
-        detections[b]
-            .score
-            .partial_cmp(&detections[a].score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| detections[b].score.total_cmp(&detections[a].score));
     let mut matched = vec![false; hotspots.len()];
     let mut tp = 0;
     let mut fa = 0;
@@ -96,10 +92,10 @@ pub fn average_row(rows: &[CaseResult]) -> CaseResult {
     let n = rows.len().max(1) as f64;
     CaseResult {
         case: "Average".to_owned(),
-        accuracy_pct: rows.iter().map(|r| r.accuracy_pct).sum::<f64>() / n,
+        accuracy_pct: reduce::sum_f64(rows.iter().map(|r| r.accuracy_pct)) / n,
         false_alarms: (rows.iter().map(|r| r.false_alarms).sum::<usize>() as f64 / n).round()
             as usize,
-        seconds: rows.iter().map(|r| r.seconds).sum::<f64>() / n,
+        seconds: reduce::sum_f64(rows.iter().map(|r| r.seconds)) / n,
     }
 }
 

@@ -60,12 +60,7 @@ pub fn render_svg(
 
     // match detections to hotspots (Def. 1)
     let mut order: Vec<usize> = (0..detections.len()).collect();
-    order.sort_by(|&a, &b| {
-        detections[b]
-            .score
-            .partial_cmp(&detections[a].score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| detections[b].score.total_cmp(&detections[a].score));
     let mut matched_hotspot = vec![false; hotspots.len()];
     let mut det_marks = vec![Mark::FalseAlarm; detections.len()];
     for &di in &order {

@@ -36,11 +36,7 @@ fn nms_by(
 ) -> Vec<Scored> {
     // line 1: sorted_ws ← sorted clip set (descending score)
     let mut sorted: Vec<Scored> = candidates.to_vec();
-    sorted.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    sorted.sort_by(|a, b| b.score.total_cmp(&a.score));
     let mut kept: Vec<Scored> = Vec::new();
     for c in sorted {
         if kept.iter().all(|k| overlap(&k.bbox, &c.bbox) <= threshold) {

@@ -60,12 +60,7 @@ impl std::fmt::Display for Evaluation {
 /// unmatched hotspot centre is a true positive, otherwise a false alarm.
 pub fn evaluate_region(detections: &[Detection], gt_centers: &[(f32, f32)]) -> Evaluation {
     let mut order: Vec<usize> = (0..detections.len()).collect();
-    order.sort_by(|&a, &b| {
-        detections[b]
-            .score
-            .partial_cmp(&detections[a].score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| detections[b].score.total_cmp(&detections[a].score));
     let mut matched = vec![false; gt_centers.len()];
     let mut tp = 0usize;
     let mut fa = 0usize;

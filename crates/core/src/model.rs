@@ -257,7 +257,7 @@ impl RhsdNetwork {
         let mut scored: Vec<(usize, f32)> = (0..self.anchors.len())
             .map(|ai| (ai, probs.get(&[ai, CLASS_HOTSPOT])))
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut neg = 0usize;
         for &(ai, _) in scored.iter().take(needed * 4) {
             if neg >= needed / 2 {

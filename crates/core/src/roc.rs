@@ -9,6 +9,7 @@
 
 use crate::metrics::{evaluate_region, Evaluation};
 use crate::model::Detection;
+use rhsd_tensor::ops::reduce;
 
 /// One operating point of a detector.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -58,8 +59,7 @@ pub fn default_thresholds() -> Vec<f32> {
 pub fn best_operating_point(points: &[OperatingPoint]) -> Option<OperatingPoint> {
     points.iter().copied().max_by(|a, b| {
         a.accuracy
-            .partial_cmp(&b.accuracy)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&b.accuracy)
             .then(b.false_alarms.cmp(&a.false_alarms))
     })
 }
@@ -76,13 +76,13 @@ pub fn auc(points: &[OperatingPoint]) -> f64 {
     let max_fa = points.iter().map(|p| p.false_alarms).max().unwrap_or(0);
     if max_fa == 0 {
         // no false alarms anywhere: degenerate perfect-precision curve
-        return points.iter().map(|p| p.accuracy).fold(0.0, f64::max);
+        return reduce::max_f64(0.0, points.iter().map(|p| p.accuracy));
     }
     let mut pts: Vec<(f64, f64)> = points
         .iter()
         .map(|p| (p.false_alarms as f64 / max_fa as f64, p.accuracy))
         .collect();
-    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut area = 0.0;
     for w in pts.windows(2) {
         let ((x0, y0), (x1, y1)) = (w[0], w[1]);

@@ -63,10 +63,7 @@ impl ProcessWindow {
     /// The largest blur sigma across corners, in nm — callers use this to
     /// size the context padding of simulation tiles.
     pub fn max_sigma_nm(&self) -> f64 {
-        self.all_corners()
-            .iter()
-            .map(|c| c.sigma_nm)
-            .fold(0.0, f64::max)
+        rhsd_tensor::ops::reduce::max_f64(0.0, self.all_corners().iter().map(|c| c.sigma_nm))
     }
 }
 

@@ -79,8 +79,8 @@ pub fn smooth_l1_loss(pred: &Tensor, target: &Tensor, weights: &[f32]) -> (f32, 
     (loss / norm, Tensor::from_parts([n, k], grad))
 }
 
-/// Classification loss re-export with the paper's naming: `l_hotspot` is the
-/// cross-entropy of Eq. (6) over (hotspot, non-hotspot) logits.
+/// Classification loss under the paper's naming — the L_hotspot term,
+/// i.e. the cross-entropy of Eq. (6) over (hotspot, non-hotspot) logits.
 ///
 /// Shapes: `logits` is `[n, 2]`; `targets` and `weights` have `n`
 /// entries. See [`cross_entropy_rows`] for the contract.

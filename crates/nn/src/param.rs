@@ -18,7 +18,7 @@ pub struct Param {
 impl Param {
     /// Wraps a value tensor with a zeroed gradient of the same shape.
     ///
-    /// Shapes: `grad` is allocated with `value`'s shape.
+    /// Shapes: the gradient field is allocated with `value`'s shape.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
         Param { value, grad }

@@ -334,8 +334,11 @@ pub fn emit(event: &Event) {
         Some(led) => led.emit(event).is_err(),
         None => false,
     };
+    // The ledger guard is a temporary inside the match scrutinee: it
+    // drops when the match *statement* ends, so the counter below runs
+    // with no lock held. L9's lexical call-order scan can't see that.
     if failed {
-        crate::counter("ledger.write_errors", 1);
+        crate::counter("ledger.write_errors", 1); // lint:allow(L9)
     }
 }
 

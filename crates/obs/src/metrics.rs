@@ -54,7 +54,7 @@ impl Histogram {
             return None;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
         Some(sorted[rank - 1])

@@ -141,7 +141,7 @@ impl SpanTree {
         for (name, node) in &self.roots {
             walk("", name, node, &mut all);
         }
-        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        all.sort_by(|a, b| b.1.total_cmp(&a.1));
         all.truncate(n);
         all
     }

@@ -95,7 +95,11 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                rhsd_obs::counter("par.worker_parks", 1);
+                // The condvar wait needs the queue guard, so this count
+                // is unavoidably nested. It is safe: the registry lock
+                // never acquires the pool lock (rhsd-obs has no rhsd-par
+                // dependency), so the pool→registry order is acyclic.
+                rhsd_obs::counter("par.worker_parks", 1); // lint:allow(L9)
                 q = match shared.work_ready.wait(q) {
                     Ok(g) => g,
                     Err(poison) => poison.into_inner(),
@@ -162,30 +166,35 @@ impl Pool {
             return;
         }
         let (tx, rx) = channel::<thread::Result<()>>();
+        // Build (and lifetime-erase) every wrapper *before* taking the
+        // queue lock: construction touches rhsd-obs (the queue-wait
+        // stopwatch), and the pool-lock critical section must stay free
+        // of registry calls (lint L9's never-nest discipline).
+        let mut wrappers: Vec<Job> = Vec::with_capacity(n);
+        for job in jobs {
+            let tx = tx.clone();
+            let queued = rhsd_obs::Stopwatch::start();
+            let wrapper: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                rhsd_obs::record_secs("par.queue_wait", queued.secs());
+                let result = catch_unwind(AssertUnwindSafe(job));
+                // The receiver outlives the barrier below; a send
+                // failure would mean the caller vanished, which the
+                // barrier makes impossible.
+                let _ = tx.send(result);
+            });
+            // SAFETY: `wrapper` borrows data that lives for
+            // `'scope`. We block on `rx` below until all `n`
+            // wrappers have sent their completion result, and each
+            // wrapper sends only after the borrowed job has fully
+            // run (panics included, via catch_unwind). Hence every
+            // erased borrow ends before this frame returns.
+            wrappers.push(unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapper)
+            });
+        }
         {
             let mut q = lock(&self.shared.queue);
-            for job in jobs {
-                let tx = tx.clone();
-                let queued = rhsd_obs::Stopwatch::start();
-                let wrapper: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-                    rhsd_obs::record_secs("par.queue_wait", queued.secs());
-                    let result = catch_unwind(AssertUnwindSafe(job));
-                    // The receiver outlives the barrier below; a send
-                    // failure would mean the caller vanished, which the
-                    // barrier makes impossible.
-                    let _ = tx.send(result);
-                });
-                // SAFETY: `wrapper` borrows data that lives for
-                // `'scope`. We block on `rx` below until all `n`
-                // wrappers have sent their completion result, and each
-                // wrapper sends only after the borrowed job has fully
-                // run (panics included, via catch_unwind). Hence every
-                // erased borrow ends before this frame returns.
-                let wrapper: Job = unsafe {
-                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapper)
-                };
-                q.push_back(wrapper);
-            }
+            q.extend(wrappers);
             // Notify while holding the lock so a worker between its
             // empty-queue check and `wait` cannot miss the wakeup.
             self.shared.work_ready.notify_all();

@@ -81,6 +81,44 @@ pub fn concat_channels(parts: &[&Tensor]) -> Tensor {
     Tensor::from_parts([total_c, h, w], data)
 }
 
+// --- Pinned-order scalar reductions -------------------------------------
+//
+// Float addition and max/min are not associative, so the *order* of a
+// reduction is part of the result. Lint rule L8 bans ad-hoc
+// `.sum::<f32>()` / float `fold`s outside this module; call sites use
+// these helpers instead, which fix the order to a plain left-to-right
+// sequential fold regardless of how the caller's iterator was produced.
+
+/// Left-to-right sequential sum of `f32` values.
+pub fn sum_f32<I: IntoIterator<Item = f32>>(xs: I) -> f32 {
+    xs.into_iter().fold(0.0f32, |acc, x| acc + x)
+}
+
+/// Left-to-right sequential sum of `f64` values.
+pub fn sum_f64<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    xs.into_iter().fold(0.0f64, |acc, x| acc + x)
+}
+
+/// Left-to-right maximum of `f32` values, starting from `-inf`.
+///
+/// Uses `f32::max`, which ignores NaN inputs unless every input is NaN.
+pub fn max_f32<I: IntoIterator<Item = f32>>(xs: I) -> f32 {
+    xs.into_iter().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Left-to-right minimum of `f32` values, starting from `+inf`.
+pub fn min_f32<I: IntoIterator<Item = f32>>(xs: I) -> f32 {
+    xs.into_iter().fold(f32::INFINITY, f32::min)
+}
+
+/// Left-to-right maximum of `f64` values, starting from the given seed.
+///
+/// The seed is explicit because several call sites fold from `0.0`
+/// (max over non-negative quantities) rather than `-inf`.
+pub fn max_f64<I: IntoIterator<Item = f64>>(seed: f64, xs: I) -> f64 {
+    xs.into_iter().fold(seed, f64::max)
+}
+
 /// Splits a gradient of a [`concat_channels`] output back into per-part
 /// gradients with the given channel counts.
 ///
@@ -150,6 +188,27 @@ mod tests {
         let b = Tensor::full([2, 2, 2], -1.0);
         let cat = concat_channels(&[&a, &b]);
         assert!((cat.sum() - (a.sum() + b.sum())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scalar_reductions_match_sequential_folds() {
+        let xs = [0.1f32, 0.7, -2.0, 3.5];
+        assert_eq!(sum_f32(xs), xs.iter().copied().fold(0.0, |a, x| a + x));
+        assert_eq!(max_f32(xs), 3.5);
+        assert_eq!(min_f32(xs), -2.0);
+        let ys = [0.25f64, 1e-9, 4.0];
+        assert_eq!(sum_f64(ys), 0.25 + 1e-9 + 4.0);
+        assert_eq!(max_f64(0.0, ys), 4.0);
+        // Empty inputs hit the seeds.
+        assert_eq!(sum_f32(std::iter::empty()), 0.0);
+        assert_eq!(max_f32(std::iter::empty()), f32::NEG_INFINITY);
+        assert_eq!(min_f32(std::iter::empty()), f32::INFINITY);
+        assert_eq!(max_f64(0.0, std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn max_ignores_nan_like_f32_max() {
+        assert_eq!(max_f32([f32::NAN, 1.0, f32::NAN]), 1.0);
     }
 
     #[test]

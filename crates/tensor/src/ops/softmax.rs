@@ -22,7 +22,7 @@ pub fn softmax_rows(logits: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; n * k];
     for i in 0..n {
         let row = &lv[i * k..(i + 1) * k];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let m = super::reduce::max_f32(row.iter().copied());
         let mut z = 0.0f32;
         for (j, &x) in row.iter().enumerate() {
             let e = (x - m).exp();

@@ -285,12 +285,12 @@ impl Tensor {
 
     /// Maximum element (−∞ for an empty tensor).
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        crate::ops::reduce::max_f32(self.data.iter().copied())
     }
 
     /// Minimum element (+∞ for an empty tensor).
     pub fn min(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        crate::ops::reduce::min_f32(self.data.iter().copied())
     }
 
     /// Sum of squared elements — the squared Frobenius/L2 norm.

@@ -1,0 +1,552 @@
+//! Zero-dependency Rust token lexer for the lint engine.
+//!
+//! Produces a flat token stream that **tiles the input**: every byte of
+//! the source belongs to exactly one token, and concatenating the token
+//! spans in order reproduces the file (pinned by the corpus test, which
+//! lexes every `.rs` file in the workspace). Rules never regex raw text:
+//! they walk tokens, so `"unwrap()"` in a string, `// panic!` in a
+//! comment, `r#"…"#` raw strings and `&'a str` lifetimes are all
+//! classified rather than guessed at.
+//!
+//! The lexer is deliberately smaller than rustc's: it does not validate
+//! literals (an unterminated string lexes as a string running to EOF)
+//! and it folds all operators into single-byte [`Kind::Punct`] tokens.
+//! Both are fine for linting — the engine only needs to know *what kind
+//! of text* each byte is.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Whitespace run.
+    Ws,
+    /// `// …` to end of line (doc comments included; see [`Token::is_doc`]).
+    LineComment,
+    /// `/* … */`, nested blocks handled; unterminated runs to EOF.
+    BlockComment,
+    /// `"…"` with escapes.
+    Str,
+    /// `r"…"` / `r#"…"#` with any number of hashes.
+    RawStr,
+    /// `b"…"` with escapes.
+    ByteStr,
+    /// `br"…"` / `br#"…"#`.
+    RawByteStr,
+    /// `'x'`, including escaped and multi-byte chars.
+    Char,
+    /// `b'x'`.
+    Byte,
+    /// `'a` / `'_` — a lifetime or loop label, *not* a char literal.
+    Lifetime,
+    /// Identifier or keyword (including raw identifiers `r#match`).
+    Ident,
+    /// Numeric literal (int or float, prefixes/suffixes included).
+    Num,
+    /// Any other single character (operators, brackets, `#`, …).
+    Punct,
+}
+
+/// One token: a classification plus the half-open byte span it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the bytes are.
+    pub kind: Kind,
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether a comment token is a doc comment (`///`, `//!`, `/**`,
+    /// `/*!`). `////…` and `/***…` are plain comments, as in rustc.
+    pub fn is_doc(&self, src: &str) -> bool {
+        let t = self.text(src);
+        match self.kind {
+            Kind::LineComment => {
+                (t.starts_with("///") && !t.starts_with("////")) || t.starts_with("//!")
+            }
+            Kind::BlockComment => {
+                (t.starts_with("/**") && !t.starts_with("/***") && t != "/**/")
+                    || t.starts_with("/*!")
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the token plays no role in program structure.
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, Kind::Ws | Kind::LineComment | Kind::BlockComment)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream that tiles `0..src.len()`.
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(src.len() / 4 + 8);
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        let kind = if b.is_ascii_whitespace() {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            Kind::Ws
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            Kind::LineComment
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Kind::BlockComment
+        } else if b == b'"' {
+            i = scan_string(bytes, i);
+            Kind::Str
+        } else if b == b'r' && raw_string_hashes(bytes, i + 1).is_some() {
+            let hashes = raw_string_hashes(bytes, i + 1).unwrap_or(0);
+            i = scan_raw_string(bytes, i + 1, hashes);
+            Kind::RawStr
+        } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+            i = scan_string(bytes, i + 1);
+            Kind::ByteStr
+        } else if b == b'b'
+            && bytes.get(i + 1) == Some(&b'r')
+            && raw_string_hashes(bytes, i + 2).is_some()
+        {
+            let hashes = raw_string_hashes(bytes, i + 2).unwrap_or(0);
+            i = scan_raw_string(bytes, i + 2, hashes);
+            Kind::RawByteStr
+        } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+            i = scan_char(bytes, i + 1);
+            Kind::Byte
+        } else if b == b'\'' {
+            match classify_quote(src, bytes, i) {
+                QuoteKind::Char(end) => {
+                    i = end;
+                    Kind::Char
+                }
+                QuoteKind::Lifetime(end) => {
+                    i = end;
+                    Kind::Lifetime
+                }
+            }
+        } else if b == b'r'
+            && bytes.get(i + 1) == Some(&b'#')
+            && bytes.get(i + 2).copied().is_some_and(is_ident_start)
+        {
+            // Raw identifier `r#match`.
+            i += 2;
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            Kind::Ident
+        } else if is_ident_start(b) {
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            Kind::Ident
+        } else if b.is_ascii_digit() {
+            // After a single `.` this is a tuple-field index (`t.0.1`),
+            // never a float; after `..` it's a range bound, where plain
+            // number scanning is also correct.
+            let field_dot =
+                start > 0 && bytes[start - 1] == b'.' && !(start > 1 && bytes[start - 2] == b'.');
+            if field_dot {
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            } else {
+                i = scan_number(bytes, i);
+            }
+            Kind::Num
+        } else {
+            // One char (multi-byte UTF-8 included) of punctuation.
+            i += src[i..].chars().next().map_or(1, char::len_utf8);
+            Kind::Punct
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    out
+}
+
+/// Scans a `"…"` body starting at the opening quote; returns the offset
+/// past the closing quote (or EOF when unterminated).
+fn scan_string(bytes: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// If `bytes[at..]` looks like the `#…#"` opener of a raw string
+/// (zero or more hashes then a quote), returns the hash count.
+fn raw_string_hashes(bytes: &[u8], at: usize) -> Option<usize> {
+    let mut j = at;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    (j < bytes.len() && bytes[j] == b'"').then_some(j - at)
+}
+
+/// Scans a raw string whose hashes start at `at`; returns the offset
+/// past the closing `"##…`.
+fn scan_raw_string(bytes: &[u8], at: usize, hashes: usize) -> usize {
+    let mut i = at + hashes + 1; // past the opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Scans a char/byte literal body starting at the opening `'`; returns
+/// the offset past the closing quote.
+fn scan_char(bytes: &[u8], open: usize) -> usize {
+    let mut i = open + 1;
+    if i < bytes.len() && bytes[i] == b'\\' {
+        i += 2;
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(bytes.len());
+    }
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1;
+    }
+    (i + 1).min(bytes.len())
+}
+
+enum QuoteKind {
+    Char(usize),
+    Lifetime(usize),
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime/label) at a `'`.
+fn classify_quote(src: &str, bytes: &[u8], i: usize) -> QuoteKind {
+    // Escape → always a char literal.
+    if bytes.get(i + 1) == Some(&b'\\') {
+        return QuoteKind::Char(scan_char(bytes, i));
+    }
+    // `'x'` where x is one (possibly multi-byte) char → char literal.
+    if let Some(c) = src[i + 1..].chars().next() {
+        let close = i + 1 + c.len_utf8();
+        if bytes.get(close) == Some(&b'\'') {
+            return QuoteKind::Char(close + 1);
+        }
+    }
+    // Otherwise a lifetime or loop label: `'` + ident chars.
+    let mut j = i + 1;
+    while j < bytes.len() && is_ident_continue(bytes[j]) {
+        j += 1;
+    }
+    QuoteKind::Lifetime(j.max(i + 1))
+}
+
+/// Scans a numeric literal starting at a digit. Handles `0x/0o/0b`
+/// prefixes, `_` separators, decimal points (`1.5` but not `1..2` or
+/// `1.foo()`), exponents and type suffixes (`1f32`, `3usize`).
+fn scan_number(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    let radix_prefix = bytes[i] == b'0'
+        && matches!(
+            bytes.get(i + 1),
+            Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+        );
+    if radix_prefix {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: `.` followed by a digit, or a trailing `.` that is
+    // neither a range (`..`) nor a method/field access (`.f`).
+    if i < bytes.len() && bytes[i] == b'.' {
+        match bytes.get(i + 1) {
+            Some(d) if d.is_ascii_digit() => {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            }
+            Some(&b'.') => return i,
+            Some(&b2) if is_ident_start(b2) => return i,
+            _ => i += 1, // `1.` at end of expression
+        }
+    }
+    // Exponent.
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`f32`, `u8`, `usize`, …) — any trailing ident chars.
+    while i < bytes.len() && is_ident_continue(bytes[i]) {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tokens must tile the input exactly.
+    fn assert_round_trip(src: &str) {
+        let toks = lex(src);
+        let mut cursor = 0;
+        for t in &toks {
+            assert_eq!(t.start, cursor, "gap/overlap before {t:?} in {src:?}");
+            assert!(t.end > t.start, "empty token {t:?} in {src:?}");
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            cursor = t.end;
+        }
+        assert_eq!(cursor, src.len(), "tokens must cover the whole input");
+    }
+
+    fn kinds(src: &str) -> Vec<(Kind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        for src in [
+            r####"let s = r"plain";"####,
+            r####"let s = r#"one "quote" deep"#;"####,
+            r####"let s = r##"nested "# inside"##;"####,
+        ] {
+            assert_round_trip(src);
+            let raw: Vec<_> = lex(src)
+                .into_iter()
+                .filter(|t| t.kind == Kind::RawStr)
+                .collect();
+            assert_eq!(raw.len(), 1, "{src}");
+        }
+        // Unterminated raw string runs to EOF without panicking.
+        assert_round_trip(r####"let s = r#"never closed"####);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        assert_round_trip(src);
+        let k = kinds(src);
+        assert_eq!(k, vec![(Kind::Ident, "a"), (Kind::Ident, "b")]);
+        let comment = lex(src)
+            .into_iter()
+            .find(|t| t.kind == Kind::BlockComment)
+            .expect("has comment");
+        assert_eq!(comment.text(src), "/* outer /* inner */ still outer */");
+    }
+
+    #[test]
+    fn lifetimes_adjacent_to_char_literals() {
+        let src = "fn f<'a>(s: &'a str) -> char { let c = 'a'; let u = '\\u{1F600}'; c }";
+        assert_round_trip(src);
+        let toks = lex(src);
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].text(src), "'a'");
+        assert_eq!(chars[1].text(src), "'\\u{1F600}'");
+    }
+
+    #[test]
+    fn multibyte_char_literal_and_label() {
+        let src = "let c = 'é'; 'outer: loop { break 'outer; }";
+        assert_round_trip(src);
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == Kind::Char && t.text(src) == "'é'"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::Lifetime).count(),
+            2,
+            "label at definition and at break"
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_literals() {
+        let src = r##"let a = b"bytes"; let b = br#"raw "bytes""#; let c = b'\n'; let d = b'x';"##;
+        assert_round_trip(src);
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::ByteStr).count(), 1);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::RawByteStr).count(),
+            1
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Byte).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_raw_strings() {
+        let src = "let r#match = 1; r#fn();";
+        assert_round_trip(src);
+        let k = kinds(src);
+        assert!(k.contains(&(Kind::Ident, "r#match")));
+        assert!(k.contains(&(Kind::Ident, "r#fn")));
+    }
+
+    #[test]
+    fn numbers_floats_ranges_and_field_access() {
+        for (src, num_texts) in [
+            (
+                "1.5e-3 + 0x_ff + 0b1010u8",
+                vec!["1.5e-3", "0x_ff", "0b1010u8"],
+            ),
+            ("for i in 1..10 {}", vec!["1", "10"]),
+            ("t.0.1", vec!["0", "1"]), // tuple field access, not a float
+            ("let x = 1.;", vec!["1."]),
+            ("2.0f64.sqrt()", vec!["2.0f64"]),
+        ] {
+            assert_round_trip(src);
+            let nums: Vec<_> = lex(src)
+                .into_iter()
+                .filter(|t| t.kind == Kind::Num)
+                .map(|t| t.text(src).to_owned())
+                .collect();
+            assert_eq!(nums, num_texts, "{src}");
+        }
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        let src = "/// doc\n//! inner\n//// not doc\n// plain\n/** block doc */\n/*! inner block */\n/* plain */";
+        assert_round_trip(src);
+        let docs: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.is_doc(src))
+            .map(|t| t.text(src).to_owned())
+            .collect();
+        assert_eq!(
+            docs,
+            vec![
+                "/// doc",
+                "//! inner",
+                "/** block doc */",
+                "/*! inner block */"
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unterminated_input() {
+        assert_round_trip(r#"let s = "a\"b\\";"#);
+        assert_round_trip("let s = \"never closed");
+        assert_round_trip("let c = '");
+        let toks = lex(r#"let s = "a\"b\\";"#);
+        let s = toks.iter().find(|t| t.kind == Kind::Str).expect("string");
+        assert_eq!(s.text(r#"let s = "a\"b\\";"#), r#""a\"b\\""#);
+    }
+
+    /// Lex every `.rs` file in the workspace and verify the tiling
+    /// invariant holds on real code (the corpus test from the issue).
+    #[test]
+    fn corpus_round_trips_every_workspace_file() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("workspace root")
+            .to_path_buf();
+        let mut files = Vec::new();
+        for dir in ["crates", "xtask/src", "src", "tests"] {
+            let d = root.join(dir);
+            if d.is_dir() {
+                collect_rs(&d, &mut files);
+            }
+        }
+        assert!(
+            files.len() > 30,
+            "corpus unexpectedly small: {} files",
+            files.len()
+        );
+        for path in files {
+            let src = std::fs::read_to_string(&path).expect("read corpus file");
+            let toks = lex(&src);
+            let mut cursor = 0;
+            for t in &toks {
+                assert_eq!(t.start, cursor, "{}: bad tiling at {t:?}", path.display());
+                assert!(t.end > t.start, "{}: empty token", path.display());
+                cursor = t.end;
+            }
+            assert_eq!(cursor, src.len(), "{}", path.display());
+        }
+    }
+
+    #[cfg(test)]
+    fn collect_rs(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in rd.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                collect_rs(&p, out);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+}

@@ -1,26 +1,35 @@
 //! The `cargo xtask lint` driver.
 //!
 //! Walks `crates/*/src/**/*.rs` under the workspace root, runs rules
-//! L1–L7 over each file, filters violations through the allowlist file
-//! and inline `// lint:allow(<rule>)` markers, and renders a report.
+//! L1–L12 over each file (token engine: [`lex`], [`scope`],
+//! [`source`]), filters violations through the allowlist file and
+//! inline `// lint:allow(<rule>)` markers, and renders a report as
+//! text, `rhsd-lint-report/1` JSON or GitHub workflow annotations.
+//! Allowlist entries and inline markers that no longer suppress
+//! anything are reported as *stale* for the `--check-allow` gate.
 
+mod lex;
 mod rules;
+mod scope;
 mod source;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use rhsd_obs::json;
 use source::SourceFile;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`L1`..`L7`).
+    /// Rule id (`L1`..`L12`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
     /// 1-based line.
     pub line: usize,
+    /// Half-open byte span of the offending token(s) in the file.
+    pub span: (usize, usize),
     /// Human-readable description.
     pub message: String,
 }
@@ -30,6 +39,8 @@ pub struct Report {
     violations: Vec<Violation>,
     files_scanned: usize,
     allowlisted: usize,
+    /// Allowlist entries / inline markers that suppressed nothing.
+    stale_allow: Vec<String>,
 }
 
 impl Report {
@@ -37,12 +48,109 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Stale allowlist entries and inline markers (empty when the
+    /// allowlist is tight).
+    pub fn stale_allow(&self) -> &[String] {
+        &self.stale_allow
+    }
+
+    /// Serializes the report in the stable `rhsd-lint-report/1` schema:
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "rhsd-lint-report/1",
+    ///   "files_scanned": 42,
+    ///   "allowlisted": 1,
+    ///   "stale_allow": ["…"],
+    ///   "violations": [
+    ///     {"rule": "L1", "path": "crates/a/src/x.rs", "line": 10,
+    ///      "span": [120, 126], "message": "…"}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Fields are never removed or renamed within schema version 1;
+    /// consumers must ignore unknown fields.
+    pub fn to_json(&self) -> String {
+        fn jstr(s: &str) -> String {
+            format!("\"{}\"", json::escape(s))
+        }
+        let mut s = String::from("{\"schema\":\"rhsd-lint-report/1\"");
+        s.push_str(&format!(",\"files_scanned\":{}", self.files_scanned));
+        s.push_str(&format!(",\"allowlisted\":{}", self.allowlisted));
+        s.push_str(",\"stale_allow\":[");
+        for (i, e) in self.stale_allow.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&jstr(e));
+        }
+        s.push_str("],\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"span\":[{},{}],\"message\":{}}}",
+                jstr(v.rule),
+                jstr(&v.path),
+                v.line,
+                v.span.0,
+                v.span.1,
+                jstr(&v.message),
+            ));
+        }
+        s.push_str("]}\n");
+        s
+    }
+
+    /// Renders GitHub workflow commands: one `::error` per violation
+    /// (surfaced as a PR annotation on the offending line) and one
+    /// `::warning` per stale allowlist entry, plus a trailing summary.
+    pub fn to_github(&self) -> String {
+        fn esc_msg(s: &str) -> String {
+            s.replace('%', "%25")
+                .replace('\r', "%0D")
+                .replace('\n', "%0A")
+        }
+        fn esc_prop(s: &str) -> String {
+            esc_msg(s).replace(':', "%3A").replace(',', "%2C")
+        }
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!(
+                "::error file={},line={},title=lint {}::{}\n",
+                esc_prop(&v.path),
+                v.line,
+                esc_prop(v.rule),
+                esc_msg(&v.message),
+            ));
+        }
+        for e in &self.stale_allow {
+            out.push_str(&format!(
+                "::warning title=stale lint allow::{}\n",
+                esc_msg(e)
+            ));
+        }
+        out.push_str(&format!(
+            "lint: {} violation(s), {} stale allow(s) in {} files scanned ({} allowlisted)\n",
+            self.violations.len(),
+            self.stale_allow.len(),
+            self.files_scanned,
+            self.allowlisted
+        ));
+        out
+    }
 }
 
 impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for v in &self.violations {
             writeln!(f, "{}: {}:{}: {}", v.rule, v.path, v.line, v.message)?;
+        }
+        for e in &self.stale_allow {
+            writeln!(f, "stale-allow: {e}")?;
         }
         if self.violations.is_empty() {
             writeln!(
@@ -73,6 +181,13 @@ struct AllowEntry {
 impl AllowEntry {
     fn matches(&self, v: &Violation) -> bool {
         self.rule == v.rule && self.path == v.path && self.line.is_none_or(|l| l == v.line)
+    }
+
+    fn render(&self) -> String {
+        match self.line {
+            Some(l) => format!("{} {}:{}", self.rule, self.path, l),
+            None => format!("{} {}", self.rule, self.path),
+        }
     }
 }
 
@@ -133,6 +248,7 @@ pub fn run(root: &Path, allowlist_path: &Path) -> Result<Report, String> {
         Err(e) => return Err(format!("read {}: {e}", allowlist_path.display())),
     };
     let allowlist = parse_allowlist(&allow_text)?;
+    let mut entry_used = vec![false; allowlist.len()];
 
     let crates_dir = root.join("crates");
     let rd = std::fs::read_dir(&crates_dir)
@@ -151,6 +267,9 @@ pub fn run(root: &Path, allowlist_path: &Path) -> Result<Report, String> {
     let mut violations = Vec::new();
     let mut allowlisted = 0usize;
     let files_scanned = files.len();
+    // Every inline marker seen, and the ones that suppressed something.
+    let mut markers: Vec<(String, usize, String)> = Vec::new(); // (path, line, rule)
+    let mut marker_used: Vec<bool> = Vec::new();
     for path in &files {
         let raw =
             std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
@@ -159,10 +278,25 @@ pub fn run(root: &Path, allowlist_path: &Path) -> Result<Report, String> {
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let file = SourceFile::new(rel, raw);
+        let file = SourceFile::new(rel.clone(), raw);
+        let marker_base = markers.len();
+        for (rule, line) in file.inline_allow_markers() {
+            markers.push((rel.clone(), line, rule));
+            marker_used.push(false);
+        }
         for v in rules::check_file(&file) {
-            if file.inline_allowed(v.rule, v.line) || allowlist.iter().any(|a| a.matches(&v)) {
+            if file.inline_allowed(v.rule, v.line) {
                 allowlisted += 1;
+                // Credit the marker on the violation line, else the one
+                // on the line above.
+                for (mi, (_, mline, mrule)) in markers.iter().enumerate().skip(marker_base) {
+                    if *mrule == v.rule && (*mline == v.line || *mline + 1 == v.line) {
+                        marker_used[mi] = true;
+                    }
+                }
+            } else if let Some(ei) = allowlist.iter().position(|a| a.matches(&v)) {
+                allowlisted += 1;
+                entry_used[ei] = true;
             } else {
                 violations.push(v);
             }
@@ -170,16 +304,44 @@ pub fn run(root: &Path, allowlist_path: &Path) -> Result<Report, String> {
     }
     violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
 
+    let mut stale_allow = Vec::new();
+    for (ei, entry) in allowlist.iter().enumerate() {
+        if !entry_used[ei] {
+            stale_allow.push(format!(
+                "allowlist entry `{}` no longer matches any finding",
+                entry.render()
+            ));
+        }
+    }
+    for (mi, (path, line, rule)) in markers.iter().enumerate() {
+        if !marker_used[mi] {
+            stale_allow.push(format!(
+                "inline `lint:allow({rule})` at {path}:{line} no longer matches any finding"
+            ));
+        }
+    }
+
     Ok(Report {
         violations,
         files_scanned,
         allowlisted,
+        stale_allow,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn v(rule: &'static str, path: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            path: path.into(),
+            line,
+            span: (0, 0),
+            message: "msg".into(),
+        }
+    }
 
     #[test]
     fn allowlist_parses_entries_and_comments() {
@@ -200,12 +362,7 @@ mod tests {
 
     #[test]
     fn allow_entry_matching() {
-        let v = Violation {
-            rule: "L1",
-            path: "crates/a/src/x.rs".into(),
-            line: 10,
-            message: String::new(),
-        };
+        let viol = v("L1", "crates/a/src/x.rs", 10);
         let exact = AllowEntry {
             rule: "L1".into(),
             path: "crates/a/src/x.rs".into(),
@@ -221,27 +378,91 @@ mod tests {
             path: "crates/a/src/x.rs".into(),
             line: None,
         };
-        assert!(exact.matches(&v));
-        assert!(file_wide.matches(&v));
-        assert!(!other.matches(&v));
+        assert!(exact.matches(&viol));
+        assert!(file_wide.matches(&viol));
+        assert!(!other.matches(&viol));
     }
 
     #[test]
     fn report_renders_violations_and_summary() {
         let r = Report {
-            violations: vec![Violation {
-                rule: "L2",
-                path: "crates/a/src/x.rs".into(),
-                line: 3,
-                message: "msg".into(),
-            }],
+            violations: vec![v("L2", "crates/a/src/x.rs", 3)],
             files_scanned: 5,
             allowlisted: 1,
+            stale_allow: Vec::new(),
         };
         let s = r.to_string();
         assert!(s.contains("L2: crates/a/src/x.rs:3: msg"));
         assert!(s.contains("1 violation(s)"));
         assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn json_report_matches_the_documented_schema() {
+        let r = Report {
+            violations: vec![Violation {
+                rule: "L8",
+                path: "crates/a/src/x.rs".into(),
+                line: 3,
+                span: (41, 52),
+                message: "a \"quoted\" msg\nwith newline".into(),
+            }],
+            files_scanned: 5,
+            allowlisted: 1,
+            stale_allow: vec!["allowlist entry `L7 a.rs` no longer matches any finding".into()],
+        };
+        let text = r.to_json();
+        json::validate(&text).expect("report is well-formed JSON");
+        let doc = json::parse(&text).expect("parses");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("rhsd-lint-report/1")
+        );
+        assert_eq!(doc.get("files_scanned").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(doc.get("allowlisted").and_then(|v| v.as_u64()), Some(1));
+        let stale = doc
+            .get("stale_allow")
+            .and_then(|v| v.as_arr())
+            .expect("arr");
+        assert_eq!(stale.len(), 1);
+        let viols = doc.get("violations").and_then(|v| v.as_arr()).expect("arr");
+        assert_eq!(viols.len(), 1);
+        assert_eq!(viols[0].get("rule").and_then(|v| v.as_str()), Some("L8"));
+        assert_eq!(viols[0].get("line").and_then(|v| v.as_u64()), Some(3));
+        let span = viols[0].get("span").and_then(|v| v.as_arr()).expect("span");
+        assert_eq!(span[0].as_u64(), Some(41));
+        assert_eq!(span[1].as_u64(), Some(52));
+        assert_eq!(
+            viols[0].get("message").and_then(|v| v.as_str()),
+            Some("a \"quoted\" msg\nwith newline")
+        );
+    }
+
+    #[test]
+    fn github_format_escapes_and_annotates() {
+        let r = Report {
+            violations: vec![Violation {
+                rule: "L1",
+                path: "crates/a/src/x.rs".into(),
+                line: 7,
+                span: (0, 6),
+                message: "bad: 50% of cases\nsecond line".into(),
+            }],
+            files_scanned: 2,
+            allowlisted: 0,
+            stale_allow: vec!["stale entry".into()],
+        };
+        let s = r.to_github();
+        assert!(
+            s.contains("::error file=crates/a/src/x.rs,line=7,title=lint L1::"),
+            "{s}"
+        );
+        assert!(s.contains("50%25 of cases%0Asecond line"), "{s}");
+        assert!(
+            s.contains("::warning title=stale lint allow::stale entry"),
+            "{s}"
+        );
+        assert!(s.contains("1 violation(s), 1 stale allow(s)"));
     }
 
     #[test]
@@ -259,6 +480,29 @@ mod tests {
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].rule, "L1");
         assert_eq!(report.allowlisted, 1);
+        assert!(report.stale_allow.is_empty(), "{:?}", report.stale_allow);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_allowlist_entries_and_markers_are_reported() {
+        let dir = std::env::temp_dir().join("xtask-lint-stale");
+        let src = dir.join("crates/demo/src");
+        std::fs::create_dir_all(&src).expect("mkdir");
+        // The marker no longer suppresses anything (no finding on its
+        // lines), and the allowlist names a finding that doesn't exist.
+        std::fs::write(
+            src.join("lib.rs"),
+            "pub fn f() -> u8 { 1 } // lint:allow(L1)\n",
+        )
+        .expect("write");
+        std::fs::write(dir.join("lint.allow"), "L7 crates/demo/src/lib.rs\n").expect("write");
+        let report = run(&dir, &dir.join("lint.allow")).expect("runs");
+        assert!(report.is_clean());
+        assert_eq!(report.stale_allow.len(), 2, "{:?}", report.stale_allow);
+        assert!(report.stale_allow[0].contains("L7 crates/demo/src/lib.rs"));
+        assert!(report.stale_allow[1].contains("lint:allow(L1)"));
+        assert!(report.stale_allow[1].contains("lib.rs:1"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

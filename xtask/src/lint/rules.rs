@@ -1,8 +1,10 @@
-//! The workspace lint rules L1–L7.
+//! The workspace lint rules L1–L12.
 //!
-//! Each rule scans a [`SourceFile`] code mask and returns violations.
-//! Rationale and examples live in DESIGN.md §Correctness tooling.
+//! Each rule walks a [`SourceFile`]'s token stream and scope facts and
+//! returns violations. Rationale and the escape hatch for every rule
+//! live in DESIGN.md §Correctness tooling.
 
+use super::lex::Kind;
 use super::source::SourceFile;
 use super::Violation;
 
@@ -27,24 +29,685 @@ impl FileScope {
 /// Runs every rule over one file.
 pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     let scope = FileScope::of(&file.rel_path);
+    let sig = Sig::new(file);
     let mut v = Vec::new();
-    v.extend(l1_no_panics(file));
-    v.extend(l2_no_hash_collections(file));
-    v.extend(l3_no_wall_clock(file, &scope));
+    v.extend(l1_no_panics(file, &sig));
+    v.extend(l2_no_hash_collections(file, &sig));
+    v.extend(l3_no_wall_clock(file, &sig, &scope));
     v.extend(l4_shapes_doc(file, &scope));
-    v.extend(l5_no_raw_threads(file, &scope));
-    v.extend(l6_no_loop_allocs(file));
-    v.extend(l7_no_stdio_prints(file, &scope));
+    v.extend(l5_no_raw_threads(file, &sig, &scope));
+    v.extend(l6_l12_no_loop_allocs(file, &sig));
+    v.extend(l7_no_stdio_prints(file, &sig, &scope));
+    v.extend(l8_float_reductions(file, &sig));
+    v.extend(l9_lock_discipline(file, &sig, &scope));
+    v.extend(l10_safety_contracts(file));
+    v.extend(l11_shape_cross_check(file, &scope));
     v
 }
 
-fn violation(file: &SourceFile, rule: &'static str, offset: usize, msg: String) -> Violation {
+fn violation(
+    file: &SourceFile,
+    rule: &'static str,
+    span: (usize, usize),
+    msg: String,
+) -> Violation {
     Violation {
         rule,
         path: file.rel_path.clone(),
-        line: file.line_of(offset),
+        line: file.line_of(span.0),
+        span,
         message: msg,
     }
+}
+
+/// The significant (non-trivia) tokens of a file, indexable for
+/// sequence matching.
+struct Sig<'a> {
+    toks: Vec<&'a super::lex::Token>,
+    src: &'a str,
+}
+
+impl<'a> Sig<'a> {
+    fn new(file: &'a SourceFile) -> Sig<'a> {
+        Sig {
+            toks: file.significant().collect(),
+            src: &file.raw,
+        }
+    }
+
+    fn text(&self, i: usize) -> &'a str {
+        self.toks.get(i).map(|t| t.text(self.src)).unwrap_or("")
+    }
+
+    fn kind(&self, i: usize) -> Option<Kind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    fn span(&self, i: usize) -> (usize, usize) {
+        self.toks.get(i).map(|t| (t.start, t.end)).unwrap_or((0, 0))
+    }
+
+    /// Indices of Ident tokens with the given text.
+    fn idents(&self, name: &str) -> Vec<usize> {
+        self.toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == Kind::Ident && t.text(self.src) == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether the tokens at `i` spell `seg0 :: seg1 :: …`. Returns the
+    /// index one past the match.
+    fn match_path(&self, i: usize, segs: &[&str]) -> Option<usize> {
+        let mut j = i;
+        for (k, seg) in segs.iter().enumerate() {
+            if k > 0 {
+                if self.text(j) != ":" || self.text(j + 1) != ":" {
+                    return None;
+                }
+                j += 2;
+            }
+            if self.kind(j) != Some(Kind::Ident) || self.text(j) != *seg {
+                return None;
+            }
+            j += 1;
+        }
+        Some(j)
+    }
+
+    /// Whether the token at `i` is preceded by a `.` (method call /
+    /// field access rather than a free or path call).
+    fn preceded_by_dot(&self, i: usize) -> bool {
+        i > 0 && self.text(i - 1) == "."
+    }
+
+    /// Whether the token at `i` is preceded by `fn` (a definition, not
+    /// a call).
+    fn preceded_by_fn(&self, i: usize) -> bool {
+        i > 0 && self.text(i - 1) == "fn"
+    }
+}
+
+/// L1: no `unwrap()` / `expect()` / `panic!` in library code outside tests.
+///
+/// `assert!`/`debug_assert!` are deliberately permitted: they state
+/// invariants, not error handling. Recoverable failures must use the
+/// crate's typed error enums.
+fn l1_no_panics(file: &SourceFile, sig: &Sig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (word, needs, label) in [
+        ("unwrap", "(", "`.unwrap()` in non-test library code"),
+        ("expect", "(", "`.expect()` in non-test library code"),
+        ("panic", "!", "`panic!` in non-test library code"),
+    ] {
+        for i in sig.idents(word) {
+            let (start, _) = sig.span(i);
+            if file.in_test(start) || sig.text(i + 1) != needs {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L1",
+                sig.span(i),
+                format!("{label}; use a typed error"),
+            ));
+        }
+    }
+    out
+}
+
+/// L2: no `HashMap`/`HashSet` in non-test library code.
+///
+/// Unordered iteration feeding serialization, metrics export or h-NMS
+/// ordering silently breaks run-to-run determinism; the workspace
+/// standard is `BTreeMap`/`BTreeSet` (deterministic iteration order).
+fn l2_no_hash_collections(file: &SourceFile, sig: &Sig) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for word in ["HashMap", "HashSet"] {
+        for i in sig.idents(word) {
+            let (start, _) = sig.span(i);
+            if file.in_test(start) {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L2",
+                sig.span(i),
+                format!("`{word}` has nondeterministic iteration order; use BTreeMap/BTreeSet"),
+            ));
+        }
+    }
+    out
+}
+
+/// L3: no wall-clock access outside `rhsd-obs` and `rhsd-bench`.
+///
+/// `Instant`-derived values leaking into library crates are a
+/// nondeterminism source; all timing goes through `rhsd-obs` spans.
+fn l3_no_wall_clock(file: &SourceFile, sig: &Sig, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name == "obs" || scope.crate_name == "bench" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in sig.idents("std") {
+        if sig.match_path(i, &["std", "time"]).is_none() {
+            continue;
+        }
+        let (start, _) = sig.span(i);
+        if file.in_test(start) {
+            continue;
+        }
+        out.push(violation(
+            file,
+            "L3",
+            sig.span(i),
+            "`std::time` outside rhsd-obs/rhsd-bench breaks determinism".to_string(),
+        ));
+    }
+    for word in ["Instant", "SystemTime"] {
+        for i in sig.idents(word) {
+            let (start, _) = sig.span(i);
+            if file.in_test(start) {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L3",
+                sig.span(i),
+                format!("`{word}` outside rhsd-obs/rhsd-bench breaks determinism"),
+            ));
+        }
+    }
+    out.sort_by_key(|v| v.span.0);
+    out
+}
+
+/// L4: public tensor-consuming functions in `rhsd-nn`/`rhsd-core` must
+/// document their expected shapes in a `/// Shapes:` doc section.
+fn l4_shapes_doc(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name != "nn" && scope.crate_name != "core" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &file.scopes.fns {
+        if !f.is_pub || file.in_test(f.fn_kw) {
+            continue;
+        }
+        let params = &file.code[f.params.0..f.params.1];
+        if word_offsets(params, "Tensor").next().is_none() {
+            continue;
+        }
+        if !doc_block_mentions_shapes(file, f.fn_kw) {
+            out.push(violation(
+                file,
+                "L4",
+                (f.fn_kw, f.fn_kw + 2),
+                format!(
+                    "public tensor-consuming fn `{}` lacks a `/// Shapes:` doc section",
+                    f.name
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L5: no raw thread creation (`thread::spawn` / `thread::Builder`)
+/// outside `rhsd-par` and `rhsd-obs`.
+///
+/// All pipeline parallelism goes through the `rhsd-par` pool: its fixed
+/// chunk schedule and in-order reduction are what keep results
+/// bit-identical at any thread count, and its counters feed the
+/// observability layer. Ad-hoc threads bypass both. (`rhsd-obs` owns one
+/// audited background writer thread.)
+fn l5_no_raw_threads(file: &SourceFile, sig: &Sig, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name == "par" || scope.crate_name == "obs" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for tail in ["spawn", "Builder"] {
+        for i in sig.idents("thread") {
+            if sig.match_path(i, &["thread", tail]).is_none() {
+                continue;
+            }
+            let (start, _) = sig.span(i);
+            if file.in_test(start) {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L5",
+                sig.span(i),
+                format!("`thread::{tail}` outside rhsd-par; use the rhsd_par pool (deterministic schedule + obs counters)"),
+            ));
+        }
+    }
+    out.sort_by_key(|v| v.span.0);
+    out
+}
+
+/// Files subject to the L12 extension of the no-loop-alloc rule: the
+/// litho aerial/window simulation and the rhsd-core region-scan path.
+const L12_FILES: &[&str] = &[
+    "crates/litho/src/aerial.rs",
+    "crates/litho/src/window.rs",
+    "crates/core/src/extractor.rs",
+    "crates/core/src/detector.rs",
+    "crates/core/src/feature_cache.rs",
+];
+
+/// L6 + L12: no buffer allocation (`vec![..]` / `Vec::with_capacity`)
+/// inside loop bodies on hot paths.
+///
+/// The hot kernels draw scratch from `rhsd_tensor::workspace` so
+/// steady-state inference performs zero heap allocations; a `vec!` inside
+/// a `for`/`while`/`loop` body re-pays the allocator on every iteration.
+/// One-time allocations before the loop (and the workspace pool itself,
+/// which lives outside `ops/`) are fine. L6 covers the tensor op kernels
+/// (`crates/tensor/src/ops/`); L12 extends the same check to the litho
+/// aerial/window simulation and the core scan loops, now that loop
+/// detection is token-accurate.
+fn l6_l12_no_loop_allocs(file: &SourceFile, sig: &Sig) -> Vec<Violation> {
+    let rule: &'static str = if file.rel_path.starts_with("crates/tensor/src/ops/") {
+        "L6"
+    } else if L12_FILES.contains(&file.rel_path.as_str()) {
+        "L12"
+    } else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut sites: Vec<(usize, &str)> = Vec::new();
+    for i in sig.idents("vec") {
+        if sig.text(i + 1) == "!" {
+            sites.push((i, "`vec!`"));
+        }
+    }
+    for i in sig.idents("Vec") {
+        if sig.match_path(i, &["Vec", "with_capacity"]).is_some() {
+            sites.push((i, "`Vec::with_capacity`"));
+        }
+    }
+    for (i, label) in sites {
+        let (start, _) = sig.span(i);
+        if file.in_test(start) || !file.scopes.in_loop(start) {
+            continue;
+        }
+        out.push(violation(
+            file,
+            rule,
+            sig.span(i),
+            format!("{label} inside a hot loop; hoist it or take scratch from the Workspace pool"),
+        ));
+    }
+    out.sort_by_key(|v| v.span.0);
+    out
+}
+
+/// L7: no `println!`/`eprintln!` (or `print!`/`eprint!`) in library
+/// code.
+///
+/// Library crates report through `rhsd-obs` (counters, spans, the
+/// ledger) so output stays machine-readable and quiet by default;
+/// stray prints corrupt piped output (`--bench-out -` style usage) and
+/// bypass the run ledger. Binaries (`src/bin/`), `rhsd-obs` itself and
+/// the `xtask` tree (not scanned) own the terminal. The audited CLI
+/// surface in `rhsd-bench` is allowlisted, not exempted: new prints
+/// there still need a deliberate allowlist entry.
+fn l7_no_stdio_prints(file: &SourceFile, sig: &Sig, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name == "obs" || file.rel_path.contains("/src/bin/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for word in ["println", "eprintln", "print", "eprint"] {
+        for i in sig.idents(word) {
+            let (start, _) = sig.span(i);
+            if file.in_test(start) || sig.text(i + 1) != "!" {
+                continue;
+            }
+            out.push(violation(
+                file,
+                "L7",
+                sig.span(i),
+                format!("`{word}!` in library code; report through rhsd-obs instead"),
+            ));
+        }
+    }
+    out.sort_by_key(|v| v.span.0);
+    out
+}
+
+/// The module allowed to hold order-sensitive float reductions: it pins
+/// the reduction order explicitly and everything else calls into it.
+const L8_EXEMPT: &str = "crates/tensor/src/ops/reduce.rs";
+
+/// L8: no order-sensitive float reductions outside the pinned `reduce`
+/// helpers.
+///
+/// `.sum::<f32>()`, float-seeded `fold`s and `partial_cmp` comparators
+/// all change results under re-ordering (or misorder NaN), which breaks
+/// the bit-identical-at-any-thread-count invariant the determinism
+/// tests pin. Sums/maxes go through `rhsd_tensor::ops::reduce`
+/// (sequential, pinned order); float sorts use `total_cmp`.
+fn l8_float_reductions(file: &SourceFile, sig: &Sig) -> Vec<Violation> {
+    if file.rel_path == L8_EXEMPT {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // `.sum::<f32>()` / `.product::<f64>()` turbofish over floats.
+    for word in ["sum", "product"] {
+        for i in sig.idents(word) {
+            let (start, _) = sig.span(i);
+            if file.in_test(start) {
+                continue;
+            }
+            // Pattern: sum :: < f32|f64
+            if sig.text(i + 1) == ":"
+                && sig.text(i + 2) == ":"
+                && sig.text(i + 3) == "<"
+                && matches!(sig.text(i + 4), "f32" | "f64")
+            {
+                out.push(violation(
+                    file,
+                    "L8",
+                    sig.span(i),
+                    format!(
+                        "order-sensitive float `.{word}::<{}>()`; use rhsd_tensor::ops::reduce (pinned order)",
+                        sig.text(i + 4)
+                    ),
+                ));
+            }
+        }
+    }
+    // `.fold(<float literal>, …)` — a float accumulator seeded inline.
+    for i in sig.idents("fold") {
+        let (start, _) = sig.span(i);
+        if file.in_test(start) || sig.text(i + 1) != "(" {
+            continue;
+        }
+        let mut j = i + 2;
+        if sig.text(j) == "-" {
+            j += 1;
+        }
+        let is_float_lit = sig.kind(j) == Some(Kind::Num) && {
+            let t = sig.text(j);
+            t.contains('.') || t.ends_with("f32") || t.ends_with("f64")
+        };
+        let is_float_const = matches!(sig.text(j), "f32" | "f64")
+            && sig.text(j + 1) == ":"
+            && sig.text(j + 2) == ":";
+        if is_float_lit || is_float_const {
+            out.push(violation(
+                file,
+                "L8",
+                sig.span(i),
+                "order-sensitive float `fold`; use rhsd_tensor::ops::reduce (pinned order)"
+                    .to_string(),
+            ));
+        }
+    }
+    // `partial_cmp` comparators: not total over floats (NaN), and the
+    // usual `unwrap_or(Equal)` fallback silently reorders.
+    for i in sig.idents("partial_cmp") {
+        let (start, _) = sig.span(i);
+        if file.in_test(start) {
+            continue;
+        }
+        out.push(violation(
+            file,
+            "L8",
+            sig.span(i),
+            "`partial_cmp` is not a total order over floats; use `total_cmp`".to_string(),
+        ));
+    }
+    out.sort_by_key(|v| v.span.0);
+    out
+}
+
+/// A global-lock class in the observability/parallelism layer.
+///
+/// `acquirers` are the functions that return the class's guard;
+/// `entries` are functions whose call acquires the lock internally.
+/// Entry names marked `true` are matched even as method calls
+/// (`sw.stop_into(...)`); unmarked names only match free/path calls so
+/// generic method names (`.record(…)`, `.close(…)`) don't false-fire.
+/// `crates` limits where the class's names are meaningful — `global()`
+/// is the ledger sink in rhsd-obs but the pool storage in rhsd-par.
+struct LockClass {
+    name: &'static str,
+    crates: &'static [&'static str],
+    acquirers: &'static [&'static str],
+    entries: &'static [(&'static str, bool)],
+}
+
+const LOCK_CLASSES: &[LockClass] = &[
+    LockClass {
+        name: "registry",
+        crates: &["obs", "par"],
+        acquirers: &["registry"],
+        entries: &[
+            ("counter", false),
+            ("record", false),
+            ("record_secs", false),
+            ("snapshot", false),
+            ("span_events", false),
+            ("chrome_trace_json", false),
+            ("metrics_json", false),
+            ("stop_into", true),
+        ],
+    },
+    LockClass {
+        name: "ledger",
+        crates: &["obs"],
+        acquirers: &["global"],
+        entries: &[("emit", false), ("on_span_close", true), ("close", false)],
+    },
+    LockClass {
+        name: "profiler",
+        crates: &["obs"],
+        acquirers: &["global_slot"],
+        entries: &[("start_global", false), ("stop_global", false)],
+    },
+    LockClass {
+        name: "stacks",
+        crates: &["obs"],
+        acquirers: &["stack_registry"],
+        entries: &[("sample_stacks", false)],
+    },
+    LockClass {
+        name: "pool",
+        crates: &["par"],
+        acquirers: &["lock"],
+        entries: &[],
+    },
+];
+
+/// L9: lock discipline across the global locks in `rhsd-obs`/`rhsd-par`.
+///
+/// The observability layer has five process-global locks (metrics
+/// registry, ledger sink, profiler slot, span-stack registry, pool
+/// queue). They are safe only because no function holds one while
+/// taking another — PR 3 recorded that as a comment; this rule checks
+/// it. Per function, a lexical call-edge approximation: after a call
+/// that *acquires* class A's guard, any later call in the same body
+/// that enters class B (B ≠ A) is flagged. Functions that do the
+/// cross-class call *before* acquiring their own lock (the "never
+/// nest" ordering) pass. The guard may in fact be dropped earlier than
+/// the fn end — when that is provable, the site carries an inline
+/// `// lint:allow(L9)` with the argument.
+fn l9_lock_discipline(file: &SourceFile, sig: &Sig, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name != "obs" && scope.crate_name != "par" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &file.scopes.fns {
+        let Some((body_start, body_end)) = f.body else {
+            continue;
+        };
+        if file.in_test(f.fn_kw) {
+            continue;
+        }
+        // (class index, token index) of acquisitions seen so far.
+        let mut held: Vec<(usize, usize)> = Vec::new();
+        for (i, t) in sig.toks.iter().enumerate() {
+            if t.start < body_start || t.start >= body_end {
+                continue;
+            }
+            if t.kind != Kind::Ident || sig.text(i + 1) != "(" {
+                continue;
+            }
+            let name = t.text(sig.src);
+            if sig.preceded_by_fn(i) {
+                continue; // nested definition, not a call
+            }
+            let is_method = sig.preceded_by_dot(i);
+            for (ci, class) in LOCK_CLASSES.iter().enumerate() {
+                if !class.crates.iter().any(|c| *c == scope.crate_name) {
+                    continue;
+                }
+                let acquires = !is_method && class.acquirers.contains(&name);
+                let enters = acquires
+                    || class
+                        .entries
+                        .iter()
+                        .any(|&(e, as_method)| e == name && (as_method || !is_method));
+                if !enters {
+                    continue;
+                }
+                for &(held_ci, _) in &held {
+                    if held_ci != ci {
+                        out.push(violation(
+                            file,
+                            "L9",
+                            (t.start, t.end),
+                            format!(
+                                "fn `{}` calls `{name}` (takes the {} lock) after acquiring the {} lock; never nest the global locks",
+                                f.name,
+                                class.name,
+                                LOCK_CLASSES[held_ci].name,
+                            ),
+                        ));
+                    }
+                }
+                if acquires {
+                    held.push((ci, i));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|v| v.span.0);
+    out
+}
+
+/// L10: every `unsafe` must carry an adjacent `// SAFETY:` comment.
+///
+/// The argument for why the invariants hold belongs next to the code
+/// that relies on them; "adjacent" means on the same line or in the
+/// contiguous comment/attribute block immediately above.
+fn l10_safety_contracts(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &off in &file.scopes.unsafe_sites {
+        if file.in_test(off) {
+            continue;
+        }
+        let line = file.line_of(off);
+        if file.raw_line(line).contains("SAFETY:") {
+            continue;
+        }
+        let mut l = line;
+        let mut found = false;
+        while l > 1 {
+            l -= 1;
+            let t = file.raw_line(l).trim();
+            if t.starts_with("//") || t.starts_with("/*") || t.starts_with('*') {
+                if t.contains("SAFETY:") {
+                    found = true;
+                    break;
+                }
+            } else if t.starts_with("#[") || t.ends_with(']') {
+                continue; // attributes between the comment and the item
+            } else {
+                break;
+            }
+        }
+        if !found {
+            let context = file
+                .scopes
+                .enclosing_fn(off)
+                .map(|f| format!(" in fn `{}`", f.name))
+                .unwrap_or_default();
+            out.push(violation(
+                file,
+                "L10",
+                (off, off + "unsafe".len()),
+                format!(
+                    "`unsafe`{context} without an adjacent `// SAFETY:` comment arguing the invariants"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// L11: `Shapes:` docs must agree with the fn signature.
+///
+/// L4 makes public tensor-consuming fns *have* a Shapes section; L11
+/// keeps it honest: every `` `name` is `…` `` expression in the doc must
+/// name a real parameter, and every Tensor-typed parameter must appear
+/// in the doc, so renames and added arguments can't silently strand the
+/// contract.
+fn l11_shape_cross_check(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
+    if scope.crate_name != "nn" && scope.crate_name != "core" {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &file.scopes.fns {
+        if !f.is_pub || file.in_test(f.fn_kw) {
+            continue;
+        }
+        let doc = doc_block(file, f.fn_kw);
+        if !doc.iter().any(|l| l.contains("Shapes:")) {
+            continue; // L4's department
+        }
+        let params = param_names_and_types(&file.code[f.params.0..f.params.1]);
+        let names: Vec<&str> = params.iter().map(|(n, _)| n.as_str()).collect();
+        // Direction 1: documented names must exist in the signature.
+        for l in &doc {
+            for name in documented_names(l) {
+                if name != "returns" && name != "result" && name != "self" && !names.contains(&name)
+                {
+                    out.push(violation(
+                        file,
+                        "L11",
+                        (f.fn_kw, f.fn_kw + 2),
+                        format!(
+                            "Shapes doc of `{}` describes `{name}`, which is not a parameter (doc drifted from signature?)",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+        // Direction 2: every Tensor parameter must be described.
+        for (name, ty) in &params {
+            if word_offsets(ty, "Tensor").next().is_none() {
+                continue;
+            }
+            let tick = format!("`{name}`");
+            if !doc.iter().any(|l| l.contains(&tick)) {
+                out.push(violation(
+                    file,
+                    "L11",
+                    (f.fn_kw, f.fn_kw + 2),
+                    format!(
+                        "Shapes doc of `{}` does not describe tensor parameter `{name}`",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Byte offsets of word-boundary occurrences of `word` in `code`.
@@ -62,357 +725,125 @@ fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
-/// First non-whitespace byte at or after `i`.
-fn next_nonspace(code: &str, i: usize) -> Option<u8> {
-    code.as_bytes()[i..]
-        .iter()
-        .copied()
-        .find(|b| !b.is_ascii_whitespace())
-}
-
-/// L1: no `unwrap()` / `expect()` / `panic!` in library code outside tests.
-///
-/// `assert!`/`debug_assert!` are deliberately permitted: they state
-/// invariants, not error handling. Recoverable failures must use the
-/// crate's typed error enums.
-fn l1_no_panics(file: &SourceFile) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for (word, needs, label) in [
-        ("unwrap", b'(', "`.unwrap()` in non-test library code"),
-        ("expect", b'(', "`.expect()` in non-test library code"),
-        ("panic", b'!', "`panic!` in non-test library code"),
-    ] {
-        for off in word_offsets(&file.code, word) {
-            if file.in_test(off) {
-                continue;
-            }
-            if next_nonspace(&file.code, off + word.len()) != Some(needs) {
-                continue;
-            }
-            out.push(violation(
-                file,
-                "L1",
-                off,
-                format!("{label}; use a typed error"),
-            ));
-        }
-    }
-    out
-}
-
-/// L2: no `HashMap`/`HashSet` in non-test library code.
-///
-/// Unordered iteration feeding serialization, metrics export or h-NMS
-/// ordering silently breaks run-to-run determinism; the workspace
-/// standard is `BTreeMap`/`BTreeSet` (deterministic iteration order).
-fn l2_no_hash_collections(file: &SourceFile) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for word in ["HashMap", "HashSet"] {
-        for off in word_offsets(&file.code, word) {
-            if file.in_test(off) {
-                continue;
-            }
-            out.push(violation(
-                file,
-                "L2",
-                off,
-                format!("`{word}` has nondeterministic iteration order; use BTreeMap/BTreeSet"),
-            ));
-        }
-    }
-    out
-}
-
-/// L3: no wall-clock access outside `rhsd-obs` and `rhsd-bench`.
-///
-/// `Instant`-derived values leaking into library crates are a
-/// nondeterminism source; all timing goes through `rhsd-obs` spans.
-fn l3_no_wall_clock(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
-    if scope.crate_name == "obs" || scope.crate_name == "bench" {
+/// The doc-comment block attached to the item whose first keyword sits
+/// at byte `item_off` — walks the token stream backward over
+/// whitespace, visibility/qualifier keywords, attributes (bracket-
+/// matched, so multi-line `#[cfg_attr(…)]` is fine) and plain comments,
+/// collecting doc-comment text in source order.
+fn doc_block(file: &SourceFile, item_off: usize) -> Vec<String> {
+    let Ok(idx) = file.tokens.binary_search_by(|t| t.start.cmp(&item_off)) else {
         return Vec::new();
-    }
-    let mut out = Vec::new();
-    for (pat, word_bounded) in [
-        ("std::time", false),
-        ("Instant", true),
-        ("SystemTime", true),
-    ] {
-        let offsets: Vec<usize> = if word_bounded {
-            word_offsets(&file.code, pat).collect()
-        } else {
-            file.code.match_indices(pat).map(|(i, _)| i).collect()
-        };
-        for off in offsets {
-            if file.in_test(off) {
-                continue;
-            }
-            out.push(violation(
-                file,
-                "L3",
-                off,
-                format!("`{pat}` outside rhsd-obs/rhsd-bench breaks determinism"),
-            ));
-        }
-    }
-    out
-}
-
-/// L4: public tensor-consuming functions in `rhsd-nn`/`rhsd-core` must
-/// document their expected shapes in a `/// Shapes:` doc section.
-fn l4_shapes_doc(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
-    if scope.crate_name != "nn" && scope.crate_name != "core" {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    for off in word_offsets(&file.code, "fn") {
-        if file.in_test(off) {
-            continue;
-        }
-        let line = file.line_of(off);
-        if !is_plain_pub_fn(file, line, off) {
-            continue;
-        }
-        let Some(params) = param_list(&file.code, off) else {
-            continue;
-        };
-        if word_offsets(&params, "Tensor").next().is_none() {
-            continue;
-        }
-        if !doc_block_mentions_shapes(file, line) {
-            let name = fn_name(&file.code, off);
-            out.push(violation(
-                file,
-                "L4",
-                off,
-                format!("public tensor-consuming fn `{name}` lacks a `/// Shapes:` doc section"),
-            ));
-        }
-    }
-    out
-}
-
-/// L5: no raw thread creation (`thread::spawn` / `thread::Builder`)
-/// outside `rhsd-par` and `rhsd-obs`.
-///
-/// All pipeline parallelism goes through the `rhsd-par` pool: its fixed
-/// chunk schedule and in-order reduction are what keep results
-/// bit-identical at any thread count, and its counters feed the
-/// observability layer. Ad-hoc threads bypass both. (`rhsd-obs` owns one
-/// audited background writer thread.)
-fn l5_no_raw_threads(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
-    if scope.crate_name == "par" || scope.crate_name == "obs" {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    for pat in ["thread::spawn", "thread::Builder"] {
-        for (off, _) in file.code.match_indices(pat) {
-            if file.in_test(off) {
-                continue;
-            }
-            out.push(violation(
-                file,
-                "L5",
-                off,
-                format!("`{pat}` outside rhsd-par; use the rhsd_par pool (deterministic schedule + obs counters)"),
-            ));
-        }
-    }
-    out
-}
-
-/// L6: no buffer allocation (`vec![..]` / `Vec::with_capacity`) inside
-/// loop bodies in the `rhsd-tensor` op kernels (`crates/tensor/src/ops/`).
-///
-/// The hot kernels draw scratch from `rhsd_tensor::workspace` so
-/// steady-state inference performs zero heap allocations; a `vec!` inside
-/// a `for`/`while`/`loop` body re-pays the allocator on every iteration.
-/// One-time allocations before the loop (and the workspace pool itself,
-/// which lives outside `ops/`) are fine.
-fn l6_no_loop_allocs(file: &SourceFile) -> Vec<Violation> {
-    if !file.rel_path.starts_with("crates/tensor/src/ops/") {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let vec_bang: Vec<usize> = word_offsets(&file.code, "vec")
-        .filter(|&off| next_nonspace(&file.code, off + 3) == Some(b'!'))
-        .collect();
-    let with_cap: Vec<usize> = file
-        .code
-        .match_indices("Vec::with_capacity")
-        .map(|(i, _)| i)
-        .collect();
-    for (off, label) in vec_bang
-        .into_iter()
-        .map(|o| (o, "`vec!`"))
-        .chain(with_cap.into_iter().map(|o| (o, "`Vec::with_capacity`")))
-    {
-        if file.in_test(off) || !inside_loop_body(&file.code, off) {
-            continue;
-        }
-        out.push(violation(
-            file,
-            "L6",
-            off,
-            format!(
-                "{label} inside a kernel loop; hoist it or take scratch from the Workspace pool"
-            ),
-        ));
-    }
-    out.sort_by_key(|v| v.line);
-    out
-}
-
-/// L7: no `println!`/`eprintln!` (or `print!`/`eprint!`) in library
-/// code.
-///
-/// Library crates report through `rhsd-obs` (counters, spans, the
-/// ledger) so output stays machine-readable and quiet by default;
-/// stray prints corrupt piped output (`--bench-out -` style usage) and
-/// bypass the run ledger. Binaries (`src/bin/`), `rhsd-obs` itself and
-/// the `xtask` tree (not scanned) own the terminal. The audited CLI
-/// surface in `rhsd-bench` is allowlisted, not exempted: new prints
-/// there still need a deliberate allowlist entry.
-fn l7_no_stdio_prints(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
-    if scope.crate_name == "obs" || file.rel_path.contains("/src/bin/") {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    for word in ["println", "eprintln", "print", "eprint"] {
-        for off in word_offsets(&file.code, word) {
-            if file.in_test(off) {
-                continue;
-            }
-            if next_nonspace(&file.code, off + word.len()) != Some(b'!') {
-                continue;
-            }
-            out.push(violation(
-                file,
-                "L7",
-                off,
-                format!("`{word}!` in library code; report through rhsd-obs instead"),
-            ));
-        }
-    }
-    out.sort_by_key(|v| v.line);
-    out
-}
-
-/// True when `off` falls inside the brace-delimited body of a
-/// `for`/`while`/`loop`. Scans the code mask tracking which open braces
-/// belong to loop headers; `impl Trait for Type` is recognised so its
-/// `for` does not count as a loop.
-fn inside_loop_body(code: &str, off: usize) -> bool {
-    let bytes = code.as_bytes();
-    // true entries mark braces opened by a loop header
-    let mut stack: Vec<bool> = Vec::new();
-    let mut pending_loop = false;
-    let mut pending_impl = false;
-    let mut i = 0;
-    while i < off {
-        let b = bytes[i];
-        if is_ident_byte(b) {
-            let start = i;
-            while i < bytes.len() && is_ident_byte(bytes[i]) {
-                i += 1;
-            }
-            match &code[start..i] {
-                "impl" => pending_impl = true,
-                "for" if pending_impl => {}
-                "for" | "while" | "loop" => pending_loop = true,
+    };
+    let mut lines: Vec<String> = Vec::new();
+    let mut bracket_depth = 0usize;
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = &file.tokens[j];
+        let text = t.text(&file.raw);
+        if bracket_depth > 0 {
+            // Inside an attribute, consumed right-to-left.
+            match text {
+                "]" => bracket_depth += 1,
+                "[" => bracket_depth -= 1,
                 _ => {}
             }
             continue;
         }
-        match b {
-            b'{' => {
-                stack.push(pending_loop);
-                pending_loop = false;
-                pending_impl = false;
-            }
-            b'}' => {
-                stack.pop();
-            }
-            b';' => {
-                pending_loop = false;
-                pending_impl = false;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    stack.iter().any(|&is_loop| is_loop)
-}
-
-/// True if the `fn` at `off` is written `pub fn` (with optional
-/// `const`/`unsafe`/`async` qualifiers). `pub(crate)`/`pub(super)` and
-/// private fns are not public API; trait methods are never `pub`.
-fn is_plain_pub_fn(file: &SourceFile, line: usize, off: usize) -> bool {
-    let prefix = &file.code[line_byte_start(file, line)..off];
-    let mut tokens: Vec<&str> = prefix.split_whitespace().collect();
-    while matches!(tokens.last(), Some(&"const" | &"unsafe" | &"async")) {
-        tokens.pop();
-    }
-    tokens.last() == Some(&"pub")
-}
-
-fn line_byte_start(file: &SourceFile, line: usize) -> usize {
-    // Reconstruct from raw_line: find where this line begins.
-    let mut start = 0;
-    for _ in 1..line {
-        start = file.raw[start..]
-            .find('\n')
-            .map(|p| start + p + 1)
-            .unwrap_or(file.raw.len());
-    }
-    start
-}
-
-/// Extracts the parenthesised parameter list following `fn name`.
-fn param_list(code: &str, fn_off: usize) -> Option<String> {
-    let open = code[fn_off..].find('(')? + fn_off;
-    let bytes = code.as_bytes();
-    let mut depth = 0usize;
-    for (k, &b) in bytes.iter().enumerate().skip(open) {
-        match b {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(code[open + 1..k].to_string());
+        match t.kind {
+            Kind::Ws => {}
+            Kind::LineComment | Kind::BlockComment => {
+                if t.is_doc(&file.raw) {
+                    lines.push(
+                        text.trim_start_matches('/')
+                            .trim_start_matches('*')
+                            .trim_start_matches('!')
+                            .trim_end_matches('/')
+                            .trim_end_matches('*')
+                            .to_string(),
+                    );
                 }
+                // plain comments between doc and item are skipped
+            }
+            Kind::Ident if matches!(text, "pub" | "const" | "unsafe" | "async" | "extern") => {}
+            Kind::Str => {} // the ABI string of `extern "C"`
+            Kind::Punct if text == "]" => bracket_depth += 1,
+            Kind::Punct if text == "#" => {} // the `#` of a consumed attribute
+            _ => break,
+        }
+    }
+    lines.reverse();
+    lines
+}
+
+/// Whether the doc block above the item at `item_off` has a `Shapes:`
+/// section.
+fn doc_block_mentions_shapes(file: &SourceFile, item_off: usize) -> bool {
+    doc_block(file, item_off)
+        .iter()
+        .any(|l| l.contains("Shapes:"))
+}
+
+/// Backticked names that a doc line *describes*: `` `x` is `…` `` or
+/// `` `x` and `y` are `…` ``.
+fn documented_names(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('`') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('`') else { break };
+        let name = &tail[..close];
+        let after = tail[close + 1..].trim_start();
+        if !name.is_empty()
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && (after.starts_with("is ")
+                || after.starts_with("are ")
+                || after.starts_with("and ")
+                || after.starts_with(", "))
+        {
+            out.push(name);
+        }
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+/// Splits a parameter list into `(name, type)` pairs. Top-level commas
+/// only; `self` receivers are reported as `("self", "")`.
+fn param_names_and_types(params: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let bytes = params.as_bytes();
+    let mut parts = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' | b'[' | b'<' => depth += 1,
+            b')' | b']' | b'>' => depth -= 1,
+            b',' if depth <= 0 => {
+                parts.push(&params[start..i]);
+                start = i + 1;
             }
             _ => {}
         }
     }
-    None
-}
-
-fn fn_name(code: &str, fn_off: usize) -> String {
-    code[fn_off + 2..]
-        .chars()
-        .skip_while(|c| c.is_whitespace())
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect()
-}
-
-/// Walks upward from the line above `fn_line` over doc comments and
-/// attributes, looking for `Shapes:`.
-fn doc_block_mentions_shapes(file: &SourceFile, fn_line: usize) -> bool {
-    let mut l = fn_line;
-    while l > 1 {
-        l -= 1;
-        let raw = file.raw_line(l).trim();
-        if raw.starts_with("///") || raw.starts_with("//!") {
-            if raw.contains("Shapes:") {
-                return true;
-            }
-        } else if raw.starts_with("#[") || raw.starts_with("//") || raw.ends_with("]") {
-            continue; // attribute (possibly multi-line) or plain comment
-        } else {
-            break;
+    parts.push(&params[start..]);
+    for p in parts {
+        let p = p.trim();
+        if p.is_empty() {
+            continue;
         }
+        if p.ends_with("self") {
+            out.push(("self".to_string(), String::new()));
+            continue;
+        }
+        let Some((name, ty)) = p.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().trim_start_matches("mut ").trim().to_string();
+        out.push((name, ty.trim().to_string()));
     }
-    false
+    out
 }
 
 #[cfg(test)]
@@ -584,5 +1015,158 @@ mod tests {
             "/// Shapes: `x` is `[n]`.\n#[inline]\npub fn f(\n    x: &Tensor,\n) -> f32 { 0.0 }\n";
         assert_eq!(rules(&lint("crates/core/src/a.rs", bad)), vec!["L4"]);
         assert!(lint("crates/core/src/a.rs", good).is_empty());
+    }
+
+    // ---- new-rule tests (L8–L12) ----
+
+    #[test]
+    fn l8_flags_float_turbofish_sums() {
+        let v = lint(
+            "crates/data/src/a.rs",
+            "fn f(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }\nfn g(xs: &[f64]) -> f64 { xs.iter().product::<f64>() }\n",
+        );
+        assert_eq!(rules(&v), vec!["L8", "L8"]);
+        assert!(v[0].message.contains("reduce"));
+        // Integer reductions are order-insensitive and fine.
+        let ok = "fn f(xs: &[u32]) -> u32 { xs.iter().sum::<u32>() }";
+        assert!(lint("crates/data/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn l8_flags_float_seeded_folds_and_partial_cmp() {
+        let v = lint(
+            "crates/data/src/a.rs",
+            "fn f(xs: &[f32]) -> f32 { xs.iter().fold(0.0f32, |a, &b| a.max(b)) }\n\
+             fn g(xs: &[f64]) -> f64 { xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)) }\n\
+             fn h(xs: &mut [f32]) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); }\n",
+        );
+        assert_eq!(rules(&v), vec!["L8", "L8", "L8"]);
+        assert!(v[2].message.contains("total_cmp"));
+        // Integer folds and non-float seeds don't fire.
+        let ok = "fn f(xs: &[u32]) -> u32 { xs.iter().fold(0, |a, &b| a + b) }";
+        assert!(lint("crates/data/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn l8_exempts_reduce_module_and_tests() {
+        let sums = "pub fn s(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() }";
+        assert!(lint("crates/tensor/src/ops/reduce.rs", sums).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests { fn t(xs: &[f32]) -> f32 { xs.iter().sum::<f32>() } }";
+        assert!(lint("crates/data/src/a.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn l9_flags_entry_after_acquire_of_other_class() {
+        let src = "fn f() {\n    let mut reg = registry();\n    reg.push(1);\n    emit(&e);\n}\n";
+        let v = lint("crates/obs/src/a.rs", src);
+        assert_eq!(rules(&v), vec!["L9"]);
+        assert!(v[0].message.contains("ledger"));
+        assert!(v[0].message.contains("registry"));
+    }
+
+    #[test]
+    fn l9_accepts_never_nest_ordering() {
+        // Cross-class call *before* taking our own lock: the correct
+        // pattern (ledger::close, SpanGuard::drop) must pass.
+        let src = "fn close() {\n    let snap = snapshot();\n    let mut g = global();\n    g.write(&snap);\n}\n";
+        assert!(lint("crates/obs/src/ledger.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l9_same_class_reentry_not_flagged_and_methods_ignored() {
+        // Two acquisitions of the same class are the reentrancy bug
+        // Mutex already catches at runtime; L9 only covers cross-class
+        // nesting. Method calls with entry-like names don't fire.
+        let src = "fn f() {\n    let a = registry();\n    let b = snapshot();\n    tx.close();\n    file.record(1);\n}\n";
+        assert!(lint("crates/obs/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l9_pool_lock_vs_obs_counters() {
+        let src =
+            "fn worker() {\n    let mut q = lock(&self.queue);\n    counter(\"parks\", 1);\n}\n";
+        let v = lint("crates/par/src/a.rs", src);
+        assert_eq!(rules(&v), vec!["L9"]);
+        // Outside obs/par the rule is off entirely.
+        assert!(lint("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l10_requires_safety_comment_on_unsafe() {
+        let bad = "fn f() { let x = unsafe { std::mem::transmute::<u32, i32>(1) }; }";
+        let v = lint("crates/par/src/a.rs", bad);
+        assert_eq!(rules(&v), vec!["L10"]);
+        let good = "fn f() {\n    // SAFETY: u32 and i32 have identical layout.\n    let x = unsafe { std::mem::transmute::<u32, i32>(1) };\n}";
+        assert!(lint("crates/par/src/a.rs", good).is_empty());
+        let same_line = "fn f() { let x = unsafe { g() }; // SAFETY: g has no preconditions\n}";
+        assert!(lint("crates/par/src/a.rs", same_line).is_empty());
+    }
+
+    #[test]
+    fn l10_safety_comment_above_attrs_counts_and_tests_are_exempt() {
+        let good = "// SAFETY: the pointer is valid for 'scope.\n#[inline]\nunsafe fn g(p: *const u8) {}\n";
+        assert!(lint("crates/par/src/a.rs", good).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests { fn t() { let _ = unsafe { core::hint::unreachable_unchecked() }; } }";
+        assert!(lint("crates/par/src/a.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn l11_flags_doc_signature_drift() {
+        // Doc names a parameter that no longer exists.
+        let drifted = "/// Shapes: `old` is `[n, 4]`.\npub fn f(x: &Tensor) -> f32 { 0.0 }\n";
+        let v = lint("crates/nn/src/a.rs", drifted);
+        assert!(rules(&v).contains(&"L11"), "{v:?}");
+        // Tensor parameter missing from the doc.
+        let missing =
+            "/// Shapes: `x` is `[n, 4]`.\npub fn f(x: &Tensor, y: &Tensor) -> f32 { 0.0 }\n";
+        let v = lint("crates/nn/src/a.rs", missing);
+        assert!(rules(&v).contains(&"L11"), "{v:?}");
+        // Consistent doc passes.
+        let good = "/// Shapes: `x` is `[n, 4]`, `y` is `[n]`.\npub fn f(x: &Tensor, y: &Tensor) -> f32 { 0.0 }\n";
+        assert!(lint("crates/nn/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn l11_only_applies_where_l4_does() {
+        let drifted = "/// Shapes: `old` is `[n]`.\npub fn f(x: &Tensor) {}\n";
+        assert!(lint("crates/litho/src/a.rs", drifted).is_empty());
+        let private = "/// Shapes: `old` is `[n]`.\nfn f(x: &Tensor) {}\n";
+        assert!(lint("crates/nn/src/a.rs", private).is_empty());
+    }
+
+    #[test]
+    fn l12_extends_loop_alloc_rule_to_scan_paths() {
+        let bad =
+            "fn f(n: usize) {\n    for _ in 0..n {\n        let _v = vec![0.0f32; n];\n    }\n}\n";
+        let v = lint("crates/litho/src/aerial.rs", bad);
+        assert_eq!(rules(&v), vec!["L12"]);
+        let v = lint("crates/core/src/extractor.rs", bad);
+        assert_eq!(rules(&v), vec!["L12"]);
+        // Not on the curated hot-path list → no rule.
+        assert!(lint("crates/core/src/train.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn param_parsing_handles_nesting_and_self() {
+        let ps = param_names_and_types("&self, x: &Tensor, f: impl Fn(u8, u8) -> u8, n: usize");
+        let names: Vec<&str> = ps.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["self", "x", "f", "n"]);
+        assert_eq!(ps[1].1, "&Tensor");
+    }
+
+    #[test]
+    fn documented_names_parses_shape_expressions() {
+        assert_eq!(
+            documented_names("Shapes: `x` is `[n, 4]`, `y` is `[n]`."),
+            vec!["x", "y"]
+        );
+        assert_eq!(
+            documented_names("Shapes: `a` and `b` are `[c, h, w]`."),
+            vec!["a", "b"]
+        );
+        // Backticked type/expr mentions without "is/are" are not names.
+        assert!(documented_names("returns `[n, 4]` boxes").is_empty());
     }
 }

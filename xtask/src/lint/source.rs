@@ -1,12 +1,22 @@
 //! Source-file model for the lint rules.
 //!
-//! A [`SourceFile`] holds the raw text plus a *code mask*: a copy of the
-//! text where comments and string/char literals are blanked to spaces
-//! (byte offsets and line numbers are preserved). Rules scan the mask so
-//! that `// panic! is bad` or `"unwrap()"` in a string never match.
+//! A [`SourceFile`] lexes the raw text once ([`crate::lint::lex`]) and
+//! derives everything the rules need from the token stream:
 //!
-//! It also computes *test regions*: the byte ranges of items annotated
-//! `#[cfg(test)]` or `#[test]`, so rules can skip test-only code.
+//! - the **token list** itself, for token-accurate rules;
+//! - the **scope facts** ([`crate::lint::scope`]): fn items, test
+//!   regions, loop bodies, `unsafe` sites;
+//! - a **code mask** — the text with comment and string/char literal
+//!   *contents* blanked to spaces (byte offsets and line numbers
+//!   preserved) — kept for rules that still scan text, so that
+//!   `// panic! is bad` or `"unwrap()"` in a string never match.
+//!
+//! The mask is now derived from real tokens rather than the old
+//! byte-stripping heuristics, so raw strings with hashes, nested block
+//! comments and `'a'`-vs-`&'a` ambiguities are all handled exactly.
+
+use super::lex::{self, Kind, Token};
+use super::scope::{self, Scopes};
 
 /// One lint-relevant source file.
 pub struct SourceFile {
@@ -14,10 +24,12 @@ pub struct SourceFile {
     pub rel_path: String,
     /// Raw file contents.
     pub raw: String,
-    /// Contents with comments and string/char literals blanked.
+    /// Contents with comment and literal contents blanked.
     pub code: String,
-    /// Byte ranges (half-open) covered by `#[cfg(test)]` / `#[test]` items.
-    test_regions: Vec<(usize, usize)>,
+    /// The lexed token stream (tiles `raw` exactly).
+    pub tokens: Vec<Token>,
+    /// Item/scope facts derived from the tokens.
+    pub scopes: Scopes,
     /// Byte offset of the start of each line.
     line_starts: Vec<usize>,
 }
@@ -26,8 +38,9 @@ impl SourceFile {
     /// Builds the model from raw text.
     pub fn new(rel_path: impl Into<String>, raw: impl Into<String>) -> Self {
         let raw = raw.into();
-        let code = mask_comments_and_strings(&raw);
-        let test_regions = find_test_regions(&code);
+        let tokens = lex::lex(&raw);
+        let scopes = scope::analyze(&raw, &tokens);
+        let code = mask(&raw, &tokens);
         let mut line_starts = vec![0];
         for (i, b) in raw.bytes().enumerate() {
             if b == b'\n' {
@@ -38,7 +51,8 @@ impl SourceFile {
             rel_path: rel_path.into(),
             raw,
             code,
-            test_regions,
+            tokens,
+            scopes,
             line_starts,
         }
     }
@@ -53,9 +67,7 @@ impl SourceFile {
 
     /// Whether a byte offset falls inside a test-only item.
     pub fn in_test(&self, offset: usize) -> bool {
-        self.test_regions
-            .iter()
-            .any(|&(a, b)| a <= offset && offset < b)
+        self.scopes.in_test(offset)
     }
 
     /// The raw text of a 1-based line (without the trailing newline).
@@ -79,200 +91,82 @@ impl SourceFile {
         }
         lines.iter().any(|&l| self.raw_line(l).contains(&marker))
     }
+
+    /// Every inline `// lint:allow(<rule>)` marker in the file, as
+    /// `(rule, 1-based line)` pairs — input to the stale-marker gate.
+    pub fn inline_allow_markers(&self) -> Vec<(String, usize)> {
+        let mut out = Vec::new();
+        for (idx, _) in self.line_starts.iter().enumerate() {
+            let line = idx + 1;
+            let text = self.raw_line(line);
+            let mut rest = text;
+            while let Some(p) = rest.find("lint:allow(") {
+                let tail = &rest[p + "lint:allow(".len()..];
+                if let Some(close) = tail.find(')') {
+                    let rule = &tail[..close];
+                    if !rule.is_empty() && rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+                        out.push((rule.to_string(), line));
+                    }
+                    rest = &tail[close + 1..];
+                } else {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The non-trivia tokens, in order.
+    pub fn significant(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| !t.is_trivia())
+    }
 }
 
-/// Blanks comments and string/char literals to spaces, preserving layout.
-fn mask_comments_and_strings(src: &str) -> String {
-    let bytes = src.as_bytes();
+/// Blanks comment and literal contents to spaces, preserving layout.
+///
+/// Delimiting quotes of string/char literals are kept so the mask still
+/// reads as a literal; lifetimes and all real code pass through.
+fn mask(raw: &str, tokens: &[Token]) -> String {
+    let bytes = raw.as_bytes();
     let mut out = bytes.to_vec();
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                // Line comment (incl. doc comments): blank to end of line.
-                // Doc text is recovered by rules from `raw` when needed.
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    blank(&mut out, i);
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                let mut depth = 1;
-                blank(&mut out, i);
-                blank(&mut out, i + 1);
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                        depth += 1;
+    for t in tokens {
+        match t.kind {
+            Kind::LineComment | Kind::BlockComment => blank_range(&mut out, t.start, t.end),
+            Kind::Str
+            | Kind::RawStr
+            | Kind::ByteStr
+            | Kind::RawByteStr
+            | Kind::Char
+            | Kind::Byte => {
+                let first_q = (t.start..t.end).find(|&i| bytes[i] == b'"' || bytes[i] == b'\'');
+                let last_q = (t.start..t.end)
+                    .rev()
+                    .find(|&i| bytes[i] == b'"' || bytes[i] == b'\'');
+                for i in t.start..t.end {
+                    if Some(i) != first_q && Some(i) != last_q {
                         blank(&mut out, i);
-                        blank(&mut out, i + 1);
-                        i += 2;
-                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        blank(&mut out, i);
-                        blank(&mut out, i + 1);
-                        i += 2;
-                    } else {
-                        blank(&mut out, i);
-                        i += 1;
                     }
                 }
             }
-            b'"' => {
-                // String literal: keep the quotes, blank the contents.
-                i += 1;
-                while i < bytes.len() && bytes[i] != b'"' {
-                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
-                        blank(&mut out, i);
-                        blank(&mut out, i + 1);
-                        i += 2;
-                    } else {
-                        blank(&mut out, i);
-                        i += 1;
-                    }
-                }
-                i += 1; // closing quote
-            }
-            b'r' if is_raw_string_start(bytes, i) => {
-                let (hashes, body_start) = raw_string_open(bytes, i);
-                for k in i + 1..body_start {
-                    blank(&mut out, k);
-                }
-                i = body_start;
-                let close: Vec<u8> = std::iter::once(b'"')
-                    .chain(std::iter::repeat_n(b'#', hashes))
-                    .collect();
-                while i < bytes.len() && !bytes[i..].starts_with(&close) {
-                    blank(&mut out, i);
-                    i += 1;
-                }
-                i += close.len();
-            }
-            b'\'' => {
-                // Char literal vs lifetime. A char literal closes with a
-                // `'` after one (possibly escaped) character.
-                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
-                    i += 2;
-                    while i < bytes.len() && bytes[i] != b'\'' {
-                        blank(&mut out, i);
-                        i += 1;
-                    }
-                    i += 1;
-                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
-                    blank(&mut out, i + 1);
-                    i += 3;
-                } else {
-                    i += 1; // lifetime: leave as-is
-                }
-            }
-            _ => i += 1,
+            _ => {}
         }
     }
-    // Invalid UTF-8 cannot arise: we only overwrite whole multi-byte
-    // sequences inside literals/comments with ASCII spaces.
+    // Blanking only replaces bytes with ASCII spaces inside token spans,
+    // and newlines are preserved, so the result is valid UTF-8 with the
+    // exact byte length and line structure of the input.
     String::from_utf8(out).unwrap_or_default()
+}
+
+fn blank_range(out: &mut [u8], start: usize, end: usize) {
+    for i in start..end {
+        blank(out, i);
+    }
 }
 
 fn blank(out: &mut [u8], i: usize) {
     if !out[i].is_ascii_whitespace() {
         out[i] = b' ';
     }
-}
-
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    // `r"..."` / `r#"..."#` — and not part of an identifier like `for`.
-    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-        return false;
-    }
-    let mut j = i + 1;
-    while j < bytes.len() && bytes[j] == b'#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == b'"'
-}
-
-fn raw_string_open(bytes: &[u8], i: usize) -> (usize, usize) {
-    let mut j = i + 1;
-    let mut hashes = 0;
-    while j < bytes.len() && bytes[j] == b'#' {
-        hashes += 1;
-        j += 1;
-    }
-    (hashes, j + 1) // past the opening quote
-}
-
-/// Finds byte ranges of items introduced by `#[cfg(test)]` or `#[test]`.
-///
-/// The range starts at the attribute and ends at the matching close brace
-/// of the item's body (brace-depth tracking over the code mask).
-fn find_test_regions(code: &str) -> Vec<(usize, usize)> {
-    let bytes = code.as_bytes();
-    let mut regions = Vec::new();
-    let mut depth: i32 = 0;
-    // (attr offset, depth at attr) for a test attribute awaiting its body
-    let mut pending: Option<(usize, i32)> = None;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'#' if pending.is_none() && is_test_attr(code, i) => {
-                pending = Some((i, depth));
-                i += 1;
-            }
-            b'{' => {
-                depth += 1;
-                i += 1;
-                if let Some((start, d)) = pending {
-                    if depth == d + 1 {
-                        // body of the annotated item: find matching close
-                        let mut j = i;
-                        let mut bd = depth;
-                        while j < bytes.len() && bd > d {
-                            match bytes[j] {
-                                b'{' => bd += 1,
-                                b'}' => bd -= 1,
-                                _ => {}
-                            }
-                            j += 1;
-                        }
-                        regions.push((start, j));
-                        pending = None;
-                        depth = d;
-                        i = j;
-                    }
-                }
-            }
-            b'}' => {
-                depth -= 1;
-                i += 1;
-            }
-            b';' => {
-                // An item ending in `;` before any brace (e.g. a `use`)
-                // cancels a pending attribute only if we are still at the
-                // attribute's depth.
-                if let Some((_, d)) = pending {
-                    if depth == d {
-                        pending = None;
-                    }
-                }
-                i += 1;
-            }
-            _ => i += 1,
-        }
-    }
-    regions
-}
-
-fn is_test_attr(code: &str, i: usize) -> bool {
-    let rest = &code[i..];
-    let compact: String = rest
-        .chars()
-        .take(24)
-        .filter(|c| !c.is_whitespace())
-        .collect();
-    compact.starts_with("#[cfg(test)]")
-        || compact.starts_with("#[test]")
-        || compact.starts_with("#[cfg(all(test")
-        || compact.starts_with("#[cfg(any(test")
 }
 
 #[cfg(test)]
@@ -302,6 +196,27 @@ mod tests {
     fn masks_raw_strings() {
         let f = SourceFile::new("a.rs", "let s = r#\"panic!()\"#;");
         assert!(!f.code.contains("panic"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments_exactly() {
+        // The old byte-stripper got this right; the lexer must too.
+        let f = SourceFile::new("a.rs", "/* outer /* panic! */ still comment */ let x;");
+        assert!(!f.code.contains("panic"));
+        assert!(f.code.contains("let x;"));
+    }
+
+    #[test]
+    fn mask_preserves_offsets_and_lines() {
+        let src = "let a = \"two\nlines\";\nlet b = 1; // c\n";
+        let f = SourceFile::new("a.rs", src);
+        assert_eq!(f.code.len(), src.len());
+        assert_eq!(
+            f.code.matches('\n').count(),
+            src.matches('\n').count(),
+            "newlines inside literals/comments must survive masking"
+        );
+        assert_eq!(f.line_of(src.find("let b").expect("fixture")), 3);
     }
 
     #[test]
@@ -339,5 +254,15 @@ mod tests {
         assert!(!f.inline_allowed("L1", 3));
         assert!(f.inline_allowed("L3", 5));
         assert!(!f.inline_allowed("L1", 5));
+    }
+
+    #[test]
+    fn inline_allow_markers_are_enumerated() {
+        let src = "x(); // lint:allow(L1)\ny();\n// lint:allow(L9) queue guard drops at stmt end\n";
+        let f = SourceFile::new("a.rs", src);
+        assert_eq!(
+            f.inline_allow_markers(),
+            vec![("L1".to_string(), 1), ("L9".to_string(), 3)]
+        );
     }
 }

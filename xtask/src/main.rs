@@ -21,10 +21,17 @@ const USAGE: &str = "\
 usage: cargo xtask <task>
 
 tasks:
-  lint [--root <dir>] [--allowlist <file>]
-      Run the workspace lint rules (L1-L7) over crates/*/src/**/*.rs.
-      --root       workspace root (default: parent of the xtask crate)
-      --allowlist  allowlist file (default: <root>/xtask/lint.allow)
+  lint [--root <dir>] [--allowlist <file>] [--format <fmt>]
+       [--out <file>] [--check-allow]
+      Run the workspace lint rules (L1-L12) over crates/*/src/**/*.rs
+      on the token engine (lexer + scope parser).
+      --root         workspace root (default: parent of the xtask crate)
+      --allowlist    allowlist file (default: <root>/xtask/lint.allow)
+      --format       text (default) | json (rhsd-lint-report/1) |
+                     github (::error workflow annotations)
+      --out          also write the JSON report to <file>
+      --check-allow  fail (exit 1) when an allowlist entry or inline
+                     `// lint:allow` marker no longer matches anything
 
   microbench [--quick] [--threads <n>] [--out <file>]
       Time the hot kernels (packed GEMM, im2col conv, litho aerial) over
@@ -99,6 +106,9 @@ fn default_root() -> PathBuf {
 fn run_lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut allowlist: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut out_path: Option<PathBuf> = None;
+    let mut check_allow = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -110,6 +120,22 @@ fn run_lint(args: &[String]) -> ExitCode {
                 Some(v) => allowlist = Some(PathBuf::from(v)),
                 None => return usage_error("--allowlist needs a file"),
             },
+            "--format" => match it.next() {
+                Some(v) if matches!(v.as_str(), "text" | "json" | "github") => {
+                    format = v.clone();
+                }
+                Some(v) => {
+                    return usage_error(&format!(
+                        "--format must be text, json or github (got `{v}`)"
+                    ))
+                }
+                None => return usage_error("--format needs a value"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(PathBuf::from(v)),
+                None => return usage_error("--out needs a file"),
+            },
+            "--check-allow" => check_allow = true,
             other => return usage_error(&format!("unknown lint option `{other}`")),
         }
     }
@@ -118,8 +144,19 @@ fn run_lint(args: &[String]) -> ExitCode {
 
     match lint::run(&root, &allowlist) {
         Ok(report) => {
-            print!("{report}");
-            if report.is_clean() {
+            match format.as_str() {
+                "json" => print!("{}", report.to_json()),
+                "github" => print!("{}", report.to_github()),
+                _ => print!("{report}"),
+            }
+            if let Some(out) = out_path {
+                if let Err(e) = std::fs::write(&out, report.to_json()) {
+                    eprintln!("error: write {}: {e}", out.display());
+                    return ExitCode::from(2);
+                }
+            }
+            let stale_fails = check_allow && !report.stale_allow().is_empty();
+            if report.is_clean() && !stale_fails {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE

@@ -212,13 +212,9 @@ impl BenchArgs {
                         if out.profile.is_some() {
                             return Err("--profile given more than once".into());
                         }
-                        match hz.parse::<u32>() {
-                            Ok(n) if n > 0 => out.profile = Some(n),
-                            _ => {
-                                return Err(format!(
-                                    "--profile needs a positive integer rate, got `{hz}`"
-                                ))
-                            }
+                        match rhsd_obs::profile::parse_rate(hz) {
+                            Ok(n) => out.profile = Some(n),
+                            Err(e) => return Err(format!("--profile: {e}")),
                         }
                         continue;
                     }

@@ -32,7 +32,7 @@ fn main() {
     let region = RegionConfig::demo();
     let samples = merged_train_regions(&benches, &region, effort == Effort::Full);
     eprintln!("training one full model…");
-    let mut det = train_region_network(ours_config(), &samples, effort, OURS_SEED);
+    let (mut det, _training) = train_region_network(ours_config(), &samples, effort, OURS_SEED);
 
     // --- 1. h-NMS vs conventional NMS at evaluation time.
     println!("\n== h-NMS (Algorithm 1) vs conventional NMS, same weights ==");

@@ -31,7 +31,7 @@ fn main() {
     let samples = merged_train_regions(&benches, &region, effort == Effort::Full);
 
     eprintln!("training ours + TCAD'18…");
-    let mut ours = train_region_network(ours_config(), &samples, effort, OURS_SEED);
+    let (mut ours, _training) = train_region_network(ours_config(), &samples, effort, OURS_SEED);
     let mut tcad = train_tcad18(&benches, effort);
 
     for bench in &benches {

@@ -103,18 +103,65 @@ pub fn train_config(effort: Effort) -> TrainConfig {
     tc
 }
 
-/// Trains one region-based network (ours or an ablation/generic config).
+/// Training-dynamics summary of one detector's training run, carried
+/// into the bench record's per-detector `training` block (schema `/6`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSummary {
+    /// Epochs actually trained (sentinel aborts truncate this).
+    pub epochs: u64,
+    /// Final-epoch mean total loss.
+    pub final_loss: f64,
+    /// Final-epoch mean pre-clip global gradient norm.
+    pub final_grad_norm: f64,
+    /// Final-epoch predicted-label histogram entropy (nats).
+    pub final_label_entropy: f64,
+    /// Final-epoch mean per-RoI prediction entropy (nats).
+    pub final_pred_entropy: f64,
+    /// Reason tags of every sentinel trip observed (empty = clean run).
+    pub sentinel_trips: Vec<String>,
+}
+
+impl TrainingSummary {
+    /// Summarises a training history plus its sentinel trips; `None`
+    /// for an empty history (no epochs ran).
+    pub fn from_history(
+        history: &[rhsd_core::EpochStats],
+        trips: &[rhsd_core::TripReason],
+    ) -> Option<Self> {
+        let last = history.last()?;
+        Some(TrainingSummary {
+            epochs: history.len() as u64,
+            final_loss: f64::from(last.mean_loss),
+            final_grad_norm: f64::from(last.mean_grad_norm),
+            final_label_entropy: f64::from(last.label_entropy()),
+            final_pred_entropy: f64::from(last.pred_entropy),
+            sentinel_trips: trips.iter().map(|t| t.tag().to_owned()).collect(),
+        })
+    }
+}
+
+/// Trains one region-based network (ours or an ablation/generic config),
+/// returning the detector plus the training-dynamics summary for the
+/// bench record (`None` when no epochs ran).
 pub fn train_region_network(
     config: RhsdConfig,
     samples: &[RegionSample],
     effort: Effort,
     seed: u64,
-) -> RegionDetector {
+) -> (RegionDetector, Option<TrainingSummary>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut net = RhsdNetwork::new(config, &mut rng);
     let tc = train_config(effort);
-    rhsd_core::train(&mut net, samples, &tc);
-    RegionDetector::new(net, RegionConfig::demo())
+    // The default Warn policy never aborts, but stay typed about it.
+    let (history, trips) = match rhsd_core::train_checked(&mut net, samples, &tc) {
+        Ok(report) => (report.history, report.trips),
+        Err(abort) => {
+            let reason = abort.reason.clone();
+            (abort.history, vec![reason])
+        }
+    };
+    let summary = TrainingSummary::from_history(&history, &trips);
+    (RegionDetector::new(net, RegionConfig::demo()), summary)
 }
 
 /// The demo-scale "ours" configuration (full techniques).
@@ -199,6 +246,9 @@ pub struct DetectorReport {
     pub name: String,
     /// Per-case rows followed by the average row.
     pub rows: Vec<CaseResult>,
+    /// Training-dynamics summary (`None` for detectors without a
+    /// region-network training run, e.g. TCAD'18).
+    pub training: Option<TrainingSummary>,
 }
 
 impl DetectorReport {
@@ -212,7 +262,17 @@ impl DetectorReport {
         for row in &rows {
             row.emit_ledger(&name);
         }
-        DetectorReport { name, rows }
+        DetectorReport {
+            name,
+            rows,
+            training: None,
+        }
+    }
+
+    /// Attaches a training-dynamics summary for the bench record.
+    pub fn with_training(mut self, training: Option<TrainingSummary>) -> Self {
+        self.training = training;
+        self
     }
 
     /// The average row ([`DetectorReport::new`] always appends one; an
@@ -250,16 +310,19 @@ fn stage_secs() -> std::collections::BTreeMap<String, f64> {
 
 /// Serialises detector reports as the machine-readable benchmark record
 /// tracked across revisions (`BENCH_table1.json`, schema
-/// `rhsd-bench-table/5`): the run's primary seed, the worker-thread count
+/// `rhsd-bench-table/6`): the run's primary seed, the worker-thread count
 /// of the `rhsd-par` pool (runtimes are only comparable like-for-like;
 /// accuracy rows are thread-count invariant), per-stage wall-clock totals
 /// from the observability snapshot, the tensor-workspace counters
 /// (allocations, reused bytes, high-water residency — new in `/4`), a
 /// `caches` block of hit/miss/eviction/byte gauges for the four
 /// first-class caches (`cache.*` counter families — new in `/5`; zero
-/// when observability was disabled), and per detector the per-case
-/// accuracy / false-alarm / runtime rows plus the average. Readers
-/// treat the newer blocks as optional so `/2`–`/4` records still parse.
+/// when observability was disabled), per detector the per-case
+/// accuracy / false-alarm / runtime rows plus the average, and — new in
+/// `/6` — an optional per-detector `training` block (final-epoch
+/// loss/gradient/entropy stats plus sentinel-trip tags) summarising the
+/// training dynamics behind the rows. Readers
+/// treat the newer blocks as optional so `/2`–`/5` records still parse.
 /// This is the record `cargo xtask bench-diff` compares across commits.
 pub fn bench_json(source: &str, quick: bool, seed: u64, reports: &[DetectorReport]) -> String {
     use rhsd_obs::json::{escape, number};
@@ -293,7 +356,7 @@ pub fn bench_json(source: &str, quick: bool, seed: u64, reports: &[DetectorRepor
         )
     }
     let mut o = String::with_capacity(2048);
-    o.push_str("{\n  \"schema\": \"rhsd-bench-table/5\",\n");
+    o.push_str("{\n  \"schema\": \"rhsd-bench-table/6\",\n");
     o.push_str(&format!("  \"source\": {},\n", quoted(source)));
     o.push_str(&format!("  \"quick\": {quick},\n"));
     o.push_str(&format!("  \"seed\": {seed},\n"));
@@ -358,6 +421,24 @@ pub fn bench_json(source: &str, quick: bool, seed: u64, reports: &[DetectorRepor
         }
         o.push_str("],\n      \"average\": ");
         o.push_str(&row_json(&r.average()));
+        if let Some(t) = &r.training {
+            let trips = t
+                .sentinel_trips
+                .iter()
+                .map(|s| quoted(s))
+                .collect::<Vec<_>>()
+                .join(", ");
+            o.push_str(&format!(
+                ",\n      \"training\": {{\"epochs\": {}, \"final_loss\": {}, \
+                 \"final_grad_norm\": {}, \"final_label_entropy\": {}, \
+                 \"final_pred_entropy\": {}, \"sentinel_trips\": [{trips}]}}",
+                t.epochs,
+                number(t.final_loss),
+                number(t.final_grad_norm),
+                number(t.final_label_entropy),
+                number(t.final_pred_entropy),
+            ));
+        }
         o.push_str("\n    }");
     }
     if !reports.is_empty() {
@@ -407,31 +488,32 @@ pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
     reports.push(DetectorReport::new("TCAD'18", rows));
 
     // Faster R-CNN-style.
-    let mut frcnn = train_region_network(faster_rcnn_config(&region), &samples, effort, 101);
+    let (mut frcnn, training) =
+        train_region_network(faster_rcnn_config(&region), &samples, effort, 101);
     let rows = benches
         .iter()
         .zip(&tile_caches)
         .map(|(b, t)| evaluate_region_detector_cached(&mut frcnn, b, t, &stems))
         .collect();
-    reports.push(DetectorReport::new("Faster R-CNN", rows));
+    reports.push(DetectorReport::new("Faster R-CNN", rows).with_training(training));
 
     // SSD-style.
-    let mut ssd = train_region_network(ssd_config(&region), &samples, effort, 102);
+    let (mut ssd, training) = train_region_network(ssd_config(&region), &samples, effort, 102);
     let rows = benches
         .iter()
         .zip(&tile_caches)
         .map(|(b, t)| evaluate_region_detector_cached(&mut ssd, b, t, &stems))
         .collect();
-    reports.push(DetectorReport::new("SSD", rows));
+    reports.push(DetectorReport::new("SSD", rows).with_training(training));
 
     // Ours.
-    let mut ours = train_region_network(ours_config(), &samples, effort, OURS_SEED);
+    let (mut ours, training) = train_region_network(ours_config(), &samples, effort, OURS_SEED);
     let rows = benches
         .iter()
         .zip(&tile_caches)
         .map(|(b, t)| evaluate_region_detector_cached(&mut ours, b, t, &stems))
         .collect();
-    reports.push(DetectorReport::new("Ours", rows));
+    reports.push(DetectorReport::new("Ours", rows).with_training(training));
 
     reports
 }
@@ -466,13 +548,13 @@ pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
         .map(|(name, tweak)| {
             let mut cfg = ours_config();
             tweak(&mut cfg);
-            let mut det = train_region_network(cfg, &samples, effort, OURS_SEED);
+            let (mut det, training) = train_region_network(cfg, &samples, effort, OURS_SEED);
             let rows = benches
                 .iter()
                 .zip(&tile_caches)
                 .map(|(b, t)| evaluate_region_detector_cached(&mut det, b, t, &stems))
                 .collect();
-            DetectorReport::new(*name, rows)
+            DetectorReport::new(*name, rows).with_training(training)
         })
         .collect()
 }
@@ -495,11 +577,24 @@ mod tests {
 
     #[test]
     fn bench_json_is_valid_and_carries_schema_seed_and_rows() {
-        let doc = bench_json("unit", true, 103, &[report("Ours", 0.5, 90.0)]);
+        let summary = TrainingSummary {
+            epochs: 4,
+            final_loss: 0.25,
+            final_grad_norm: 1.5,
+            final_label_entropy: 0.62,
+            final_pred_entropy: 0.58,
+            sentinel_trips: vec!["loss_spike".to_owned()],
+        };
+        let doc = bench_json(
+            "unit",
+            true,
+            103,
+            &[report("Ours", 0.5, 90.0).with_training(Some(summary))],
+        );
         let v = json::parse(&doc).expect("bench record parses");
         assert_eq!(
             v.get("schema").and_then(|s| s.as_str()),
-            Some("rhsd-bench-table/5")
+            Some("rhsd-bench-table/6")
         );
         let ws = v.get("workspace").expect("workspace counters present");
         assert!(ws.get("allocs").and_then(|a| a.as_u64()).is_some());
@@ -539,6 +634,30 @@ mod tests {
         let avg = dets[0].get("average").expect("average row");
         assert_eq!(avg.get("accuracy_pct").and_then(|a| a.as_f64()), Some(90.0));
         assert_eq!(avg.get("false_alarms").and_then(|f| f.as_u64()), Some(3));
+        // The /6 training block is attached per detector when present.
+        let training = dets[0].get("training").expect("training block");
+        assert_eq!(training.get("epochs").and_then(|e| e.as_u64()), Some(4));
+        assert_eq!(
+            training.get("final_loss").and_then(|l| l.as_f64()),
+            Some(0.25)
+        );
+        let trips = training
+            .get("sentinel_trips")
+            .and_then(|t| t.as_arr())
+            .expect("sentinel_trips array");
+        assert_eq!(trips.len(), 1);
+        assert_eq!(trips[0].as_str(), Some("loss_spike"));
+    }
+
+    #[test]
+    fn bench_json_omits_training_block_when_absent() {
+        let doc = bench_json("unit", true, 103, &[report("Ours", 0.5, 90.0)]);
+        let v = json::parse(&doc).expect("bench record parses");
+        let dets = v
+            .get("detectors")
+            .and_then(|d| d.as_arr())
+            .expect("detectors array");
+        assert!(dets[0].get("training").is_none());
     }
 
     #[test]

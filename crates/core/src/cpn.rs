@@ -158,6 +158,19 @@ impl Layer for ClipProposalNetwork {
         p.extend(self.reg_head.params_mut());
         p
     }
+
+    fn param_names(&mut self) -> Vec<String> {
+        let mut names = vec!["trunk".to_owned(); self.trunk.params_mut().len()];
+        names.extend(vec![
+            "cls_head".to_owned();
+            self.cls_head.params_mut().len()
+        ]);
+        names.extend(vec![
+            "reg_head".to_owned();
+            self.reg_head.params_mut().len()
+        ]);
+        names
+    }
 }
 
 #[cfg(test)]

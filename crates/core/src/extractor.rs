@@ -141,6 +141,19 @@ impl Layer for FeatureExtractor {
             .flat_map(|l| l.params_mut())
             .collect()
     }
+
+    fn param_names(&mut self) -> Vec<String> {
+        // Positional `{Name}#{i}` tags match the activation keys that
+        // training-dynamics telemetry records from `forward_all`.
+        self.layers
+            .iter_mut()
+            .enumerate()
+            .flat_map(|(i, l)| {
+                let name = l.name();
+                (0..l.params_mut().len()).map(move |_| format!("{name}#{i}"))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ pub mod persist;
 pub mod pruning;
 pub mod refine;
 pub mod roc;
+pub mod sentinel;
 pub mod train;
 
 pub use config::RhsdConfig;
@@ -58,4 +59,8 @@ pub use feature_cache::{StemFeatureCache, DEFAULT_STEM_CACHE_CAP};
 pub use hnms::{conventional_nms, hotspot_nms, Scored};
 pub use metrics::{evaluate_region, Evaluation};
 pub use model::{Detection, RhsdNetwork, TrainStats};
-pub use train::{train, train_new, TrainConfig};
+pub use sentinel::{Sentinel, SentinelConfig, SentinelPolicy, TrainAbort, TripReason};
+pub use train::{
+    train, train_checked, train_new, EpochStats, LayerEpochStats, TelemetryConfig, TrainConfig,
+    TrainReport,
+};

@@ -38,12 +38,29 @@ pub struct TrainStats {
     pub refine: CrLoss,
     /// Number of RoIs refined this step.
     pub rois: usize,
+    /// RoIs whose refinement argmax predicted each class, indexed by
+    /// `CLASS_HOTSPOT` / `CLASS_NON_HOTSPOT`. A healthy discriminator
+    /// splits its training RoIs between the classes; a bias-only
+    /// collapse predicts a single class for every RoI.
+    pub pred_counts: [usize; 2],
+    /// Sum over RoIs of the refinement softmax entropy (nats) — the
+    /// output-logit uncertainty signal.
+    pub pred_entropy_sum: f32,
 }
 
 impl TrainStats {
     /// Total scalar loss.
     pub fn total(&self) -> f32 {
         self.cpn.total() + self.refine.total()
+    }
+
+    /// Mean per-RoI prediction entropy (nats); 0 when no RoIs ran.
+    pub fn mean_pred_entropy(&self) -> f32 {
+        if self.rois == 0 {
+            0.0
+        } else {
+            self.pred_entropy_sum / self.rois as f32
+        }
     }
 }
 
@@ -157,10 +174,36 @@ impl RhsdNetwork {
         self.params_mut().iter().map(|p| p.len()).sum()
     }
 
+    /// Display names for [`RhsdNetwork::params_mut`], index-aligned with
+    /// it, qualified by component (`backbone/`, `cpn/`, `refine/`) —
+    /// training-dynamics telemetry joins these with per-slot optimiser
+    /// statistics. Does not bump the weights version (names only).
+    pub fn param_names(&mut self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .extractor
+            .param_names()
+            .into_iter()
+            .map(|n| format!("backbone/{n}"))
+            .collect();
+        names.extend(
+            self.cpn
+                .param_names()
+                .into_iter()
+                .map(|n| format!("cpn/{n}")),
+        );
+        if let Some(r) = self.refinement.as_mut() {
+            names.extend(r.param_names().into_iter().map(|n| format!("refine/{n}")));
+        }
+        names
+    }
+
     /// One training forward/backward pass on a region sample. Gradients
     /// accumulate into the parameters; the caller steps the optimiser.
     pub fn train_step(&mut self, sample: &RegionSample, rng: &mut impl Rng) -> TrainStats {
-        let feats = self.extractor.forward(&sample.image);
+        let feats = {
+            let _scope = rhsd_nn::dynamics::scope("backbone");
+            self.extractor.forward(&sample.image)
+        };
 
         // --- Stage 1: clip proposal network.
         let out = self.cpn.forward(&feats);
@@ -171,6 +214,8 @@ impl RhsdNetwork {
 
         // --- Stage 2: refinement on sampled RoIs.
         let mut refine_cr = CrLoss::default();
+        let mut pred_counts = [0usize; 2];
+        let mut pred_entropy_sum = 0.0f32;
         let rois = if self.refinement.is_some() {
             self.sample_training_rois(sample, &out, rng)
         } else {
@@ -178,6 +223,10 @@ impl RhsdNetwork {
         };
         let n_rois = rois.len();
         if let Some(head) = self.refinement.as_mut() {
+            // Per-RoI sub-passes would record ambiguous per-branch keys;
+            // the refinement head is covered by its optimiser-slot stats
+            // and the logit entropy below instead.
+            let _pause = rhsd_nn::dynamics::pause();
             let f = self.config.feature_px();
             // Eq. (4) sums the C&R terms over clips, so each RoI's
             // gradient contributes at full weight (a mean would shrink
@@ -185,6 +234,9 @@ impl RhsdNetwork {
             for (roi_box, target_class, reg_target) in rois {
                 let roi = roi_from_bbox(&roi_box, self.config.stride, f);
                 let out = head.forward(&feats, roi);
+                let (argmax, entropy) = logit_pair_stats(&out.cls_logits);
+                pred_counts[argmax] += 1;
+                pred_entropy_sum += entropy;
                 let (cr, gc, gr) = refine_loss(
                     &out.cls_logits,
                     &out.reg_code,
@@ -204,12 +256,17 @@ impl RhsdNetwork {
             }
         }
 
-        self.extractor.backward(&feat_grad);
+        {
+            let _scope = rhsd_nn::dynamics::scope("backbone");
+            self.extractor.backward(&feat_grad);
+        }
 
         TrainStats {
             cpn: cpn_cr,
             refine: refine_cr,
             rois: n_rois,
+            pred_counts,
+            pred_entropy_sum,
         }
     }
 
@@ -452,6 +509,29 @@ impl RhsdNetwork {
     }
 }
 
+/// Argmax index and softmax entropy (nats) of a `[2]` logit pair —
+/// numerically stable, pure read of the logits.
+///
+/// Shapes: `logits` is the refinement head's `[2]` classification output.
+fn logit_pair_stats(logits: &Tensor) -> (usize, f32) {
+    let l0 = logits.get(&[0]);
+    let l1 = logits.get(&[1]);
+    let m = l0.max(l1);
+    let e0 = (l0 - m).exp();
+    let e1 = (l1 - m).exp();
+    let z = e0 + e1;
+    let (p0, p1) = (e0 / z, e1 / z);
+    let mut entropy = 0.0f32;
+    if p0 > 0.0 {
+        entropy -= p0 * p0.ln();
+    }
+    if p1 > 0.0 {
+        entropy -= p1 * p1.ln();
+    }
+    let argmax = usize::from(l1 > l0);
+    (argmax, entropy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,5 +685,48 @@ mod tests {
             last < 0.8 * first,
             "loss should drop ≥20%: {first} → {last}"
         );
+    }
+
+    #[test]
+    fn logit_pair_stats_argmax_and_entropy() {
+        // equal logits: maximal entropy ln 2, argmax ties to class 0
+        let (a, e) = logit_pair_stats(&Tensor::from_vec([2], vec![1.0, 1.0]).unwrap());
+        assert_eq!(a, 0);
+        assert!((e - std::f32::consts::LN_2).abs() < 1e-6);
+        // one-sided logits: near-zero entropy, argmax follows the winner
+        let (a, e) = logit_pair_stats(&Tensor::from_vec([2], vec![-30.0, 30.0]).unwrap());
+        assert_eq!(a, 1);
+        assert!(e < 1e-6, "entropy should vanish: {e}");
+        // extreme magnitudes stay finite (stable softmax)
+        let (_, e) = logit_pair_stats(&Tensor::from_vec([2], vec![1e30, -1e30]).unwrap());
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn train_step_records_prediction_stats() {
+        let cfg = RhsdConfig::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let mut net = RhsdNetwork::new(cfg.clone(), &mut rng);
+        let sample = tiny_sample(&cfg, true);
+        let stats = net.train_step(&sample, &mut rng);
+        assert_eq!(
+            stats.pred_counts[0] + stats.pred_counts[1],
+            stats.rois,
+            "every RoI contributes one argmax vote"
+        );
+        assert!(stats.pred_entropy_sum.is_finite());
+        assert!(stats.mean_pred_entropy() >= 0.0);
+        assert!(stats.mean_pred_entropy() <= std::f32::consts::LN_2 + 1e-5);
+    }
+
+    #[test]
+    fn param_names_align_with_params() {
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        let mut net = RhsdNetwork::new(RhsdConfig::tiny(), &mut rng);
+        let names = net.param_names();
+        assert_eq!(names.len(), net.params_mut().len());
+        assert!(names.iter().any(|n| n.starts_with("backbone/")));
+        assert!(names.iter().any(|n| n.starts_with("cpn/")));
+        assert!(names.iter().any(|n| n.starts_with("refine/")));
     }
 }

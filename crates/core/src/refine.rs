@@ -139,6 +139,18 @@ impl Layer for RefinementHead {
         p.extend(self.reg.params_mut());
         p
     }
+
+    fn param_names(&mut self) -> Vec<String> {
+        let mut names = vec!["InceptionB".to_owned(); self.incep_b.params_mut().len()];
+        names.extend(vec![
+            "InceptionA".to_owned();
+            self.incep_a.params_mut().len()
+        ]);
+        names.extend(vec!["fc".to_owned(); self.fc.params_mut().len()]);
+        names.extend(vec!["cls_head".to_owned(); self.cls.params_mut().len()]);
+        names.extend(vec!["reg_head".to_owned(); self.reg.params_mut().len()]);
+        names
+    }
 }
 
 #[cfg(test)]

@@ -10,12 +10,43 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rhsd_data::RegionSample;
+use rhsd_nn::dynamics::StepDynamics;
 use rhsd_nn::loss::{clip_grad_norm, l2_penalty};
 use rhsd_nn::optim::{Sgd, StepDecay};
 
+use crate::loss::{CLASS_HOTSPOT, CLASS_NON_HOTSPOT};
 use crate::model::{RhsdNetwork, TrainStats};
+use crate::sentinel::{Sentinel, SentinelConfig, SentinelPolicy, TrainAbort, TripReason};
+
+/// Training-dynamics telemetry controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Collect per-layer dynamics on every Nth optimiser step (`0`
+    /// disables collection entirely). The default samples every 4th
+    /// step — cheap read-only scans whose cost stays inside the bench
+    /// gate's runtime tolerance.
+    pub sample_every: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { sample_every: 4 }
+    }
+}
+
+impl TelemetryConfig {
+    /// Telemetry switched off (no per-layer collection).
+    pub fn disabled() -> Self {
+        TelemetryConfig { sample_every: 0 }
+    }
+}
 
 /// Hyper-parameters of a training run.
+///
+/// The `telemetry` and `sentinel` fields are runtime knobs, not part of
+/// the persisted model recipe: they are skipped by serialisation and
+/// deserialise to their defaults, so configs saved before they existed
+/// still parse.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrainConfig {
     /// Passes over the training regions.
@@ -30,6 +61,12 @@ pub struct TrainConfig {
     pub clip_norm: f32,
     /// RNG seed for shuffling/sampling.
     pub seed: u64,
+    /// Per-layer training-dynamics telemetry.
+    #[serde(skip)]
+    pub telemetry: TelemetryConfig,
+    /// Divergence sentinel thresholds and policy.
+    #[serde(skip)]
+    pub sentinel: SentinelConfig,
 }
 
 impl TrainConfig {
@@ -42,6 +79,8 @@ impl TrainConfig {
             momentum: 0.9,
             clip_norm: 10.0,
             seed: 2019,
+            telemetry: TelemetryConfig::default(),
+            sentinel: SentinelConfig::default(),
         }
     }
 
@@ -65,6 +104,8 @@ impl TrainConfig {
             momentum: 0.9,
             clip_norm: 5.0,
             seed: 2019,
+            telemetry: TelemetryConfig::default(),
+            sentinel: SentinelConfig::default(),
         }
     }
 
@@ -77,12 +118,38 @@ impl TrainConfig {
             momentum: 0.9,
             clip_norm: 5.0,
             seed: 7,
+            telemetry: TelemetryConfig::default(),
+            sentinel: SentinelConfig::default(),
         }
     }
 }
 
+/// One layer's (or optimiser parameter group's) dynamics over an epoch,
+/// aggregated from the sampled steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerEpochStats {
+    /// Telemetry key: `{scope}/{Name}#{position}` for chain layers,
+    /// component-qualified parameter-group names otherwise.
+    pub key: String,
+    /// Mean absolute activation value (0 for param-only rows).
+    pub act_mean_abs: f32,
+    /// Fraction of non-positive activations (dead-ReLU side).
+    pub dead_frac: f32,
+    /// Fraction of saturated activations (`|a|` past the threshold).
+    pub saturated_frac: f32,
+    /// Mean L2 norm of the gradient flowing out of the layer.
+    pub flow_grad_norm: f32,
+    /// RMS (over sampled steps) parameter-gradient L2 norm, combined
+    /// over the group's slots (0 for parameter-free layers).
+    pub grad_norm: f32,
+    /// `‖Δw‖ / ‖w‖` weight-update-to-weight ratio (0 when untracked).
+    pub update_ratio: f32,
+    /// RMS parameter L2 norm after the sampled updates.
+    pub weight_norm: f32,
+}
+
 /// Per-epoch training diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -98,21 +165,97 @@ pub struct EpochStats {
     pub mean_grad_norm: f32,
     /// Learning rate at the end of the epoch.
     pub lr: f32,
+    /// Refinement RoIs whose argmax predicted hotspot, over the epoch.
+    pub pred_hotspot: u64,
+    /// Refinement RoIs whose argmax predicted non-hotspot.
+    pub pred_non_hotspot: u64,
+    /// Mean per-RoI prediction (softmax) entropy in nats — ≈`ln 2` is
+    /// maximally uncertain, ≈0 is a confident (or collapsed) predictor.
+    pub pred_entropy: f32,
+    /// Per-layer dynamics from the telemetry-sampled steps (empty when
+    /// telemetry is disabled).
+    pub layers: Vec<LayerEpochStats>,
+}
+
+impl EpochStats {
+    /// Entropy (nats) of the predicted-label histogram. `ln 2` means an
+    /// even hotspot/non-hotspot split; 0 means every refinement RoI got
+    /// the same argmax — the bias-only-collapse signature (also 0 when
+    /// no RoIs were refined; the sentinel guards on the counts).
+    pub fn label_entropy(&self) -> f32 {
+        let total = self.pred_hotspot + self.pred_non_hotspot;
+        if total == 0 {
+            return 0.0;
+        }
+        let mut entropy = 0.0f64;
+        for count in [self.pred_hotspot, self.pred_non_hotspot] {
+            if count > 0 {
+                let p = count as f64 / total as f64;
+                entropy -= p * p.ln();
+            }
+        }
+        entropy as f32
+    }
+}
+
+/// Everything a completed (non-aborted) training run reports: the
+/// per-epoch history plus any sentinel trips observed under the `Warn`
+/// policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Per-epoch statistics.
+    pub history: Vec<EpochStats>,
+    /// Sentinel trips recorded along the way (empty for a clean run).
+    pub trips: Vec<TripReason>,
 }
 
 /// Trains a network on region samples; returns per-epoch statistics.
 ///
 /// Deterministic for fixed seeds and inputs. An empty `regions` slice
-/// returns immediately with no epochs.
+/// returns immediately with no epochs. Sentinel trips under the `Abort`
+/// policy truncate the history at the tripping epoch (use
+/// [`train_checked`] to observe the trip itself).
 pub fn train(
     network: &mut RhsdNetwork,
     regions: &[RegionSample],
     config: &TrainConfig,
 ) -> Vec<EpochStats> {
+    match train_checked(network, regions, config) {
+        Ok(report) => report.history,
+        Err(abort) => abort.history,
+    }
+}
+
+/// Trains a network on region samples, watching the divergence sentinel.
+///
+/// Deterministic for fixed seeds and inputs; the per-layer telemetry is
+/// read-only, so histories (and final weights) are bit-identical with
+/// telemetry on or off.
+///
+/// # Errors
+///
+/// Returns [`TrainAbort`] when the sentinel trips under the
+/// [`SentinelPolicy::Abort`] policy; the abort carries the history up to
+/// and including the tripping epoch. Under `Warn` trips are recorded in
+/// the report (and the ledger) and training continues.
+pub fn train_checked(
+    network: &mut RhsdNetwork,
+    regions: &[RegionSample],
+    config: &TrainConfig,
+) -> Result<TrainReport, TrainAbort> {
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut opt = Sgd::new(config.schedule, config.momentum);
     let beta = network.config().beta;
     let use_l2 = network.config().use_l2;
+    let mut sentinel = Sentinel::new(config.sentinel);
+    let sample_every = config.telemetry.sample_every;
+    // Component-qualified names aligning 1:1 with `params_mut()` order —
+    // computed once; telemetry slots are chunked against this list.
+    let param_names = if sample_every > 0 {
+        network.param_names()
+    } else {
+        Vec::new()
+    };
     let mut history = Vec::new();
 
     let mut order: Vec<usize> = (0..regions.len()).collect();
@@ -131,26 +274,53 @@ pub fn train(
         let mut steps = 0usize;
         let mut seen = 0usize;
         let mut in_batch = 0usize;
+        let mut pred_hotspot = 0u64;
+        let mut pred_non_hotspot = 0u64;
+        let mut pred_entropy_sum = 0.0f32;
+        let mut epoch_dyn = StepDynamics::default();
+        let mut sampled_steps = 0u32;
+        let mut armed = false;
         network.zero_grad();
         for &ri in &order {
+            if in_batch == 0 && sample_every > 0 && steps.is_multiple_of(sample_every) {
+                rhsd_nn::dynamics::begin_step();
+                armed = true;
+            }
             let stats: TrainStats = network.train_step(&regions[ri], &mut rng);
             loss_sum += stats.total();
             cls_sum += stats.cpn.cls;
             reg_sum += stats.cpn.reg;
             refine_cls_sum += stats.refine.cls;
+            pred_hotspot += stats.pred_counts[CLASS_HOTSPOT] as u64;
+            pred_non_hotspot += stats.pred_counts[CLASS_NON_HOTSPOT] as u64;
+            pred_entropy_sum += stats.pred_entropy_sum;
             seen += 1;
             in_batch += 1;
             if in_batch >= config.batch_size {
                 grad_norm_sum += step(network, &mut opt, use_l2, beta, config.clip_norm);
                 steps += 1;
                 in_batch = 0;
+                if armed {
+                    if let Some(d) = rhsd_nn::dynamics::end_step() {
+                        epoch_dyn.absorb(d);
+                        sampled_steps += 1;
+                    }
+                    armed = false;
+                }
             }
         }
         if in_batch > 0 {
             grad_norm_sum += step(network, &mut opt, use_l2, beta, config.clip_norm);
             steps += 1;
+            if armed {
+                if let Some(d) = rhsd_nn::dynamics::end_step() {
+                    epoch_dyn.absorb(d);
+                    sampled_steps += 1;
+                }
+            }
         }
         let denom = seen.max(1) as f32;
+        let pred_total = pred_hotspot + pred_non_hotspot;
         let stats = EpochStats {
             epoch,
             mean_loss: loss_sum / denom,
@@ -159,6 +329,10 @@ pub fn train(
             mean_refine_cls: refine_cls_sum / denom,
             mean_grad_norm: grad_norm_sum / steps.max(1) as f32,
             lr: opt.lr(),
+            pred_hotspot,
+            pred_non_hotspot,
+            pred_entropy: pred_entropy_sum / pred_total.max(1) as f32,
+            layers: aggregate_layers(&epoch_dyn, sampled_steps, &param_names),
         };
         // Flow the epoch diagnostics into the metrics registry. The
         // wall-clock throughput stays out of `EpochStats` so training
@@ -166,6 +340,8 @@ pub fn train(
         rhsd_obs::record("train.loss", stats.mean_loss as f64);
         rhsd_obs::record("train.grad_norm", stats.mean_grad_norm as f64);
         rhsd_obs::record("train.lr", stats.lr as f64);
+        rhsd_obs::record("train.pred_entropy", stats.pred_entropy as f64);
+        rhsd_obs::record("train.label_entropy", stats.label_entropy() as f64);
         rhsd_obs::counter("train.samples", seen as u64);
         // Stream the epoch into the run ledger (no-op unless a ledger is
         // open), so every run's training dynamics are captured next to
@@ -179,6 +355,22 @@ pub fn train(
             grad_norm: stats.mean_grad_norm as f64,
             lr: stats.lr as f64,
             samples: seen as u64,
+            pred_entropy: stats.pred_entropy as f64,
+            label_entropy: stats.label_entropy() as f64,
+            layers: stats
+                .layers
+                .iter()
+                .map(|l| rhsd_obs::ledger::LayerDyn {
+                    key: l.key.clone(),
+                    act_mean_abs: l.act_mean_abs as f64,
+                    dead_frac: l.dead_frac as f64,
+                    saturated_frac: l.saturated_frac as f64,
+                    flow_grad_norm: l.flow_grad_norm as f64,
+                    grad_norm: l.grad_norm as f64,
+                    update_ratio: l.update_ratio as f64,
+                    weight_norm: l.weight_norm as f64,
+                })
+                .collect(),
         });
         if rhsd_obs::enabled() {
             let secs = sp.elapsed_secs();
@@ -187,9 +379,120 @@ pub fn train(
             }
         }
         sp.add("samples", seen as f64);
+        let trip = sentinel.observe(&stats);
         history.push(stats);
+        if let Some(reason) = trip {
+            rhsd_obs::counter("train.sentinel_trips", 1);
+            rhsd_obs::ledger::emit(&rhsd_obs::ledger::Event::Sentinel {
+                epoch: epoch as u64,
+                reason: reason.tag().to_owned(),
+                detail: reason.to_string(),
+                action: sentinel.policy().tag().to_owned(),
+            });
+            if sentinel.policy() == SentinelPolicy::Abort {
+                return Err(TrainAbort { reason, history });
+            }
+        }
     }
-    history
+    Ok(TrainReport {
+        history,
+        trips: sentinel.into_trips(),
+    })
+}
+
+/// Folds the sampled step dynamics into per-layer epoch rows.
+///
+/// Activation rows come first in forward order; parameter groups whose
+/// key never appeared as a chain activation (e.g. the CPN heads, which
+/// run outside `forward_all`) follow as param-only rows. Slot norms for
+/// a group are combined as the square root of the summed squares, then
+/// RMS-averaged over the sampled steps.
+fn aggregate_layers(
+    dynamics: &StepDynamics,
+    sampled_steps: u32,
+    param_names: &[String],
+) -> Vec<LayerEpochStats> {
+    if sampled_steps == 0 {
+        return Vec::new();
+    }
+    let acts = dynamics.merged_activations();
+    let flows = dynamics.merged_flow_grads();
+    // Mean-square slot stats chunked per step, combined per group name.
+    let mut per_name: Vec<(String, f64, f64, f64)> = Vec::new();
+    let n = param_names.len();
+    if n > 0 && dynamics.param_updates.len().is_multiple_of(n) && !dynamics.param_updates.is_empty()
+    {
+        let step_count = (dynamics.param_updates.len() / n) as f64;
+        for (i, name) in param_names.iter().enumerate() {
+            let mut grad_sq = 0.0f64;
+            let mut upd_sq = 0.0f64;
+            let mut w_sq = 0.0f64;
+            let mut k = i;
+            while k < dynamics.param_updates.len() {
+                let u = &dynamics.param_updates[k];
+                grad_sq += f64::from(u.grad_norm) * f64::from(u.grad_norm);
+                upd_sq += f64::from(u.update_norm) * f64::from(u.update_norm);
+                w_sq += f64::from(u.weight_norm) * f64::from(u.weight_norm);
+                k += n;
+            }
+            grad_sq /= step_count;
+            upd_sq /= step_count;
+            w_sq /= step_count;
+            match per_name.iter_mut().find(|(nm, ..)| nm == name) {
+                Some((_, g, u, w)) => {
+                    *g += grad_sq;
+                    *u += upd_sq;
+                    *w += w_sq;
+                }
+                None => per_name.push((name.clone(), grad_sq, upd_sq, w_sq)),
+            }
+        }
+    }
+    let norms = |key: &str| -> (f32, f32, f32) {
+        per_name
+            .iter()
+            .find(|(nm, ..)| nm == key)
+            .map(|(_, g, u, w)| {
+                let ratio = if *w > 0.0 { (u / w).sqrt() as f32 } else { 0.0 };
+                (g.sqrt() as f32, ratio, w.sqrt() as f32)
+            })
+            .unwrap_or((0.0, 0.0, 0.0))
+    };
+    let mut rows = Vec::new();
+    for (key, act) in &acts {
+        let flow = flows
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0.0, |(_, v)| *v);
+        let (grad_norm, update_ratio, weight_norm) = norms(key);
+        rows.push(LayerEpochStats {
+            key: key.clone(),
+            act_mean_abs: act.mean_abs() as f32,
+            dead_frac: act.dead_frac() as f32,
+            saturated_frac: act.saturated_frac() as f32,
+            flow_grad_norm: flow,
+            grad_norm,
+            update_ratio,
+            weight_norm,
+        });
+    }
+    for (name, ..) in &per_name {
+        if rows.iter().any(|r: &LayerEpochStats| &r.key == name) {
+            continue;
+        }
+        let (grad_norm, update_ratio, weight_norm) = norms(name);
+        rows.push(LayerEpochStats {
+            key: name.clone(),
+            act_mean_abs: 0.0,
+            dead_frac: 0.0,
+            saturated_frac: 0.0,
+            flow_grad_norm: 0.0,
+            grad_norm,
+            update_ratio,
+            weight_norm,
+        });
+    }
+    rows
 }
 
 /// One optimiser step; returns the pre-clip global gradient norm.

@@ -41,6 +41,19 @@ pub trait Layer: Send + Sync {
         Vec::new()
     }
 
+    /// Display names for [`Layer::params_mut`], index-aligned with it.
+    ///
+    /// Training-dynamics telemetry joins these with per-slot optimiser
+    /// statistics. Composite layers override this to qualify children
+    /// positionally (e.g. `Conv2d#1`), matching the activation keys
+    /// emitted by [`forward_all`]; the default repeats [`Layer::name`]
+    /// once per parameter, which groups a composite's parameters under
+    /// its own name.
+    fn param_names(&mut self) -> Vec<String> {
+        let n = self.params_mut().len();
+        vec![self.name().to_owned(); n]
+    }
+
     /// Clears all accumulated gradients.
     fn zero_grad(&mut self) {
         for p in self.params_mut() {
@@ -109,14 +122,23 @@ pub fn take_cache<T>(cache: &mut Option<T>, layer: &str) -> T {
 /// With the `debug_invariants` feature, every intermediate activation is
 /// checked for NaN/Inf, attributed to the producing layer.
 ///
+/// When the thread's [`crate::dynamics`] collector is armed and this is
+/// the outermost chain, each layer's output activation summary is
+/// recorded (read-only — outputs are bit-identical either way).
+///
 /// Shapes: `input` is whatever the first layer accepts (each layer
 /// documents its own contract); the result is the last layer's output.
 pub fn forward_all(layers: &mut [Box<dyn Layer>], input: &Tensor) -> Tensor {
+    let record = crate::dynamics::enter_chain();
     let mut x = input.clone();
-    for layer in layers.iter_mut() {
+    for (i, layer) in layers.iter_mut().enumerate() {
         x = layer.forward(&x);
         rhsd_tensor::invariants::check_finite(layer.name(), &x);
+        if record {
+            crate::dynamics::record_activation(layer.name(), i, &x);
+        }
     }
+    crate::dynamics::exit_chain();
     x
 }
 
@@ -125,14 +147,23 @@ pub fn forward_all(layers: &mut [Box<dyn Layer>], input: &Tensor) -> Tensor {
 /// With the `debug_invariants` feature, every intermediate gradient is
 /// checked for NaN/Inf, attributed to the producing layer.
 ///
+/// When the thread's [`crate::dynamics`] collector is armed and this is
+/// the outermost chain, the L2 norm of the gradient flowing out of each
+/// layer is recorded (read-only — gradients are bit-identical either way).
+///
 /// Shapes: `grad_out` matches the last layer's output; the result
 /// matches the first layer's input.
 pub fn backward_all(layers: &mut [Box<dyn Layer>], grad_out: &Tensor) -> Tensor {
+    let record = crate::dynamics::enter_chain();
     let mut g = grad_out.clone();
-    for layer in layers.iter_mut().rev() {
+    for (i, layer) in layers.iter_mut().enumerate().rev() {
         g = layer.backward(&g);
         rhsd_tensor::invariants::check_finite(layer.name(), &g);
+        if record {
+            crate::dynamics::record_flow_grad(layer.name(), i, &g);
+        }
     }
+    crate::dynamics::exit_chain();
     g
 }
 

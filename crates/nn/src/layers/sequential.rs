@@ -81,6 +81,14 @@ impl Layer for Sequential {
             .flat_map(|l| l.params_mut())
             .collect()
     }
+
+    fn param_names(&mut self) -> Vec<String> {
+        self.layers
+            .iter_mut()
+            .enumerate()
+            .flat_map(|(i, l)| l.param_names().into_iter().map(move |n| format!("{n}#{i}")))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 //! assert_eq!(features.dims(), &[4, 32, 32]);
 //! ```
 
+pub mod dynamics;
 pub mod encdec;
 pub mod inception;
 pub mod init;

@@ -87,6 +87,7 @@ impl Sgd {
     /// way that changes tensor shapes.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         let lr = self.lr();
+        let telemetry = crate::dynamics::active();
         if self.velocities.len() < params.len() {
             for p in params[self.velocities.len()..].iter() {
                 self.velocities.push(Tensor::zeros(p.value.shape().clone()));
@@ -98,12 +99,25 @@ impl Sgd {
                 v.shape(),
                 "parameter shape changed between optimiser steps"
             );
+            let grad_norm = if telemetry {
+                p.grad.sq_norm().sqrt()
+            } else {
+                0.0
+            };
             // v ← µ·v − lr·g
             v.map_inplace(|x| x * self.momentum);
             axpy(v, -lr, &p.grad);
             // w ← w + v
             axpy(&mut p.value, 1.0, v);
             p.zero_grad();
+            if telemetry {
+                // The velocity *is* the applied weight delta.
+                crate::dynamics::record_param_update(crate::dynamics::ParamUpdate {
+                    grad_norm,
+                    update_norm: v.sq_norm().sqrt(),
+                    weight_norm: p.value.sq_norm().sqrt(),
+                });
+            }
         }
         self.step += 1;
     }

@@ -56,6 +56,7 @@ impl Adam {
     ///
     /// Panics if the parameter list's shapes change between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
+        let telemetry = crate::dynamics::active();
         if self.m.len() < params.len() {
             for p in params[self.m.len()..].iter() {
                 self.m.push(Tensor::zeros(p.value.shape().clone()));
@@ -76,18 +77,35 @@ impl Adam {
                 m.shape(),
                 "parameter shape changed between optimiser steps"
             );
+            let grad_norm = if telemetry {
+                p.grad.sq_norm().sqrt()
+            } else {
+                0.0
+            };
             let g = p.grad.as_slice();
             let mv = m.as_mut_slice();
             let vv = v.as_mut_slice();
             let wv = p.value.as_mut_slice();
+            let mut upd_sq = 0.0f64;
             for i in 0..g.len() {
                 mv[i] = self.beta1 * mv[i] + (1.0 - self.beta1) * g[i];
                 vv[i] = self.beta2 * vv[i] + (1.0 - self.beta2) * g[i] * g[i];
                 let mhat = mv[i] / bc1;
                 let vhat = vv[i] / bc2;
-                wv[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                let delta = self.lr * mhat / (vhat.sqrt() + self.eps);
+                wv[i] -= delta;
+                if telemetry {
+                    upd_sq += f64::from(delta) * f64::from(delta);
+                }
             }
             p.zero_grad();
+            if telemetry {
+                crate::dynamics::record_param_update(crate::dynamics::ParamUpdate {
+                    grad_norm,
+                    update_norm: upd_sq.sqrt() as f32,
+                    weight_norm: p.value.sq_norm().sqrt(),
+                });
+            }
         }
     }
 }

@@ -56,6 +56,46 @@ pub fn host_string() -> String {
     format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH)
 }
 
+/// One layer's (or parameter group's) training dynamics inside an
+/// `epoch` ledger event — the serialised form of the core crate's
+/// per-layer epoch stats.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayerDyn {
+    /// Telemetry key (`backbone/Conv2d#1`, `cpn/cls_head`, …).
+    pub key: String,
+    /// Mean absolute activation value.
+    pub act_mean_abs: f64,
+    /// Fraction of non-positive activations.
+    pub dead_frac: f64,
+    /// Fraction of saturated activations.
+    pub saturated_frac: f64,
+    /// Mean L2 norm of the gradient flowing out of the layer.
+    pub flow_grad_norm: f64,
+    /// RMS parameter-gradient L2 norm over the sampled steps.
+    pub grad_norm: f64,
+    /// Weight-update-to-weight ratio `‖Δw‖ / ‖w‖`.
+    pub update_ratio: f64,
+    /// RMS parameter L2 norm.
+    pub weight_norm: f64,
+}
+
+impl LayerDyn {
+    fn to_json(&self) -> String {
+        let mut o = String::with_capacity(96);
+        o.push('{');
+        fld_str(&mut o, "key", &self.key);
+        fld_raw(&mut o, "act_mean_abs", &number(self.act_mean_abs));
+        fld_raw(&mut o, "dead_frac", &number(self.dead_frac));
+        fld_raw(&mut o, "saturated_frac", &number(self.saturated_frac));
+        fld_raw(&mut o, "flow_grad_norm", &number(self.flow_grad_norm));
+        fld_raw(&mut o, "grad_norm", &number(self.grad_norm));
+        fld_raw(&mut o, "update_ratio", &number(self.update_ratio));
+        fld_raw(&mut o, "weight_norm", &number(self.weight_norm));
+        o.push('}');
+        o
+    }
+}
+
 /// One typed ledger event, serialised as a single JSONL line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -80,6 +120,23 @@ pub enum Event {
         lr: f64,
         /// Samples seen this epoch.
         samples: u64,
+        /// Mean per-RoI refinement prediction entropy (nats).
+        pred_entropy: f64,
+        /// Entropy of the predicted-label histogram (nats).
+        label_entropy: f64,
+        /// Per-layer dynamics rows (empty when telemetry is off).
+        layers: Vec<LayerDyn>,
+    },
+    /// A divergence-sentinel trip.
+    Sentinel {
+        /// Epoch the trip happened in.
+        epoch: u64,
+        /// Stable reason tag (`non_finite_loss`, `bias_collapse`, …).
+        reason: String,
+        /// Human-readable trip description with the evidence.
+        detail: String,
+        /// Policy applied (`warn` or `abort`).
+        action: String,
     },
     /// One evaluation row: a detector's result on one case (or the
     /// per-detector `"Average"` row).
@@ -126,6 +183,7 @@ impl Event {
         match self {
             Event::RunStart(_) => "run_start",
             Event::Epoch { .. } => "epoch",
+            Event::Sentinel { .. } => "sentinel",
             Event::Eval { .. } => "eval",
             Event::SpanClose { .. } => "span_close",
             Event::RunEnd { .. } => "run_end",
@@ -158,6 +216,9 @@ impl Event {
                 grad_norm,
                 lr,
                 samples,
+                pred_entropy,
+                label_entropy,
+                layers,
             } => {
                 fld_raw(&mut o, "epoch", &epoch.to_string());
                 fld_raw(&mut o, "mean_loss", &number(*mean_loss));
@@ -167,6 +228,28 @@ impl Event {
                 fld_raw(&mut o, "grad_norm", &number(*grad_norm));
                 fld_raw(&mut o, "lr", &number(*lr));
                 fld_raw(&mut o, "samples", &samples.to_string());
+                fld_raw(&mut o, "pred_entropy", &number(*pred_entropy));
+                fld_raw(&mut o, "label_entropy", &number(*label_entropy));
+                let mut arr = String::from("[");
+                for (i, l) in layers.iter().enumerate() {
+                    if i > 0 {
+                        arr.push(',');
+                    }
+                    arr.push_str(&l.to_json());
+                }
+                arr.push(']');
+                fld_raw(&mut o, "layers", &arr);
+            }
+            Event::Sentinel {
+                epoch,
+                reason,
+                detail,
+                action,
+            } => {
+                fld_raw(&mut o, "epoch", &epoch.to_string());
+                fld_str(&mut o, "reason", reason);
+                fld_str(&mut o, "detail", detail);
+                fld_str(&mut o, "action", action);
             }
             Event::Eval {
                 detector,
@@ -417,6 +500,24 @@ mod tests {
                 grad_norm: 4.25,
                 lr: 0.01,
                 samples: 12,
+                pred_entropy: 0.55,
+                label_entropy: 0.69,
+                layers: vec![LayerDyn {
+                    key: "backbone/Conv2d#1".into(),
+                    act_mean_abs: 0.4,
+                    dead_frac: 0.25,
+                    saturated_frac: 0.0,
+                    flow_grad_norm: 1.5,
+                    grad_norm: 2.0,
+                    update_ratio: 0.01,
+                    weight_norm: 3.5,
+                }],
+            },
+            Event::Sentinel {
+                epoch: 4,
+                reason: "bias_collapse".into(),
+                detail: "epoch 4: bias-only collapse".into(),
+                action: "warn".into(),
             },
             Event::Eval {
                 detector: "TCAD'18".into(),
@@ -459,6 +560,9 @@ mod tests {
             grad_norm: 0.0,
             lr: 0.0,
             samples: 0,
+            pred_entropy: 0.0,
+            label_entropy: 0.0,
+            layers: Vec::new(),
         };
         let line = e.to_json(0, 0.0);
         assert!(validate(&line).is_ok(), "{line}");
@@ -484,6 +588,9 @@ mod tests {
                     grad_norm: 2.0,
                     lr: 0.01,
                     samples: 4,
+                    pred_entropy: 0.5,
+                    label_entropy: 0.6,
+                    layers: Vec::new(),
                 })
                 .unwrap();
             }

@@ -24,6 +24,54 @@ use crate::span::{sample_stacks, PATH_SEP};
 /// periodic pipeline work).
 pub const DEFAULT_HZ: u32 = 97;
 
+/// Why a `--profile=<hz>` rate string was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RateError {
+    /// The string is empty or not an unsigned integer.
+    NotANumber(String),
+    /// The string parsed as a number, but the rate is zero or negative.
+    NotPositive(String),
+}
+
+impl std::fmt::Display for RateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RateError::NotANumber(s) => {
+                write!(f, "`{s}` is not a number (expected a Hz rate like 97)")
+            }
+            RateError::NotPositive(s) => {
+                write!(f, "sampling rate must be a positive integer, got `{s}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RateError {}
+
+/// Parses a sampling rate in Hz: a positive integer. Zero, negative and
+/// non-numeric inputs get a typed [`RateError`] so callers can print a
+/// precise message. ([`Profiler::start`] additionally clamps the rate to
+/// 1..=10_000 at spawn time.)
+pub fn parse_rate(s: &str) -> Result<u32, RateError> {
+    let t = s.trim();
+    if let Some(digits) = t.strip_prefix('-') {
+        // "-5" fails a u32 parse, but the user wrote a number — classify
+        // it as non-positive, not non-numeric.
+        return Err(
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                RateError::NotPositive(s.to_owned())
+            } else {
+                RateError::NotANumber(s.to_owned())
+            },
+        );
+    }
+    match t.parse::<u32>() {
+        Ok(0) => Err(RateError::NotPositive(s.to_owned())),
+        Ok(n) => Ok(n),
+        Err(_) => Err(RateError::NotANumber(s.to_owned())),
+    }
+}
+
 /// The finished output of a sampling session.
 #[derive(Debug, Clone)]
 pub struct Profile {
@@ -279,6 +327,35 @@ pub fn stop_global() -> Option<Profile> {
 mod tests {
     use super::*;
     use crate::span::tests::global_lock;
+
+    #[test]
+    fn parse_rate_accepts_positive_integers() {
+        assert_eq!(parse_rate("97"), Ok(97));
+        assert_eq!(parse_rate("1"), Ok(1));
+        assert_eq!(parse_rate(" 250 "), Ok(250), "surrounding whitespace ok");
+        assert_eq!(parse_rate("10000"), Ok(10_000));
+    }
+
+    #[test]
+    fn parse_rate_rejects_zero_negative_and_non_numeric() {
+        assert_eq!(parse_rate("0"), Err(RateError::NotPositive("0".to_owned())));
+        assert_eq!(
+            parse_rate("-5"),
+            Err(RateError::NotPositive("-5".to_owned()))
+        );
+        for bad in ["", "fast", "9.5", "-", "-x", "1e3"] {
+            assert_eq!(
+                parse_rate(bad),
+                Err(RateError::NotANumber(bad.to_owned())),
+                "{bad:?} must be non-numeric"
+            );
+        }
+        // The typed errors render actionable messages.
+        let msg = RateError::NotPositive("0".to_owned()).to_string();
+        assert!(msg.contains("positive"), "{msg}");
+        let msg = RateError::NotANumber("fast".to_owned()).to_string();
+        assert!(msg.contains("fast"), "{msg}");
+    }
 
     #[test]
     fn sampler_captures_open_spans() {

@@ -135,13 +135,43 @@ fn demo_run_leaves_a_valid_ordered_ledger() {
     assert_eq!(epochs.len(), 2, "one epoch event per training epoch");
     for (i, e) in epochs.iter().enumerate() {
         assert_eq!(e.get("epoch").and_then(Value::as_u64), Some(i as u64));
-        for key in ["mean_loss", "grad_norm", "lr"] {
+        for key in [
+            "mean_loss",
+            "grad_norm",
+            "lr",
+            "pred_entropy",
+            "label_entropy",
+        ] {
             assert!(
                 e.get(key).and_then(Value::as_f64).is_some(),
                 "epoch event missing {key}"
             );
         }
         assert_eq!(e.get("samples").and_then(Value::as_u64), Some(4));
+        // Per-layer dynamics rows ride along (telemetry samples step 0 of
+        // every epoch at the default rate), each with the full stat set.
+        let layers = e
+            .get("layers")
+            .and_then(Value::as_arr)
+            .expect("epoch event carries a layers array");
+        assert!(!layers.is_empty(), "default sampling collects layer rows");
+        for l in layers {
+            assert!(l.get("key").and_then(Value::as_str).is_some());
+            for key in [
+                "act_mean_abs",
+                "dead_frac",
+                "saturated_frac",
+                "flow_grad_norm",
+                "grad_norm",
+                "update_ratio",
+                "weight_norm",
+            ] {
+                assert!(
+                    l.get(key).and_then(Value::as_f64).is_some(),
+                    "layer row missing {key}"
+                );
+            }
+        }
     }
 
     // --- Eval rows: the mirrored CaseResult and the control event.

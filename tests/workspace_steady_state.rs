@@ -3,7 +3,7 @@
 //! (im2col matrices, packed GEMM panels, pooling buffers) from the
 //! `rhsd_tensor::workspace` pool and performs **zero** workspace
 //! allocations. This is the contract the `workspace` block in the
-//! bench record (schema `rhsd-bench-table/5`; mirrored by the
+//! bench record (schema `rhsd-bench-table/6`; mirrored by the
 //! `cache.workspace.*` obs gauges) makes observable; this test pins it
 //! end to end through a real network forward pass.
 //!

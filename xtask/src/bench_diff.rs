@@ -22,6 +22,12 @@
 //!   whose gauges are all zero (produced without observability) is
 //!   refused — opting into the gate without data is a misconfiguration.
 //!
+//! - **accuracy floor** (opt-in): `--min-accuracy <pct>` fails the gate
+//!   when any detector in the *current* record averages below `<pct>`
+//!   percent accuracy. This turns the 0%-accuracy loud warning into an
+//!   enforceable check: a silently collapsed model (the PR-6 failure
+//!   mode) cannot pass CI even when the baseline collapsed too.
+//!
 //! A baseline detector row with 0% accuracy triggers a loud warning:
 //! the accuracy gate cannot see regressions against a floor of zero, so
 //! such baselines should be refreshed with a longer training schedule.
@@ -52,6 +58,9 @@ pub struct Tolerance {
     /// Minimum hit rate (percent) required of the current record's
     /// deterministic cache families; `None` disables the gate.
     pub min_cache_hit_rate_pct: Option<f64>,
+    /// Absolute accuracy floor (percent) every detector in the current
+    /// record must clear; `None` disables the gate.
+    pub min_accuracy_pct: Option<f64>,
 }
 
 impl Default for Tolerance {
@@ -61,6 +70,7 @@ impl Default for Tolerance {
             max_accuracy_drop_pt: 0.5,
             skip_runtime: false,
             min_cache_hit_rate_pct: None,
+            min_accuracy_pct: None,
         }
     }
 }
@@ -330,6 +340,19 @@ pub fn compare(
     let (rows, notes) = diff(&baseline, &current, tol);
     let mut regressed = rows.iter().any(|r| !r.regressions.is_empty());
     let mut report = render(&baseline, &current, &rows, &notes);
+    if let Some(floor) = tol.min_accuracy_pct {
+        for d in &current.detectors {
+            if d.accuracy_pct < floor {
+                report.push_str(&format!(
+                    "REGRESSION: detector `{}` averages {:.2}% accuracy, below \
+                     the {floor:.1}% floor — the model likely collapsed during \
+                     training (check the run ledger's sentinel events)\n",
+                    d.name, d.accuracy_pct
+                ));
+                regressed = true;
+            }
+        }
+    }
     if let Some(min_pct) = tol.min_cache_hit_rate_pct {
         let (lines, failures) = check_cache_hit_rates(&current, min_pct)?;
         for line in lines {
@@ -350,7 +373,7 @@ fn read(path: &Path) -> Result<String, String> {
 
 /// CLI entry point: `cargo xtask bench-diff <baseline.json> <current.json>
 /// [--max-runtime-regress <pct>] [--max-accuracy-drop <pt>]
-/// [--skip-runtime]`.
+/// [--skip-runtime] [--min-cache-hit-rate <pct>] [--min-accuracy <pct>]`.
 pub fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut tol = Tolerance::default();
@@ -366,6 +389,9 @@ pub fn run(args: &[String]) -> Result<ExitCode, String> {
             "--skip-runtime" => tol.skip_runtime = true,
             "--min-cache-hit-rate" => {
                 tol.min_cache_hit_rate_pct = Some(num_arg(it.next(), "--min-cache-hit-rate")?);
+            }
+            "--min-accuracy" => {
+                tol.min_accuracy_pct = Some(num_arg(it.next(), "--min-accuracy")?);
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown bench-diff option `{other}`"));
@@ -613,6 +639,40 @@ mod tests {
         let healthy = record(1.0, 90.0);
         let (report, _) = compare(&healthy, &healthy, &Tolerance::default()).expect("valid");
         assert!(!report.contains("WARNING"), "{report}");
+    }
+
+    #[test]
+    fn accuracy_floor_gate_catches_collapsed_models() {
+        let tol = Tolerance {
+            min_accuracy_pct: Some(10.0),
+            ..Tolerance::default()
+        };
+        // Both records collapsed to 0%: the drop gate sees no change, but
+        // the floor catches it anyway.
+        let collapsed = record(1.0, 0.0);
+        let (report, regressed) = compare(&collapsed, &collapsed, &tol).expect("valid");
+        assert!(regressed, "0% accuracy must fail a 10% floor:\n{report}");
+        assert!(report.contains("below the 10.0% floor"), "{report}");
+        assert!(report.contains("collapsed during training"), "{report}");
+        // A healthy record clears the floor.
+        let healthy = record(1.0, 34.0);
+        let (report, regressed) = compare(&healthy, &healthy, &tol).expect("valid");
+        assert!(!regressed, "34% clears a 10% floor:\n{report}");
+        // The gate only inspects the current record: a collapsed baseline
+        // with a healthy current run passes.
+        let (_, regressed) = compare(&collapsed, &healthy, &tol).expect("valid");
+        assert!(!regressed, "floor gates the current record only");
+        // ... and it is opt-in.
+        let (_, regressed) = compare(&collapsed, &collapsed, &Tolerance::default()).expect("valid");
+        assert!(!regressed, "floor gate must be opt-in");
+    }
+
+    #[test]
+    fn min_accuracy_rejects_malformed_values() {
+        assert!(num_arg(Some(&"10".to_owned()), "--min-accuracy").is_ok());
+        assert!(num_arg(Some(&"abc".to_owned()), "--min-accuracy").is_err());
+        assert!(num_arg(Some(&"-5".to_owned()), "--min-accuracy").is_err());
+        assert!(num_arg(None, "--min-accuracy").is_err());
     }
 
     #[test]

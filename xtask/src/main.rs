@@ -50,14 +50,24 @@ tasks:
       --min-cache-hit-rate <pct>   opt-in gate: fail when the current
                                    record's region_tile/stem_feature
                                    hit rate falls below <pct>
+      --min-accuracy <pct>         opt-in gate: fail when any detector
+                                   in the current record averages below
+                                   <pct> percent accuracy (catches
+                                   silently collapsed models)
 
-  report <ledger.jsonl> [--profile <collapsed>] [--top <n>]
+  report [<ledger.jsonl>] [--profile <collapsed>] [--top <n>]
+         [--html <out.html>]
       Render a JSONL run ledger as a run report: manifest, span tree
-      with inclusive/exclusive time, cache hit rates, and the eval
-      table.
+      with inclusive/exclusive time, cache hit rates, training dynamics
+      (per-epoch trajectory, per-layer stats, sentinel trips), and the
+      eval table. Without a path, uses the newest LEDGER_*.jsonl in the
+      working directory (errors listing candidates when ambiguous).
       --profile  also summarise a collapsed-stacks file written by
                  a repro binary's --profile flag
       --top      rows in the top-exclusive/top-stacks lists (default 8)
+      --html     also write a self-contained HTML learning-dynamics
+                 dashboard (loss/lr/grad-norm/entropy curves, per-layer
+                 tables; no scripts or external assets)
 
 exit codes: 0 clean, 1 violations/regression found, 2 usage error or
 malformed input";

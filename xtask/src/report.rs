@@ -11,9 +11,18 @@
 //!   its time);
 //! - cache-efficiency gauges from the `run_end` counters: hit/miss/
 //!   eviction/byte totals and the hit rate per `cache.*` family;
+//! - training dynamics from `epoch` events — the loss/lr/grad-norm/
+//!   entropy trajectory, the per-layer dynamics table from the last
+//!   sampled epoch, and any divergence-sentinel trips;
 //! - the evaluation table (per detector and case);
 //! - with `--profile <file>`, the heaviest sampled stacks from a
-//!   collapsed-stacks file written by `--profile`.
+//!   collapsed-stacks file written by `--profile`;
+//! - with `--html <out>`, a self-contained zero-dependency HTML
+//!   learning-dynamics dashboard (inline SVG charts, no scripts).
+//!
+//! Invoked without a ledger path, it auto-discovers the newest
+//! `LEDGER_*.jsonl` in the working directory (and refuses, listing the
+//! candidates, when several share the newest timestamp).
 //!
 //! A ledger without a `run_end` line (crashed run) still reports
 //! everything up to the crash — that is the point of a flushed JSONL
@@ -22,15 +31,47 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::SystemTime;
 
 use rhsd_obs::json::{parse, Value};
 use rhsd_obs::SpanTree;
+
+/// One per-layer dynamics row from an `epoch` event's `layers` array.
+#[derive(Debug, Clone)]
+struct LayerRow {
+    key: String,
+    act_mean_abs: f64,
+    dead_frac: f64,
+    saturated_frac: f64,
+    flow_grad_norm: f64,
+    grad_norm: f64,
+    update_ratio: f64,
+    weight_norm: f64,
+}
+
+/// One `epoch` event. Entropies are `None` on pre-/8 ledgers, which
+/// must keep rendering.
+#[derive(Debug)]
+struct EpochRow {
+    epoch: u64,
+    mean_loss: f64,
+    grad_norm: f64,
+    lr: f64,
+    pred_entropy: Option<f64>,
+    label_entropy: Option<f64>,
+    layers: Vec<LayerRow>,
+}
+
+/// One divergence-sentinel trip: `(epoch, reason, detail, action)`.
+type SentinelRow = (u64, String, String, String);
 
 /// Everything extracted from one ledger file.
 #[derive(Debug, Default)]
 struct LedgerRun {
     manifest: Vec<(String, String)>,
     spans: Vec<(String, f64)>,
+    epochs: Vec<EpochRow>,
+    sentinels: Vec<SentinelRow>,
     evals: Vec<(String, String, f64, u64, f64)>,
     status: Option<String>,
     wall_secs: Option<f64>,
@@ -78,6 +119,48 @@ fn parse_ledger(text: &str) -> LedgerRun {
                 if !path.is_empty() {
                     run.spans.push((path.to_owned(), dur));
                 }
+            }
+            Some("epoch") => {
+                let f = |key: &str| v.get(key).and_then(Value::as_f64);
+                let layers = v
+                    .get("layers")
+                    .and_then(Value::as_arr)
+                    .map(|rows| {
+                        rows.iter()
+                            .filter_map(|l| {
+                                let g = |key: &str| l.get(key).and_then(Value::as_f64);
+                                Some(LayerRow {
+                                    key: l.get("key")?.as_str()?.to_owned(),
+                                    act_mean_abs: g("act_mean_abs")?,
+                                    dead_frac: g("dead_frac")?,
+                                    saturated_frac: g("saturated_frac")?,
+                                    flow_grad_norm: g("flow_grad_norm")?,
+                                    grad_norm: g("grad_norm")?,
+                                    update_ratio: g("update_ratio")?,
+                                    weight_norm: g("weight_norm")?,
+                                })
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                run.epochs.push(EpochRow {
+                    epoch: v.get("epoch").and_then(Value::as_u64).unwrap_or(0),
+                    mean_loss: f("mean_loss").unwrap_or(f64::NAN),
+                    grad_norm: f("grad_norm").unwrap_or(f64::NAN),
+                    lr: f("lr").unwrap_or(f64::NAN),
+                    pred_entropy: f("pred_entropy"),
+                    label_entropy: f("label_entropy"),
+                    layers,
+                });
+            }
+            Some("sentinel") => {
+                let s = |key: &str| v.get(key).and_then(Value::as_str).unwrap_or("?").to_owned();
+                run.sentinels.push((
+                    v.get("epoch").and_then(Value::as_u64).unwrap_or(0),
+                    s("reason"),
+                    s("detail"),
+                    s("action"),
+                ));
             }
             Some("eval") => {
                 run.evals.push((
@@ -157,6 +240,73 @@ fn render_caches(counters: &[(String, u64)], out: &mut String) {
     }
 }
 
+/// Renders the training-dynamics section: the per-epoch trajectory, the
+/// per-layer table from the last epoch that sampled layer stats, and
+/// any sentinel trips. Silent when the ledger has no `epoch` events
+/// (inference-only runs).
+fn render_training(run: &LedgerRun, out: &mut String) {
+    if run.epochs.is_empty() && run.sentinels.is_empty() {
+        return;
+    }
+    if !run.epochs.is_empty() {
+        let _ = writeln!(out, "\ntraining dynamics ({} epoch(s)):", run.epochs.len());
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>10} {:>10} {:>9} {:>7} {:>8}",
+            "epoch", "loss", "grad-norm", "lr", "pred-H", "label-H"
+        );
+        let ent = |e: Option<f64>| match e {
+            Some(x) => format!("{x:.3}"),
+            None => "—".to_owned(),
+        };
+        for e in &run.epochs {
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>10.4} {:>10.4} {:>9.5} {:>7} {:>8}",
+                e.epoch,
+                e.mean_loss,
+                e.grad_norm,
+                e.lr,
+                ent(e.pred_entropy),
+                ent(e.label_entropy),
+            );
+        }
+        if let Some(last) = run.epochs.iter().rev().find(|e| !e.layers.is_empty()) {
+            let _ = writeln!(out, "\n  layer dynamics (epoch {}, sampled):", last.epoch);
+            let _ = writeln!(
+                out,
+                "  {:<26} {:>9} {:>6} {:>6} {:>9} {:>9} {:>9} {:>9}",
+                "layer", "|act|", "dead%", "sat%", "flow-g", "grad", "upd/w", "|w|"
+            );
+            for l in &last.layers {
+                let _ = writeln!(
+                    out,
+                    "  {:<26} {:>9.4} {:>6.1} {:>6.1} {:>9.3e} {:>9.3e} {:>9.3e} {:>9.3}",
+                    l.key,
+                    l.act_mean_abs,
+                    100.0 * l.dead_frac,
+                    100.0 * l.saturated_frac,
+                    l.flow_grad_norm,
+                    l.grad_norm,
+                    l.update_ratio,
+                    l.weight_norm,
+                );
+            }
+        }
+    }
+    if !run.sentinels.is_empty() {
+        let _ = writeln!(out, "\nsentinel trips:");
+        for (epoch, reason, detail, action) in &run.sentinels {
+            // The ledger's detail string repeats the epoch prefix; drop it
+            // since the line already leads with the epoch.
+            let detail = detail
+                .strip_prefix(&format!("epoch {epoch}: "))
+                .unwrap_or(detail);
+            let _ = writeln!(out, "  epoch {epoch}  {reason} ({action}): {detail}");
+        }
+    }
+}
+
 fn fmt_bytes(b: u64) -> String {
     if b >= 1 << 30 {
         format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
@@ -223,6 +373,7 @@ pub fn render(ledger_text: &str, profile_text: Option<&str>, top: usize) -> Stri
     }
 
     render_caches(&run.counters, &mut o);
+    render_training(&run, &mut o);
 
     if !run.evals.is_empty() {
         let _ = writeln!(o, "\nevaluation:");
@@ -251,11 +402,388 @@ pub fn render(ledger_text: &str, profile_text: Option<&str>, top: usize) -> Stri
     o
 }
 
-/// CLI entry point: `cargo xtask report <ledger.jsonl>
-/// [--profile <collapsed>] [--top <n>]`.
+// ---------------------------------------------------------------------
+// HTML learning-dynamics dashboard
+// ---------------------------------------------------------------------
+
+/// Maximum per-layer curves in one chart; beyond that the layers with
+/// the largest final gradient norm win and the cut is announced.
+const MAX_LAYER_CURVES: usize = 12;
+
+/// One named series of `(x, y)` points for an SVG chart.
+type Series = (String, Vec<(f64, f64)>);
+
+fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic series hue (FNV-1a over the name) — same idiom as the
+/// flame chart so layer colours are stable across reports.
+fn color_hue(name: &str) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % 360) as u32
+}
+
+/// Renders one inline SVG line chart (multi-series, linear axes, min/max
+/// labels, no scripts). Non-finite points are dropped; an all-empty
+/// chart renders a placeholder note instead of a broken viewBox.
+fn svg_chart(title: &str, series: &[Series]) -> String {
+    const W: f64 = 460.0;
+    const H: f64 = 180.0;
+    const PAD_L: f64 = 46.0;
+    const PAD_R: f64 = 8.0;
+    const PAD_T: f64 = 8.0;
+    const PAD_B: f64 = 22.0;
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "<div class=\"card\">");
+    let _ = writeln!(out, "<h2>{}</h2>", html_escape(title));
+    if points.is_empty() {
+        let _ = writeln!(out, "<p class=\"meta\">(no data)</p>\n</div>");
+        return out;
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for (x, y) in &points {
+        x0 = x0.min(*x);
+        x1 = x1.max(*x);
+        y0 = y0.min(*y);
+        y1 = y1.max(*y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+        y0 -= 1.0;
+    }
+    let sx = |x: f64| PAD_L + (x - x0) / (x1 - x0) * (W - PAD_L - PAD_R);
+    let sy = |y: f64| H - PAD_B - (y - y0) / (y1 - y0) * (H - PAD_T - PAD_B);
+    let _ = writeln!(
+        out,
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\">"
+    );
+    let _ = writeln!(
+        out,
+        "<rect x=\"{PAD_L}\" y=\"{PAD_T}\" width=\"{}\" height=\"{}\" class=\"plot\"/>",
+        W - PAD_L - PAD_R,
+        H - PAD_T - PAD_B
+    );
+    for (name, pts) in series {
+        let finite: Vec<(f64, f64)> = pts
+            .iter()
+            .copied()
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if finite.is_empty() {
+            continue;
+        }
+        let path: Vec<String> = finite
+            .iter()
+            .map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y)))
+            .collect();
+        let hue = color_hue(name);
+        let _ = writeln!(
+            out,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"hsl({hue},70%,45%)\" \
+             stroke-width=\"1.5\"><title>{}</title></polyline>",
+            path.join(" "),
+            html_escape(name),
+        );
+    }
+    for (label, x, y, anchor) in [
+        (format!("{y1:.3}"), PAD_L - 4.0, PAD_T + 8.0, "end"),
+        (format!("{y0:.3}"), PAD_L - 4.0, H - PAD_B, "end"),
+        (format!("{x0:.0}"), PAD_L, H - 6.0, "start"),
+        (format!("{x1:.0}"), W - PAD_R, H - 6.0, "end"),
+    ] {
+        let _ = writeln!(
+            out,
+            "<text x=\"{x:.1}\" y=\"{y:.1}\" text-anchor=\"{anchor}\" class=\"ax\">{label}</text>"
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    if series.len() > 1 {
+        let _ = write!(out, "<p class=\"legend\">");
+        for (name, _) in series {
+            let hue = color_hue(name);
+            let _ = write!(
+                out,
+                "<span><i style=\"background:hsl({hue},70%,45%)\"></i>{}</span> ",
+                html_escape(name)
+            );
+        }
+        let _ = writeln!(out, "</p>");
+    }
+    let _ = writeln!(out, "</div>");
+    out
+}
+
+/// Per-layer series for `field`, one per layer key (first-seen order),
+/// trimmed to [`MAX_LAYER_CURVES`] by final gradient norm.
+fn layer_series(run: &LedgerRun, field: fn(&LayerRow) -> f64) -> (Vec<Series>, usize) {
+    let mut keys: Vec<String> = Vec::new();
+    for e in &run.epochs {
+        for l in &e.layers {
+            if !keys.contains(&l.key) {
+                keys.push(l.key.clone());
+            }
+        }
+    }
+    let total = keys.len();
+    if total > MAX_LAYER_CURVES {
+        // Rank by the layer's last reported gradient norm, keep input order.
+        let last_grad = |key: &String| -> f64 {
+            run.epochs
+                .iter()
+                .rev()
+                .flat_map(|e| &e.layers)
+                .find(|l| &l.key == key)
+                .map(|l| l.grad_norm)
+                .unwrap_or(0.0)
+        };
+        let mut ranked = keys.clone();
+        ranked.sort_by(|a, b| {
+            last_grad(b)
+                .partial_cmp(&last_grad(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let keep: Vec<String> = ranked.into_iter().take(MAX_LAYER_CURVES).collect();
+        keys.retain(|k| keep.contains(k));
+    }
+    let series = keys
+        .into_iter()
+        .map(|key| {
+            let pts = run
+                .epochs
+                .iter()
+                .filter_map(|e| {
+                    e.layers
+                        .iter()
+                        .find(|l| l.key == key)
+                        .map(|l| (e.epoch as f64, field(l)))
+                })
+                .collect();
+            (key, pts)
+        })
+        .collect();
+    (series, total)
+}
+
+/// Pure core of `--html`: the self-contained learning-dynamics
+/// dashboard (inline CSS + SVG, no scripts, no external assets).
+pub fn render_html(ledger_text: &str, title: &str) -> String {
+    let run = parse_ledger(ledger_text);
+    let mut html = String::with_capacity(16 * 1024);
+    html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    html.push_str(&format!("<title>{}</title>\n", html_escape(title)));
+    html.push_str(
+        "<style>\n\
+         body{font:13px/1.4 system-ui,sans-serif;margin:16px;background:#fff;color:#222}\n\
+         .meta{color:#666;margin:6px 0 12px}\n\
+         .cards{display:flex;flex-wrap:wrap;gap:12px}\n\
+         .card{border:1px solid #ccc;border-radius:4px;padding:8px 12px}\n\
+         .card h2{font-size:13px;margin:0 0 6px}\n\
+         .plot{fill:#fafafa;stroke:#ddd}\n\
+         .ax{font-size:10px;fill:#666}\n\
+         .legend{font-size:11px;color:#444;max-width:460px}\n\
+         .legend i{display:inline-block;width:9px;height:9px;margin-right:3px;\
+         border-radius:2px}\n\
+         .legend span{margin-right:10px;white-space:nowrap}\n\
+         table{border-collapse:collapse;font-size:12px;margin-top:8px}\n\
+         th,td{border:1px solid #ddd;padding:2px 8px;text-align:right}\n\
+         th:first-child,td:first-child{text-align:left}\n\
+         .trip{color:#a00;font-weight:600}\n\
+         </style>\n</head>\n<body>\n",
+    );
+    html.push_str(&format!("<h1>{}</h1>\n", html_escape(title)));
+    let meta: Vec<String> = run
+        .manifest
+        .iter()
+        .map(|(k, v)| format!("{}: {}", html_escape(k), html_escape(v)))
+        .collect();
+    let status = match (&run.status, run.wall_secs) {
+        (Some(s), Some(w)) => format!("status: {} after {w:.2}s", html_escape(s)),
+        _ => "status: no run_end (crashed or still running)".to_owned(),
+    };
+    html.push_str(&format!(
+        "<p class=\"meta\">{} &middot; {status}</p>\n",
+        meta.join(" &middot; ")
+    ));
+
+    if !run.sentinels.is_empty() {
+        html.push_str("<p class=\"trip\">sentinel trips:</p>\n<ul>\n");
+        for (epoch, reason, detail, action) in &run.sentinels {
+            let detail = detail
+                .strip_prefix(&format!("epoch {epoch}: "))
+                .unwrap_or(detail);
+            html.push_str(&format!(
+                "<li class=\"trip\">epoch {epoch} — {} ({}): {}</li>\n",
+                html_escape(reason),
+                html_escape(action),
+                html_escape(detail),
+            ));
+        }
+        html.push_str("</ul>\n");
+    }
+
+    if run.epochs.is_empty() {
+        html.push_str(
+            "<p class=\"meta\">(no epoch events in this ledger — \
+                       nothing trained)</p>\n</body>\n</html>\n",
+        );
+        return html;
+    }
+
+    let per_epoch = |f: fn(&EpochRow) -> f64| -> Vec<(f64, f64)> {
+        run.epochs.iter().map(|e| (e.epoch as f64, f(e))).collect()
+    };
+    html.push_str("<div class=\"cards\">\n");
+    html.push_str(&svg_chart(
+        "training loss",
+        &[("mean_loss".to_owned(), per_epoch(|e| e.mean_loss))],
+    ));
+    html.push_str(&svg_chart(
+        "learning rate",
+        &[("lr".to_owned(), per_epoch(|e| e.lr))],
+    ));
+    html.push_str(&svg_chart(
+        "global gradient norm",
+        &[("grad_norm".to_owned(), per_epoch(|e| e.grad_norm))],
+    ));
+    html.push_str(&svg_chart(
+        "prediction vs label entropy (bits)",
+        &[
+            (
+                "pred_entropy".to_owned(),
+                run.epochs
+                    .iter()
+                    .filter_map(|e| e.pred_entropy.map(|y| (e.epoch as f64, y)))
+                    .collect(),
+            ),
+            (
+                "label_entropy".to_owned(),
+                run.epochs
+                    .iter()
+                    .filter_map(|e| e.label_entropy.map(|y| (e.epoch as f64, y)))
+                    .collect(),
+            ),
+        ],
+    ));
+    let (grad_curves, total_layers) = layer_series(&run, |l| l.grad_norm);
+    html.push_str(&svg_chart("per-layer gradient norm", &grad_curves));
+    let (dead_curves, _) = layer_series(&run, |l| l.dead_frac);
+    html.push_str(&svg_chart("per-layer dead-ReLU fraction", &dead_curves));
+    html.push_str("</div>\n");
+    if total_layers > MAX_LAYER_CURVES {
+        html.push_str(&format!(
+            "<p class=\"meta\">layer charts show the {MAX_LAYER_CURVES} layers with the \
+             largest final gradient norm (of {total_layers}); the full table is below.</p>\n"
+        ));
+    }
+
+    if let Some(last) = run.epochs.iter().rev().find(|e| !e.layers.is_empty()) {
+        html.push_str(&format!(
+            "<h2>layer dynamics — epoch {}</h2>\n<table>\n<tr><th>layer</th>\
+             <th>|act|</th><th>dead %</th><th>sat %</th><th>flow ‖g‖</th>\
+             <th>‖g‖</th><th>upd/w</th><th>‖w‖</th></tr>\n",
+            last.epoch
+        ));
+        for l in &last.layers {
+            html.push_str(&format!(
+                "<tr><td>{}</td><td>{:.4}</td><td>{:.1}</td><td>{:.1}</td>\
+                 <td>{:.3e}</td><td>{:.3e}</td><td>{:.3e}</td><td>{:.3}</td></tr>\n",
+                html_escape(&l.key),
+                l.act_mean_abs,
+                100.0 * l.dead_frac,
+                100.0 * l.saturated_frac,
+                l.flow_grad_norm,
+                l.grad_norm,
+                l.update_ratio,
+                l.weight_norm,
+            ));
+        }
+        html.push_str("</table>\n");
+    }
+    html.push_str("</body>\n</html>\n");
+    html
+}
+
+// ---------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------
+
+/// Picks the unique newest candidate by mtime. Pure so the ambiguity
+/// rules are unit-testable without touching the filesystem clock.
+fn pick_newest(mut candidates: Vec<(String, SystemTime)>) -> Result<String, String> {
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    match candidates.as_slice() {
+        [] => Err("no LEDGER_*.jsonl found in the working directory — \
+                   pass a ledger path"
+            .to_owned()),
+        [(only, _)] => Ok(only.clone()),
+        [(first, t0), (_, t1), ..] if t0 != t1 => Ok(first.clone()),
+        _ => {
+            let newest = candidates[0].1;
+            let tied: Vec<&str> = candidates
+                .iter()
+                .filter(|(_, t)| *t == newest)
+                .map(|(n, _)| n.as_str())
+                .collect();
+            Err(format!(
+                "ambiguous: {} ledgers share the newest timestamp ({}) — \
+                 pass one explicitly",
+                tied.len(),
+                tied.join(", ")
+            ))
+        }
+    }
+}
+
+/// Scans `dir` for `LEDGER_*.jsonl` files and returns the newest.
+fn discover_ledger(dir: &Path) -> Result<PathBuf, String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot scan {} for ledgers: {e}", dir.display()))?;
+    let mut candidates = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !(name.starts_with("LEDGER_") && name.ends_with(".jsonl")) {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        if !meta.is_file() {
+            continue;
+        }
+        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        candidates.push((name.to_owned(), mtime));
+    }
+    pick_newest(candidates).map(|name| dir.join(name))
+}
+
+/// CLI entry point: `cargo xtask report [<ledger.jsonl>]
+/// [--profile <collapsed>] [--top <n>] [--html <out.html>]`.
 pub fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut ledger: Option<PathBuf> = None;
     let mut profile: Option<PathBuf> = None;
+    let mut html_out: Option<PathBuf> = None;
     let mut top = 8usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -263,6 +791,10 @@ pub fn run(args: &[String]) -> Result<ExitCode, String> {
             "--profile" => {
                 let v = it.next().ok_or("--profile needs a file path")?;
                 profile = Some(PathBuf::from(v));
+            }
+            "--html" => {
+                let v = it.next().ok_or("--html needs an output path")?;
+                html_out = Some(PathBuf::from(v));
             }
             "--top" => {
                 let v = it.next().ok_or("--top needs a count")?;
@@ -279,13 +811,26 @@ pub fn run(args: &[String]) -> Result<ExitCode, String> {
             extra => return Err(format!("unexpected extra argument `{extra}`")),
         }
     }
-    let ledger = ledger.ok_or("report needs a ledger path: <ledger.jsonl>")?;
+    let ledger = match ledger {
+        Some(path) => path,
+        None => {
+            let found = discover_ledger(Path::new("."))?;
+            eprintln!("report: using {}", found.display());
+            found
+        }
+    };
     let ledger_text = read(&ledger)?;
     let profile_text = match &profile {
         Some(p) => Some(read(p)?),
         None => None,
     };
     print!("{}", render(&ledger_text, profile_text.as_deref(), top));
+    if let Some(out) = html_out {
+        let title = format!("learning dynamics — {}", ledger.display());
+        let html = render_html(&ledger_text, &title);
+        std::fs::write(&out, html).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        eprintln!("report: wrote {}", out.display());
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -300,11 +845,15 @@ mod tests {
     fn sample_ledger() -> String {
         [
             r#"{"event":"run_start","seq":0,"t":0,"bin":"repro_quick","seed":103,"config":"demo","effort":"Quick","host":"linux/x86_64","version":"0.1.0","threads":4}"#,
+            // old-style epoch event (pre-/8 ledger): no entropies, no layers
             r#"{"event":"epoch","seq":1,"t":0.5,"epoch":0,"mean_loss":0.8,"mean_cpn_cls":0.3,"mean_cpn_reg":0.2,"mean_refine_cls":0.3,"grad_norm":2.0,"lr":0.01,"samples":8}"#,
-            r#"{"event":"span_close","seq":2,"t":1.0,"name":"raster","path":"scan;raster","dur_secs":0.25,"depth":1}"#,
-            r#"{"event":"span_close","seq":3,"t":1.5,"name":"scan","path":"scan","dur_secs":1.0,"depth":0}"#,
-            r#"{"event":"eval","seq":4,"t":2.0,"detector":"Ours","case":"Case2","accuracy_pct":87.5,"false_alarms":9,"seconds":1.25}"#,
-            r#"{"event":"run_end","seq":5,"t":2.5,"status":"ok","wall_secs":2.5,"counters":{"cache.region_tile.hits":18,"cache.region_tile.misses":18,"cache.stem_feature.hits":3,"cache.stem_feature.misses":9,"cache.stem_feature.bytes":4096},"peaks":{}}"#,
+            // new-style epoch event with entropies and per-layer rows
+            r#"{"event":"epoch","seq":2,"t":0.9,"epoch":1,"mean_loss":0.6,"mean_cpn_cls":0.2,"mean_cpn_reg":0.15,"mean_refine_cls":0.25,"grad_norm":1.5,"lr":0.009,"samples":8,"pred_entropy":0.62,"label_entropy":0.97,"layers":[{"key":"backbone/Conv2d#1","act_mean_abs":0.25,"dead_frac":0.125,"saturated_frac":0.0,"flow_grad_norm":1.2,"grad_norm":0.8,"update_ratio":0.004,"weight_norm":3.5},{"key":"refine/Linear#30","act_mean_abs":1.5,"dead_frac":0.0,"saturated_frac":0.03,"flow_grad_norm":0.4,"grad_norm":0.2,"update_ratio":0.001,"weight_norm":2.0}]}"#,
+            r#"{"event":"sentinel","seq":3,"t":0.95,"epoch":1,"reason":"loss_spike","detail":"loss 9.0 is 4.0x the window median 0.7","action":"warn"}"#,
+            r#"{"event":"span_close","seq":4,"t":1.0,"name":"raster","path":"scan;raster","dur_secs":0.25,"depth":1}"#,
+            r#"{"event":"span_close","seq":5,"t":1.5,"name":"scan","path":"scan","dur_secs":1.0,"depth":0}"#,
+            r#"{"event":"eval","seq":6,"t":2.0,"detector":"Ours","case":"Case2","accuracy_pct":87.5,"false_alarms":9,"seconds":1.25}"#,
+            r#"{"event":"run_end","seq":7,"t":2.5,"status":"ok","wall_secs":2.5,"counters":{"cache.region_tile.hits":18,"cache.region_tile.misses":18,"cache.stem_feature.hits":3,"cache.stem_feature.misses":9,"cache.stem_feature.bytes":4096},"peaks":{}}"#,
         ]
         .join("\n")
     }
@@ -358,6 +907,117 @@ mod tests {
         let text = format!("{}\nnot json at all\n{{\"trunc", sample_ledger());
         let out = render(&text, None, 8);
         assert!(out.contains("2 unparseable line(s) skipped"), "{out}");
+    }
+
+    #[test]
+    fn training_dynamics_section_renders_epochs_layers_and_trips() {
+        let out = render(&sample_ledger(), None, 8);
+        assert!(out.contains("training dynamics (2 epoch(s)):"), "{out}");
+        // pre-/8 epoch renders with em-dash entropies, new one with values
+        assert!(out.contains("0.620"), "pred entropy column:\n{out}");
+        assert!(out.contains("0.970"), "label entropy column:\n{out}");
+        assert!(out.contains("—"), "old epoch renders placeholder:\n{out}");
+        // layer table comes from the last epoch carrying layer rows
+        assert!(out.contains("layer dynamics (epoch 1, sampled):"), "{out}");
+        assert!(out.contains("backbone/Conv2d#1"), "{out}");
+        assert!(out.contains("refine/Linear#30"), "{out}");
+        assert!(out.contains("12.5"), "dead fraction as percent:\n{out}");
+        // sentinel trip with reason, action and detail
+        assert!(out.contains("sentinel trips:"), "{out}");
+        assert!(
+            out.contains("epoch 1  loss_spike (warn): loss 9.0 is 4.0x the window median 0.7"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn inference_only_ledger_has_no_training_section() {
+        let lines: String = sample_ledger()
+            .lines()
+            .filter(|l| !l.contains("\"epoch\"") && !l.contains("\"sentinel\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let out = render(&lines, None, 8);
+        assert!(!out.contains("training dynamics"), "{out}");
+        assert!(!out.contains("sentinel trips"), "{out}");
+    }
+
+    #[test]
+    fn html_dashboard_is_self_contained_and_escaped() {
+        let html = render_html(&sample_ledger(), "dyn \"report\" & co");
+        assert!(html.starts_with("<!DOCTYPE html>"), "doctype first");
+        assert!(html.contains("dyn &quot;report&quot; &amp; co"));
+        // zero-dep contract: no scripts, no external references
+        assert!(!html.contains("<script"), "must not contain scripts");
+        assert!(!html.contains("http://"), "no external assets");
+        assert!(!html.contains("https://"), "no external assets");
+        // the four core charts plus the per-layer pair
+        for chart in [
+            "training loss",
+            "learning rate",
+            "global gradient norm",
+            "prediction vs label entropy",
+            "per-layer gradient norm",
+            "per-layer dead-ReLU fraction",
+        ] {
+            assert!(html.contains(chart), "missing chart {chart}:\n{html}");
+        }
+        assert!(html.contains("<polyline"), "curves are SVG polylines");
+        assert!(html.contains("backbone/Conv2d#1"), "layer table present");
+        assert!(html.contains("loss_spike"), "sentinel trip surfaced");
+    }
+
+    #[test]
+    fn html_dashboard_handles_a_ledger_without_epochs() {
+        let html = render_html(
+            r#"{"event":"run_start","seq":0,"t":0,"bin":"x","seed":1}"#,
+            "empty",
+        );
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("no epoch events"), "{html}");
+    }
+
+    #[test]
+    fn newest_ledger_wins_and_ties_are_ambiguous() {
+        use std::time::{Duration, UNIX_EPOCH};
+        let t = |secs: u64| UNIX_EPOCH + Duration::from_secs(secs);
+        assert!(pick_newest(vec![]).is_err());
+        assert_eq!(
+            pick_newest(vec![("LEDGER_a.jsonl".into(), t(10))]).as_deref(),
+            Ok("LEDGER_a.jsonl")
+        );
+        assert_eq!(
+            pick_newest(vec![
+                ("LEDGER_old.jsonl".into(), t(10)),
+                ("LEDGER_new.jsonl".into(), t(20)),
+            ])
+            .as_deref(),
+            Ok("LEDGER_new.jsonl")
+        );
+        let err = pick_newest(vec![
+            ("LEDGER_b.jsonl".into(), t(30)),
+            ("LEDGER_a.jsonl".into(), t(30)),
+            ("LEDGER_c.jsonl".into(), t(10)),
+        ])
+        .expect_err("tied mtimes are ambiguous");
+        assert!(err.contains("ambiguous"), "{err}");
+        assert!(err.contains("LEDGER_a.jsonl"), "{err}");
+        assert!(err.contains("LEDGER_b.jsonl"), "{err}");
+        assert!(
+            !err.contains("LEDGER_c.jsonl"),
+            "older files not listed: {err}"
+        );
+    }
+
+    #[test]
+    fn discovery_scans_a_directory_for_ledgers() {
+        let dir = std::env::temp_dir().join(format!("rhsd_report_disc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("LEDGER_run.jsonl"), "{}").expect("write");
+        std::fs::write(dir.join("not_a_ledger.txt"), "x").expect("write");
+        let found = discover_ledger(&dir).expect("one candidate");
+        assert!(found.ends_with("LEDGER_run.jsonl"), "{found:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 #   ./ci.sh --bench-gate      # only the benchmark regression gate (below)
 #   ./ci.sh --profile-smoke   # only the deep-observability smoke (below)
 #   ./ci.sh --telemetry-smoke # only the training-telemetry smoke (below)
+#   ./ci.sh --serve-smoke     # only the rhsd-serve end-to-end smoke (below)
 #
 # CI mode: when `CI=1` (or `CI=true`, as GitHub Actions sets) the script
 # disables colour, prints one machine-readable summary line per step
@@ -69,12 +70,14 @@ lint_only=0
 bench_gate_only=0
 profile_smoke_only=0
 telemetry_smoke_only=0
+serve_smoke_only=0
 case "${1:-}" in
 --fast) fast=1 ;;
 --lint-only) lint_only=1 ;;
 --bench-gate) bench_gate_only=1 ;;
 --profile-smoke) profile_smoke_only=1 ;;
 --telemetry-smoke) telemetry_smoke_only=1 ;;
+--serve-smoke) serve_smoke_only=1 ;;
 esac
 
 # Lint-only gate. Exit codes are the linter's own and are propagated
@@ -293,6 +296,149 @@ telemetry_smoke() {
 if [[ $telemetry_smoke_only -eq 1 ]]; then
     telemetry_smoke
     printf '\nTelemetry smoke passed.\n'
+    exit 0
+fi
+
+# Serving smoke: quick-train a model (exercising --save-model + its
+# artifact ledger event), write the offline reference scan through the
+# canonical serialiser, start rhsd-serve on loopback, drive it with
+# `cargo xtask loadgen --quick` — which byte-compares every served Case2
+# reply against the offline reference and requests a graceful shutdown —
+# then assert the server exited 0, its ledger closed with run_end and a
+# serve_stats event, the rhsd-serve-bench/1 record is sane, and
+# bench-diff both accepts the record and flags an injected throughput
+# regression. Artifacts land in SERVE_SMOKE/ so Actions can upload them.
+serve_port=17878
+
+serve_check_artifact_event() {
+    grep -q '"event":"artifact"' SERVE_SMOKE/train.jsonl &&
+        grep -q 'model.json' SERVE_SMOKE/train.jsonl || {
+        echo "train ledger has no artifact event for the saved model" >&2
+        return 1
+    }
+}
+
+serve_wait_ready() {
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$serve_port") 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "rhsd-serve did not open port $serve_port within 20s" >&2
+    cat SERVE_SMOKE/server.log >&2 || true
+    return 1
+}
+
+serve_wait_exit() {
+    local rc=0
+    wait "$serve_pid" || rc=$?
+    serve_pid=""
+    if [[ $rc -ne 0 ]]; then
+        echo "rhsd-serve exited with code $rc after graceful shutdown" >&2
+        cat SERVE_SMOKE/server.log >&2 || true
+        return 1
+    fi
+}
+
+serve_check_ledger() {
+    tail -n 1 SERVE_SMOKE/serve.jsonl | grep -q '"event":"run_end"' || {
+        echo "serve ledger does not end with run_end" >&2
+        return 1
+    }
+    grep -q '"event":"serve_stats"' SERVE_SMOKE/serve.jsonl || {
+        echo "serve ledger carries no serve_stats event" >&2
+        return 1
+    }
+}
+
+serve_check_record() {
+    python3 - <<'EOF'
+import json, sys
+rec = json.load(open("SERVE_SMOKE/BENCH_serve.json"))
+def fail(msg):
+    sys.exit(f"BENCH_serve.json: {msg}")
+if rec["schema"] != "rhsd-serve-bench/1":
+    fail(f"unexpected schema {rec['schema']}")
+if rec["requests"] != 6:  # --quick is 2 connections x 3 requests
+    fail(f"expected 6 requests, got {rec['requests']}")
+for key in ("rps", "p50_ms", "p99_ms", "batches", "batched_regions"):
+    if rec[key] <= 0:
+        fail(f"{key} must be positive, got {rec[key]}")
+if not rec["bit_identity_checked"]:
+    fail("bit-identity was not checked")
+if rec["bit_identity_mismatches"] != 0:
+    fail(f"{rec['bit_identity_mismatches']} bit-identity mismatches")
+EOF
+}
+
+serve_inject_regression() {
+    python3 - SERVE_SMOKE/BENCH_serve.json "$tmp/serve_regressed.json" <<'EOF'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+rec["rps"] *= 0.8       # -20% throughput
+rec["p99_ms"] *= 1.3    # +30% tail latency
+json.dump(rec, open(sys.argv[2], "w"))
+EOF
+}
+
+serve_diff_selfcheck() {
+    cargo xtask bench-diff SERVE_SMOKE/BENCH_serve.json \
+        SERVE_SMOKE/BENCH_serve.json || {
+        echo "bench-diff rejected identical serve records" >&2
+        return 1
+    }
+    serve_inject_regression
+    if cargo xtask bench-diff SERVE_SMOKE/BENCH_serve.json \
+        "$tmp/serve_regressed.json"; then
+        echo "bench-diff failed to flag an injected serve regression" >&2
+        return 1
+    fi
+    return 0
+}
+
+serve_smoke() {
+    tmp=$(mktemp -d)
+    serve_pid=""
+    trap '[[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+    rm -rf SERVE_SMOKE
+    mkdir -p SERVE_SMOKE
+
+    run_step "serve smoke: build server + harness" \
+        cargo build --release -p rhsd-serve -p rhsd-bench -p xtask
+    run_step "serve smoke: quick-train + --save-model" \
+        cargo run --release -p rhsd-bench --bin repro_table1 -- --quick \
+        --save-model SERVE_SMOKE/model.json --ledger SERVE_SMOKE/train.jsonl \
+        --bench-out SERVE_SMOKE/BENCH_train.json
+    run_step "serve smoke: saved model noted in train ledger" \
+        serve_check_artifact_event
+    run_step "serve smoke: offline reference scan" \
+        target/release/rhsd-serve --model SERVE_SMOKE/model.json \
+        --offline-scan Case2 --half test --out SERVE_SMOKE/ref_case2.json
+
+    step "serve smoke: start rhsd-serve on loopback"
+    target/release/rhsd-serve --model SERVE_SMOKE/model.json \
+        --port "$serve_port" --ledger SERVE_SMOKE/serve.jsonl \
+        >SERVE_SMOKE/server.log 2>&1 &
+    serve_pid=$!
+    summary "serve smoke: start rhsd-serve" ok
+
+    run_step "serve smoke: listen socket is up" serve_wait_ready
+    run_step "serve smoke: loadgen (bit-identity + graceful shutdown)" \
+        cargo xtask loadgen --quick --addr "127.0.0.1:$serve_port" \
+        --expect Case2=SERVE_SMOKE/ref_case2.json --shutdown \
+        --out SERVE_SMOKE/BENCH_serve.json
+    run_step "serve smoke: server exits 0" serve_wait_exit
+    run_step "serve smoke: serve ledger sane (run_end + serve_stats)" \
+        serve_check_ledger
+    run_step "serve smoke: throughput record sane" serve_check_record
+    run_step "serve smoke: differ understands serve records" \
+        serve_diff_selfcheck
+}
+
+if [[ $serve_smoke_only -eq 1 ]]; then
+    serve_smoke
+    printf '\nServe smoke passed.\n'
     exit 0
 fi
 

@@ -8,7 +8,7 @@ use rhsd_tensor::Tensor;
 
 fn block_strategy(n: usize) -> impl Strategy<Value = Tensor> {
     proptest::collection::vec(-1.0f32..1.0, n * n)
-        .prop_map(move |v| Tensor::from_vec([n, n], v).unwrap())
+        .prop_map(move |v| Tensor::from_vec([n, n], v).expect("vec length matches [n, n]"))
 }
 
 proptest! {

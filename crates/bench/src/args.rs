@@ -13,6 +13,8 @@
 //! - `--no-ledger` — disable the run ledger;
 //! - `--bench-out <path>` — where to write the machine-readable benchmark
 //!   record (used by `repro_table1`; default `BENCH_table1.json`);
+//! - `--save-model <path>` — save the run's trained model as a loadable
+//!   `rhsd-model/1` document (what `rhsd-serve --model` consumes);
 //! - `--threads <n>` — worker-thread count for the `rhsd-par` pool
 //!   (default: the `RHSD_THREADS` environment variable, else the
 //!   machine's available parallelism; results are bit-identical at any
@@ -62,6 +64,9 @@ pub struct BenchArgs {
     /// Sampling-profiler rate in Hz (`--profile[=<hz>]`); `None` means
     /// no profiling.
     pub profile: Option<u32>,
+    /// Save the run's trained model there (`--save-model <path>`), so
+    /// `rhsd-serve` and users get weights without patching code.
+    pub save_model: Option<PathBuf>,
     /// Print the span-tree attribution on exit (`--span-tree`).
     pub span_tree: bool,
     /// Binary name captured by [`BenchArgs::parse`] (names the profile
@@ -102,6 +107,8 @@ pub fn usage(bin: &str) -> String {
          --no-ledger        disable the run ledger\n\
          --bench-out <path> machine-readable benchmark record (repro_table1;\n\
          \x20                  default: BENCH_table1.json)\n\
+         --save-model <path> save the run's trained model as a loadable\n\
+         \x20                  rhsd-model/1 document (for `rhsd-serve --model`)\n\
          --threads <n>      rhsd-par worker threads (default: RHSD_THREADS or\n\
          \x20                  available parallelism; output is bit-identical\n\
          \x20                  at any value)\n\
@@ -184,6 +191,7 @@ impl BenchArgs {
                 "--metrics" => path_flag(&mut out.metrics, "--metrics", it.next())?,
                 "--ledger" => path_flag(&mut out.ledger, "--ledger", it.next())?,
                 "--bench-out" => path_flag(&mut out.bench_out, "--bench-out", it.next())?,
+                "--save-model" => path_flag(&mut out.save_model, "--save-model", it.next())?,
                 "--threads" => {
                     if out.threads.is_some() {
                         return Err("--threads given more than once".into());
@@ -277,9 +285,32 @@ impl BenchArgs {
     }
 
     /// Records an artifact path for the exit summary printed by
-    /// [`BenchArgs::finish_run`].
+    /// [`BenchArgs::finish_run`], and emits an `artifact` line to the
+    /// run ledger (when one is active) so downstream tooling can find
+    /// the file from the ledger alone.
     pub fn note_artifact(&mut self, path: impl Into<PathBuf>) {
-        self.artifacts.push(path.into());
+        let path = path.into();
+        rhsd_obs::ledger::emit(&rhsd_obs::ledger::Event::Artifact {
+            path: path.display().to_string(),
+        });
+        self.artifacts.push(path);
+    }
+
+    /// Saves the trained model when `--save-model` was given (a no-op
+    /// otherwise), noting the artifact. A model that cannot be written
+    /// fails the run via [`fail`] — a silently missing model would break
+    /// the serve flow the flag exists for.
+    pub fn save_model_if_requested(&mut self, detector: &mut rhsd_core::RegionDetector) {
+        let Some(path) = self.save_model.clone() else {
+            return;
+        };
+        match rhsd_core::persist::save_to_path(detector.network_mut(), &path) {
+            Ok(()) => {
+                eprintln!("saved trained model: {}", path.display());
+                self.note_artifact(path);
+            }
+            Err(e) => fail("save model", e),
+        }
     }
 
     /// Finishes the run: stops the sampling profiler and writes its
@@ -348,6 +379,8 @@ mod tests {
             "run.jsonl",
             "--bench-out",
             "b.json",
+            "--save-model",
+            "model.json",
         ])
         .unwrap()
         .unwrap();
@@ -364,6 +397,10 @@ mod tests {
         assert_eq!(
             args.bench_out.as_deref(),
             Some(std::path::Path::new("b.json"))
+        );
+        assert_eq!(
+            args.save_model.as_deref(),
+            Some(std::path::Path::new("model.json"))
         );
         assert_eq!(args.effort(), Effort::Quick);
     }
@@ -389,11 +426,18 @@ mod tests {
         assert!(BenchArgs::parse_from(["--metrics"]).is_err());
         assert!(BenchArgs::parse_from(["--ledger"]).is_err());
         assert!(BenchArgs::parse_from(["--bench-out"]).is_err());
+        assert!(BenchArgs::parse_from(["--save-model"]).is_err());
     }
 
     #[test]
     fn duplicate_path_flags_are_rejected() {
-        for flag in ["--trace", "--metrics", "--ledger", "--bench-out"] {
+        for flag in [
+            "--trace",
+            "--metrics",
+            "--ledger",
+            "--bench-out",
+            "--save-model",
+        ] {
             let err = BenchArgs::parse_from([flag, "a", flag, "b"]).unwrap_err();
             assert!(err.contains(flag), "{err}");
         }
@@ -493,6 +537,7 @@ mod tests {
             "--ledger",
             "--no-ledger",
             "--bench-out",
+            "--save-model",
             "--threads",
             "--profile",
             "--span-tree",

@@ -32,6 +32,7 @@ fn main() {
 
     eprintln!("training ours + TCAD'18…");
     let (mut ours, _training) = train_region_network(ours_config(), &samples, effort, OURS_SEED);
+    args.save_model_if_requested(&mut ours);
     let mut tcad = train_tcad18(&benches, effort);
 
     for bench in &benches {

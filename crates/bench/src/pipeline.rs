@@ -461,7 +461,9 @@ pub fn write_bench_json(
 }
 
 /// Runs the full Table 1 comparison: TCAD'18, Faster R-CNN, SSD, Ours.
-pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
+/// Also returns the trained "Ours" detector so callers can persist it
+/// (`--save-model`) for the serving flow.
+pub fn run_table1(effort: Effort) -> (Vec<DetectorReport>, RegionDetector) {
     let benches = build_benchmarks();
     let region = RegionConfig::demo();
     let augment = effort == Effort::Full;
@@ -515,14 +517,15 @@ pub fn run_table1(effort: Effort) -> Vec<DetectorReport> {
         .collect();
     reports.push(DetectorReport::new("Ours", rows).with_training(training));
 
-    reports
+    (reports, ours)
 }
 
 /// An in-place edit of an [`RhsdConfig`] naming one ablation variant.
 type ConfigTweak = fn(&mut RhsdConfig);
 
 /// Runs the Figure 10 ablation: w/o ED, w/o L2, w/o Refine, Full.
-pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
+/// Also returns the trained "Full" detector for `--save-model`.
+pub fn run_fig10(effort: Effort) -> (Vec<DetectorReport>, RegionDetector) {
     let benches = build_benchmarks();
     let region = RegionConfig::demo();
     let augment = effort == Effort::Full;
@@ -543,20 +546,24 @@ pub fn run_fig10(effort: Effort) -> Vec<DetectorReport> {
         ("Full", |_| {}),
     ];
 
-    variants
-        .iter()
-        .map(|(name, tweak)| {
-            let mut cfg = ours_config();
-            tweak(&mut cfg);
-            let (mut det, training) = train_region_network(cfg, &samples, effort, OURS_SEED);
-            let rows = benches
-                .iter()
-                .zip(&tile_caches)
-                .map(|(b, t)| evaluate_region_detector_cached(&mut det, b, t, &stems))
-                .collect();
-            DetectorReport::new(*name, rows).with_training(training)
-        })
-        .collect()
+    let mut reports = Vec::new();
+    let mut full: Option<RegionDetector> = None;
+    for (name, tweak) in &variants {
+        let mut cfg = ours_config();
+        tweak(&mut cfg);
+        let (mut det, training) = train_region_network(cfg, &samples, effort, OURS_SEED);
+        let rows = benches
+            .iter()
+            .zip(&tile_caches)
+            .map(|(b, t)| evaluate_region_detector_cached(&mut det, b, t, &stems))
+            .collect();
+        reports.push(DetectorReport::new(*name, rows).with_training(training));
+        if *name == "Full" {
+            full = Some(det);
+        }
+    }
+    let full = full.unwrap_or_else(|| unreachable!("variant list always contains Full"));
+    (reports, full)
 }
 
 #[cfg(test)]

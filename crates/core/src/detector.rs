@@ -121,6 +121,27 @@ impl RegionDetector {
         stems: Option<&StemFeatureCache>,
     ) -> ScanResult {
         let mut sp = rhsd_obs::span("scan");
+        let per_region = self.scan_batch(regions, stems);
+        let result = merge_scan(regions, per_region);
+        sp.add("regions", result.regions as f64);
+        sp.add("detections", result.detections.len() as f64);
+        result
+    }
+
+    /// Detects on every prepared sample, returning per-region results in
+    /// sample order — the batched forward pass behind every scan.
+    ///
+    /// Each region is detected independently (the trained network is
+    /// cloned per stripe, never mutated), so a batch that concatenates
+    /// the regions of several logically separate scans produces exactly
+    /// the per-region results of running those scans alone. This is the
+    /// property the `rhsd-serve` request coalescer relies on: served,
+    /// batched scans stay bit-identical to offline scans.
+    pub fn scan_batch(
+        &self,
+        regions: &[Arc<RegionSample>],
+        stems: Option<&StemFeatureCache>,
+    ) -> Vec<(Vec<Detection>, Evaluation)> {
         let n = regions.len();
         // Fixed stripe width: one network clone amortises over STRIPE
         // regions; independent of the thread count by design.
@@ -143,26 +164,7 @@ impl RegionDetector {
                     })
                     .collect()
             });
-        let mut detections = Vec::new();
-        let mut evaluation = Evaluation::default();
-        for (idx, (dets, eval)) in striped.into_iter().flatten().enumerate() {
-            let sample = &regions[idx];
-            evaluation.merge(&eval);
-            for d in dets {
-                detections.push(LayoutDetection {
-                    clip: d.bbox.to_rect(&sample.spec),
-                    score: d.score,
-                    region: sample.window,
-                });
-            }
-        }
-        sp.add("regions", n as f64);
-        sp.add("detections", detections.len() as f64);
-        ScanResult {
-            detections,
-            evaluation,
-            regions: n,
-        }
+        striped.into_iter().flatten().collect()
     }
 
     /// Scans the test half of a benchmark (the paper's evaluation split).
@@ -179,6 +181,37 @@ impl RegionDetector {
         stems: Option<&StemFeatureCache>,
     ) -> ScanResult {
         self.scan_cached(bench, &bench.test_extent.clone(), tiles, stems)
+    }
+}
+
+/// Folds the per-region results of [`RegionDetector::scan_batch`] back
+/// into one [`ScanResult`]: evaluations merge in region order, detections
+/// map to layout coordinates through their sample's raster spec.
+///
+/// `per_region` must be index-aligned with `regions` (a slice of the
+/// batch results covering exactly these samples).
+pub fn merge_scan(
+    regions: &[Arc<RegionSample>],
+    per_region: Vec<(Vec<Detection>, Evaluation)>,
+) -> ScanResult {
+    debug_assert_eq!(regions.len(), per_region.len());
+    let mut detections = Vec::new();
+    let mut evaluation = Evaluation::default();
+    for (idx, (dets, eval)) in per_region.into_iter().enumerate() {
+        let sample = &regions[idx];
+        evaluation.merge(&eval);
+        for d in dets {
+            detections.push(LayoutDetection {
+                clip: d.bbox.to_rect(&sample.spec),
+                score: d.score,
+                region: sample.window,
+            });
+        }
+    }
+    ScanResult {
+        detections,
+        evaluation,
+        regions: regions.len(),
     }
 }
 
@@ -268,6 +301,42 @@ mod tests {
             "rescan must replay cached stem activations (hits {})",
             stems.hits()
         );
+    }
+
+    #[test]
+    fn coalesced_batch_reproduces_individual_scans() {
+        // Concatenating two scans' samples into one batched pass (the
+        // rhsd-serve coalescer) must give each scan exactly the results
+        // it gets when scanned alone.
+        let b2 = Benchmark::demo(CaseId::Case2);
+        let b3 = Benchmark::demo(CaseId::Case3);
+        let det = tiny_detector();
+        let cfg = RegionConfig::demo();
+        let s2: Vec<Arc<RegionSample>> = tile_regions(&b2, &b2.test_extent.clone(), &cfg)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let s3: Vec<Arc<RegionSample>> = tile_regions(&b3, &b3.test_extent.clone(), &cfg)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+
+        let alone2 = det.scan_batch(&s2, None);
+        let alone3 = det.scan_batch(&s3, None);
+
+        let mut combined: Vec<Arc<RegionSample>> = s2.clone();
+        combined.extend(s3.iter().cloned());
+        let batched = det.scan_batch(&combined, None);
+        assert_eq!(&batched[..s2.len()], &alone2[..]);
+        assert_eq!(&batched[s2.len()..], &alone3[..]);
+
+        // ... and the merged ScanResult equals the mutable scan path.
+        let merged = merge_scan(&s2, alone2);
+        let mut det_mut = tiny_detector();
+        let plain = det_mut.scan_test_half(&b2);
+        assert_eq!(merged.detections, plain.detections);
+        assert_eq!(merged.evaluation, plain.evaluation);
+        assert_eq!(merged.regions, plain.regions);
     }
 
     #[test]

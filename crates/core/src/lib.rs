@@ -53,7 +53,7 @@ pub mod sentinel;
 pub mod train;
 
 pub use config::RhsdConfig;
-pub use detector::{RegionDetector, ScanResult};
+pub use detector::{merge_scan, RegionDetector, ScanResult};
 pub use extractor::FeatureExtractor;
 pub use feature_cache::{StemFeatureCache, DEFAULT_STEM_CACHE_CAP};
 pub use hnms::{conventional_nms, hotspot_nms, Scored};

@@ -13,6 +13,13 @@ use rhsd_nn::serialize::{restore, Checkpoint, CheckpointError};
 use crate::config::RhsdConfig;
 use crate::model::RhsdNetwork;
 
+/// Format tag written into every saved model document. Loading checks
+/// it before touching the checkpoint, so a file that is valid JSON but
+/// not a model (or a model from an incompatible future format) fails
+/// with a typed [`PersistError::Format`] instead of a shape mismatch
+/// deep inside restore.
+pub const MODEL_FORMAT: &str = "rhsd-model/1";
+
 /// Errors from saving or loading a trained detector, annotated with
 /// where in the pipeline the failure happened (and with the file path
 /// for the path-based APIs).
@@ -29,6 +36,11 @@ pub enum PersistError {
     Write(CheckpointError),
     /// Reading or parsing the saved JSON failed.
     Read(CheckpointError),
+    /// The document parsed but carries the wrong format tag.
+    Format {
+        /// The tag found in the document.
+        found: String,
+    },
     /// The document parsed but its checkpoint does not match the
     /// architecture implied by the saved configuration.
     Restore(CheckpointError),
@@ -42,6 +54,10 @@ impl std::fmt::Display for PersistError {
             }
             PersistError::Write(e) => write!(f, "cannot write model: {e}"),
             PersistError::Read(e) => write!(f, "cannot read model: {e}"),
+            PersistError::Format { found } => write!(
+                f,
+                "not a saved model: format tag `{found}` (expected `{MODEL_FORMAT}`)"
+            ),
             PersistError::Restore(e) => write!(f, "saved model is inconsistent: {e}"),
         }
     }
@@ -51,6 +67,7 @@ impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PersistError::File { source, .. } => Some(source),
+            PersistError::Format { .. } => None,
             PersistError::Write(e) | PersistError::Read(e) | PersistError::Restore(e) => Some(e),
         }
     }
@@ -59,6 +76,8 @@ impl std::error::Error for PersistError {
 /// Serialised form of a trained network.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SavedModel {
+    /// Format tag; [`MODEL_FORMAT`] for documents written by this crate.
+    pub format: String,
     /// The network configuration (architecture).
     pub config: RhsdConfig,
     /// Parameter values.
@@ -75,6 +94,7 @@ pub fn save_model(network: &mut RhsdNetwork) -> SavedModel {
         .map(|p| p.value.clone())
         .collect();
     SavedModel {
+        format: MODEL_FORMAT.to_owned(),
         config: network.config().clone(),
         checkpoint: Checkpoint { tensors },
     }
@@ -111,12 +131,18 @@ pub fn save_to_writer(network: &mut RhsdNetwork, writer: impl Write) -> Result<(
 ///
 /// # Errors
 ///
-/// Returns [`PersistError::Read`] when the document cannot be parsed and
-/// [`PersistError::Restore`] when the checkpoint does not fit the saved
-/// architecture.
+/// Returns [`PersistError::Read`] when the document cannot be parsed,
+/// [`PersistError::Format`] when it parses but is not a
+/// [`MODEL_FORMAT`] document, and [`PersistError::Restore`] when the
+/// checkpoint does not fit the saved architecture.
 pub fn load_from_reader(reader: impl Read) -> Result<RhsdNetwork, PersistError> {
     let saved: SavedModel =
         serde_json::from_reader(reader).map_err(|e| PersistError::Read(e.into()))?;
+    if saved.format != MODEL_FORMAT {
+        return Err(PersistError::Format {
+            found: saved.format,
+        });
+    }
     load_model(&saved).map_err(PersistError::Restore)
 }
 
@@ -223,6 +249,51 @@ mod tests {
             Ok(_) => unreachable!("architecture mismatch must fail"),
         };
         assert!(matches!(err, CheckpointError::CountMismatch { .. }));
+    }
+
+    #[test]
+    fn truncated_document_is_a_typed_read_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(104);
+        let mut net = RhsdNetwork::new(RhsdConfig::tiny(), &mut rng);
+        let mut buf = Vec::new();
+        save_to_writer(&mut net, &mut buf).unwrap();
+        // Cut the document mid-stream: a crashed save must fail loudly
+        // but typed — never panic, never restore a half-model.
+        for keep in [0, 1, buf.len() / 2, buf.len() - 1] {
+            let err = match load_from_reader(&buf[..keep]) {
+                Err(e) => e,
+                Ok(_) => unreachable!("truncated model (len {keep}) must not load"),
+            };
+            assert!(matches!(err, PersistError::Read(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_json_is_a_typed_read_error() {
+        for garbage in ["", "not json", "{\"config\": 3", "[1,2,3]", "{}"] {
+            let err = match load_from_reader(garbage.as_bytes()) {
+                Err(e) => e,
+                Ok(_) => unreachable!("garbage `{garbage}` must not load"),
+            };
+            assert!(matches!(err, PersistError::Read(_)), "{garbage}: {err}");
+        }
+    }
+
+    #[test]
+    fn wrong_format_tag_is_a_typed_format_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(105);
+        let mut net = RhsdNetwork::new(RhsdConfig::tiny(), &mut rng);
+        let mut buf = Vec::new();
+        save_to_writer(&mut net, &mut buf).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        let forged = doc.replace(MODEL_FORMAT, "rhsd-model/999");
+        assert_ne!(doc, forged, "format tag must appear in the document");
+        let err = match load_from_reader(forged.as_bytes()) {
+            Err(e) => e,
+            Ok(_) => unreachable!("future-format model must not load"),
+        };
+        assert!(matches!(err, PersistError::Format { .. }), "{err}");
+        assert!(err.to_string().contains("rhsd-model/999"), "{err}");
     }
 
     #[test]

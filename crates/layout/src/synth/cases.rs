@@ -11,7 +11,9 @@ use crate::synth::generator::{generate, PatternProfile, StressReport};
 use crate::synth::rules::DesignRules;
 
 /// Identifier of a benchmark case.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum CaseId {
     /// Analogue of ICCAD-2016 Case 1 — clean design, no hotspots (excluded
     /// from the paper's evaluation, kept here for completeness).

@@ -164,6 +164,28 @@ pub enum Event {
         /// Nesting depth at open time (0 = root).
         depth: u32,
     },
+    /// An artifact the run wrote (bench record, saved model, figure…),
+    /// recorded in-stream so a crashed run's partial ledger still names
+    /// everything produced before the crash.
+    Artifact {
+        /// Path of the artifact, as the writer saw it.
+        path: String,
+    },
+    /// Aggregate serving statistics, emitted by `rhsd-serve` when a
+    /// server drains and shuts down (per-request latencies live in the
+    /// metrics registry and surface through `run_end` counters/peaks).
+    ServeStats {
+        /// Total protocol requests handled (all ops).
+        requests: u64,
+        /// Scan requests among them (the batched op).
+        scan_requests: u64,
+        /// Batched forward passes executed.
+        batches: u64,
+        /// Regions detected on across all batches.
+        batched_regions: u64,
+        /// Most scan requests ever coalesced into one batch.
+        max_batch_requests: u64,
+    },
     /// Final line: exit status plus peak metrics from the registry.
     RunEnd {
         /// Exit status (`"ok"` or `"error"`).
@@ -186,6 +208,8 @@ impl Event {
             Event::Sentinel { .. } => "sentinel",
             Event::Eval { .. } => "eval",
             Event::SpanClose { .. } => "span_close",
+            Event::Artifact { .. } => "artifact",
+            Event::ServeStats { .. } => "serve_stats",
             Event::RunEnd { .. } => "run_end",
         }
     }
@@ -274,6 +298,26 @@ impl Event {
                 fld_str(&mut o, "path", path);
                 fld_raw(&mut o, "dur_secs", &number(*dur_secs));
                 fld_raw(&mut o, "depth", &depth.to_string());
+            }
+            Event::Artifact { path } => {
+                fld_str(&mut o, "path", path);
+            }
+            Event::ServeStats {
+                requests,
+                scan_requests,
+                batches,
+                batched_regions,
+                max_batch_requests,
+            } => {
+                fld_raw(&mut o, "requests", &requests.to_string());
+                fld_raw(&mut o, "scan_requests", &scan_requests.to_string());
+                fld_raw(&mut o, "batches", &batches.to_string());
+                fld_raw(&mut o, "batched_regions", &batched_regions.to_string());
+                fld_raw(
+                    &mut o,
+                    "max_batch_requests",
+                    &max_batch_requests.to_string(),
+                );
             }
             Event::RunEnd {
                 status,
@@ -537,6 +581,16 @@ mod tests {
                 wall_secs: 2.5,
                 counters: vec![("train.samples".into(), 8)],
                 peaks: vec![("train.loss".into(), 1.5)],
+            },
+            Event::Artifact {
+                path: "out/model.json".into(),
+            },
+            Event::ServeStats {
+                requests: 12,
+                scan_requests: 9,
+                batches: 4,
+                batched_regions: 36,
+                max_batch_requests: 3,
             },
         ];
         for (i, e) in events.iter().enumerate() {

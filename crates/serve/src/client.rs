@@ -1,0 +1,79 @@
+//! A minimal blocking client for the serve protocol — used by the
+//! `cargo xtask loadgen` load generator, the CI smoke test, and the
+//! integration tests. One request in flight per connection; responses
+//! are returned as raw JSON frame bodies so callers can byte-compare
+//! them against offline references.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use rhsd_layout::synth::CaseId;
+
+use crate::proto::{read_frame, request_json, write_frame, Half, ProtoError, Request};
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and returns the raw JSON reply body.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Io`] on stream failures, including the server
+    /// closing mid-exchange.
+    pub fn request(&mut self, req: &Request) -> Result<String, ProtoError> {
+        write_frame(&mut self.writer, &request_json(req))?;
+        read_frame(&mut self.reader)?.ok_or_else(|| {
+            ProtoError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed before replying",
+            ))
+        })
+    }
+
+    /// Scans `case`/`half`, returning the raw scan reply body (the
+    /// byte-comparable canonical form).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn scan(&mut self, case: CaseId, half: Half) -> Result<String, ProtoError> {
+        self.request(&Request::Scan { case, half })
+    }
+
+    /// Fetches the server counters as a raw JSON body.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn stats(&mut self) -> Result<String, ProtoError> {
+        self.request(&Request::Stats)
+    }
+
+    /// Requests a graceful shutdown and returns the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<String, ProtoError> {
+        self.request(&Request::Shutdown)
+    }
+}

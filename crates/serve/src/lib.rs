@@ -1,0 +1,32 @@
+//! # rhsd-serve
+//!
+//! A long-lived batched scan server over the trained detector — the
+//! deployment shape the paper's fast-inference claim is for. One
+//! process loads a saved model once ([`rhsd_core::persist`]), listens
+//! on loopback TCP, and serves layout-scan requests framed as
+//! length-prefixed JSON ([`proto`]). Scans from concurrent connections
+//! are coalesced into shared batched forward passes over the
+//! `rhsd-par` pool ([`batch`]), and the raster-tile and stem-feature
+//! caches persist across requests ([`server`]).
+//!
+//! The load-bearing invariant: a served scan is **bit-identical** to
+//! the offline scan of the same case. Batching is output-invariant
+//! (per-region detection is independent — see
+//! [`rhsd_core::RegionDetector::scan_batch`]), the caches are
+//! bit-identity-preserving, and both the server and the offline
+//! reference writer serialise results through the same
+//! [`proto::scan_response_json`], so CI checks the whole claim with a
+//! byte comparison of two files.
+//!
+//! Zero new dependencies: JSON comes from `rhsd_obs::json`, networking
+//! from `std::net`, parallelism from `rhsd-par`.
+
+pub mod batch;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use batch::BatchQueue;
+pub use client::Client;
+pub use proto::{Half, ProtoError, Request};
+pub use server::{offline_scan, ServeConfig, ServeError, ServeSummary, Server};

@@ -1,0 +1,438 @@
+//! The serving loop: a TCP listener, per-connection handler threads, and
+//! the shared scan state (detector, caches, batch queue, counters).
+//!
+//! One process loads the trained model once, then serves any number of
+//! scan requests. Scans from concurrent connections meet in the shared
+//! [`BatchQueue`] and run as coalesced forward passes; the raster-tile
+//! cache (per case) and the stem-feature cache (global) persist across
+//! requests, so repeated traffic over the same layouts is served mostly
+//! from cache. Replies are bit-identical to offline scans by
+//! construction — see [`crate::proto::scan_response_json`].
+//!
+//! Shutdown protocol: a `shutdown` request is acknowledged, the listener
+//! stops accepting, open connections finish their in-flight requests and
+//! close, the batch queue drains, and [`Server::wait`] returns a final
+//! [`ServeSummary`] (also emitted as a `serve_stats` ledger event).
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use rhsd_core::detector::ScanResult;
+use rhsd_core::persist::{self, PersistError, MODEL_FORMAT};
+use rhsd_core::{merge_scan, RegionDetector, StemFeatureCache, DEFAULT_STEM_CACHE_CAP};
+use rhsd_data::{
+    tile_regions_cached, Benchmark, RegionConfig, RegionTileCache, DEFAULT_TILE_CACHE_CAP,
+};
+use rhsd_layout::synth::CaseId;
+use rhsd_obs::ledger::Event;
+
+use crate::batch::BatchQueue;
+use crate::proto::{
+    error_json, read_frame, scan_response_json, write_frame, Half, ProtoError, Request,
+    PROTO_VERSION,
+};
+
+/// How the server starts: which model, which port.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Path to a saved model (`rhsd-model/1` document).
+    pub model: PathBuf,
+    /// TCP port on loopback; 0 binds an ephemeral port (the bound
+    /// address is reported by [`Server::addr`]).
+    pub port: u16,
+}
+
+/// Errors from starting a server or running an offline reference scan.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The model file failed to load.
+    Persist(PersistError),
+    /// The model's input geometry matches no known benchmark scale.
+    Geometry {
+        /// The model's region side in pixels.
+        model_px: usize,
+    },
+    /// Binding or configuring the listener failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Persist(e) => write!(f, "cannot load model: {e}"),
+            ServeError::Geometry { model_px } => write!(
+                f,
+                "model scans {model_px}-px regions, which is neither demo ({}) nor paper ({}) geometry",
+                RegionConfig::demo().region_px,
+                RegionConfig::paper().region_px
+            ),
+            ServeError::Io(e) => write!(f, "server I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Persist(e) => Some(e),
+            ServeError::Geometry { .. } => None,
+            ServeError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Benchmark scale implied by the model geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scale {
+    Demo,
+    Paper,
+}
+
+impl Scale {
+    fn for_region_px(model_px: usize) -> Result<Scale, ServeError> {
+        if model_px == RegionConfig::demo().region_px {
+            Ok(Scale::Demo)
+        } else if model_px == RegionConfig::paper().region_px {
+            Ok(Scale::Paper)
+        } else {
+            Err(ServeError::Geometry { model_px })
+        }
+    }
+
+    fn region_config(self) -> RegionConfig {
+        match self {
+            Scale::Demo => RegionConfig::demo(),
+            Scale::Paper => RegionConfig::paper(),
+        }
+    }
+
+    fn benchmark(self, case: CaseId) -> Benchmark {
+        match self {
+            Scale::Demo => Benchmark::demo(case),
+            Scale::Paper => Benchmark::full(case),
+        }
+    }
+}
+
+/// One lazily-built case: the labelled benchmark plus its raster-tile
+/// cache, shared by every request that scans this case.
+struct CaseEntry {
+    bench: Benchmark,
+    tiles: RegionTileCache,
+}
+
+/// State shared between the acceptor, connection handlers and batcher.
+struct Shared {
+    addr: SocketAddr,
+    detector: RegionDetector,
+    scale: Scale,
+    queue: Arc<BatchQueue>,
+    stems: StemFeatureCache,
+    cases: Mutex<BTreeMap<CaseId, Arc<CaseEntry>>>,
+    requests: AtomicU64,
+    scan_requests: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl Shared {
+    fn case(&self, case: CaseId) -> Arc<CaseEntry> {
+        let mut cases = self.cases.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(cases.entry(case).or_insert_with(|| {
+            Arc::new(CaseEntry {
+                bench: self.scale.benchmark(case),
+                tiles: RegionTileCache::new(DEFAULT_TILE_CACHE_CAP),
+            })
+        }))
+    }
+
+    fn tile_totals(&self) -> (u64, u64) {
+        let cases = self.cases.lock().unwrap_or_else(|e| e.into_inner());
+        cases.values().fold((0, 0), |(h, m), e| {
+            (h + e.tiles.hits(), m + e.tiles.misses())
+        })
+    }
+
+    fn stats_json(&self) -> String {
+        let (tile_hits, tile_misses) = self.tile_totals();
+        format!(
+            "{{\"op\":\"stats\",\"requests\":{},\"scan_requests\":{},\"batches\":{},\"batched_regions\":{},\"batched_requests\":{},\"max_batch_requests\":{},\"tile_hits\":{tile_hits},\"tile_misses\":{tile_misses},\"stem_hits\":{},\"stem_misses\":{},\"threads\":{}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.scan_requests.load(Ordering::Relaxed),
+            self.queue.batches(),
+            self.queue.batched_regions(),
+            self.queue.batched_requests(),
+            self.queue.max_batch_requests(),
+            self.stems.hits(),
+            self.stems.misses(),
+            rhsd_par::threads(),
+        )
+    }
+
+    fn info_json(&self) -> String {
+        format!(
+            "{{\"op\":\"info\",\"proto\":\"{PROTO_VERSION}\",\"model_format\":\"{MODEL_FORMAT}\",\"region_px\":{},\"threads\":{}}}",
+            self.detector.region_config().region_px,
+            rhsd_par::threads(),
+        )
+    }
+}
+
+/// Final counters of a server's lifetime, returned by [`Server::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests handled (all ops).
+    pub requests: u64,
+    /// Scan requests handled.
+    pub scan_requests: u64,
+    /// Batched forward passes run.
+    pub batches: u64,
+    /// Regions pushed through batched passes.
+    pub batched_regions: u64,
+    /// Largest number of requests coalesced into one pass.
+    pub max_batch_requests: u64,
+    /// Raster-tile cache hits / misses, summed over cases.
+    pub tile_hits: u64,
+    /// Raster-tile cache misses.
+    pub tile_misses: u64,
+    /// Stem-feature cache hits.
+    pub stem_hits: u64,
+    /// Stem-feature cache misses.
+    pub stem_misses: u64,
+}
+
+/// A running server: listener + batcher + connection threads.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    batcher: JoinHandle<()>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Loads the model and starts listening on loopback.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Persist`] when the model does not load,
+    /// [`ServeError::Geometry`] when its input size matches no benchmark
+    /// scale, [`ServeError::Io`] when the port cannot be bound.
+    pub fn start(config: &ServeConfig) -> Result<Server, ServeError> {
+        let network = persist::load_from_path(&config.model).map_err(ServeError::Persist)?;
+        let scale = Scale::for_region_px(network.config().region_px)?;
+        let detector = RegionDetector::new(network, scale.region_config());
+
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            addr,
+            detector,
+            scale,
+            queue: BatchQueue::new(),
+            stems: StemFeatureCache::new(DEFAULT_STEM_CACHE_CAP),
+            cases: Mutex::new(BTreeMap::new()),
+            requests: AtomicU64::new(0),
+            scan_requests: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let queue = Arc::clone(&shared.queue);
+                queue.run(&shared.detector, &shared.stems);
+            })
+        };
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.shutting_down.load(Ordering::SeqCst) {
+                        break; // the wake-up connection from shutdown
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = Arc::clone(&shared);
+                    let handle = std::thread::spawn(move || handle_connection(stream, &shared));
+                    conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor,
+            batcher,
+            conns,
+        })
+    }
+
+    /// The bound listen address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a `shutdown` request lands, open connections drain
+    /// and the batcher stops; returns the lifetime counters and emits
+    /// them as a `serve_stats` ledger event (when a ledger is active).
+    pub fn wait(self) -> ServeSummary {
+        let _ = self.acceptor.join();
+        let handles: Vec<JoinHandle<()>> = {
+            let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.queue.shutdown();
+        let _ = self.batcher.join();
+
+        let (tile_hits, tile_misses) = self.shared.tile_totals();
+        let summary = ServeSummary {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            scan_requests: self.shared.scan_requests.load(Ordering::Relaxed),
+            batches: self.shared.queue.batches(),
+            batched_regions: self.shared.queue.batched_regions(),
+            max_batch_requests: self.shared.queue.max_batch_requests(),
+            tile_hits,
+            tile_misses,
+            stem_hits: self.shared.stems.hits(),
+            stem_misses: self.shared.stems.misses(),
+        };
+        rhsd_obs::ledger::emit(&Event::ServeStats {
+            requests: summary.requests,
+            scan_requests: summary.scan_requests,
+            batches: summary.batches,
+            batched_regions: summary.batched_regions,
+            max_batch_requests: summary.max_batch_requests,
+        });
+        summary
+    }
+}
+
+/// Serves one connection until the peer closes or shutdown is requested.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let body = match read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean close
+            Err(_) => return,   // broken stream: nothing to reply to
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        rhsd_obs::counter("serve.requests", 1);
+        let reply = match crate::proto::parse_request(&body) {
+            Ok(req) => match handle_request(&req, shared) {
+                Reply::Body(json) => json,
+                Reply::ShutdownAck(json) => {
+                    let _ = write_frame(&mut writer, &json);
+                    initiate_shutdown(shared);
+                    return;
+                }
+            },
+            Err(e @ (ProtoError::BadJson(_) | ProtoError::BadRequest(_))) => {
+                error_json(&e.to_string())
+            }
+            Err(_) => return,
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+enum Reply {
+    Body(String),
+    ShutdownAck(String),
+}
+
+fn handle_request(req: &Request, shared: &Shared) -> Reply {
+    match req {
+        Request::Ping => Reply::Body("{\"op\":\"pong\"}".to_owned()),
+        Request::Info => Reply::Body(shared.info_json()),
+        Request::Stats => Reply::Body(shared.stats_json()),
+        Request::Shutdown => {
+            Reply::ShutdownAck("{\"op\":\"shutdown\",\"status\":\"ok\"}".to_owned())
+        }
+        Request::Scan { case, half } => {
+            shared.scan_requests.fetch_add(1, Ordering::Relaxed);
+            rhsd_obs::counter("serve.scan_requests", 1);
+            let sw = rhsd_obs::Stopwatch::start();
+            let entry = shared.case(*case);
+            let extent = match half {
+                Half::Train => entry.bench.train_extent,
+                Half::Test => entry.bench.test_extent,
+            };
+            let samples = tile_regions_cached(
+                &entry.bench,
+                &extent,
+                shared.detector.region_config(),
+                &entry.tiles,
+            );
+            let rx = shared.queue.submit(samples.clone());
+            let Ok(per_region) = rx.recv() else {
+                return Reply::Body(error_json("server is shutting down"));
+            };
+            let result = merge_scan(&samples, per_region);
+            sw.stop_into("serve.scan_secs");
+            Reply::Body(scan_response_json(*case, *half, &result))
+        }
+    }
+}
+
+/// Flags shutdown and pokes the blocking accept loop awake with a
+/// throwaway connection to our own listen address.
+fn initiate_shutdown(shared: &Shared) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    // The acceptor is parked in `accept`; the throwaway connection wakes
+    // it, at which point it observes the flag and exits.
+    wake_acceptor(shared.addr);
+}
+
+/// Runs the offline reference scan for bit-identity checks: loads the
+/// model exactly as the server does, scans `case`/`half` through the
+/// plain (uncached, unbatched) pipeline, and returns the result.
+///
+/// # Errors
+///
+/// As [`Server::start`], minus the listener.
+pub fn offline_scan(
+    model: &std::path::Path,
+    case: CaseId,
+    half: Half,
+) -> Result<ScanResult, ServeError> {
+    let network = persist::load_from_path(model).map_err(ServeError::Persist)?;
+    let scale = Scale::for_region_px(network.config().region_px)?;
+    let mut detector = RegionDetector::new(network, scale.region_config());
+    let bench = scale.benchmark(case);
+    let extent = match half {
+        Half::Train => bench.train_extent,
+        Half::Test => bench.test_extent,
+    };
+    Ok(detector.scan(&bench, &extent))
+}
+
+/// Connects to `addr` after [`initiate_shutdown`] so the acceptor
+/// observes the flag (used by the shutdown handler and by tests).
+pub(crate) fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}

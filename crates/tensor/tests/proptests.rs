@@ -12,7 +12,7 @@ use rhsd_tensor::Tensor;
 fn tensor_strategy(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let len: usize = shape.iter().product();
     proptest::collection::vec(-10.0f32..10.0, len)
-        .prop_map(move |v| Tensor::from_vec(shape.clone(), v).unwrap())
+        .prop_map(move |v| Tensor::from_vec(shape.clone(), v).expect("vec length matches shape"))
 }
 
 proptest! {

@@ -15,6 +15,7 @@
 //! | [`data`] (`rhsd-data`) | litho-labelled benchmark cases, region/clip datasets |
 //! | [`core`] (`rhsd-core`) | **the paper's contribution**: extractor, clip proposal network, h-NMS, refinement, C&R loss |
 //! | [`baselines`] (`rhsd-baselines`) | TCAD'18 clip-based detector, Faster R-CNN / SSD configuration ports |
+//! | [`serve`] (`rhsd-serve`) | long-lived batched scan server over a saved model (length-prefixed JSON on TCP) |
 //!
 //! # Quickstart
 //!
@@ -45,4 +46,5 @@ pub use rhsd_litho as litho;
 pub use rhsd_nn as nn;
 pub use rhsd_obs as obs;
 pub use rhsd_par as par;
+pub use rhsd_serve as serve;
 pub use rhsd_tensor as tensor;

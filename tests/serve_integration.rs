@@ -1,0 +1,170 @@
+//! End-to-end serving tests: a real `Server` on an ephemeral loopback
+//! port, real TCP clients, and the bit-identity pin the CI serve-smoke
+//! leg relies on — a served scan's reply must equal, byte for byte, the
+//! offline scan written through the same canonical serialiser.
+
+use std::path::{Path, PathBuf};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rhsd::core::{persist, RhsdConfig, RhsdNetwork};
+use rhsd::layout::synth::CaseId;
+use rhsd::serve::proto::{scan_response_json, Half};
+use rhsd::serve::{offline_scan, Client, Request, ServeConfig, Server};
+
+/// Saves a demo-geometry model (tiny channels, 128-px input) to a temp
+/// file; serving does not require a *trained* model, only a loadable one.
+fn saved_model(tag: &str) -> PathBuf {
+    let mut cfg = RhsdConfig::tiny();
+    cfg.region_px = 128;
+    let mut rng = ChaCha8Rng::seed_from_u64(90);
+    let mut net = RhsdNetwork::new(cfg, &mut rng);
+    let path =
+        std::env::temp_dir().join(format!("rhsd_serve_it_{tag}_{}.json", std::process::id()));
+    persist::save_to_path(&mut net, &path).expect("save model");
+    path
+}
+
+fn start(model: &Path) -> Server {
+    Server::start(&ServeConfig {
+        model: model.to_path_buf(),
+        port: 0,
+    })
+    .expect("server must start on an ephemeral port")
+}
+
+#[test]
+fn served_scan_is_bit_identical_to_offline_scan() {
+    let model = saved_model("bitident");
+    let expected = {
+        let result = offline_scan(&model, CaseId::Case2, Half::Test).unwrap();
+        scan_response_json(CaseId::Case2, Half::Test, &result)
+    };
+    assert!(
+        expected.contains("\"detections\""),
+        "reference body must be a scan reply: {expected}"
+    );
+
+    let server = start(&model);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let served = client.scan(CaseId::Case2, Half::Test).unwrap();
+    assert_eq!(
+        served, expected,
+        "served reply must equal offline reference"
+    );
+
+    // A rescan is served through warm caches and stays bit-identical.
+    let again = client.scan(CaseId::Case2, Half::Test).unwrap();
+    assert_eq!(again, expected);
+
+    client.shutdown().unwrap();
+    drop(client);
+    let summary = server.wait();
+    assert_eq!(summary.scan_requests, 2);
+    assert!(summary.batches >= 1);
+    assert_eq!(
+        summary.batched_regions,
+        summary.tile_hits + summary.tile_misses
+    );
+    assert!(summary.tile_hits > 0, "rescan must hit the tile cache");
+    assert!(summary.stem_hits > 0, "rescan must hit the stem cache");
+    std::fs::remove_file(&model).ok();
+}
+
+#[test]
+fn concurrent_clients_all_get_exact_results() {
+    let model = saved_model("concurrent");
+    let cases = [CaseId::Case2, CaseId::Case3];
+    let expected: Vec<String> = cases
+        .iter()
+        .map(|&c| {
+            let r = offline_scan(&model, c, Half::Test).unwrap();
+            scan_response_json(c, Half::Test, &r)
+        })
+        .collect();
+
+    let server = start(&model);
+    let addr = server.addr();
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let case = cases[i % cases.len()];
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.scan(case, Half::Test).unwrap()
+            })
+        })
+        .collect();
+    for (i, c) in clients.into_iter().enumerate() {
+        assert_eq!(
+            c.join().unwrap(),
+            expected[i % expected.len()],
+            "client {i}"
+        );
+    }
+
+    let mut control = Client::connect(addr).unwrap();
+    let stats = control.stats().unwrap();
+    let v = rhsd::obs::json::parse(&stats).unwrap();
+    let field = |k: &str| v.get(k).and_then(rhsd::obs::json::Value::as_u64).unwrap();
+    assert_eq!(field("scan_requests"), 4);
+    assert!(field("batches") >= 1);
+    assert!(field("batched_regions") > 0);
+    control.shutdown().unwrap();
+    drop(control);
+    let summary = server.wait();
+    assert_eq!(summary.requests, 6); // 4 scans + stats + shutdown
+    std::fs::remove_file(&model).ok();
+}
+
+#[test]
+fn protocol_errors_keep_the_connection_alive() {
+    use rhsd::serve::proto::{read_frame, write_frame};
+
+    let model = saved_model("errors");
+    let server = start(&model);
+    let stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = std::io::BufWriter::new(stream);
+
+    // Malformed JSON and a bad op each get a typed error reply...
+    for bad in ["garbage", "{\"op\":\"launch\"}"] {
+        write_frame(&mut writer, bad).unwrap();
+        let reply = read_frame(&mut reader).unwrap().unwrap();
+        assert!(reply.contains("\"op\":\"error\""), "{bad}: {reply}");
+    }
+
+    // ...and the connection still serves valid requests afterwards.
+    write_frame(&mut writer, "{\"op\":\"ping\"}").unwrap();
+    assert_eq!(
+        read_frame(&mut reader).unwrap().unwrap(),
+        "{\"op\":\"pong\"}"
+    );
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.request(&Request::Shutdown).unwrap();
+    drop(client);
+    drop(writer);
+    drop(reader);
+    server.wait();
+    std::fs::remove_file(&model).ok();
+}
+
+#[test]
+fn wrong_model_geometry_is_a_typed_startup_error() {
+    let mut cfg = RhsdConfig::tiny(); // 64-px input: matches no scale
+    cfg.region_px = 64;
+    let mut rng = ChaCha8Rng::seed_from_u64(91);
+    let mut net = RhsdNetwork::new(cfg, &mut rng);
+    let path = std::env::temp_dir().join(format!("rhsd_serve_it_geom_{}.json", std::process::id()));
+    persist::save_to_path(&mut net, &path).expect("save model");
+    let err = match Server::start(&ServeConfig {
+        model: path.clone(),
+        port: 0,
+    }) {
+        Err(e) => e,
+        Ok(_) => unreachable!("64-px model must not serve"),
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("64-px"), "{msg}");
+    std::fs::remove_file(&path).ok();
+}

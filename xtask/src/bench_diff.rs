@@ -39,6 +39,19 @@
 //! bit-identical at any thread count by design. Records predating the
 //! `threads` field compare as before.
 //!
+//! **Serve records**: when both inputs carry the `rhsd-serve-bench/1`
+//! schema (written by `cargo xtask loadgen`), the gate compares serving
+//! throughput instead of detector rows: it fails when requests/sec
+//! dropped, or p99 latency grew, by more than `--max-runtime-regress`
+//! percent. Both columns are machine- and load-dependent, so
+//! `--skip-runtime` turns the comparison into an informational report
+//! (batch occupancy and cache hit rates are always printed). Serve
+//! records from different thread counts or load-generator modes
+//! (closed vs open loop) are refused for throughput comparison, exactly
+//! like cross-thread table records. A current record reporting
+//! bit-identity mismatches always fails. Mixing a table record with a
+//! serve record is a usage error (exit 2).
+//!
 //! Exit codes: 0 clean, 1 regression, 2 malformed input / usage error.
 
 use std::fmt::Write as _;
@@ -317,14 +330,250 @@ fn render(
     o
 }
 
+/// The two record families the gate understands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SchemaKind {
+    /// `rhsd-bench-table/*` — detector accuracy/FA/runtime rows.
+    Table,
+    /// `rhsd-serve-bench/*` — serve throughput/latency records.
+    Serve,
+}
+
+/// Peeks at a record's `schema` tag to pick the comparison family.
+fn schema_kind(text: &str, label: &str) -> Result<SchemaKind, String> {
+    let v = parse(text).map_err(|pos| format!("{label}: invalid JSON at byte {pos}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{label}: missing `schema` field"))?;
+    if schema.starts_with("rhsd-bench-table/") {
+        Ok(SchemaKind::Table)
+    } else if schema.starts_with("rhsd-serve-bench/") {
+        Ok(SchemaKind::Serve)
+    } else {
+        Err(format!("{label}: unsupported schema `{schema}`"))
+    }
+}
+
+/// A parsed `rhsd-serve-bench/1` record (written by `xtask loadgen`).
+#[derive(Debug, Clone)]
+struct ServeRecord {
+    source: String,
+    /// Load-generator mode: `closed` or `open` loop.
+    mode: String,
+    /// Server worker-thread count reported by the stats endpoint.
+    threads: Option<u64>,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_batch_requests: f64,
+    /// Hit rates in percent (already normalised by loadgen).
+    tile_hit_rate_pct: f64,
+    stem_hit_rate_pct: f64,
+    bit_identity_mismatches: u64,
+}
+
+/// Parses a serve-throughput record, requiring the latency/throughput
+/// columns the gate compares on.
+fn parse_serve_record(text: &str, label: &str) -> Result<ServeRecord, String> {
+    let v = parse(text).map_err(|pos| format!("{label}: invalid JSON at byte {pos}"))?;
+    let num = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{label}: serve record missing numeric `{key}`"))
+    };
+    let opt = |key: &str| v.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+    Ok(ServeRecord {
+        source: v
+            .get("source")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_owned(),
+        mode: v
+            .get("mode")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_owned(),
+        threads: v.get("threads").and_then(Value::as_f64).map(|t| t as u64),
+        rps: num("rps")?,
+        p50_ms: opt("p50_ms"),
+        p99_ms: num("p99_ms")?,
+        mean_batch_requests: opt("mean_batch_requests"),
+        tile_hit_rate_pct: opt("tile_hit_rate"),
+        stem_hit_rate_pct: opt("stem_hit_rate"),
+        bit_identity_mismatches: opt("bit_identity_mismatches") as u64,
+    })
+}
+
+/// Serve-record comparison: throughput must not drop, and p99 latency
+/// must not grow, past the runtime tolerance. Under `--skip-runtime`
+/// both columns are informational only (they are machine- and
+/// load-dependent, like table runtimes).
+fn compare_serve(
+    baseline_text: &str,
+    current_text: &str,
+    tol: &Tolerance,
+) -> Result<(String, bool), String> {
+    if tol.min_accuracy_pct.is_some() {
+        return Err("--min-accuracy applies to table records only".into());
+    }
+    let b = parse_serve_record(baseline_text, "baseline")?;
+    let c = parse_serve_record(current_text, "current")?;
+    if !tol.skip_runtime {
+        if let (Some(bt), Some(ct)) = (b.threads, c.threads) {
+            if bt != ct {
+                return Err(format!(
+                    "serve records were produced at different thread counts \
+                     (baseline {bt}, current {ct}); throughput and latency are \
+                     not comparable — pass --skip-runtime for an informational \
+                     report only"
+                ));
+            }
+        }
+        if b.mode != c.mode {
+            return Err(format!(
+                "serve records were produced in different load-generator modes \
+                 (baseline `{}`, current `{}`); closed- and open-loop latencies \
+                 are not comparable — pass --skip-runtime for an informational \
+                 report only",
+                b.mode, c.mode
+            ));
+        }
+        if b.rps <= 0.0 || b.p99_ms <= 0.0 {
+            return Err(format!(
+                "baseline serve record has no usable throughput columns \
+                 (rps {}, p99_ms {}); the baseline run produced no requests",
+                b.rps, b.p99_ms
+            ));
+        }
+    }
+    let mut o = String::new();
+    let mut regressed = false;
+    let _ = writeln!(
+        o,
+        "bench-diff (serve): {} (mode={}, threads={}) vs {} (mode={}, threads={})",
+        b.source,
+        b.mode,
+        b.threads.map_or("?".into(), |t| t.to_string()),
+        c.source,
+        c.mode,
+        c.threads.map_or("?".into(), |t| t.to_string()),
+    );
+    let _ = writeln!(
+        o,
+        "{:<22} {:>12} {:>12} {:>10}  status",
+        "metric", "baseline", "current", "delta"
+    );
+    // (metric, baseline, current, regression-when: +1 growth fails,
+    //  -1 drop fails, 0 informational)
+    let columns: [(&str, f64, f64, i8); 5] = [
+        ("requests/sec", b.rps, c.rps, -1),
+        ("p50 latency (ms)", b.p50_ms, c.p50_ms, 0),
+        ("p99 latency (ms)", b.p99_ms, c.p99_ms, 1),
+        (
+            "mean batch (requests)",
+            b.mean_batch_requests,
+            c.mean_batch_requests,
+            0,
+        ),
+        (
+            "tile hit rate (%)",
+            b.tile_hit_rate_pct,
+            c.tile_hit_rate_pct,
+            0,
+        ),
+    ];
+    for (name, bv, cv, direction) in columns {
+        let delta_pct = (bv > 0.0).then(|| 100.0 * (cv - bv) / bv);
+        let gated = direction != 0 && !tol.skip_runtime;
+        let status = match delta_pct {
+            Some(pct) if gated && direction > 0 && pct > tol.max_runtime_regress_pct => {
+                regressed = true;
+                format!(
+                    "REGRESSION: p99 latency grew {pct:.1}% (tolerance {:.1}%)",
+                    tol.max_runtime_regress_pct
+                )
+            }
+            Some(pct) if gated && direction < 0 && -pct > tol.max_runtime_regress_pct => {
+                regressed = true;
+                format!(
+                    "REGRESSION: throughput dropped {:.1}% (tolerance {:.1}%)",
+                    -pct, tol.max_runtime_regress_pct
+                )
+            }
+            _ if direction != 0 && tol.skip_runtime => "skipped".to_owned(),
+            _ if direction == 0 => "info".to_owned(),
+            _ => "ok".to_owned(),
+        };
+        let _ = writeln!(
+            o,
+            "{:<22} {:>12.2} {:>12.2} {:>10}  {}",
+            name,
+            bv,
+            cv,
+            delta_pct.map_or("n/a".to_owned(), |p| format!("{p:+.1}%")),
+            status
+        );
+    }
+    let _ = writeln!(
+        o,
+        "stem hit rate: baseline {:.1}%, current {:.1}%",
+        b.stem_hit_rate_pct, c.stem_hit_rate_pct
+    );
+    if c.bit_identity_mismatches > 0 {
+        let _ = writeln!(
+            o,
+            "REGRESSION: current serve run reported {} bit-identity \
+             mismatch(es) against the offline scan",
+            c.bit_identity_mismatches
+        );
+        regressed = true;
+    }
+    if let Some(floor) = tol.min_cache_hit_rate_pct {
+        for (family, rate) in [
+            ("region_tile", c.tile_hit_rate_pct),
+            ("stem_feature", c.stem_hit_rate_pct),
+        ] {
+            if rate < floor {
+                let _ = writeln!(
+                    o,
+                    "REGRESSION: serve cache `{family}` hit rate {rate:.1}% \
+                     below the {floor:.1}% floor"
+                );
+                regressed = true;
+            }
+        }
+    }
+    Ok((o, regressed))
+}
+
 /// Pure core of the gate: compares two record texts, returning the
-/// rendered report and whether any detector regressed. `Err` means a
-/// record was malformed.
+/// rendered report and whether any detector regressed. Dispatches on
+/// the `schema` tag: two table records compare detector rows, two
+/// serve records compare throughput/latency; mixing families is an
+/// error, as `Err` is for any malformed record.
 pub fn compare(
     baseline_text: &str,
     current_text: &str,
     tol: &Tolerance,
 ) -> Result<(String, bool), String> {
+    let kinds = (
+        schema_kind(baseline_text, "baseline")?,
+        schema_kind(current_text, "current")?,
+    );
+    match kinds {
+        (SchemaKind::Serve, SchemaKind::Serve) => {
+            return compare_serve(baseline_text, current_text, tol)
+        }
+        (SchemaKind::Table, SchemaKind::Table) => {}
+        (b, c) => {
+            return Err(format!(
+                "mixed record families: baseline is a {b:?} record but current \
+                 is a {c:?} record — compare table records with table records \
+                 and serve records with serve records"
+            ))
+        }
+    }
     let baseline = parse_record(baseline_text, "baseline")?;
     let current = parse_record(current_text, "current")?;
     if let (Some(b), Some(c)) = (baseline.threads, current.threads) {
@@ -673,6 +922,183 @@ mod tests {
         assert!(num_arg(Some(&"abc".to_owned()), "--min-accuracy").is_err());
         assert!(num_arg(Some(&"-5".to_owned()), "--min-accuracy").is_err());
         assert!(num_arg(None, "--min-accuracy").is_err());
+    }
+
+    /// A minimal `rhsd-serve-bench/1` record with the given throughput,
+    /// p99 latency and thread count.
+    fn serve_record(rps: f64, p99_ms: f64, threads: u64) -> String {
+        format!(
+            r#"{{
+  "schema": "rhsd-serve-bench/1",
+  "source": "loadgen",
+  "mode": "closed",
+  "seed": 7,
+  "threads": {threads},
+  "connections": 4,
+  "requests_per_connection": 8,
+  "requests": 32,
+  "wall_secs": 0.5,
+  "rps": {rps},
+  "p50_ms": 4.0,
+  "p95_ms": 9.0,
+  "p99_ms": {p99_ms},
+  "batches": 10,
+  "batched_requests": 32,
+  "batched_regions": 128,
+  "max_batch_requests": 4,
+  "mean_batch_requests": 3.2,
+  "tile_hit_rate": 75.0,
+  "stem_hit_rate": 60.0,
+  "bit_identity_checked": true,
+  "bit_identity_mismatches": 0
+}}"#
+        )
+    }
+
+    #[test]
+    fn identical_serve_records_pass() {
+        let r = serve_record(120.0, 12.0, 4);
+        let (report, regressed) = compare(&r, &r, &Tolerance::default()).expect("valid");
+        assert!(!regressed, "identical serve records must pass:\n{report}");
+        assert!(report.contains("requests/sec"), "{report}");
+        assert!(report.contains("p99 latency"), "{report}");
+    }
+
+    #[test]
+    fn serve_throughput_drop_fails() {
+        let base = serve_record(120.0, 12.0, 4);
+        let cur = serve_record(100.0, 12.0, 4); // -16.7% rps
+        let (report, regressed) = compare(&base, &cur, &Tolerance::default()).expect("valid");
+        assert!(
+            regressed,
+            "16.7% rps drop must fail the 10% gate:\n{report}"
+        );
+        assert!(report.contains("throughput dropped"), "{report}");
+        // An rps *gain* never fails.
+        let faster = serve_record(200.0, 12.0, 4);
+        let (report, regressed) = compare(&base, &faster, &Tolerance::default()).expect("valid");
+        assert!(!regressed, "faster serving is not a regression:\n{report}");
+    }
+
+    #[test]
+    fn serve_p99_growth_fails() {
+        let base = serve_record(120.0, 12.0, 4);
+        let cur = serve_record(120.0, 15.0, 4); // +25% p99
+        let (report, regressed) = compare(&base, &cur, &Tolerance::default()).expect("valid");
+        assert!(
+            regressed,
+            "25% p99 growth must fail the 10% gate:\n{report}"
+        );
+        assert!(report.contains("p99 latency grew"), "{report}");
+        // Small drift stays within tolerance.
+        let drift = serve_record(115.0, 12.8, 4);
+        let (report, regressed) = compare(&base, &drift, &Tolerance::default()).expect("valid");
+        assert!(!regressed, "~5% drift is within tolerance:\n{report}");
+    }
+
+    #[test]
+    fn serve_skip_runtime_is_informational_only() {
+        let base = serve_record(120.0, 12.0, 4);
+        let cur = serve_record(10.0, 120.0, 4);
+        let tol = Tolerance {
+            skip_runtime: true,
+            ..Tolerance::default()
+        };
+        let (report, regressed) = compare(&base, &cur, &tol).expect("valid");
+        assert!(
+            !regressed,
+            "--skip-runtime must not gate serve columns:\n{report}"
+        );
+        assert!(report.contains("skipped"), "{report}");
+    }
+
+    #[test]
+    fn serve_cross_thread_count_comparison_is_refused() {
+        let base = serve_record(120.0, 12.0, 1);
+        let cur = serve_record(300.0, 6.0, 4);
+        let err = compare(&base, &cur, &Tolerance::default()).unwrap_err();
+        assert!(err.contains("thread counts"), "{err}");
+        assert!(err.contains("--skip-runtime"), "{err}");
+        // ... but --skip-runtime still produces the informational report.
+        let tol = Tolerance {
+            skip_runtime: true,
+            ..Tolerance::default()
+        };
+        let (report, regressed) = compare(&base, &cur, &tol).expect("valid");
+        assert!(!regressed, "{report}");
+    }
+
+    #[test]
+    fn serve_cross_mode_comparison_is_refused() {
+        let base = serve_record(120.0, 12.0, 4);
+        let cur = base.replace("\"mode\": \"closed\"", "\"mode\": \"open\"");
+        let err = compare(&base, &cur, &Tolerance::default()).unwrap_err();
+        assert!(err.contains("load-generator modes"), "{err}");
+    }
+
+    #[test]
+    fn serve_bit_identity_mismatch_always_fails() {
+        let base = serve_record(120.0, 12.0, 4);
+        let cur = base.replace(
+            "\"bit_identity_mismatches\": 0",
+            "\"bit_identity_mismatches\": 2",
+        );
+        // Even under --skip-runtime: correctness is not machine-dependent.
+        let tol = Tolerance {
+            skip_runtime: true,
+            ..Tolerance::default()
+        };
+        let (report, regressed) = compare(&base, &cur, &tol).expect("valid");
+        assert!(regressed, "bit-identity mismatches must fail:\n{report}");
+        assert!(report.contains("bit-identity"), "{report}");
+    }
+
+    #[test]
+    fn serve_cache_floor_gates_current_rates() {
+        let base = serve_record(120.0, 12.0, 4);
+        // tile 75% / stem 60%: a 50% floor passes, a 70% floor fails on stem.
+        let pass = Tolerance {
+            min_cache_hit_rate_pct: Some(50.0),
+            ..Tolerance::default()
+        };
+        let (report, regressed) = compare(&base, &base, &pass).expect("valid");
+        assert!(!regressed, "{report}");
+        let fail = Tolerance {
+            min_cache_hit_rate_pct: Some(70.0),
+            ..Tolerance::default()
+        };
+        let (report, regressed) = compare(&base, &base, &fail).expect("valid");
+        assert!(regressed, "60% stem rate must fail a 70% floor:\n{report}");
+        assert!(report.contains("stem_feature"), "{report}");
+    }
+
+    #[test]
+    fn mixed_record_families_are_an_error() {
+        let table = record(1.0, 90.0);
+        let serve = serve_record(120.0, 12.0, 4);
+        let err = compare(&table, &serve, &Tolerance::default()).unwrap_err();
+        assert!(err.contains("mixed record families"), "{err}");
+        let err = compare(&serve, &table, &Tolerance::default()).unwrap_err();
+        assert!(err.contains("mixed record families"), "{err}");
+        // --min-accuracy has no meaning for serve records.
+        let tol = Tolerance {
+            min_accuracy_pct: Some(10.0),
+            ..Tolerance::default()
+        };
+        let err = compare(&serve, &serve, &tol).unwrap_err();
+        assert!(err.contains("table records only"), "{err}");
+    }
+
+    #[test]
+    fn malformed_serve_record_is_an_error() {
+        let good = serve_record(120.0, 12.0, 4);
+        let no_rps = good.replace("\"rps\"", "\"req_s\"");
+        let err = compare(&no_rps, &good, &Tolerance::default()).unwrap_err();
+        assert!(err.contains("missing numeric `rps`"), "{err}");
+        // A zero-throughput baseline is a misconfigured gate, not a pass.
+        let dead = serve_record(0.0, 0.0, 4);
+        let err = compare(&dead, &good, &Tolerance::default()).unwrap_err();
+        assert!(err.contains("no usable throughput"), "{err}");
     }
 
     #[test]

@@ -254,15 +254,17 @@ fn l4_shapes_doc(file: &SourceFile, scope: &FileScope) -> Vec<Violation> {
 }
 
 /// L5: no raw thread creation (`thread::spawn` / `thread::Builder`)
-/// outside `rhsd-par` and `rhsd-obs`.
+/// outside `rhsd-par`, `rhsd-obs` and `rhsd-serve`.
 ///
 /// All pipeline parallelism goes through the `rhsd-par` pool: its fixed
 /// chunk schedule and in-order reduction are what keep results
 /// bit-identical at any thread count, and its counters feed the
 /// observability layer. Ad-hoc threads bypass both. (`rhsd-obs` owns one
-/// audited background writer thread.)
+/// audited background writer thread; `rhsd-serve` owns the acceptor,
+/// per-connection and batcher threads — compute inside them still runs
+/// on the rhsd-par pool.)
 fn l5_no_raw_threads(file: &SourceFile, sig: &Sig, scope: &FileScope) -> Vec<Violation> {
-    if scope.crate_name == "par" || scope.crate_name == "obs" {
+    if matches!(scope.crate_name.as_str(), "par" | "obs" | "serve") {
         return Vec::new();
     }
     let mut out = Vec::new();
@@ -926,9 +928,11 @@ mod tests {
         let v = lint("crates/core/src/a.rs", bad);
         assert_eq!(rules(&v), vec!["L5", "L5"]);
         assert!(v[0].message.contains("rhsd_par"));
-        // the pool crate and the obs writer thread are exempt
+        // the pool crate, the obs writer thread and the serve crate's
+        // acceptor/connection/batcher threads are exempt
         assert!(lint("crates/par/src/lib.rs", bad).is_empty());
         assert!(lint("crates/obs/src/span.rs", bad).is_empty());
+        assert!(lint("crates/serve/src/server.rs", bad).is_empty());
     }
 
     #[test]

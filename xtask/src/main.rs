@@ -11,6 +11,7 @@
 
 mod bench_diff;
 mod lint;
+mod loadgen;
 mod microbench;
 mod report;
 
@@ -40,9 +41,25 @@ tasks:
       --threads  rhsd-par pool size (default: machine default)
       --out      output path (default: <workspace root>/MICROBENCH.json)
 
+  loadgen [--addr <host:port>] [--connections <n>] [--requests <m>]
+          [--mode closed|open] [--case <Case2,Case3>] [--seed <n>]
+          [--expect <Case>=<file>] [--out <file>] [--shutdown] [--quick]
+      Drive a running rhsd-serve with N connections x M scan requests
+      (deterministic case schedule) and write a `rhsd-serve-bench/1`
+      record (req/s, p50/p95/p99 latency, batch occupancy, cache hit
+      rates) for bench-diff.
+      --mode      closed (wait per reply; default) or open (pipeline all
+                  requests, then drain — maximises batch coalescing)
+      --expect    byte-compare every reply for <Case> against <file>
+                  (written by `rhsd-serve --offline-scan`); any mismatch
+                  fails the run (exit 1)
+      --shutdown  send a graceful shutdown after collecting stats
+      --quick     CI smoke shape: 2 connections x 3 requests on Case2
+
   bench-diff <baseline.json> <current.json> [options]
-      Compare two benchmark records (written by `repro_table1
-      --bench-out`) and fail on regression past tolerance.
+      Compare two benchmark records — Table-1 records written by
+      `repro_table1 --bench-out`, or serve-throughput records written by
+      `xtask loadgen` — and fail on regression past tolerance.
       --max-runtime-regress <pct>  runtime growth tolerance (default 10)
       --max-accuracy-drop <pt>     accuracy drop tolerance (default 0.5)
       --skip-runtime               ignore the machine-dependent runtime
@@ -81,6 +98,10 @@ fn main() -> ExitCode {
             Err(msg) => usage_error(&msg),
         },
         Some("bench-diff") => match bench_diff::run(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => usage_error(&msg),
+        },
+        Some("loadgen") => match loadgen::run(&args[1..]) {
             Ok(code) => code,
             Err(msg) => usage_error(&msg),
         },

@@ -46,6 +46,7 @@ pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod persist;
+pub mod precision;
 pub mod pruning;
 pub mod refine;
 pub mod roc;
@@ -59,6 +60,7 @@ pub use feature_cache::{StemFeatureCache, DEFAULT_STEM_CACHE_CAP};
 pub use hnms::{conventional_nms, hotspot_nms, Scored};
 pub use metrics::{evaluate_region, Evaluation};
 pub use model::{Detection, RhsdNetwork, TrainStats};
+pub use precision::Precision;
 pub use sentinel::{Sentinel, SentinelConfig, SentinelPolicy, TrainAbort, TripReason};
 pub use train::{
     train, train_checked, train_new, EpochStats, LayerEpochStats, TelemetryConfig, TrainConfig,

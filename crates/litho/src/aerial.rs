@@ -1,5 +1,16 @@
 //! Aerial-image formation: layout raster → optical intensity map.
+//!
+//! The separable convolution splits each row/column into a *border*
+//! region (some taps out of bounds — per-pixel renormalisation over the
+//! in-bounds taps, the original scalar loop) and an *interior* (every
+//! tap in bounds — norm is the full tap sum, a constant). The interior
+//! runs through the ISA-dispatched
+//! [`rhsd_tensor::ops::kernels::conv_taps`] kernel: each output pixel
+//! keeps the serial ascending-tap accumulation and one final division,
+//! so the image stays bit-identical to the pre-split per-pixel loop on
+//! every dispatch path.
 
+use rhsd_tensor::ops::kernels;
 use rhsd_tensor::Tensor;
 
 use crate::kernel::GaussianKernel;
@@ -24,8 +35,13 @@ pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
     assert_eq!(mask.dim(0), 1, "aerial_image expects single channel");
     let (h, w) = (mask.dim(1), mask.dim(2));
     let taps = kernel.weights();
-    let r = kernel.radius() as isize;
+    let ru = kernel.radius();
+    let r = ru as isize;
     let mv = mask.as_slice();
+    // Interior norm: every tap in bounds, summed in the same ascending
+    // order the border path accumulates — bit-identical to the
+    // per-pixel norm chain it replaces.
+    let full_norm: f32 = taps.iter().sum();
 
     // Both passes parallelise over image rows (each output row is a
     // disjoint slice; the per-pixel tap accumulation order is exactly
@@ -42,7 +58,17 @@ pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
             let y0 = ci * rows_per_task;
             for (dy, orow) in rows.chunks_mut(w).enumerate() {
                 let row = &mv[(y0 + dy) * w..(y0 + dy + 1) * w];
-                for (x, o) in orow.iter_mut().enumerate() {
+                // Interior x ∈ [ru, w-ru): all taps in bounds → the
+                // dispatched kernel with the constant full norm. The
+                // scalar border loop covers the rest (or everything
+                // when the row is all border).
+                let (left, right_start) = if w > 2 * ru && full_norm > 0.0 {
+                    kernels::conv_taps(&mut orow[ru..w - ru], row, 1, taps, full_norm);
+                    (ru, w - ru)
+                } else {
+                    (w, w)
+                };
+                for x in (0..left).chain(right_start..w) {
                     let mut acc = 0.0f32;
                     let mut norm = 0.0f32;
                     for (t, &tw) in taps.iter().enumerate() {
@@ -52,7 +78,7 @@ pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
                             norm += tw;
                         }
                     }
-                    *o = if norm > 0.0 { acc / norm } else { 0.0 };
+                    orow[x] = if norm > 0.0 { acc / norm } else { 0.0 };
                 }
             }
         });
@@ -66,6 +92,14 @@ pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
             let y0 = ci * rows_per_task;
             for (dy, orow) in rows.chunks_mut(w).enumerate() {
                 let y = y0 + dy;
+                // Interior y ∈ [ru, h-ru): the column convolution is the
+                // same kernel with a row stride, reading the (2r+1)
+                // source rows above/below.
+                if y >= ru && y + ru < h && full_norm > 0.0 {
+                    let src = &tmp[(y - ru) * w..(y + ru + 1) * w];
+                    kernels::conv_taps(orow, src, w, taps, full_norm);
+                    continue;
+                }
                 for (x, o) in orow.iter_mut().enumerate() {
                     let mut acc = 0.0f32;
                     let mut norm = 0.0f32;
@@ -87,6 +121,69 @@ pub fn aerial_image(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-split per-pixel reference (bounds check + renormalise at
+    /// every tap) — the bit-exact oracle for the border/interior split
+    /// and the dispatched interior kernel.
+    fn reference_aerial(mask: &Tensor, kernel: &GaussianKernel) -> Tensor {
+        let (h, w) = (mask.dim(1), mask.dim(2));
+        let taps = kernel.weights();
+        let r = kernel.radius() as isize;
+        let mv = mask.as_slice();
+        let mut tmp = vec![0.0f32; h * w];
+        for y in 0..h {
+            for x in 0..w {
+                let (mut acc, mut norm) = (0.0f32, 0.0f32);
+                for (t, &tw) in taps.iter().enumerate() {
+                    let xi = x as isize + t as isize - r;
+                    if xi >= 0 && (xi as usize) < w {
+                        acc += tw * mv[y * w + xi as usize];
+                        norm += tw;
+                    }
+                }
+                tmp[y * w + x] = if norm > 0.0 { acc / norm } else { 0.0 };
+            }
+        }
+        let mut out = vec![0.0f32; h * w];
+        for y in 0..h {
+            for x in 0..w {
+                let (mut acc, mut norm) = (0.0f32, 0.0f32);
+                for (t, &tw) in taps.iter().enumerate() {
+                    let yi = y as isize + t as isize - r;
+                    if yi >= 0 && (yi as usize) < h {
+                        acc += tw * tmp[yi as usize * w + x];
+                        norm += tw;
+                    }
+                }
+                out[y * w + x] = if norm > 0.0 { acc / norm } else { 0.0 };
+            }
+        }
+        Tensor::from_parts([1, h, w], out)
+    }
+
+    #[test]
+    fn split_interior_matches_per_pixel_reference_bitwise() {
+        // Shapes straddling the border/interior split: all-border
+        // (extent ≤ 2r), barely-interior, and odd non-multiple-of-8
+        // interiors that exercise the SIMD tail.
+        for (h, w, sigma) in [
+            (3usize, 3usize, 2.0f64),
+            (9, 13, 1.5),
+            (21, 40, 2.0),
+            (17, 9, 0.8),
+            (1, 33, 1.5),
+        ] {
+            let kernel = GaussianKernel::new(sigma);
+            let mask = Tensor::from_fn([1, h, w], |c| {
+                let v = (c[1] * 31 + c[2] * 17) % 11;
+                v as f32 / 10.0
+            });
+            let fast = aerial_image(&mask, &kernel);
+            let slow = reference_aerial(&mask, &kernel);
+            let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&fast), bits(&slow), "{h}x{w} sigma={sigma}");
+        }
+    }
 
     #[test]
     fn uniform_mask_stays_uniform() {

@@ -3,7 +3,8 @@
 //! Serve mode (long-lived):
 //!
 //! ```text
-//! rhsd-serve --model model.json [--port 7878] [--threads N] [--ledger serve.jsonl]
+//! rhsd-serve --model model.json [--port 7878] [--threads N] [--precision f32|bf16|int8]
+//!            [--ledger serve.jsonl]
 //! ```
 //!
 //! Prints `rhsd-serve listening on <addr>` once ready (scripts parse
@@ -13,7 +14,7 @@
 //! Offline mode (for bit-identity checks):
 //!
 //! ```text
-//! rhsd-serve --model model.json --offline-scan Case2 [--half test] --out ref.json
+//! rhsd-serve --model model.json --offline-scan Case2 [--half test] [--precision int8] --out ref.json
 //! ```
 //!
 //! Writes the offline scan result through the same canonical serialiser
@@ -23,6 +24,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use rhsd_core::Precision;
 use rhsd_layout::synth::CaseId;
 use rhsd_obs::ledger::{host_string, Manifest};
 use rhsd_serve::proto::{case_from_name, scan_response_json, Half};
@@ -32,6 +34,7 @@ struct Args {
     model: PathBuf,
     port: u16,
     threads: Option<usize>,
+    precision: Precision,
     ledger: Option<PathBuf>,
     offline: Option<CaseId>,
     half: Half,
@@ -39,13 +42,16 @@ struct Args {
 }
 
 const USAGE: &str =
-    "usage: rhsd-serve --model <model.json> [--port N] [--threads N] [--ledger <path>]
-       rhsd-serve --model <model.json> --offline-scan <Case> [--half train|test] --out <path>";
+    "usage: rhsd-serve --model <model.json> [--port N] [--threads N] [--precision f32|bf16|int8]
+                  [--ledger <path>]
+       rhsd-serve --model <model.json> --offline-scan <Case> [--half train|test]
+                  [--precision f32|bf16|int8] --out <path>";
 
 fn parse_args() -> Result<Args, String> {
     let mut model = None;
     let mut port = 7878u16;
     let mut threads = None;
+    let mut precision = Precision::F32;
     let mut ledger = None;
     let mut offline = None;
     let mut half = Half::Test;
@@ -67,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--threads needs a number".to_owned())?,
                 );
             }
+            "--precision" => precision = value("--precision")?.parse()?,
             "--ledger" => ledger = Some(PathBuf::from(value("--ledger")?)),
             "--offline-scan" => offline = Some(case_from_name(&value("--offline-scan")?)?),
             "--half" => {
@@ -86,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
         model,
         port,
         threads,
+        precision,
         ledger,
         offline,
         half,
@@ -119,7 +127,7 @@ fn run_offline(args: &Args, case: CaseId) -> ExitCode {
         eprintln!("rhsd-serve: --offline-scan needs --out <path>");
         return ExitCode::from(2);
     };
-    let result = match offline_scan(&args.model, case, args.half) {
+    let result = match offline_scan(&args.model, case, args.half, args.precision) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rhsd-serve: {e}");
@@ -148,6 +156,8 @@ fn run_serve(args: &Args) -> ExitCode {
             bin: "rhsd-serve".into(),
             seed: 0,
             config: format!("model {}", args.model.display()),
+            precision: args.precision.name().to_owned(),
+            isa: rhsd_tensor::ops::kernels::isa_name().to_owned(),
             effort: "Serve".into(),
             host: host_string(),
             version: env!("CARGO_PKG_VERSION").into(),
@@ -162,6 +172,7 @@ fn run_serve(args: &Args) -> ExitCode {
     let server = match Server::start(&ServeConfig {
         model: args.model.clone(),
         port: args.port,
+        precision: args.precision,
     }) {
         Ok(s) => s,
         Err(e) => {

@@ -110,13 +110,32 @@ pub(crate) fn im2col_into(
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
+                            let irow = (ci * h + iy as usize) * w;
+                            if spec.stride == 1 {
+                                // Stride 1: the in-bounds `ox` range maps
+                                // to one contiguous input run — a single
+                                // vector copy replaces the per-pixel
+                                // bounds branch (pure copies, so still
+                                // bit-identical; out-of-range taps keep
+                                // the pre-zeroed padding value).
+                                let ox0 = spec.padding.saturating_sub(kx);
+                                let ox1 = ow.min((w + spec.padding).saturating_sub(kx));
+                                if ox0 < ox1 {
+                                    let ix0 = ox0 + kx - spec.padding;
+                                    let d0 = base + oy * ow + ox0;
+                                    crate::ops::kernels::copy_f32(
+                                        &mut chan[d0..d0 + (ox1 - ox0)],
+                                        &iv[irow + ix0..irow + ix0 + (ox1 - ox0)],
+                                    );
+                                }
+                                continue;
+                            }
                             for ox in 0..ow {
                                 let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                chan[base + oy * ow + ox] =
-                                    iv[(ci * h + iy as usize) * w + ix as usize];
+                                chan[base + oy * ow + ox] = iv[irow + ix as usize];
                             }
                         }
                     }

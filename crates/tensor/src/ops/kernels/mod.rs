@@ -1,0 +1,503 @@
+//! SIMD micro-kernels behind a single runtime ISA selector.
+//!
+//! Every vectorised inner loop in the workspace lives here (plus the
+//! litho aerial convolution, which calls back into this module): the
+//! packed-GEMM register tile, the f32 copy used by the packing and
+//! im2col fast paths, the separable-convolution interior kernel, and
+//! the int8 GEMM row kernel of the quantised scan path. The lint rule
+//! L13 enforces that `core::arch` intrinsics and `#[target_feature]`
+//! appear nowhere else.
+//!
+//! # Dispatch
+//!
+//! [`isa`] detects the instruction set once (honouring the
+//! `RHSD_FORCE_SCALAR=1` environment variable) and caches it; all
+//! kernels dispatch through that single selector. The scalar kernels in
+//! [`scalar`] are the reference implementations — they are the exact
+//! loops the pre-SIMD code ran, and every SIMD variant selected by
+//! default is **bit-identical** to them:
+//!
+//! - the f32 GEMM tile issues one `mul` and one `add` per lane per `k`
+//!   step (no FMA contraction), matching the scalar `a += v · b` chain
+//!   rounding-for-rounding;
+//! - the interior convolution kernel vectorises across output pixels
+//!   while each lane keeps the serial ascending-tap order;
+//! - copies and integer arithmetic are exact by nature.
+//!
+//! Anything that *would* reorder or contract a float reduction (the FMA
+//! tile) is compiled only under the `fast-math` cargo feature and also
+//! requires the explicit [`set_fast_math`] runtime opt-in; it is never
+//! part of the determinism-pinned default path.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+pub mod scalar;
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
+
+/// GEMM micro-kernel width (output columns per register tile) — shared
+/// with the packed-panel layout in `ops::matmul`.
+pub const NR: usize = 8;
+
+/// The instruction sets the dispatcher can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// The reference scalar kernels (any architecture).
+    Scalar,
+    /// 128-bit SSE2 lanes (x86-64 baseline).
+    Sse2,
+    /// 256-bit AVX2 lanes.
+    Avx2,
+}
+
+impl Isa {
+    /// Stable lowercase tag recorded in bench records and manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Sse2 => "sse2",
+            Isa::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Pure selection logic, split out so tests can exercise every branch
+/// without touching the process-global state: `force_scalar` is the
+/// `RHSD_FORCE_SCALAR=1` override, the flags are the detected CPU
+/// features.
+pub fn select_isa(force_scalar: bool, has_sse2: bool, has_avx2: bool) -> Isa {
+    if force_scalar {
+        Isa::Scalar
+    } else if has_avx2 {
+        Isa::Avx2
+    } else if has_sse2 {
+        Isa::Sse2
+    } else {
+        Isa::Scalar
+    }
+}
+
+/// Sentinel meaning "not yet detected".
+const ISA_UNSET: u8 = u8::MAX;
+
+static ACTIVE_ISA: AtomicU8 = AtomicU8::new(ISA_UNSET);
+static FAST_MATH: AtomicBool = AtomicBool::new(false);
+
+fn encode(isa: Isa) -> u8 {
+    match isa {
+        Isa::Scalar => 0,
+        Isa::Sse2 => 1,
+        Isa::Avx2 => 2,
+    }
+}
+
+fn decode(v: u8) -> Isa {
+    match v {
+        1 => Isa::Sse2,
+        2 => Isa::Avx2,
+        _ => Isa::Scalar,
+    }
+}
+
+fn detect() -> Isa {
+    let force_scalar = std::env::var_os("RHSD_FORCE_SCALAR").is_some_and(|v| v == "1");
+    #[cfg(target_arch = "x86_64")]
+    {
+        select_isa(
+            force_scalar,
+            std::arch::is_x86_feature_detected!("sse2"),
+            std::arch::is_x86_feature_detected!("avx2"),
+        )
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        select_isa(force_scalar, false, false)
+    }
+}
+
+/// The active instruction set — detected on first use, then cached.
+pub fn isa() -> Isa {
+    let v = ACTIVE_ISA.load(Ordering::Relaxed);
+    if v != ISA_UNSET {
+        return decode(v);
+    }
+    let detected = detect();
+    // A concurrent first call detects the same value; the race is benign.
+    ACTIVE_ISA.store(encode(detected), Ordering::Relaxed);
+    detected
+}
+
+/// Overrides the active instruction set, process-wide.
+///
+/// Intended for the microbench harness (scalar-vs-SIMD timing) and for
+/// dispatch tests; production code never calls this — it relies on
+/// [`isa`]'s one-time detection. Requesting a level the CPU lacks falls
+/// back to the best supported one.
+pub fn set_isa(requested: Isa) -> Isa {
+    let detected = detect();
+    let granted = match (requested, detected) {
+        (Isa::Scalar, _) => Isa::Scalar,
+        (Isa::Sse2, Isa::Scalar) => Isa::Scalar,
+        (Isa::Sse2, _) => Isa::Sse2,
+        (Isa::Avx2, got) => got,
+    };
+    ACTIVE_ISA.store(encode(granted), Ordering::Relaxed);
+    granted
+}
+
+/// The active ISA's stable name (for records and manifests).
+pub fn isa_name() -> &'static str {
+    isa().name()
+}
+
+/// Whether the FMA (reduced-rounding) GEMM tile is active. Always
+/// `false` without the `fast-math` cargo feature.
+pub fn fast_math() -> bool {
+    FAST_MATH.load(Ordering::Relaxed)
+}
+
+/// Opts into the FMA GEMM tile: a fused multiply-add rounds once where
+/// the reference rounds twice, so results are *not* bit-identical to
+/// the scalar path (they are covered by epsilon-compare tests instead).
+/// Requires AVX2+FMA hardware; returns whether the opt-in took effect.
+#[cfg(feature = "fast-math")]
+pub fn set_fast_math(on: bool) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    let supported = isa() == Isa::Avx2 && std::arch::is_x86_feature_detected!("fma");
+    #[cfg(not(target_arch = "x86_64"))]
+    let supported = false;
+    let active = on && supported;
+    FAST_MATH.store(active, Ordering::Relaxed);
+    active
+}
+
+/// GEMM row-tile height for the active ISA: the AVX2 tile keeps eight
+/// accumulator rows in ymm registers (enough independent add chains to
+/// saturate the FP ports); the scalar/SSE2 reference keeps the
+/// committed MR = 4. The tile height never affects results — each
+/// output element's ascending-`p` accumulation chain is the same at any
+/// tiling — so this is a pure scheduling choice.
+pub fn gemm_mr() -> usize {
+    match isa() {
+        Isa::Avx2 => 8,
+        _ => 4,
+    }
+}
+
+/// The `MRR × NR` register-tile inner loop of the packed GEMM:
+/// accumulates `panel.len() / NR` ascending-`p` terms into `acc`, one
+/// broadcast `A` value per row per step, reading
+/// `A` at `aidx[r]` and advancing each index by `acs`.
+///
+/// Every dispatch target performs, per lane, exactly
+/// `acc += a · b` with separate mul and add roundings — bit-identical
+/// to [`scalar::gemm_micro`] — except the `fast-math` FMA tile (see
+/// [`set_fast_math`]).
+#[inline]
+pub fn gemm_micro<const MRR: usize>(
+    acc: &mut [[f32; NR]; MRR],
+    av: &[f32],
+    aidx: &mut [usize; MRR],
+    acs: usize,
+    panel: &[f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        #[cfg(feature = "fast-math")]
+        if fast_math() {
+            // SAFETY: set_fast_math only latches when AVX2+FMA are
+            // supported by the running CPU.
+            unsafe { x86::gemm_micro_fma(acc, av, aidx, acs, panel) };
+            return;
+        }
+        match isa() {
+            // SAFETY: Isa::Avx2 is only selected when AVX2 is detected.
+            Isa::Avx2 => unsafe { x86::gemm_micro_avx2(acc, av, aidx, acs, panel) },
+            // SAFETY: Isa::Sse2 is only selected when SSE2 is detected.
+            Isa::Sse2 => unsafe { x86::gemm_micro_sse2(acc, av, aidx, acs, panel) },
+            Isa::Scalar => scalar::gemm_micro(acc, av, aidx, acs, panel),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    scalar::gemm_micro(acc, av, aidx, acs, panel);
+}
+
+/// Copies `src` into `dst` (equal lengths) through the widest available
+/// lanes — the packing / im2col row-segment move. Copies are exact on
+/// any path.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn copy_f32(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "copy_f32 length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if isa() == Isa::Avx2 {
+            // SAFETY: Isa::Avx2 is only selected when AVX2 is detected.
+            unsafe { x86::copy_f32_avx2(dst, src) };
+            return;
+        }
+    }
+    scalar::copy_f32(dst, src);
+}
+
+/// Interior kernel of a separable convolution:
+/// `dst[i] = (Σ_t taps[t] · src[t · stride + i]) / norm`, taps in
+/// ascending order — exactly the per-pixel chain the scalar border path
+/// runs when every tap is in bounds. SIMD targets vectorise across `i`
+/// (independent output pixels); each lane keeps the serial tap order
+/// and the final single division, so the interior is bit-identical to
+/// the scalar reference at every pixel.
+///
+/// # Panics
+///
+/// Panics unless `src.len() >= (taps.len() - 1) · stride + dst.len()`.
+#[inline]
+pub fn conv_taps(dst: &mut [f32], src: &[f32], stride: usize, taps: &[f32], norm: f32) {
+    assert!(
+        taps.is_empty() || src.len() >= (taps.len() - 1) * stride + dst.len(),
+        "conv_taps source too short: {} < ({} - 1) * {stride} + {}",
+        src.len(),
+        taps.len(),
+        dst.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        match isa() {
+            // SAFETY: Isa::Avx2 is only selected when AVX2 is detected;
+            // the bound above guarantees every lane's loads are in range.
+            Isa::Avx2 => unsafe { x86::conv_taps_avx2(dst, src, stride, taps, norm) },
+            // SAFETY: as above for SSE2.
+            Isa::Sse2 => unsafe { x86::conv_taps_sse2(dst, src, stride, taps, norm) },
+            Isa::Scalar => scalar::conv_taps(dst, src, stride, taps, norm),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    scalar::conv_taps(dst, src, stride, taps, norm);
+}
+
+/// Int8 GEMM with i32 accumulation:
+/// `out[co · n + x] = Σ_p w[co · k + p] · cols[p · n + x]` — the
+/// quantised-stem convolution core. Integer arithmetic is exact, so
+/// every dispatch target returns identical results by construction
+/// (products are ≤ 127², and `k` is far below the 2³¹ / 127² overflow
+/// bound for every network in this workspace).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `(c_out, k, n)`.
+pub fn gemm_i8(out: &mut [i32], w: &[i8], c_out: usize, k: usize, n: usize, cols: &[i8]) {
+    assert_eq!(out.len(), c_out * n, "gemm_i8 output length");
+    assert_eq!(w.len(), c_out * k, "gemm_i8 weight length");
+    assert_eq!(cols.len(), k * n, "gemm_i8 column length");
+    if n == 0 || c_out == 0 {
+        return;
+    }
+    // Rows are independent and exact; split them over the pool with the
+    // shape-only schedule used everywhere else.
+    let rows_per_task = rhsd_par::chunk_units(c_out, 2 * k.max(1) * n);
+    rhsd_par::for_each_mut(out, rows_per_task * n, |ci, rows| {
+        for (dr, row) in rows.chunks_mut(n).enumerate() {
+            let co = ci * rows_per_task + dr;
+            let wrow = &w[co * k..(co + 1) * k];
+            #[cfg(target_arch = "x86_64")]
+            {
+                if isa() == Isa::Avx2 {
+                    // SAFETY: Isa::Avx2 is only selected when AVX2 is
+                    // detected; row/cols bounds are checked above.
+                    unsafe { x86::gemm_i8_row_avx2(row, wrow, cols, n) };
+                    continue;
+                }
+            }
+            scalar::gemm_i8_row(row, wrow, cols, n);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let h = (seed ^ i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                (h % 2003) as f32 / 500.0 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn select_isa_prefers_widest_and_honours_force_scalar() {
+        assert_eq!(select_isa(false, true, true), Isa::Avx2);
+        assert_eq!(select_isa(false, true, false), Isa::Sse2);
+        assert_eq!(select_isa(false, false, false), Isa::Scalar);
+        assert_eq!(select_isa(true, true, true), Isa::Scalar);
+        assert_eq!(select_isa(true, false, true), Isa::Scalar);
+    }
+
+    #[test]
+    fn isa_names_are_stable() {
+        assert_eq!(Isa::Scalar.name(), "scalar");
+        assert_eq!(Isa::Sse2.name(), "sse2");
+        assert_eq!(Isa::Avx2.name(), "avx2");
+    }
+
+    /// Every SIMD gemm tile the dispatcher can pick must equal the
+    /// scalar reference bit-for-bit. Variants are called directly (not
+    /// via the global selector) so parallel tests never race on it.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn gemm_micro_variants_match_scalar_bitwise() {
+        fn run<const MRR: usize>(kc: usize, acs: usize, seed: u64) {
+            let av = fill(seed, MRR * 4 + kc * acs.max(1) + 8);
+            let panel = fill(seed ^ 99, kc * NR);
+            let start: [usize; MRR] = std::array::from_fn(|r| r);
+            let mut acc_ref = [[0.5f32; NR]; MRR];
+            let mut idx = start;
+            scalar::gemm_micro(&mut acc_ref, &av, &mut idx, acs, &panel);
+
+            if std::arch::is_x86_feature_detected!("avx2") {
+                let mut acc = [[0.5f32; NR]; MRR];
+                let mut idx = start;
+                // SAFETY: guarded by the avx2 feature check above.
+                unsafe { x86::gemm_micro_avx2(&mut acc, &av, &mut idx, acs, &panel) };
+                assert_eq!(bits2(&acc), bits2(&acc_ref), "avx2 MRR={MRR} kc={kc}");
+            }
+            if std::arch::is_x86_feature_detected!("sse2") {
+                let mut acc = [[0.5f32; NR]; MRR];
+                let mut idx = start;
+                // SAFETY: guarded by the sse2 feature check above.
+                unsafe { x86::gemm_micro_sse2(&mut acc, &av, &mut idx, acs, &panel) };
+                assert_eq!(bits2(&acc), bits2(&acc_ref), "sse2 MRR={MRR} kc={kc}");
+            }
+        }
+        fn bits2<const MRR: usize>(acc: &[[f32; NR]; MRR]) -> Vec<u32> {
+            acc.iter().flatten().map(|v| v.to_bits()).collect()
+        }
+        for (kc, acs, seed) in [(1, 1, 3), (7, 1, 5), (64, 3, 7), (256, 1, 11), (33, 2, 13)] {
+            run::<1>(kc, acs, seed);
+            run::<2>(kc, acs, seed);
+            run::<4>(kc, acs, seed);
+            run::<5>(kc, acs, seed);
+            run::<8>(kc, acs, seed);
+        }
+    }
+
+    /// The FMA tile is *not* bit-identical (fused rounding) but must
+    /// stay within a tight relative epsilon of the scalar reference —
+    /// the contract `fast-math` buyers sign up for.
+    #[cfg(all(target_arch = "x86_64", feature = "fast-math"))]
+    #[test]
+    fn gemm_micro_fma_matches_scalar_within_epsilon() {
+        if !(std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma"))
+        {
+            return; // nothing to exercise on this host
+        }
+        for (kc, acs, seed) in [(7usize, 1usize, 5u64), (64, 3, 7), (256, 1, 11)] {
+            const MRR: usize = 8;
+            let av = fill(seed, MRR * 4 + kc * acs + 8);
+            let panel = fill(seed ^ 99, kc * NR);
+            let start: [usize; MRR] = std::array::from_fn(|r| r);
+            let mut acc_ref = [[0.5f32; NR]; MRR];
+            let mut idx = start;
+            scalar::gemm_micro(&mut acc_ref, &av, &mut idx, acs, &panel);
+            let mut acc = [[0.5f32; NR]; MRR];
+            let mut idx = start;
+            // SAFETY: guarded by the avx2+fma feature checks above.
+            unsafe { x86::gemm_micro_fma(&mut acc, &av, &mut idx, acs, &panel) };
+            for (got, want) in acc.iter().flatten().zip(acc_ref.iter().flatten()) {
+                let tol = 1e-4 * want.abs().max(1.0);
+                assert!(
+                    (got - want).abs() <= tol,
+                    "fma kc={kc}: {got} vs scalar {want}"
+                );
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn conv_taps_variants_match_scalar_bitwise() {
+        for (len, stride, ntaps, seed) in [
+            (1usize, 1usize, 1usize, 1u64),
+            (17, 1, 13, 2),
+            (40, 19, 7, 3),
+            (8, 1, 25, 4),
+        ] {
+            let src = fill(seed, (ntaps - 1) * stride + len);
+            let taps = fill(seed ^ 7, ntaps);
+            let norm: f32 = taps.iter().sum();
+            let mut want = vec![0.0f32; len];
+            scalar::conv_taps(&mut want, &src, stride, &taps, norm);
+            let want: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+
+            if std::arch::is_x86_feature_detected!("avx2") {
+                let mut got = vec![0.0f32; len];
+                // SAFETY: guarded by the avx2 feature check above.
+                unsafe { x86::conv_taps_avx2(&mut got, &src, stride, &taps, norm) };
+                let got: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "avx2 len={len} stride={stride} taps={ntaps}");
+            }
+            if std::arch::is_x86_feature_detected!("sse2") {
+                let mut got = vec![0.0f32; len];
+                // SAFETY: guarded by the sse2 feature check above.
+                unsafe { x86::conv_taps_sse2(&mut got, &src, stride, &taps, norm) };
+                let got: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "sse2 len={len} stride={stride} taps={ntaps}");
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn copy_f32_avx2_copies_exactly() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for len in [0usize, 1, 7, 8, 9, 31, 64] {
+            let src = fill(len as u64, len);
+            let mut dst = vec![0.0f32; len];
+            // SAFETY: guarded by the avx2 feature check above.
+            unsafe { x86::copy_f32_avx2(&mut dst, &src) };
+            assert_eq!(dst, src, "len={len}");
+        }
+    }
+
+    #[test]
+    fn gemm_i8_matches_plain_integer_loops() {
+        let (c_out, k, n) = (3usize, 11usize, 29usize);
+        let w: Vec<i8> = (0..c_out * k).map(|i| ((i * 37) % 255) as i8).collect();
+        let cols: Vec<i8> = (0..k * n).map(|i| ((i * 91 + 13) % 255) as i8).collect();
+        let mut want = vec![0i32; c_out * n];
+        for co in 0..c_out {
+            for p in 0..k {
+                for x in 0..n {
+                    want[co * n + x] += w[co * k + p] as i32 * cols[p * n + x] as i32;
+                }
+            }
+        }
+        let mut got = vec![0i32; c_out * n];
+        gemm_i8(&mut got, &w, c_out, k, n, &cols);
+        assert_eq!(got, want);
+
+        // The row kernels agree with each other (exact arithmetic).
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let mut row = vec![0i32; n];
+            // SAFETY: guarded by the avx2 feature check above.
+            unsafe { x86::gemm_i8_row_avx2(&mut row, &w[..k], &cols, n) };
+            assert_eq!(&row, &want[..n]);
+        }
+    }
+
+    #[test]
+    fn gemm_mr_is_a_supported_tile_height() {
+        // Whatever the host selects, the driver must have a micro-kernel
+        // arm for it.
+        assert!(matches!(gemm_mr(), 4 | 8));
+    }
+}

@@ -1,0 +1,266 @@
+//! x86-64 SIMD kernels (SSE2 / AVX2, plus the feature-gated FMA tile).
+//!
+//! Every function here is `unsafe` only because of its
+//! `#[target_feature]` requirement; slice accesses are bounds-checked
+//! or covered by the length contracts the dispatcher in [`super`]
+//! asserts. Per-lane float arithmetic mirrors the scalar reference
+//! exactly — one mul rounding and one add rounding per accumulation
+//! step, and a single IEEE division where the reference divides — so
+//! the default-dispatch kernels are bit-identical to
+//! [`super::scalar`]. The one exception, [`gemm_micro_fma`], contracts
+//! mul+add into one rounding and only exists behind the `fast-math`
+//! feature.
+
+use core::arch::x86_64::*;
+
+use super::{scalar, NR};
+
+/// AVX2 GEMM register tile: `MRR` rows of eight accumulator lanes, one
+/// broadcast-mul-add per row per `k` step (two roundings per lane,
+/// matching the scalar chain bit-for-bit).
+///
+/// # Safety
+///
+/// SAFETY: the caller must guarantee the running CPU supports AVX2.
+/// All `A`/panel reads are bounds-checked slices; the unchecked 8-lane
+/// loads/stores only target `[f32; NR]` rows and `NR`-sized panel
+/// chunks, which are in range by construction.
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_micro_avx2<const MRR: usize>(
+    acc: &mut [[f32; NR]; MRR],
+    av: &[f32],
+    aidx: &mut [usize; MRR],
+    acs: usize,
+    panel: &[f32],
+) {
+    let steps = bound_a_reads::<MRR>(av, aidx, acs, panel);
+    let mut accv: [__m256; MRR] = core::array::from_fn(|r| _mm256_loadu_ps(acc[r].as_ptr()));
+    let mut off = 0usize;
+    for bp in panel.chunks_exact(NR) {
+        let b = _mm256_loadu_ps(bp.as_ptr());
+        for r in 0..MRR {
+            // SAFETY: bound_a_reads proved every aidx[r] + off in range.
+            let a = _mm256_set1_ps(*av.get_unchecked(aidx[r] + off));
+            accv[r] = _mm256_add_ps(accv[r], _mm256_mul_ps(a, b));
+        }
+        off += acs;
+    }
+    for r in 0..MRR {
+        aidx[r] += steps * acs;
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), accv[r]);
+    }
+}
+
+/// Proves every `A` read of a `steps`-deep tile pass is in bounds, so
+/// the hot loops can broadcast with `get_unchecked`, and keeps the
+/// per-step `aidx` read-modify-write (eight bounds checks and eight
+/// memory updates per `k` step in the 8-row tile) out of the inner
+/// loop. Returns the step count.
+///
+/// # Panics
+///
+/// Panics if any row's last `A` index would fall outside `av` — the
+/// same panic the safe indexing in the scalar reference raises.
+#[inline]
+fn bound_a_reads<const MRR: usize>(
+    av: &[f32],
+    aidx: &[usize; MRR],
+    acs: usize,
+    panel: &[f32],
+) -> usize {
+    let steps = panel.len() / NR;
+    if steps > 0 {
+        let last = (steps - 1) * acs;
+        for &i in aidx.iter() {
+            assert!(i + last < av.len(), "gemm_micro: A index out of range");
+        }
+    }
+    steps
+}
+
+/// SSE2 GEMM register tile: the AVX2 tile split into two four-lane
+/// halves; per lane the arithmetic is unchanged.
+///
+/// # Safety
+///
+/// SAFETY: the caller must guarantee the running CPU supports SSE2
+/// (always true on x86-64, kept explicit for the dispatch contract).
+/// Bounds as for [`gemm_micro_avx2`].
+#[target_feature(enable = "sse2")]
+pub unsafe fn gemm_micro_sse2<const MRR: usize>(
+    acc: &mut [[f32; NR]; MRR],
+    av: &[f32],
+    aidx: &mut [usize; MRR],
+    acs: usize,
+    panel: &[f32],
+) {
+    let steps = bound_a_reads::<MRR>(av, aidx, acs, panel);
+    let mut lo: [__m128; MRR] = core::array::from_fn(|r| _mm_loadu_ps(acc[r].as_ptr()));
+    let mut hi: [__m128; MRR] = core::array::from_fn(|r| _mm_loadu_ps(acc[r].as_ptr().add(4)));
+    let mut off = 0usize;
+    for bp in panel.chunks_exact(NR) {
+        let blo = _mm_loadu_ps(bp.as_ptr());
+        let bhi = _mm_loadu_ps(bp.as_ptr().add(4));
+        for r in 0..MRR {
+            // SAFETY: bound_a_reads proved every aidx[r] + off in range.
+            let a = _mm_set1_ps(*av.get_unchecked(aidx[r] + off));
+            lo[r] = _mm_add_ps(lo[r], _mm_mul_ps(a, blo));
+            hi[r] = _mm_add_ps(hi[r], _mm_mul_ps(a, bhi));
+        }
+        off += acs;
+    }
+    for ai in aidx.iter_mut() {
+        *ai += steps * acs;
+    }
+    for r in 0..MRR {
+        _mm_storeu_ps(acc[r].as_mut_ptr(), lo[r]);
+        _mm_storeu_ps(acc[r].as_mut_ptr().add(4), hi[r]);
+    }
+}
+
+/// FMA GEMM register tile: fuses each mul+add into a single rounding,
+/// so results differ from the scalar reference by bounded rounding
+/// error (covered by epsilon-compare tests, never by determinism
+/// pins). Compiled only under the `fast-math` feature and reached only
+/// through the explicit [`super::set_fast_math`] opt-in.
+///
+/// # Safety
+///
+/// SAFETY: the caller must guarantee the running CPU supports AVX2 and
+/// FMA. Bounds as for [`gemm_micro_avx2`].
+#[cfg(feature = "fast-math")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemm_micro_fma<const MRR: usize>(
+    acc: &mut [[f32; NR]; MRR],
+    av: &[f32],
+    aidx: &mut [usize; MRR],
+    acs: usize,
+    panel: &[f32],
+) {
+    let steps = bound_a_reads::<MRR>(av, aidx, acs, panel);
+    let mut accv: [__m256; MRR] = core::array::from_fn(|r| _mm256_loadu_ps(acc[r].as_ptr()));
+    let mut off = 0usize;
+    for bp in panel.chunks_exact(NR) {
+        let b = _mm256_loadu_ps(bp.as_ptr());
+        for r in 0..MRR {
+            // SAFETY: bound_a_reads proved every aidx[r] + off in range.
+            let a = _mm256_set1_ps(*av.get_unchecked(aidx[r] + off));
+            accv[r] = _mm256_fmadd_ps(a, b, accv[r]);
+        }
+        off += acs;
+    }
+    for r in 0..MRR {
+        aidx[r] += steps * acs;
+        _mm256_storeu_ps(acc[r].as_mut_ptr(), accv[r]);
+    }
+}
+
+/// AVX2 slice copy: eight lanes at a time plus a scalar tail. Exact.
+///
+/// # Safety
+///
+/// SAFETY: the caller must guarantee the running CPU supports AVX2 and
+/// that `dst.len() == src.len()` (the dispatcher asserts it); the
+/// vector loop stays within that shared length.
+#[target_feature(enable = "avx2")]
+pub unsafe fn copy_f32_avx2(dst: &mut [f32], src: &[f32]) {
+    let n = dst.len();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        _mm256_storeu_ps(
+            dst.as_mut_ptr().add(i),
+            _mm256_loadu_ps(src.as_ptr().add(i)),
+        );
+        i += 8;
+    }
+    dst[i..].copy_from_slice(&src[i..]);
+}
+
+/// AVX2 separable-convolution interior: eight output pixels per
+/// iteration; each lane runs the serial ascending-tap mul-add chain and
+/// one final division — bit-identical to the scalar reference.
+///
+/// # Safety
+///
+/// SAFETY: the caller must guarantee the running CPU supports AVX2 and
+/// that `src.len() >= (taps.len() - 1) * stride + dst.len()` (the
+/// dispatcher asserts it); with `i + 8 <= dst.len()` every
+/// `t * stride + i` load of eight lanes is then in range.
+#[target_feature(enable = "avx2")]
+pub unsafe fn conv_taps_avx2(dst: &mut [f32], src: &[f32], stride: usize, taps: &[f32], norm: f32) {
+    let normv = _mm256_set1_ps(norm);
+    let n = dst.len();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let mut acc = _mm256_setzero_ps();
+        for (t, &tw) in taps.iter().enumerate() {
+            let s = _mm256_loadu_ps(src.as_ptr().add(t * stride + i));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(tw), s));
+        }
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_div_ps(acc, normv));
+        i += 8;
+    }
+    scalar::conv_taps(&mut dst[i..], &src[i..], stride, taps, norm);
+}
+
+/// SSE2 separable-convolution interior: four lanes per iteration,
+/// otherwise identical to [`conv_taps_avx2`].
+///
+/// # Safety
+///
+/// SAFETY: as for [`conv_taps_avx2`], with SSE2 as the required
+/// feature and four-lane loads.
+#[target_feature(enable = "sse2")]
+pub unsafe fn conv_taps_sse2(dst: &mut [f32], src: &[f32], stride: usize, taps: &[f32], norm: f32) {
+    let normv = _mm_set1_ps(norm);
+    let n = dst.len();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let mut acc = _mm_setzero_ps();
+        for (t, &tw) in taps.iter().enumerate() {
+            let s = _mm_loadu_ps(src.as_ptr().add(t * stride + i));
+            acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(tw), s));
+        }
+        _mm_storeu_ps(dst.as_mut_ptr().add(i), _mm_div_ps(acc, normv));
+        i += 4;
+    }
+    scalar::conv_taps(&mut dst[i..], &src[i..], stride, taps, norm);
+}
+
+/// AVX2 int8 GEMM row kernel: eight i32 accumulator lanes held in a
+/// register across the whole `k` loop, widening each group of eight i8
+/// columns with `cvtepi8_epi32`. Integer arithmetic — exact.
+///
+/// # Safety
+///
+/// SAFETY: the caller must guarantee the running CPU supports AVX2,
+/// `row.len() == n`, and `cols.len() >= w.len() * n` (the dispatcher
+/// asserts both); the 8-byte column loads at `p * n + x` with
+/// `x + 8 <= n` are then in range.
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_i8_row_avx2(row: &mut [i32], w: &[i8], cols: &[i8], n: usize) {
+    let mut x = 0usize;
+    while x + 8 <= n {
+        let mut acc = _mm256_loadu_si256(row.as_ptr().add(x) as *const __m256i);
+        for (p, &wp) in w.iter().enumerate() {
+            if wp == 0 {
+                continue;
+            }
+            let wv = _mm256_set1_epi32(wp as i32);
+            let c8 = _mm_loadl_epi64(cols.as_ptr().add(p * n + x) as *const __m128i);
+            let cv = _mm256_cvtepi8_epi32(c8);
+            acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(wv, cv));
+        }
+        _mm256_storeu_si256(row.as_mut_ptr().add(x) as *mut __m256i, acc);
+        x += 8;
+    }
+    for (p, &wp) in w.iter().enumerate() {
+        if wp == 0 {
+            continue;
+        }
+        let wp = wp as i32;
+        for xi in x..n {
+            row[xi] += wp * cols[p * n + xi] as i32;
+        }
+    }
+}

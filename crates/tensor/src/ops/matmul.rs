@@ -17,8 +17,13 @@
 //! * **Blocking** — each parallel task walks `NC`-wide column blocks and
 //!   `KC`-deep k blocks over `MR × NR` register tiles (`MC` rows per
 //!   task, set by the `rhsd-par` chunk schedule). The micro-kernel keeps
-//!   an `MR × 8` accumulator array in registers and is fully unrolled at
-//!   `MR = 4`, which the compiler auto-vectorises 8 lanes wide.
+//!   an `MR × 8` accumulator array in registers; its inner loop is the
+//!   ISA-dispatched [`super::kernels::gemm_micro`] (scalar reference,
+//!   SSE2, or AVX2 — all bit-identical), and the tile height comes from
+//!   [`super::kernels::gemm_mr`] (4 on the scalar/SSE2 paths exactly as
+//!   before, 8 on AVX2 where sixteen ymm registers fit the taller tile —
+//!   a pure scheduling choice that never touches any element's
+//!   accumulation order).
 //! * **Sparse rows** — the old per-element `aval == 0.0` branch is gone
 //!   from the dense micro-kernel; instead each `MR`-row block is scanned
 //!   once, and blocks that are ≥ 75 % zeros take a separate
@@ -38,19 +43,17 @@
 //! output elements — so results are bit-identical at any thread count
 //! *and* to the pre-blocking kernel.
 
+use super::kernels;
+use super::kernels::NR;
 use crate::{workspace, Tensor};
 
-/// Micro-kernel register-tile height (rows of `A` per tile).
-const MR: usize = 4;
-/// Micro-kernel width (output columns per tile) — the 8-wide unroll.
-const NR: usize = 8;
 /// k-block depth: one `KC × NR` packed sub-panel stays L1-resident.
 const KC: usize = 256;
 /// Column-block width walked per k block (multiple of `NR`).
 const NC: usize = 2048;
 
-/// Zero fraction (×4) above which an `MR`-row block takes the
-/// skipping-row path: ≥ 3/4 zeros.
+/// Zero fraction (×4) above which a row block takes the skipping-row
+/// path: ≥ 3/4 zeros.
 const SPARSE_NUM: usize = 3;
 const SPARSE_DEN: usize = 4;
 
@@ -70,7 +73,7 @@ fn pack_b_nn(bv: &[f32], k: usize, n: usize, bp: &mut [f32]) {
             let w = NR.min(n - j0);
             for p in 0..k {
                 let dst = &mut strip[p * NR..p * NR + NR];
-                dst[..w].copy_from_slice(&bv[p * n + j0..p * n + j0 + w]);
+                kernels::copy_f32(&mut dst[..w], &bv[p * n + j0..p * n + j0 + w]);
                 dst[w..].fill(0.0);
             }
         }
@@ -78,7 +81,9 @@ fn pack_b_nn(bv: &[f32], k: usize, n: usize, bp: &mut [f32]) {
 }
 
 /// Packs `bᵀ` strips straight from row-major `b` (`[n, kp]`) — the
-/// transpose is folded into the packing pass.
+/// transpose is folded into the packing pass. This stays on scalar
+/// element moves: the strided gather is memory-bound and has no
+/// contiguous runs for a vector copy to exploit.
 fn pack_b_nt(bv: &[f32], kp: usize, n: usize, bp: &mut [f32]) {
     let n_strips = n.div_ceil(NR);
     let strips_per_task = rhsd_par::chunk_units(n_strips, 2 * kp.max(1) * NR);
@@ -109,7 +114,9 @@ fn pack_b_nt(bv: &[f32], kp: usize, n: usize, bp: &mut [f32]) {
 /// single accumulation chain exactly (f32 round-trips are lossless).
 /// `A` elements are addressed as `av[row · ars + p · acs]`, which serves
 /// both the normal (`ars = k, acs = 1`) and transposed
-/// (`ars = 1, acs = m`) left operand without a separate kernel.
+/// (`ars = 1, acs = m`) left operand without a separate kernel. The
+/// accumulation loop itself is [`kernels::gemm_micro`], dispatched once
+/// per process to the widest bit-identical ISA variant.
 #[inline(always)]
 // `r` indexes two parallel register arrays plus the output row
 // arithmetic; the explicit range keeps the unroll obvious.
@@ -127,7 +134,6 @@ fn micro<const MRR: usize>(
     p0: usize,
     panel: &[f32],
 ) {
-    let kc = panel.len() / NR;
     let mut acc = [[0.0f32; NR]; MRR];
     for r in 0..MRR {
         let start = (il + r) * n + jj;
@@ -137,18 +143,7 @@ fn micro<const MRR: usize>(
     for r in 0..MRR {
         aidx[r] = (i_abs + r) * ars + p0 * acs;
     }
-    let mut poff = 0usize;
-    for _ in 0..kc {
-        let bp = &panel[poff..poff + NR];
-        for r in 0..MRR {
-            let aval = av[aidx[r]];
-            aidx[r] += acs;
-            for (a, &b) in acc[r].iter_mut().zip(bp) {
-                *a += aval * b;
-            }
-        }
-        poff += NR;
-    }
+    kernels::gemm_micro(&mut acc, av, &mut aidx, acs, panel);
     for r in 0..MRR {
         let start = (il + r) * n + jj;
         c[start..start + w].copy_from_slice(&acc[r][..w]);
@@ -169,14 +164,18 @@ fn gemm_task(
     bv_sparse: Option<&[f32]>,
 ) {
     let m_t = rows.len() / n;
-    let nblocks = m_t.div_ceil(MR);
+    // Row-tile height for the active ISA (4 scalar/SSE2, 8 AVX2): pure
+    // scheduling — per-element accumulation chains are identical at any
+    // tiling, so this never affects results.
+    let mr_tile = kernels::gemm_mr();
+    let nblocks = m_t.div_ceil(mr_tile);
     // Per-task block map, sized by this task's row count — set up once
     // before the blocked loops (not per-iteration scratch).
     let mut dense = vec![true; nblocks];
     if let Some(bv) = bv_sparse {
         for (blk, dflag) in dense.iter_mut().enumerate() {
-            let il = blk * MR;
-            let mr = MR.min(m_t - il);
+            let il = blk * mr_tile;
+            let mr = mr_tile.min(m_t - il);
             let mut zeros = 0usize;
             for r in 0..mr {
                 let arow = &av[(i0 + il + r) * k..(i0 + il + r + 1) * k];
@@ -211,8 +210,8 @@ fn gemm_task(
                 if !dflag {
                     continue;
                 }
-                let il = blk * MR;
-                let mr = MR.min(m_t - il);
+                let il = blk * mr_tile;
+                let mr = mr_tile.min(m_t - il);
                 let i_abs = i0 + il;
                 let mut jj = j0;
                 let mut s = j0 / NR;
@@ -221,6 +220,10 @@ fn gemm_task(
                     let base = s * k * NR;
                     let panel = &bpack[base + p0 * NR..base + pend * NR];
                     match mr {
+                        8 => micro::<8>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
+                        7 => micro::<7>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
+                        6 => micro::<6>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
+                        5 => micro::<5>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
                         4 => micro::<4>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
                         3 => micro::<3>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
                         2 => micro::<2>(rows, n, il, jj, w, av, i_abs, ars, acs, p0, panel),
@@ -549,7 +552,7 @@ mod tests {
     fn noisy(shape: [usize; 2], seed: u64, zero_every: usize) -> Tensor {
         Tensor::from_fn(shape, |c| {
             let h = (seed ^ (c[0] as u64) << 32 ^ c[1] as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            if zero_every > 0 && h % zero_every as u64 == 0 {
+            if zero_every > 0 && h.is_multiple_of(zero_every as u64) {
                 0.0
             } else {
                 (h % 1999) as f32 / 500.0 - 2.0

@@ -7,7 +7,9 @@
 pub mod conv;
 pub mod deconv;
 pub mod elementwise;
+pub mod kernels;
 pub mod matmul;
 pub mod pool;
+pub mod quant;
 pub mod reduce;
 pub mod softmax;

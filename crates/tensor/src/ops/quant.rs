@@ -1,0 +1,393 @@
+//! Reduced-precision helpers for the inference-only scan path.
+//!
+//! Two independent schemes, both *inference-only* (no backward pass):
+//!
+//! * **bf16 weights** — [`round_bf16`] rounds an `f32` to the nearest
+//!   bfloat16-representable value (round-to-nearest-even) while keeping
+//!   the `f32` representation, so the whole f32 kernel stack runs
+//!   unchanged on coarsened weights.
+//! * **int8 stem activations** — symmetric quantisation: per-output-
+//!   channel weight scales ([`quantize_rows_symmetric`]), per-input-
+//!   channel activation scales, an int8 im2col whose zero padding is
+//!   exactly representable, an exact i32-accumulating k-split
+//!   [`kernels::gemm_i8`] (one group per input channel), and an f32
+//!   dequantise + bias epilogue ([`conv2d_i8`]).
+//!
+//! Everything here is deterministic at any thread count and on any ISA:
+//! quantisation is element-wise, the int8 GEMM is integer-exact, and
+//! the dequantise epilogue is element-wise f32 arithmetic.
+
+use super::kernels;
+use crate::ops::conv::ConvSpec;
+use crate::Tensor;
+
+/// Rounds an `f32` to the nearest bfloat16-representable value
+/// (round-to-nearest-even on the truncated 16 mantissa bits), returned
+/// as `f32`. Non-finite values pass through unchanged.
+pub fn round_bf16(v: f32) -> f32 {
+    if !v.is_finite() {
+        return v;
+    }
+    let bits = v.to_bits();
+    let round = ((bits >> 16) & 1) + 0x7FFF;
+    f32::from_bits(bits.wrapping_add(round) & 0xFFFF_0000)
+}
+
+/// Rounds every element of a slice to bf16 precision in place.
+pub fn round_bf16_slice(values: &mut [f32]) {
+    for v in values.iter_mut() {
+        *v = round_bf16(*v);
+    }
+}
+
+/// Symmetric int8 quantisation of one tensor: returns `(q, scale)` with
+/// `q[i] = clamp(round(v[i] / scale), -127, 127)` and
+/// `scale = max|v| / 127` (1.0 for an all-zero input, where every
+/// quantised value is 0 anyway).
+pub fn quantize_symmetric(values: &[f32]) -> (Vec<i8>, f32) {
+    let mut q = vec![0i8; values.len()];
+    let scale = quantize_symmetric_into(&mut q, values);
+    (q, scale)
+}
+
+/// [`quantize_symmetric`] into a caller-provided buffer (equal length);
+/// returns the scale.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths differ.
+pub fn quantize_symmetric_into(q: &mut [i8], values: &[f32]) -> f32 {
+    assert_eq!(q.len(), values.len(), "quantize_symmetric length mismatch");
+    let mut maxabs = 0.0f32;
+    for &v in values {
+        maxabs = maxabs.max(v.abs());
+    }
+    let scale = if maxabs > 0.0 { maxabs / 127.0 } else { 1.0 };
+    let inv = 1.0 / scale;
+    for (o, &v) in q.iter_mut().zip(values) {
+        *o = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+/// Per-row symmetric quantisation of a `[rows, k]` row-major matrix —
+/// per-output-channel scales for convolution weights. Returns the int8
+/// matrix and one scale per row.
+///
+/// # Panics
+///
+/// Panics unless `w.len()` is a multiple of `rows`.
+pub fn quantize_rows_symmetric(w: &[f32], rows: usize) -> (Vec<i8>, Vec<f32>) {
+    assert!(
+        rows > 0 && w.len().is_multiple_of(rows),
+        "quantize_rows_symmetric: {} values not divisible into {rows} rows",
+        w.len()
+    );
+    let k = w.len() / rows;
+    let mut q = vec![0i8; w.len()];
+    let mut scales = vec![0.0f32; rows];
+    for (r, scale) in scales.iter_mut().enumerate() {
+        *scale = quantize_symmetric_into(&mut q[r * k..(r + 1) * k], &w[r * k..(r + 1) * k]);
+    }
+    (q, scales)
+}
+
+/// Per-(row, group) symmetric quantisation of a `[rows, k]` row-major
+/// matrix: each row is split into `groups` equal chunks (for
+/// convolution weights, one chunk per *input* channel — `K²` taps) and
+/// every chunk gets its own scale. Returns the int8 matrix and a
+/// row-major `[rows, groups]` scale matrix.
+///
+/// A small filter aimed at one input channel no longer shares its
+/// quantisation step with the row's largest filter, which is what keeps
+/// the stem's int8 scan detection-identical to f32 on trained models.
+///
+/// # Panics
+///
+/// Panics unless `w.len()` divides evenly into `rows · groups` chunks.
+pub fn quantize_row_groups_symmetric(w: &[f32], rows: usize, groups: usize) -> (Vec<i8>, Vec<f32>) {
+    assert!(
+        rows > 0 && groups > 0 && w.len().is_multiple_of(rows * groups),
+        "quantize_row_groups_symmetric: {} values not divisible into {rows} x {groups} chunks",
+        w.len()
+    );
+    let chunk = w.len() / (rows * groups);
+    let mut q = vec![0i8; w.len()];
+    let mut scales = vec![0.0f32; rows * groups];
+    for (g, scale) in scales.iter_mut().enumerate() {
+        *scale = quantize_symmetric_into(
+            &mut q[g * chunk..(g + 1) * chunk],
+            &w[g * chunk..(g + 1) * chunk],
+        );
+    }
+    (q, scales)
+}
+
+/// Int8 [`im2col`](crate::ops::conv::im2col): unfolds an int8 `[C,H,W]`
+/// plane set into `[C·K·K, H_out·W_out]` columns. Out-of-bounds taps
+/// stay 0 — the zero-padding value is exactly representable in the
+/// symmetric scheme.
+fn im2col_i8_into(out: &mut [i8], iv: &[i8], c: usize, h: usize, w: usize, spec: ConvSpec) {
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
+    let ncols = oh * ow;
+    let plane = k * k * ncols;
+    if plane == 0 {
+        return;
+    }
+    // Same channel-parallel decomposition as the f32 im2col: channel
+    // `ci` owns rows `ci·K·K .. (ci+1)·K·K`; moves are pure copies.
+    let ch_per_task = rhsd_par::chunk_units(c, plane);
+    rhsd_par::for_each_mut(out, ch_per_task * plane, |ti, piece| {
+        let c0 = ti * ch_per_task;
+        for (dc, chan) in piece.chunks_mut(plane).enumerate() {
+            let ci = c0 + dc;
+            for ky in 0..k {
+                for kx in 0..k {
+                    let base = (ky * k + kx) * ncols;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let irow = (ci * h + iy as usize) * w;
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            chan[base + oy * ow + ox] = iv[irow + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Int8 forward convolution for the quantised stem:
+/// `[C_in,H,W] (f32) ⊛ int8 weights → [C_out,H',W'] (f32)`.
+///
+/// The activation tensor is quantised per call with one symmetric
+/// scale *per input channel* (group-wise: one channel's dynamic range
+/// never coarsens another's), the weights arrive pre-quantised (`wq`
+/// row-major `[C_out, C_in·K²]` with a `[C_out, C_in]` scale matrix
+/// from [`quantize_row_groups_symmetric`]), and the GEMM is split along
+/// `k` into per-input-channel groups: each group accumulates in exact
+/// i32, then is dequantised with `s_act[ci] · s_w[co][ci]` and added
+/// into the f32 output (bias first, then ascending `ci` — a fixed
+/// order, so the sum is deterministic at any thread count and on any
+/// ISA).
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches between `input`, the weight matrix
+/// dimensions and `spec`.
+pub fn conv2d_i8(
+    input: &Tensor,
+    wq: &[i8],
+    wscales: &[f32],
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Tensor {
+    assert_eq!(
+        input.rank(),
+        3,
+        "conv2d_i8 input must be [C,H,W], got {}",
+        input.shape()
+    );
+    let (c_in, h, w) = (input.dim(0), input.dim(1), input.dim(2));
+    let ckk = c_in * spec.kernel * spec.kernel;
+    assert!(
+        ckk > 0 && wq.len().is_multiple_of(ckk),
+        "conv2d_i8 weight matrix {} not divisible into rows of {ckk}",
+        wq.len()
+    );
+    let c_out = wq.len() / ckk;
+    assert_eq!(
+        wscales.len(),
+        c_out * c_in,
+        "conv2d_i8 scale matrix {} != {c_out} x {c_in}",
+        wscales.len()
+    );
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let ncols = oh * ow;
+
+    // Quantise each input channel with its own symmetric scale, then
+    // unfold. The int8 scratch is per-call heap (the f32 workspace pool
+    // is f32-typed); these buffers are tiny next to the f32 column
+    // matrix they replace.
+    let plane = h * w;
+    let mut qin = vec![0i8; c_in * plane];
+    let mut s_act = vec![0.0f32; c_in];
+    for (ci, s) in s_act.iter_mut().enumerate() {
+        *s = quantize_symmetric_into(
+            &mut qin[ci * plane..(ci + 1) * plane],
+            &input.as_slice()[ci * plane..(ci + 1) * plane],
+        );
+    }
+    let mut cols = vec![0i8; ckk * ncols];
+    im2col_i8_into(&mut cols, &qin, c_in, h, w, spec);
+
+    if let Some(b) = bias {
+        assert_eq!(
+            b.dims(),
+            &[c_out],
+            "bias must be [C_out], got {}",
+            b.shape()
+        );
+    }
+    let mut out = vec![0.0f32; c_out * ncols];
+    if let Some(b) = bias {
+        for (co, &bval) in b.as_slice().iter().enumerate() {
+            out[co * ncols..(co + 1) * ncols].fill(bval);
+        }
+    }
+
+    // k-split GEMM: channel `ci` owns weight columns and unfold rows
+    // `ci·K² .. (ci+1)·K²`. Each group's i32 partial is exact; the f32
+    // combine walks channels in ascending order.
+    let kk = spec.kernel * spec.kernel;
+    let mut wg = vec![0i8; c_out * kk];
+    let mut acc = vec![0i32; c_out * ncols];
+    for (ci, &sa) in s_act.iter().enumerate() {
+        for co in 0..c_out {
+            let src = co * ckk + ci * kk;
+            wg[co * kk..(co + 1) * kk].copy_from_slice(&wq[src..src + kk]);
+        }
+        acc.fill(0);
+        let group = &cols[ci * kk * ncols..(ci + 1) * kk * ncols];
+        kernels::gemm_i8(&mut acc, &wg, c_out, kk, ncols, group);
+        for co in 0..c_out {
+            let deq = sa * wscales[co * c_in + ci];
+            let arow = &acc[co * ncols..(co + 1) * ncols];
+            for (o, &a) in out[co * ncols..(co + 1) * ncols].iter_mut().zip(arow) {
+                *o += a as f32 * deq;
+            }
+        }
+    }
+    let out = Tensor::from_parts([c_out, oh, ow], out);
+    crate::invariants::check_finite("conv2d_i8", &out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::conv::conv2d;
+
+    #[test]
+    fn round_bf16_known_values() {
+        // Values exactly representable in bf16 pass through.
+        for v in [0.0f32, -0.0, 1.0, -2.5, 0.5, 128.0] {
+            assert_eq!(round_bf16(v).to_bits(), v.to_bits(), "{v}");
+        }
+        // 1 + 2^-9 is halfway between 1.0 and the next bf16 value
+        // 1 + 2^-7... not halfway; use explicit bit patterns instead:
+        // 0x3F80_8000 is exactly halfway between 0x3F80_0000 (1.0) and
+        // 0x3F81_0000 — ties go to even (0x3F80_0000).
+        assert_eq!(
+            round_bf16(f32::from_bits(0x3F80_8000)).to_bits(),
+            0x3F80_0000
+        );
+        // 0x3F81_8000 is halfway between 0x3F81 and 0x3F82 — even is 0x3F82.
+        assert_eq!(
+            round_bf16(f32::from_bits(0x3F81_8000)).to_bits(),
+            0x3F82_0000
+        );
+        // Just above halfway rounds up.
+        assert_eq!(
+            round_bf16(f32::from_bits(0x3F80_8001)).to_bits(),
+            0x3F81_0000
+        );
+        // Non-finite passes through.
+        assert!(round_bf16(f32::NAN).is_nan());
+        assert_eq!(round_bf16(f32::INFINITY), f32::INFINITY);
+    }
+
+    #[test]
+    fn round_bf16_error_is_bounded() {
+        for i in 0..1000 {
+            let v = (i as f32 - 500.0) * 0.317;
+            let r = round_bf16(v);
+            // bf16 has 8 significand bits → relative error ≤ 2^-9.
+            assert!(
+                (r - v).abs() <= v.abs() / 256.0 + f32::MIN_POSITIVE,
+                "{v} -> {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_symmetric_roundtrips_extremes() {
+        let v = [0.0f32, 1.0, -2.0, 0.5, 2.0];
+        let (q, s) = quantize_symmetric(&v);
+        assert_eq!(q[4], 127); // maxabs maps to 127
+        assert_eq!(q[2], -127);
+        assert_eq!(q[0], 0);
+        assert!((q[1] as f32 * s - 1.0).abs() <= s);
+        let (qz, sz) = quantize_symmetric(&[0.0, 0.0]);
+        assert_eq!(qz, vec![0, 0]);
+        assert_eq!(sz, 1.0);
+    }
+
+    #[test]
+    fn quantize_rows_uses_independent_scales() {
+        let w = [1.0f32, -1.0, 100.0, 50.0];
+        let (q, s) = quantize_rows_symmetric(&w, 2);
+        assert_eq!(q, vec![127, -127, 127, 64]);
+        assert!((s[0] - 1.0 / 127.0).abs() < 1e-9);
+        assert!((s[1] - 100.0 / 127.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantize_row_groups_keeps_small_groups_precise() {
+        // Row 0: group scales 1/127 and 100/127 — the small group keeps
+        // full int8 resolution instead of collapsing to ±1 steps of the
+        // row maximum.
+        let w = [1.0f32, -1.0, 100.0, 50.0];
+        let (q, s) = quantize_row_groups_symmetric(&w, 1, 2);
+        assert_eq!(q, vec![127, -127, 127, 64]);
+        assert_eq!(s.len(), 2);
+        assert!((s[0] - 1.0 / 127.0).abs() < 1e-9);
+        assert!((s[1] - 100.0 / 127.0).abs() < 1e-6);
+        // One group per row degenerates to the per-row scheme.
+        let (qr, sr) = quantize_rows_symmetric(&w, 2);
+        let (qg, sg) = quantize_row_groups_symmetric(&w, 2, 1);
+        assert_eq!(qr, qg);
+        assert_eq!(sr, sg);
+    }
+
+    #[test]
+    fn conv2d_i8_approximates_f32_conv() {
+        let x = Tensor::from_fn([2, 6, 6], |c| {
+            ((c[0] * 31 + c[1] * 7 + c[2] * 3) % 17) as f32 / 8.0 - 1.0
+        });
+        let wt = Tensor::from_fn([3, 2, 3, 3], |c| {
+            ((c[0] * 13 + c[1] * 5 + c[2] * 11 + c[3]) % 23) as f32 / 11.0 - 1.0
+        });
+        let b = Tensor::from_vec([3], vec![0.1, -0.2, 0.3]).unwrap();
+        let spec = ConvSpec::same(3);
+        let exact = conv2d(&x, &wt, Some(&b), spec);
+        let (wq, ws) = quantize_row_groups_symmetric(wt.as_slice(), 3, 2);
+        let approx = conv2d_i8(&x, &wq, &ws, Some(&b), spec);
+        assert_eq!(approx.dims(), exact.dims());
+        // Error bound: each product's relative error ~2/127; receptive
+        // fields sum ≤ 18 terms of magnitude ≤ ~1.
+        for (a, e) in approx.as_slice().iter().zip(exact.as_slice()) {
+            assert!((a - e).abs() < 0.35, "int8 {a} vs f32 {e}");
+        }
+    }
+
+    #[test]
+    fn conv2d_i8_is_deterministic_across_calls() {
+        let x = Tensor::from_fn([1, 8, 8], |c| ((c[1] * 8 + c[2]) % 13) as f32 - 6.0);
+        let wt = Tensor::from_fn([2, 1, 3, 3], |c| (c[0] + c[2] + c[3]) as f32 * 0.25 - 0.5);
+        let (wq, ws) = quantize_row_groups_symmetric(wt.as_slice(), 2, 1);
+        let spec = ConvSpec::same(3);
+        let a = conv2d_i8(&x, &wq, &ws, None, spec);
+        let b = conv2d_i8(&x, &wq, &ws, None, spec);
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+    }
+}

@@ -1,0 +1,92 @@
+//! Reduced-precision scan contract: lowering a trained detector to
+//! bf16 or int8 is inference-only, one-way, deterministic, and stays
+//! within the advertised accuracy envelope of the f32 reference
+//! (|Δaccuracy| ≤ 0.5pt, |Δfalse alarms| ≤ 0.5 — the same bounds the
+//! CI `bench-diff --max-accuracy-delta` gate enforces on the quick
+//! repro).
+//!
+//! One shared demo-scale training run feeds every test: training always
+//! happens in f32; only the scan path is lowered.
+
+use rand::SeedableRng;
+use rhsd::core::{train, Precision, RegionDetector, RhsdConfig, RhsdNetwork, TrainConfig};
+use rhsd::data::{train_regions, Benchmark, RegionConfig};
+use rhsd::layout::synth::CaseId;
+
+/// Trains the tiny demo network once (deterministic: fixed seed, fixed
+/// schedule) and returns it with the region geometry.
+fn trained_demo() -> (RhsdNetwork, RegionConfig, Benchmark) {
+    let bench = Benchmark::demo(CaseId::Case2);
+    let region = RegionConfig::demo();
+    let mut samples = train_regions(&bench, &region);
+    samples.truncate(6);
+    let mut cfg = RhsdConfig::tiny();
+    cfg.region_px = region.region_px;
+    cfg.clip_px = region.clip_px;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+    let mut net = RhsdNetwork::new(cfg, &mut rng);
+    train(&mut net, &samples, &TrainConfig::tiny());
+    (net, region, bench)
+}
+
+fn scan(
+    net: &RhsdNetwork,
+    region: &RegionConfig,
+    bench: &Benchmark,
+    precision: Precision,
+) -> (f64, usize) {
+    let mut detector = RegionDetector::new(net.clone(), *region);
+    detector.set_precision(precision);
+    assert_eq!(detector.precision(), precision);
+    let result = detector.scan_test_half(bench);
+    (
+        result.evaluation.accuracy() * 100.0,
+        result.evaluation.false_alarms,
+    )
+}
+
+/// int8 (quantised stem) and bf16 (rounded weights) scans must land
+/// within the envelope the quantisation path promises: at most half an
+/// accuracy point and half a false alarm away from the f32 scan.
+#[test]
+fn lowered_scans_stay_within_the_accuracy_envelope() {
+    let (net, region, bench) = trained_demo();
+    let (acc_f32, fa_f32) = scan(&net, &region, &bench, Precision::F32);
+    for precision in [Precision::Bf16, Precision::Int8] {
+        let (acc, fa) = scan(&net, &region, &bench, precision);
+        let dacc = (acc - acc_f32).abs();
+        let dfa = (fa as f64 - fa_f32 as f64).abs();
+        assert!(
+            dacc <= 0.5,
+            "{precision}: accuracy {acc:.2} vs f32 {acc_f32:.2} (|Δ| = {dacc:.2}pt > 0.5)"
+        );
+        assert!(dfa <= 0.5, "{precision}: false alarms {fa} vs f32 {fa_f32}");
+    }
+}
+
+/// Lowered scans are still deterministic: two scans of the same
+/// benchmark with the same lowered detector agree exactly, and two
+/// independently lowered detectors agree with each other.
+#[test]
+fn lowered_scans_are_deterministic() {
+    let (net, region, bench) = trained_demo();
+    for precision in [Precision::Bf16, Precision::Int8] {
+        let a = scan(&net, &region, &bench, precision);
+        let b = scan(&net, &region, &bench, precision);
+        assert_eq!(a, b, "{precision} scan must be reproducible");
+    }
+}
+
+/// Lowering is one-way: a quantised detector cannot be raised back to
+/// f32 (the rounded weights are gone) — reload the f32 model instead.
+#[test]
+#[should_panic(expected = "lowering is one-way")]
+fn raising_precision_back_panics() {
+    let (net, region, _bench) = trained_demo();
+    let mut detector = RegionDetector::new(net, region);
+    detector.set_precision(Precision::Int8);
+    // Re-asserting the current precision is a no-op…
+    detector.set_precision(Precision::Int8);
+    // …but going back up is a contract violation.
+    detector.set_precision(Precision::F32);
+}

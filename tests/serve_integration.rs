@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rhsd::core::{persist, RhsdConfig, RhsdNetwork};
+use rhsd::core::{persist, Precision, RhsdConfig, RhsdNetwork};
 use rhsd::layout::synth::CaseId;
 use rhsd::serve::proto::{scan_response_json, Half};
 use rhsd::serve::{offline_scan, Client, Request, ServeConfig, Server};
@@ -26,9 +26,14 @@ fn saved_model(tag: &str) -> PathBuf {
 }
 
 fn start(model: &Path) -> Server {
+    start_at(model, Precision::F32)
+}
+
+fn start_at(model: &Path, precision: Precision) -> Server {
     Server::start(&ServeConfig {
         model: model.to_path_buf(),
         port: 0,
+        precision,
     })
     .expect("server must start on an ephemeral port")
 }
@@ -37,7 +42,7 @@ fn start(model: &Path) -> Server {
 fn served_scan_is_bit_identical_to_offline_scan() {
     let model = saved_model("bitident");
     let expected = {
-        let result = offline_scan(&model, CaseId::Case2, Half::Test).unwrap();
+        let result = offline_scan(&model, CaseId::Case2, Half::Test, Precision::F32).unwrap();
         scan_response_json(CaseId::Case2, Half::Test, &result)
     };
     assert!(
@@ -78,7 +83,7 @@ fn concurrent_clients_all_get_exact_results() {
     let expected: Vec<String> = cases
         .iter()
         .map(|&c| {
-            let r = offline_scan(&model, c, Half::Test).unwrap();
+            let r = offline_scan(&model, c, Half::Test, Precision::F32).unwrap();
             scan_response_json(c, Half::Test, &r)
         })
         .collect();
@@ -113,6 +118,40 @@ fn concurrent_clients_all_get_exact_results() {
     drop(control);
     let summary = server.wait();
     assert_eq!(summary.requests, 6); // 4 scans + stats + shutdown
+    std::fs::remove_file(&model).ok();
+}
+
+#[test]
+fn int8_served_scan_matches_int8_offline_scan_and_reports_precision() {
+    let model = saved_model("int8");
+    let expected = {
+        let result = offline_scan(&model, CaseId::Case2, Half::Test, Precision::Int8).unwrap();
+        scan_response_json(CaseId::Case2, Half::Test, &result)
+    };
+
+    let server = start_at(&model, Precision::Int8);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let served = client.scan(CaseId::Case2, Half::Test).unwrap();
+    assert_eq!(
+        served, expected,
+        "int8 is integer-exact, so serving must still be bit-identical to offline"
+    );
+
+    // Stats and info report the active precision and a nonempty ISA tag.
+    let stats = client.stats().unwrap();
+    let v = rhsd::obs::json::parse(&stats).unwrap();
+    let sfield = |k: &str| {
+        v.get(k)
+            .and_then(rhsd::obs::json::Value::as_str)
+            .unwrap_or_default()
+            .to_owned()
+    };
+    assert_eq!(sfield("precision"), "int8");
+    assert!(!sfield("isa").is_empty(), "{stats}");
+
+    client.shutdown().unwrap();
+    drop(client);
+    server.wait();
     std::fs::remove_file(&model).ok();
 }
 
@@ -160,6 +199,7 @@ fn wrong_model_geometry_is_a_typed_startup_error() {
     let err = match Server::start(&ServeConfig {
         model: path.clone(),
         port: 0,
+        precision: Precision::F32,
     }) {
         Err(e) => e,
         Ok(_) => unreachable!("64-px model must not serve"),

@@ -1,7 +1,7 @@
 //! The `cargo xtask lint` driver.
 //!
 //! Walks `crates/*/src/**/*.rs` under the workspace root, runs rules
-//! L1–L12 over each file (token engine: [`lex`], [`scope`],
+//! L1–L13 over each file (token engine: [`lex`], [`scope`],
 //! [`source`]), filters violations through the allowlist file and
 //! inline `// lint:allow(<rule>)` markers, and renders a report as
 //! text, `rhsd-lint-report/1` JSON or GitHub workflow annotations.
@@ -22,7 +22,7 @@ use source::SourceFile;
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Rule id (`L1`..`L12`).
+    /// Rule id (`L1`..`L13`).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,

@@ -1,4 +1,4 @@
-//! The workspace lint rules L1–L12.
+//! The workspace lint rules L1–L13.
 //!
 //! Each rule walks a [`SourceFile`]'s token stream and scope facts and
 //! returns violations. Rationale and the escape hatch for every rule
@@ -42,6 +42,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Violation> {
     v.extend(l9_lock_discipline(file, &sig, &scope));
     v.extend(l10_safety_contracts(file));
     v.extend(l11_shape_cross_check(file, &scope));
+    v.extend(l13_isa_containment(file, &sig));
     v
 }
 
@@ -712,6 +713,89 @@ fn l11_shape_cross_check(file: &SourceFile, scope: &FileScope) -> Vec<Violation>
     out
 }
 
+/// Paths allowed to contain ISA-specific code: the runtime-dispatched
+/// SIMD micro-kernels and the litho aerial kernel file (whitelisted for
+/// a future fused taps path).
+const L13_ISA_PREFIX: &str = "crates/tensor/src/ops/kernels/";
+const L13_ISA_FILES: &[&str] = &["crates/litho/src/kernel.rs"];
+
+/// The one file allowed to probe CPU features: the `Isa` selector.
+const L13_DETECT_FILE: &str = "crates/tensor/src/ops/kernels/mod.rs";
+
+/// L13: ISA-specific code is contained in the kernels module.
+///
+/// `core::arch`/`std::arch` paths, `_mm*` intrinsics and
+/// `#[target_feature]` may appear only under
+/// `crates/tensor/src/ops/kernels/` (plus the whitelisted litho kernel
+/// file), and `is_x86_feature_detected!` only in the selector
+/// (`kernels/mod.rs`): every other dispatch site must go through the
+/// single `rhsd_tensor::ops::kernels::Isa` selector so forced-scalar
+/// mode (`RHSD_FORCE_SCALAR=1`) and the bitwise scalar/SIMD equivalence
+/// tests cover *all* vector code. `unsafe` inside the kernels still
+/// needs its `// SAFETY:` comment — that is L10's department.
+fn l13_isa_containment(file: &SourceFile, sig: &Sig) -> Vec<Violation> {
+    let allowed = file.rel_path.starts_with(L13_ISA_PREFIX)
+        || L13_ISA_FILES.contains(&file.rel_path.as_str());
+    let may_detect = file.rel_path == L13_DETECT_FILE;
+    if allowed && may_detect {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, t) in sig.toks.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let name = t.text(sig.src);
+        if !may_detect && name == "is_x86_feature_detected" {
+            out.push(violation(
+                file,
+                "L13",
+                sig.span(i),
+                "CPU feature probing outside the Isa selector; dispatch through \
+                 `rhsd_tensor::ops::kernels::isa()` so forced-scalar mode stays authoritative"
+                    .to_owned(),
+            ));
+            continue;
+        }
+        if allowed {
+            continue;
+        }
+        if (name == "core" || name == "std") && sig.match_path(i, &[name, "arch"]).is_some() {
+            out.push(violation(
+                file,
+                "L13",
+                sig.span(i),
+                format!(
+                    "`{name}::arch` outside `{L13_ISA_PREFIX}`; ISA-specific code lives in the \
+                     kernels module behind the Isa selector"
+                ),
+            ));
+        } else if name.starts_with("_mm") {
+            out.push(violation(
+                file,
+                "L13",
+                sig.span(i),
+                format!(
+                    "intrinsic `{name}` outside `{L13_ISA_PREFIX}`; call the dispatched \
+                     kernels (`gemm_micro`, `copy_f32`, `conv_taps`, …) instead"
+                ),
+            ));
+        } else if name == "target_feature" {
+            out.push(violation(
+                file,
+                "L13",
+                sig.span(i),
+                format!(
+                    "`#[target_feature]` outside `{L13_ISA_PREFIX}`; feature-gated fns belong \
+                     next to the kernels so the scalar reference stays side by side"
+                ),
+            ));
+        }
+    }
+    out.sort_by_key(|v| v.span.0);
+    out
+}
+
 /// Byte offsets of word-boundary occurrences of `word` in `code`.
 fn word_offsets<'a>(code: &'a str, word: &'a str) -> impl Iterator<Item = usize> + 'a {
     let bytes = code.as_bytes();
@@ -1150,6 +1234,42 @@ mod tests {
         assert_eq!(rules(&v), vec!["L12"]);
         // Not on the curated hot-path list → no rule.
         assert!(lint("crates/core/src/train.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn l13_flags_isa_code_outside_kernels() {
+        let bad = "// SAFETY: test fixture.\n\
+             #[target_feature(enable = \"avx2\")]\n\
+             unsafe fn f(a: &[f32]) { use core::arch::x86_64::*; let _ = _mm256_setzero_ps(); }\n\
+             fn g() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }\n";
+        let v = lint("crates/nn/src/layers/conv2d.rs", bad);
+        // target_feature, core::arch, _mm256…, std::arch, the probe macro.
+        assert_eq!(rules(&v), vec!["L13"; 5], "{v:?}");
+        assert!(v[0].message.contains("target_feature"), "{v:?}");
+        assert!(
+            v.iter().any(|x| x.message.contains("Isa selector")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn l13_allows_the_kernels_module_and_litho_kernel() {
+        let simd = "// SAFETY: test fixture.\n\
+             #[target_feature(enable = \"avx2\")]\n\
+             unsafe fn f() { use core::arch::x86_64::*; let _ = _mm256_setzero_ps(); }\n";
+        assert!(lint("crates/tensor/src/ops/kernels/x86.rs", simd).is_empty());
+        assert!(lint("crates/litho/src/kernel.rs", simd).is_empty());
+        // Feature probing is narrower still: selector file only.
+        let probe = "fn s() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }\n";
+        assert!(lint("crates/tensor/src/ops/kernels/mod.rs", probe).is_empty());
+        let v = lint("crates/tensor/src/ops/kernels/x86.rs", probe);
+        assert_eq!(rules(&v), vec!["L13"]);
+        // Outside the kernels tree both the `std::arch` path and the
+        // probe itself fire.
+        assert_eq!(
+            rules(&lint("crates/litho/src/aerial.rs", probe)),
+            vec!["L13"; 2]
+        );
     }
 
     #[test]

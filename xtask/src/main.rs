@@ -24,7 +24,7 @@ usage: cargo xtask <task>
 tasks:
   lint [--root <dir>] [--allowlist <file>] [--format <fmt>]
        [--out <file>] [--check-allow]
-      Run the workspace lint rules (L1-L12) over crates/*/src/**/*.rs
+      Run the workspace lint rules (L1-L13) over crates/*/src/**/*.rs
       on the token engine (lexer + scope parser).
       --root         workspace root (default: parent of the xtask crate)
       --allowlist    allowlist file (default: <root>/xtask/lint.allow)
@@ -36,7 +36,9 @@ tasks:
 
   microbench [--quick] [--threads <n>] [--out <file>]
       Time the hot kernels (packed GEMM, im2col conv, litho aerial) over
-      a fixed shape table and write a `rhsd-microbench/1` JSON record.
+      a fixed shape table — each case twice, scalar-forced then with the
+      detected ISA, recording the speedup — and write a
+      `rhsd-microbench/2` JSON record.
       --quick    small shape table / few reps (CI smoke mode)
       --threads  rhsd-par pool size (default: machine default)
       --out      output path (default: <workspace root>/MICROBENCH.json)
@@ -71,6 +73,11 @@ tasks:
                                    in the current record averages below
                                    <pct> percent accuracy (catches
                                    silently collapsed models)
+      --max-accuracy-delta <pt>    opt-in symmetric gate: fail when any
+                                   detector's accuracy moves more than
+                                   <pt> points or its false-alarm count
+                                   moves more than <pt> in either
+                                   direction (quantised-vs-f32 checks)
 
   report [<ledger.jsonl>] [--profile <collapsed>] [--top <n>]
          [--html <out.html>]

@@ -14,6 +14,14 @@
 //! mean wall time are recorded. The minimum is the stable
 //! noise-resistant statistic; the mean surfaces allocator or scheduling
 //! jitter. A `--quick` mode shrinks the rep counts for CI.
+//!
+//! Since `rhsd-microbench/2` every case is timed twice — once with the
+//! kernel dispatcher forced to the scalar reference path and once on the
+//! detected ISA — and carries `scalar_best_secs` plus the derived
+//! `speedup` column (scalar best / dispatched best), so the SIMD win is
+//! measured in the same record that tracks absolute times. Under
+//! `RHSD_FORCE_SCALAR=1` both passes run the scalar path and the
+//! speedup hovers at 1.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -23,6 +31,7 @@ use std::time::Instant;
 use rhsd_litho::aerial::aerial_image;
 use rhsd_litho::GaussianKernel;
 use rhsd_tensor::ops::conv::{conv2d, ConvSpec};
+use rhsd_tensor::ops::kernels::{self, Isa};
 use rhsd_tensor::ops::matmul::matmul;
 use rhsd_tensor::Tensor;
 
@@ -34,10 +43,15 @@ struct Case {
     shape: String,
     /// Timed repetitions (after one warm-up).
     reps: usize,
-    /// Fastest observed wall time.
+    /// Fastest observed wall time on the dispatched ISA.
     best_secs: f64,
-    /// Mean wall time over the reps.
+    /// Mean wall time over the reps on the dispatched ISA.
     mean_secs: f64,
+    /// Fastest observed wall time with dispatch forced to the scalar
+    /// reference kernels.
+    scalar_best_secs: f64,
+    /// `scalar_best_secs / best_secs` — the SIMD win for this shape.
+    speedup: f64,
 }
 
 /// Deterministic pseudo-random fill, matching the style of the
@@ -59,7 +73,7 @@ fn filled(dims: &[usize], seed: u64) -> Tensor {
 
 /// Times `f` over `reps` iterations after one warm-up call; a volatile
 /// checksum of each result keeps the optimiser honest.
-fn time_case(reps: usize, mut f: impl FnMut() -> Tensor) -> (f64, f64) {
+fn time_case(reps: usize, f: &mut impl FnMut() -> Tensor) -> (f64, f64) {
     let warm = f();
     std::hint::black_box(warm.as_slice().first().copied());
     let mut best = f64::INFINITY;
@@ -75,7 +89,32 @@ fn time_case(reps: usize, mut f: impl FnMut() -> Tensor) -> (f64, f64) {
     (best, total / reps as f64)
 }
 
+/// Times one shape twice — scalar-forced, then on `active` — and folds
+/// both into a [`Case`] row. Dispatch is left on `active` afterwards.
+fn timed(
+    active: Isa,
+    kernel: &'static str,
+    shape: String,
+    reps: usize,
+    mut f: impl FnMut() -> Tensor,
+) -> Case {
+    kernels::set_isa(Isa::Scalar);
+    let (scalar_best, _) = time_case(reps, &mut f);
+    kernels::set_isa(active);
+    let (best, mean) = time_case(reps, &mut f);
+    Case {
+        kernel,
+        shape,
+        reps,
+        best_secs: best,
+        mean_secs: mean,
+        scalar_best_secs: scalar_best,
+        speedup: scalar_best / best.max(1e-12),
+    }
+}
+
 fn run_cases(quick: bool) -> Vec<Case> {
+    let active = kernels::isa();
     let mut cases = Vec::new();
 
     // GEMM shapes: a square sweep plus the tall-skinny im2col shape the
@@ -93,15 +132,42 @@ fn run_cases(quick: bool) -> Vec<Case> {
     for &(m, k, n, reps) in gemm_shapes {
         let a = filled(&[m, k], 1);
         let b = filled(&[k, n], 2);
-        let (best, mean) = time_case(reps, || matmul(&a, &b));
-        cases.push(Case {
-            kernel: "matmul",
-            shape: format!("{m}x{k}*{k}x{n}"),
+        cases.push(timed(
+            active,
+            "matmul",
+            format!("{m}x{k}*{k}x{n}"),
             reps,
-            best_secs: best,
-            mean_secs: mean,
-        });
+            || matmul(&a, &b),
+        ));
     }
+
+    // The register-tile micro-kernel in isolation: a fixed 8×NR tile
+    // accumulated ascending-k over one packed panel, re-run `iters`
+    // times per timed call. The full `matmul` rows above dilute the
+    // dispatch win with packing, im2col layout and the zero-skip edge
+    // paths; this row times exactly the loop the ISA selector swaps.
+    let (kc, iters, reps) = if quick {
+        (256, 400, 8)
+    } else {
+        (256, 2000, 20)
+    };
+    let av: Vec<f32> = (0..kc + 8).map(|i| noise(7, i)).collect();
+    let panel: Vec<f32> = (0..kc * kernels::NR).map(|i| noise(8, i)).collect();
+    cases.push(timed(
+        active,
+        "gemm_micro",
+        format!("8x{}xkc{kc} x{iters}", kernels::NR),
+        reps,
+        move || {
+            let mut acc = [[0.0f32; kernels::NR]; 8];
+            for _ in 0..iters {
+                let mut idx: [usize; 8] = std::array::from_fn(|r| r);
+                kernels::gemm_micro(&mut acc, &av, &mut idx, 1, &panel);
+            }
+            let flat: Vec<f32> = acc.iter().flatten().copied().collect();
+            Tensor::from_vec([8, kernels::NR], flat).expect("tile shape matches")
+        },
+    ));
 
     // Conv shapes mirroring the extractor stem (3x3, stride 1, pad 1).
     let conv_shapes: &[(usize, usize, usize, usize)] = if quick {
@@ -114,14 +180,13 @@ fn run_cases(quick: bool) -> Vec<Case> {
         let input = filled(&[c_in, hw, hw], 3);
         let weight = filled(&[c_out, c_in, 3, 3], 4);
         let bias = filled(&[c_out], 5);
-        let (best, mean) = time_case(reps, || conv2d(&input, &weight, Some(&bias), spec));
-        cases.push(Case {
-            kernel: "conv2d",
-            shape: format!("{c_in}x{hw}x{hw}->{c_out} k3s1p1"),
+        cases.push(timed(
+            active,
+            "conv2d",
+            format!("{c_in}x{hw}x{hw}->{c_out} k3s1p1"),
             reps,
-            best_secs: best,
-            mean_secs: mean,
-        });
+            || conv2d(&input, &weight, Some(&bias), spec),
+        ));
     }
 
     // Aerial shapes at the EUV nominal sigma (region-raster scale).
@@ -133,14 +198,13 @@ fn run_cases(quick: bool) -> Vec<Case> {
     for &(px, reps) in aerial_shapes {
         let mask = filled(&[1, px, px], 6);
         let kernel = GaussianKernel::new(3.75);
-        let (best, mean) = time_case(reps, || aerial_image(&mask, &kernel));
-        cases.push(Case {
-            kernel: "aerial",
-            shape: format!("{px}x{px} sigma3.75"),
+        cases.push(timed(
+            active,
+            "aerial",
+            format!("{px}x{px} sigma3.75"),
             reps,
-            best_secs: best,
-            mean_secs: mean,
-        });
+            || aerial_image(&mask, &kernel),
+        ));
     }
 
     cases
@@ -152,9 +216,10 @@ fn render(quick: bool, threads: usize, cases: &[Case]) -> String {
     let ws = rhsd_tensor::workspace::stats();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rhsd-microbench/1\",\n");
+    out.push_str("  \"schema\": \"rhsd-microbench/2\",\n");
     let _ = writeln!(out, "  \"quick\": {quick},");
     let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"isa\": \"{}\",", kernels::isa_name());
     let _ = writeln!(
         out,
         "  \"workspace\": {{\"allocs\": {}, \"bytes_reused\": {}, \"high_water_bytes\": {}}},",
@@ -165,8 +230,8 @@ fn render(quick: bool, threads: usize, cases: &[Case]) -> String {
         let comma = if i + 1 == cases.len() { "" } else { "," };
         let _ = writeln!(
             out,
-            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"reps\": {}, \"best_secs\": {:.6}, \"mean_secs\": {:.6}}}{comma}",
-            c.kernel, c.shape, c.reps, c.best_secs, c.mean_secs
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"reps\": {}, \"best_secs\": {:.6}, \"mean_secs\": {:.6}, \"scalar_best_secs\": {:.6}, \"speedup\": {:.3}}}{comma}",
+            c.kernel, c.shape, c.reps, c.best_secs, c.mean_secs, c.scalar_best_secs, c.speedup
         );
     }
     out.push_str("  ]\n}\n");
@@ -200,14 +265,17 @@ pub fn run(args: &[String]) -> Result<ExitCode, String> {
     let cases = run_cases(quick);
     let record = render(quick, threads, &cases);
 
+    println!("dispatched isa: {}", kernels::isa_name());
     for c in &cases {
         println!(
-            "{:<8} {:<24} reps {:>3}  best {:>10.3} ms  mean {:>10.3} ms",
+            "{:<8} {:<24} reps {:>3}  best {:>10.3} ms  mean {:>10.3} ms  scalar {:>10.3} ms  speedup {:>5.2}x",
             c.kernel,
             c.shape,
             c.reps,
             c.best_secs * 1e3,
-            c.mean_secs * 1e3
+            c.mean_secs * 1e3,
+            c.scalar_best_secs * 1e3,
+            c.speedup
         );
     }
     std::fs::write(&out_path, &record).map_err(|e| format!("write {}: {e}", out_path.display()))?;
@@ -224,11 +292,14 @@ mod tests {
         let cases = run_cases(true);
         let kernels: Vec<&str> = cases.iter().map(|c| c.kernel).collect();
         assert!(kernels.contains(&"matmul"));
+        assert!(kernels.contains(&"gemm_micro"));
         assert!(kernels.contains(&"conv2d"));
         assert!(kernels.contains(&"aerial"));
         for c in &cases {
             assert!(c.best_secs.is_finite() && c.best_secs >= 0.0);
             assert!(c.mean_secs >= c.best_secs);
+            assert!(c.scalar_best_secs.is_finite() && c.scalar_best_secs >= 0.0);
+            assert!(c.speedup.is_finite() && c.speedup > 0.0);
         }
     }
 
@@ -240,18 +311,26 @@ mod tests {
             reps: 3,
             best_secs: 0.001,
             mean_secs: 0.002,
+            scalar_best_secs: 0.003,
+            speedup: 3.0,
         }];
         let record = render(true, 2, &cases);
         let v = rhsd_obs::json::parse(&record).expect("valid JSON");
         assert_eq!(
             v.get("schema").and_then(|s| s.as_str()),
-            Some("rhsd-microbench/1")
+            Some("rhsd-microbench/2")
         );
+        assert!(v.get("isa").and_then(|i| i.as_str()).is_some());
         let arr = v.get("cases").and_then(|c| c.as_arr()).expect("cases");
         assert_eq!(arr.len(), 1);
         assert_eq!(
             arr[0].get("kernel").and_then(|k| k.as_str()),
             Some("matmul")
+        );
+        assert_eq!(arr[0].get("speedup").and_then(|s| s.as_f64()), Some(3.0));
+        assert_eq!(
+            arr[0].get("scalar_best_secs").and_then(|s| s.as_f64()),
+            Some(0.003)
         );
         assert!(v.get("workspace").is_some());
     }
